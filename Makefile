@@ -1,0 +1,44 @@
+# Standard developer entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench fuzz experiments experiments-fast clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the hardened decoders.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ruleio/
+	$(GO) test -fuzz=FuzzUnmarshalJSON -fuzztime=30s ./internal/ruleio/
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/store/
+
+# Regenerate every figure/table of the paper's Section 7 at paper scale
+# (minutes); results land in results/.
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/experiments -csv results | tee results/experiments_output.txt
+
+experiments-fast:
+	$(GO) run ./cmd/experiments -fast
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

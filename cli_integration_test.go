@@ -1,0 +1,110 @@
+package fixrule_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds every command and drives the full workflow through
+// their real binaries: generate data, mine nothing (rules come from a DSL
+// file), check + resolve the ruleset, repair, explain, and stream.
+// Skipped with -short (it shells out to the Go toolchain).
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short: skipping CLI integration test")
+	}
+	dir := t.TempDir()
+	bin := map[string]string{}
+	for _, name := range []string{"datagen", "rulecheck", "fixrepair"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		bin[name] = out
+	}
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin[name], args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// 1. Generate a small uis corpus.
+	out := run("datagen", "-dataset", "uis", "-rows", "400", "-out", dir)
+	if !strings.Contains(out, "uis.clean.csv") {
+		t.Fatalf("datagen output:\n%s", out)
+	}
+
+	// 2. Author a ruleset with a deliberate Example 8 conflict and resolve.
+	rules := filepath.Join(dir, "travel.dsl")
+	if err := os.WriteFile(rules, []byte(`
+SCHEMA Travel(name, country, capital, city, conf)
+RULE phi1p
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong", "Tokyo")
+  THEN capital = "Beijing"
+RULE phi3
+  WHEN capital = "Tokyo", city = "Tokyo", conf = "ICDE"
+  IF country IN ("China")
+  THEN country = "Japan"
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed := filepath.Join(dir, "travel.fixed.dsl")
+	out = run("rulecheck", "-rules", rules, "-resolve", "trim", "-stats", "-out", fixed)
+	if !strings.Contains(out, "INCONSISTENT") || !strings.Contains(out, "wrote 2 rules") {
+		t.Fatalf("rulecheck output:\n%s", out)
+	}
+
+	// 3. Repair the Figure 1 data with the resolved rules.
+	data := filepath.Join(dir, "travel.csv")
+	if err := os.WriteFile(data, []byte(
+		"name,country,capital,city,conf\n"+
+			"George,China,Beijing,Beijing,SIGMOD\n"+
+			"Ian,China,Shanghai,Hongkong,ICDE\n"+
+			"Peter,China,Tokyo,Tokyo,ICDE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repaired := filepath.Join(dir, "travel.repaired.csv")
+	out = run("fixrepair", "-rules", fixed, "-data", data, "-out", repaired)
+	if !strings.Contains(out, "applied 2 repairs") {
+		t.Fatalf("fixrepair output:\n%s", out)
+	}
+	got, err := os.ReadFile(repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "Ian,China,Beijing,Hongkong,ICDE") ||
+		!strings.Contains(string(got), "Peter,Japan,Tokyo,Tokyo,ICDE") {
+		t.Fatalf("repaired CSV:\n%s", got)
+	}
+
+	// 4. Explain a single row's repair.
+	out = run("fixrepair", "-rules", fixed, "-data", data, "-explain", "2")
+	if !strings.Contains(out, "phi3") || !strings.Contains(out, "Japan") {
+		t.Fatalf("explain output:\n%s", out)
+	}
+
+	// 5. Stream mode produces the same repaired file.
+	streamed := filepath.Join(dir, "travel.streamed.csv")
+	out = run("fixrepair", "-rules", fixed, "-data", data, "-stream", "-out", streamed)
+	if !strings.Contains(out, "streamed 3 rows") {
+		t.Fatalf("stream output:\n%s", out)
+	}
+	got2, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(got) {
+		t.Error("streamed output differs from batch output")
+	}
+}

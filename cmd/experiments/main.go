@@ -1,0 +1,80 @@
+// Command experiments regenerates the figures and tables of the paper's
+// Section 7 evaluation (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	experiments                      # run everything at paper scale
+//	experiments -exp fig10ab,fig13a  # selected experiments
+//	experiments -fast                # scaled-down smoke run
+//	experiments -csv results/        # additionally write CSVs
+//
+// Paper scale (115K-row hosp) takes minutes; -fast finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fixrule/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the known experiment ids and exit")
+		exp   = flag.String("exp", "", "comma-separated experiment ids (empty = all); known: "+strings.Join(experiments.IDs(), ", "))
+		fast  = flag.Bool("fast", false, "scaled-down configuration for smoke runs")
+		csv   = flag.String("csv", "", "directory to write one CSV per table")
+		seed  = flag.Int64("seed", 1, "master seed")
+		hosp  = flag.Int("hosp-rows", 0, "override hosp row count")
+		uis   = flag.Int("uis-rows", 0, "override uis row count")
+		hospR = flag.Int("hosp-rules", 0, "override hosp rule budget")
+		uisR  = flag.Int("uis-rules", 0, "override uis rule budget")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *fast {
+		cfg = experiments.FastConfig()
+	}
+	cfg.Seed = *seed
+	if *hosp > 0 {
+		cfg.HospRows = *hosp
+	}
+	if *uis > 0 {
+		cfg.UISRows = *uis
+	}
+	if *hospR > 0 {
+		cfg.HospRules = *hospR
+	}
+	if *uisR > 0 {
+		cfg.UISRules = *uisR
+	}
+
+	var ids []string
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if err := experiments.Run(cfg, ids, os.Stdout, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

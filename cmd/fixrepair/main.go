@@ -1,0 +1,288 @@
+// Command fixrepair repairs a relation with a fixing-rule file using
+// either repairing algorithm of Section 6. Data files are CSV, or the
+// compact binary frel format for *.frel paths.
+//
+// Usage:
+//
+//	fixrepair -rules rules.dsl -data dirty.csv -out repaired.csv -log repairs.csv
+//	fixrepair -rules rules.dsl -data dirty.csv -alg chase
+//	fixrepair -rules rules.dsl -data dirty.csv -explain 2       # provenance of row 2
+//	fixrepair -rules rules.dsl -data big.csv -stream -out fixed.csv
+//	fixrepair -revert repairs.csv -data repaired.csv -out restored.csv
+//
+// The data file's header (or frel schema) must match the rule schema.
+// -log writes one changed cell per line (row, attribute, old, new);
+// -revert applies such a log in reverse, restoring the exact pre-repair
+// state.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fixrule"
+	"fixrule/internal/repairlog"
+	"fixrule/internal/ruleio"
+	"fixrule/internal/store"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "rule file (DSL, or JSON when *.json)")
+		dataPath  = flag.String("data", "", "input CSV (header must match the rule schema)")
+		outPath   = flag.String("out", "", "output CSV for the repaired relation")
+		logPath   = flag.String("log", "", "optional CSV log of applied repairs")
+		alg       = flag.String("alg", "linear", "repair algorithm: linear (lRepair) or chase (cRepair)")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		explain   = flag.Int("explain", -1, "print the repair provenance of this row and exit")
+		stream    = flag.Bool("stream", false, "stream rows through the repairer (constant memory); requires -out")
+		revert    = flag.String("revert", "", "undo a previous repair: apply this -log file in reverse to -data; requires -out")
+	)
+	flag.Parse()
+	if (*rulesPath == "" && *revert == "") || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "fixrepair: -rules (or -revert) and -data are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *revert != "" {
+		if err := runRevert(*revert, *dataPath, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fixrepair:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*rulesPath, *dataPath, *outPath, *logPath, *alg, *workers, *explain, *stream); err != nil {
+		fmt.Fprintln(os.Stderr, "fixrepair:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int, stream bool) error {
+	rs, err := ruleio.LoadFile(rulesPath)
+	if err != nil {
+		return err
+	}
+
+	var algorithm = fixrule.Linear
+	switch alg {
+	case "linear", "lrepair":
+	case "chase", "crepair":
+		algorithm = fixrule.Chase
+	default:
+		return fmt.Errorf("unknown -alg %q (want linear or chase)", alg)
+	}
+
+	rep, err := fixrule.NewRepairer(rs)
+	if err != nil {
+		return err
+	}
+
+	if stream {
+		if outPath == "" {
+			return fmt.Errorf("-stream requires -out")
+		}
+		in, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		var stats *fixrule.StreamStats
+		if strings.HasSuffix(dataPath, ".frel") && strings.HasSuffix(outPath, ".frel") {
+			stats, err = rep.StreamFrel(in, out, algorithm)
+		} else {
+			stats, err = rep.StreamCSV(in, out, algorithm)
+		}
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("streamed %d rows in %v: %d tuples repaired with %d rule applications\n",
+			stats.Rows, time.Since(start), stats.Repaired, stats.Steps)
+		return nil
+	}
+
+	rel, err := loadRelation(dataPath, rs.Schema())
+	if err != nil {
+		return err
+	}
+
+	if explain >= 0 {
+		if explain >= rel.Len() {
+			return fmt.Errorf("-explain row %d out of range (%d rows)", explain, rel.Len())
+		}
+		fmt.Print(rep.Explain(rel.Row(explain), algorithm))
+		return nil
+	}
+
+	start := time.Now()
+	res := rep.RepairRelationParallel(rel, algorithm, workers)
+	elapsed := time.Since(start)
+
+	fmt.Printf("repaired %d rows with %d rules in %v (%s)\n",
+		rel.Len(), rs.Len(), elapsed, alg)
+	fmt.Printf("applied %d repairs across %d cells\n", res.Steps, len(res.Changed))
+	printTopRules(res)
+
+	if outPath != "" {
+		if err := saveRelation(outPath, res.Relation); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outPath)
+	}
+	if logPath != "" {
+		if err := writeLog(logPath, rel, res); err != nil {
+			return err
+		}
+		fmt.Println("wrote", logPath)
+	}
+	return nil
+}
+
+// runRevert undoes a previous repair run: the -log file is applied in
+// reverse to the repaired relation, restoring the exact pre-repair state.
+func runRevert(logPath, dataPath, outPath string) error {
+	if outPath == "" {
+		return fmt.Errorf("-revert requires -out")
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	entries, err := repairlog.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	// The repaired relation's schema is not known without rules; recover it
+	// from the CSV header (or frel schema) by reading the raw file.
+	rel, err := loadRelationAnySchema(dataPath)
+	if err != nil {
+		return err
+	}
+	if err := repairlog.Revert(rel, entries); err != nil {
+		return err
+	}
+	if err := saveRelation(outPath, rel); err != nil {
+		return err
+	}
+	fmt.Printf("reverted %d repair(s); wrote %s\n", len(entries), outPath)
+	return nil
+}
+
+// loadRelationAnySchema reads a relation without a schema expectation: frel
+// files are self-describing, and CSV headers define an ad-hoc schema.
+func loadRelationAnySchema(path string) (*fixrule.Relation, error) {
+	if strings.HasSuffix(path, ".frel") {
+		return store.Load(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading CSV header: %w", err)
+	}
+	sch := fixrule.NewSchema("data", header...)
+	rel := fixrule.NewRelation(sch)
+	for {
+		rec, err := cr.Read()
+		if err != nil {
+			break
+		}
+		rel.Append(fixrule.Tuple(rec))
+	}
+	return rel, nil
+}
+
+// loadRelation reads CSV or, for *.frel paths, the compact binary format.
+// frel files carry their own schema, which must match the rules' schema.
+func loadRelation(path string, sch *fixrule.Schema) (*fixrule.Relation, error) {
+	if strings.HasSuffix(path, ".frel") {
+		rel, err := store.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Schema().Equal(sch) {
+			return nil, fmt.Errorf("frel schema %s does not match rule schema %s", rel.Schema(), sch)
+		}
+		return rel, nil
+	}
+	return fixrule.LoadCSV(path, sch)
+}
+
+// saveRelation writes CSV or, for *.frel paths, the compact binary format.
+func saveRelation(path string, rel *fixrule.Relation) error {
+	if strings.HasSuffix(path, ".frel") {
+		return store.Save(path, rel)
+	}
+	return fixrule.SaveCSV(path, rel)
+}
+
+// printTopRules lists the five most productive rules, mirroring the
+// Figure 12(a) view.
+func printTopRules(res *fixrule.RepairResult) {
+	type rc struct {
+		name string
+		n    int
+	}
+	var rcs []rc
+	for name, n := range res.PerRule {
+		rcs = append(rcs, rc{name, n})
+	}
+	sort.Slice(rcs, func(i, j int) bool {
+		if rcs[i].n != rcs[j].n {
+			return rcs[i].n > rcs[j].n
+		}
+		return rcs[i].name < rcs[j].name
+	})
+	if len(rcs) > 5 {
+		rcs = rcs[:5]
+	}
+	for _, r := range rcs {
+		fmt.Printf("  %-12s corrected %d cell(s)\n", r.name, r.n)
+	}
+}
+
+func writeLog(path string, before *fixrule.Relation, res *fixrule.RepairResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"row", "attr", "old", "new"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, c := range res.Changed {
+		if err := w.Write([]string{
+			strconv.Itoa(c.Row), c.Attr,
+			before.Get(c.Row, c.Attr), res.Relation.Get(c.Row, c.Attr),
+		}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,65 @@
+// Command fixserve runs the fixing-rule repair service over HTTP: load a
+// consistent ruleset once, then repair tuples on the wire — the
+// no-user-in-the-loop data-monitoring deployment the paper contrasts with
+// editing rules.
+//
+// Usage:
+//
+//	fixserve -rules rules.dsl -addr :8080
+//
+// Endpoints (see internal/server):
+//
+//	GET  /healthz            liveness
+//	GET  /rules[?format=json] the loaded ruleset
+//	GET  /rules/stats        rule statistics
+//	POST /repair             JSON tuples in, repaired tuples + steps out
+//	POST /repair/csv         CSV stream in, repaired CSV out
+//	POST /explain            one tuple in, repair provenance out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"fixrule/internal/repair"
+	"fixrule/internal/ruleio"
+	"fixrule/internal/server"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "rule file (DSL, or JSON when *.json)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "fixserve: -rules is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*rulesPath, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "fixserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesPath, addr string) error {
+	rs, err := ruleio.LoadFile(rulesPath)
+	if err != nil {
+		return err
+	}
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fixserve: %d rules over %s, listening on %s\n", rs.Len(), rs.Schema(), addr)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(rep),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

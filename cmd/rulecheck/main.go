@@ -1,0 +1,155 @@
+// Command rulecheck analyses a fixing-rule file: it checks consistency
+// (Section 5), explains every conflict with a witness tuple, optionally
+// resolves the conflicts, and optionally minimises the set by dropping
+// implied rules (Section 4.3).
+//
+// Usage:
+//
+//	rulecheck -rules rules.dsl                   # report conflicts
+//	rulecheck -rules rules.dsl -resolve trim     # trim negatives, print fixed set
+//	rulecheck -rules rules.dsl -resolve remove -out fixed.dsl
+//	rulecheck -rules rules.dsl -minimize         # also drop implied rules
+//
+// Rule files use the DSL (see README); files ending in .json use the JSON
+// encoding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fixrule"
+	"fixrule/internal/consistency"
+	"fixrule/internal/ruleio"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "rule file (DSL, or JSON when *.json)")
+		resolve   = flag.String("resolve", "", "resolve conflicts: trim, remove, mincover or interactive")
+		minimize  = flag.Bool("minimize", false, "drop implied (redundant) rules")
+		stats     = flag.Bool("stats", false, "print per-target and negative-pattern statistics")
+		out       = flag.String("out", "", "write the resulting ruleset to this file")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "rulecheck: -rules is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*rulesPath, *resolve, *minimize, *stats, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "rulecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rulesPath, resolve string, minimize, stats bool, out string) error {
+	rs, err := ruleio.LoadFile(rulesPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d rules over %s (size(Σ) = %d)\n", rs.Len(), rs.Schema(), rs.Size())
+	if stats {
+		printStats(rs)
+	}
+
+	conflicts := fixrule.AllConflicts(rs)
+	if len(conflicts) == 0 {
+		fmt.Println("consistent: every tuple has a unique fix")
+	} else {
+		fmt.Printf("INCONSISTENT: %d conflicting pair(s)\n", len(conflicts))
+		for _, c := range conflicts {
+			fmt.Println("  " + c.Error())
+		}
+	}
+
+	switch resolve {
+	case "":
+		if len(conflicts) > 0 && out != "" {
+			return fmt.Errorf("refusing to write an inconsistent ruleset; pass -resolve")
+		}
+	case "trim", "remove", "mincover":
+		strategy := fixrule.TrimNegatives
+		switch resolve {
+		case "remove":
+			strategy = fixrule.RemoveConflicting
+		case "mincover":
+			strategy = fixrule.MinimumRemoval
+		}
+		fixed, edited, err := fixrule.Resolve(rs, strategy)
+		if err != nil {
+			return err
+		}
+		if len(edited) > 0 {
+			fmt.Printf("resolved by editing/removing %d rule(s): %s\n",
+				len(edited), strings.Join(edited, ", "))
+		}
+		rs = fixed
+	case "interactive":
+		// The Section 5.1 workflow with the expert at the keyboard.
+		expert := &consistency.InteractiveResolver{In: os.Stdin, Out: os.Stdout}
+		fixed, edits, err := consistency.Resolve(rs, expert, consistency.ByRule)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resolved interactively with %d edit(s)\n", len(edits))
+		rs = fixed
+	default:
+		return fmt.Errorf("unknown -resolve strategy %q (want trim, remove, mincover or interactive)", resolve)
+	}
+
+	if minimize {
+		min, dropped, err := fixrule.Minimize(rs)
+		if err != nil {
+			return err
+		}
+		if len(dropped) > 0 {
+			fmt.Printf("minimised: dropped %d implied rule(s): %s\n",
+				len(dropped), strings.Join(dropped, ", "))
+		} else {
+			fmt.Println("minimised: no implied rules")
+		}
+		rs = min
+	}
+
+	if out != "" {
+		if err := ruleio.SaveFile(out, rs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d rules to %s\n", rs.Len(), out)
+	}
+	return nil
+}
+
+func printStats(rs *fixrule.Ruleset) {
+	perTarget := map[string]int{}
+	negTotal := 0
+	histogram := map[int]int{}
+	for _, r := range rs.Rules() {
+		perTarget[r.Target()]++
+		negTotal += r.NegativeSize()
+		histogram[r.NegativeSize()]++
+	}
+	fmt.Printf("negative patterns: %d total across %d rules\n", negTotal, rs.Len())
+	targets := make([]string, 0, len(perTarget))
+	for a := range perTarget {
+		targets = append(targets, a)
+	}
+	sort.Strings(targets)
+	fmt.Println("rules per target attribute:")
+	for _, a := range targets {
+		fmt.Printf("  %-16s %d\n", a, perTarget[a])
+	}
+	sizes := make([]int, 0, len(histogram))
+	for n := range histogram {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	fmt.Println("rules by negative-pattern count:")
+	for _, n := range sizes {
+		fmt.Printf("  %3d negative(s): %d rule(s)\n", n, histogram[n])
+	}
+}

@@ -1,0 +1,61 @@
+// Package editing exposes the repository's editing-rule implementation
+// (Fan et al., VLDB J. 2012 — the technique the paper compares against in
+// Section 7.2) as public API: editing rules over master data, certifier-
+// driven repair with interaction counting, and the automated simulation
+// built from fixing rules.
+package editing
+
+import (
+	"fixrule"
+	"fixrule/internal/editrule"
+)
+
+// Rule is an editing rule ((X, X′) → (B, B′), tp) over a data schema and a
+// master schema.
+type Rule = editrule.Rule
+
+// Engine applies editing rules against one master relation.
+type Engine = editrule.Engine
+
+// Result summarises an editing-rule repair, including the user-interaction
+// count the paper measures editing rules by.
+type Result = editrule.Result
+
+// Certifier answers "is t[X] correct?" — one call per potential rule
+// application.
+type Certifier = editrule.Certifier
+
+// CertifierFunc adapts a function to Certifier.
+type CertifierFunc = editrule.CertifierFunc
+
+// AlwaysYes confirms every certification request (the automated mode of
+// the paper's Exp-2(d)).
+type AlwaysYes = editrule.AlwaysYes
+
+// AutoEngine is the Exp-2(d) simulation: fixing rules stripped of their
+// negative patterns, applied whenever the evidence matches.
+type AutoEngine = editrule.AutoEngine
+
+// NewRule validates and constructs an editing rule: match maps data
+// attributes X to master attributes X′; target/masterTarget are B and B′;
+// pattern holds optional constant conditions on data attributes.
+func NewRule(name string, data *fixrule.Schema, master *fixrule.Schema, match map[string]string, target, masterTarget string, pattern map[string]string) (*Rule, error) {
+	return editrule.NewRule(name, data, master, match, target, masterTarget, pattern)
+}
+
+// NewEngine indexes the master relation for the given rules.
+func NewEngine(data *fixrule.Schema, master *fixrule.Relation, rules []*Rule) *Engine {
+	return editrule.NewEngine(data, master, rules)
+}
+
+// BuildMaster projects clean data onto attrs and deduplicates, producing a
+// master relation (the paper's Figure 2 Cap table is such a projection).
+func BuildMaster(name string, src *fixrule.Relation, attrs []string) (*fixrule.Relation, error) {
+	return editrule.BuildMaster(name, src, attrs)
+}
+
+// FromFixingRules builds the automated editing-rule simulation used by
+// Figure 12(b).
+func FromFixingRules(rs *fixrule.Ruleset) *AutoEngine {
+	return editrule.FromFixingRules(rs)
+}

@@ -1,0 +1,83 @@
+package editing
+
+import (
+	"testing"
+
+	"fixrule"
+)
+
+func TestPublicEditingWorkflow(t *testing.T) {
+	sch := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	clean := fixrule.NewRelation(sch)
+	clean.Append(fixrule.Tuple{"a", "China", "Beijing", "Beijing", "SIGMOD"})
+	clean.Append(fixrule.Tuple{"b", "Canada", "Ottawa", "Toronto", "VLDB"})
+	clean.Append(fixrule.Tuple{"c", "Canada", "Ottawa", "Ottawa", "ICDE"})
+
+	master, err := BuildMaster("Cap", clean, []string{"country", "capital"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deduplicated: (China, Beijing) and (Canada, Ottawa).
+	if master.Len() != 2 {
+		t.Fatalf("master has %d rows", master.Len())
+	}
+
+	er, err := NewRule("eR1", sch, master.Schema(),
+		map[string]string{"country": "country"}, "capital", "capital", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(sch, master, []*Rule{er})
+
+	dirty := fixrule.NewRelation(sch)
+	dirty.Append(fixrule.Tuple{"x", "China", "Shanghai", "Hongkong", "ICDE"})
+	dirty.Append(fixrule.Tuple{"y", "Canada", "Toronto", "Toronto", "VLDB"})
+
+	res := engine.Repair(dirty, AlwaysYes{})
+	if res.Relation.Get(0, "capital") != "Beijing" || res.Relation.Get(1, "capital") != "Ottawa" {
+		t.Errorf("repair: %v", res.Relation.Rows())
+	}
+	if res.Interactions != 2 {
+		t.Errorf("interactions = %d", res.Interactions)
+	}
+
+	// Certifier with row awareness.
+	declineFirst := CertifierFunc(func(row int, tu fixrule.Tuple, attrs []string) bool {
+		return row != 0
+	})
+	res2 := engine.Repair(dirty, declineFirst)
+	if res2.Relation.Get(0, "capital") != "Shanghai" || res2.Relation.Get(1, "capital") != "Ottawa" {
+		t.Errorf("row-aware certify: %v", res2.Relation.Rows())
+	}
+}
+
+func TestBuildMasterValidation(t *testing.T) {
+	sch := fixrule.NewSchema("R", "a", "b")
+	rel := fixrule.NewRelation(sch)
+	if _, err := BuildMaster("M", rel, nil); err == nil {
+		t.Error("empty attrs accepted")
+	}
+	if _, err := BuildMaster("M", rel, []string{"zzz"}); err == nil {
+		t.Error("unknown attr accepted")
+	}
+}
+
+func TestFromFixingRulesPublic(t *testing.T) {
+	sch := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	r, err := fixrule.NewRule("phi1", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := fixrule.RulesetOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := FromFixingRules(rs)
+	rel := fixrule.NewRelation(sch)
+	rel.Append(fixrule.Tuple{"x", "China", "Nanjing", "y", "z"})
+	res := auto.Repair(rel)
+	if res.Relation.Get(0, "capital") != "Beijing" || res.Applied != 1 {
+		t.Errorf("auto repair: %v, applied %d", res.Relation.Rows(), res.Applied)
+	}
+}

@@ -1,0 +1,37 @@
+package editing_test
+
+import (
+	"fmt"
+	"log"
+
+	"fixrule"
+	"fixrule/editing"
+)
+
+// The paper's Figure 2 scenario: an editing rule matches a tuple's country
+// against the Cap master table and repairs the capital — after a user
+// certifies the matched attribute. The result counts every certification,
+// the cost metric the paper measures editing rules by.
+func Example() {
+	travel := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	clean := fixrule.NewRelation(travel)
+	clean.Append(fixrule.Tuple{"-", "China", "Beijing", "-", "-"})
+	clean.Append(fixrule.Tuple{"-", "Canada", "Ottawa", "-", "-"})
+
+	master, err := editing.BuildMaster("Cap", clean, []string{"country", "capital"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eR1, err := editing.NewRule("eR1", travel, master.Schema(),
+		map[string]string{"country": "country"}, "capital", "capital", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := editing.NewEngine(travel, master, []*editing.Rule{eR1})
+
+	dirty := fixrule.NewRelation(travel)
+	dirty.Append(fixrule.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	res := engine.Repair(dirty, editing.AlwaysYes{})
+	fmt.Println(res.Relation.Get(0, "capital"), res.Interactions)
+	// Output: Beijing 1
+}

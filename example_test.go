@@ -1,0 +1,115 @@
+package fixrule_test
+
+import (
+	"fmt"
+	"log"
+
+	"fixrule"
+)
+
+// The paper's running example: φ1 detects that a tuple about China cannot
+// have Shanghai or Hongkong as its capital and repairs it to Beijing.
+func Example() {
+	sch := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	rules, err := fixrule.ParseRulesWith(`
+RULE phi1
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong")
+  THEN capital = "Beijing"
+`, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repairer, err := fixrule.NewRepairer(rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, steps := repairer.RepairTuple(
+		fixrule.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"}, fixrule.Linear)
+	fmt.Println(fixed[2], len(steps))
+	// Output: Beijing 1
+}
+
+// Consistency checking catches the paper's Example 8: with Tokyo among
+// φ1's negative patterns, φ1 and φ3 disagree on the tuple
+// (China, Tokyo, Tokyo, ICDE).
+func ExampleCheckConsistency() {
+	sch := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	rules, err := fixrule.ParseRulesWith(`
+RULE phi1p
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong", "Tokyo")
+  THEN capital = "Beijing"
+RULE phi3
+  WHEN capital = "Tokyo", city = "Tokyo", conf = "ICDE"
+  IF country IN ("China")
+  THEN country = "Japan"
+`, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conflict := fixrule.CheckConsistency(rules)
+	fmt.Println(conflict != nil)
+
+	fixed, _, err := fixrule.Resolve(rules, fixrule.TrimNegatives)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fixrule.CheckConsistency(fixed) == nil)
+	// Output:
+	// true
+	// true
+}
+
+// Implication analysis prunes redundant rules: a rule whose negative
+// patterns are a subset of an existing rule's (same evidence, same fact)
+// changes nothing.
+func ExampleImplies() {
+	sch := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	phi1, err := fixrule.NewRule("phi1", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong"}, "Beijing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := fixrule.RulesetOf(phi1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	narrow, err := fixrule.NewRule("narrow", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	implied, err := fixrule.Implies(rs, narrow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(implied)
+	// Output: true
+}
+
+// Rules can be mined from FD violations given ground truth (the paper's
+// §7.1 procedure with the expert mechanised).
+func ExampleMineRules() {
+	sch := fixrule.NewSchema("KV", "k", "v")
+	truth := fixrule.NewRelation(sch)
+	dirty := fixrule.NewRelation(sch)
+	for i := 0; i < 4; i++ {
+		truth.Append(fixrule.Tuple{"a", "1"})
+		dirty.Append(fixrule.Tuple{"a", "1"})
+	}
+	dirty.Row(0)[1] = "9"
+	f, err := fixrule.ParseFD(sch, "k -> v")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := fixrule.MineRules(truth, dirty, []*fixrule.FD{f}, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rules.Len())
+	fmt.Println(rules.Rules()[0])
+	// Output:
+	// 1
+	// r0001: (([k], [a]), (v, {9})) -> 1
+}

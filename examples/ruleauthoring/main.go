@@ -1,0 +1,90 @@
+// Ruleauthoring: writing fixing rules by hand, debugging an inconsistency
+// (the paper's Example 8), resolving it with the Section 5.3 workflow, and
+// pruning redundant rules with the implication analysis of Section 4.3.
+//
+// Run with: go run ./examples/ruleauthoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fixrule"
+)
+
+func main() {
+	sch := fixrule.NewSchema("Travel", "name", "country", "capital", "city", "conf")
+
+	// An over-eager expert writes φ1′ with Tokyo among the negative
+	// patterns (Example 8). Together with φ3 this is inconsistent: for the
+	// tuple (China, Tokyo, Tokyo, ICDE) the two rules disagree about which
+	// attribute is wrong.
+	authored, err := fixrule.ParseRulesWith(`
+RULE phi1p
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong", "Tokyo")
+  THEN capital = "Beijing"
+
+RULE phi3
+  WHEN capital = "Tokyo", city = "Tokyo", conf = "ICDE"
+  IF country IN ("China")
+  THEN country = "Japan"
+
+RULE phi2
+  WHEN country = "Canada"
+  IF capital IN ("Toronto")
+  THEN capital = "Ottawa"
+`, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 of the Section 5.1 workflow: check consistency.
+	for _, c := range fixrule.AllConflicts(authored) {
+		fmt.Println("conflict found:", c.Error())
+	}
+
+	// Step 2: resolve. TrimNegatives performs the exact edit the paper
+	// recommends — remove Tokyo from φ1′'s negative patterns, because
+	// (China, Tokyo) is ambiguous: it could be (China, Beijing) or
+	// (Japan, Tokyo).
+	fixed, edited, err := fixrule.Resolve(authored, fixrule.TrimNegatives)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved by editing %v\n", edited)
+	fmt.Println("phi1p after trimming:", fixed.Get("phi1p"))
+	if fixrule.CheckConsistency(fixed) != nil {
+		log.Fatal("still inconsistent")
+	}
+	fmt.Println("ruleset is now consistent")
+
+	// Implication analysis: a narrower rule is redundant and can be
+	// pruned before deployment.
+	narrow, err := fixrule.NewRule("narrow", sch,
+		map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	implied, err := fixrule.Implies(fixed, narrow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("is %q implied by the ruleset? %v\n", narrow.Name(), implied)
+
+	withNarrow := fixed.Clone()
+	if err := withNarrow.Add(narrow); err != nil {
+		log.Fatal(err)
+	}
+	minimal, dropped, err := fixrule.Minimize(withNarrow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimised %d -> %d rules (dropped %v)\n",
+		withNarrow.Len(), minimal.Len(), dropped)
+
+	// Ship the final ruleset in the DSL.
+	fmt.Println("\nfinal ruleset:")
+	fmt.Print(fixrule.FormatRules(minimal))
+}

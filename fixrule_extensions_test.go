@@ -1,0 +1,248 @@
+package fixrule
+
+import (
+	"os"
+	"testing"
+)
+
+// Tests for the public extension surface: unsupervised discovery, CFD and
+// master-data rule sources, min-cover resolution.
+
+func TestPublicDiscoverRules(t *testing.T) {
+	sch := NewSchema("KV", "k", "v")
+	dirty := NewRelation(sch)
+	for i := 0; i < 5; i++ {
+		dirty.Append(Tuple{"a", "good"})
+	}
+	dirty.Append(Tuple{"a", "bad"})
+	f, err := ParseFD(sch, "k -> v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DiscoverRules(dirty, []*FD{f}, DiscoverOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("discovered %d rules", rs.Len())
+	}
+	r := rs.Rules()[0]
+	if r.Fact() != "good" || !r.IsNegative("bad") {
+		t.Errorf("rule = %v", r)
+	}
+}
+
+func TestPublicRulesFromCFDs(t *testing.T) {
+	sch := NewSchema("R", "country", "capital")
+	cfd, err := ParseCFD(sch, "country -> capital, (country=China, capital=Beijing)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := NewRelation(sch)
+	dirty.Append(Tuple{"China", "Shanghai"})
+	dirty.Append(Tuple{"China", "Beijing"})
+	rs, err := RulesFromCFDs(dirty, []*CFD{cfd}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 || rs.Rules()[0].Fact() != "Beijing" {
+		t.Fatalf("rules = %v", rs.Rules())
+	}
+	// NewCFD path too.
+	f, err := ParseFD(sch, "country -> capital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCFD(f, map[string]string{"country": "Japan", "capital": "Tokyo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.PatternValue("country") != "Japan" {
+		t.Error("NewCFD pattern lost")
+	}
+}
+
+func TestPublicRulesFromMaster(t *testing.T) {
+	sch := NewSchema("Travel", "name", "country", "capital")
+	master := NewRelation(NewSchema("Cap", "country", "capital"))
+	master.Append(Tuple{"China", "Beijing"})
+	dirty := NewRelation(sch)
+	dirty.Append(Tuple{"Ian", "China", "Shangai"}) // typo, not a master fact
+	rs, err := RulesFromMaster(dirty, master, MasterSpec{
+		Match:        map[string]string{"country": "country"},
+		Target:       "capital",
+		MasterTarget: "capital",
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rules = %d", rs.Len())
+	}
+	rep, err := NewRepairer(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, steps := rep.RepairTuple(dirty.Row(0), Linear)
+	if len(steps) != 1 || fixed[2] != "Beijing" {
+		t.Errorf("repair = %v", fixed)
+	}
+}
+
+func TestPublicMinimumRemoval(t *testing.T) {
+	sch := NewSchema("R", "country", "capital", "city")
+	// Hub conflicts with two spokes (case 2a each).
+	hub, err := NewRule("hub", sch, map[string]string{"country": "X"},
+		"capital", []string{"c1", "c2"}, "TRUTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewRule("s1", sch, map[string]string{"capital": "c1"}, "city", []string{"bad"}, "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewRule("s2", sch, map[string]string{"capital": "c2"}, "city", []string{"bad"}, "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RulesetOf(hub, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, removed, err := Resolve(rs, MinimumRemoval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "hub" {
+		t.Errorf("removed = %v, want [hub]", removed)
+	}
+	if fixed.Len() != 2 || CheckConsistency(fixed) != nil {
+		t.Errorf("fixed = %d rules", fixed.Len())
+	}
+}
+
+func TestPublicNewRulesetAndAdd(t *testing.T) {
+	sch := NewSchema("R", "a", "b")
+	rs := NewRuleset(sch)
+	r, err := NewRule("x", sch, map[string]string{"a": "1"}, "b", []string{"2"}, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Errorf("len = %d", rs.Len())
+	}
+}
+
+func TestPublicImpliesErrorPath(t *testing.T) {
+	schA := NewSchema("A", "a", "b")
+	schB := NewSchema("B", "x", "y")
+	r, err := NewRule("x", schA, map[string]string{"a": "1"}, "b", []string{"2"}, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RulesetOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien, err := NewRule("alien", schB, map[string]string{"x": "1"}, "y", []string{"2"}, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Implies(rs, alien); err == nil {
+		t.Error("cross-schema implication accepted")
+	}
+}
+
+func TestPublicCheckAddition(t *testing.T) {
+	sch := NewSchema("R", "a", "b")
+	base, err := NewRule("base", sch, map[string]string{"a": "1"}, "b", []string{"x"}, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RulesetOf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := NewRule("good", sch, map[string]string{"a": "2"}, "b", []string{"x"}, "fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := CheckAddition(rs, good); conf != nil {
+		t.Errorf("good addition flagged: %v", conf)
+	}
+	bad, err := NewRule("bad", sch, map[string]string{"a": "1"}, "b", []string{"x"}, "different")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := CheckAddition(rs, bad); conf == nil {
+		t.Error("conflicting addition accepted")
+	}
+}
+
+// TestTestdataFixtures keeps the committed example files (used throughout
+// the README) in sync with the code: the rules parse, are consistent, and
+// repair the Figure 1 data to the Figure 8 result.
+func TestTestdataFixtures(t *testing.T) {
+	data, err := os.ReadFile("testdata/travel.dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ParseRules(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("rules = %d", rs.Len())
+	}
+	rep, err := NewRepairer(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := LoadCSV("testdata/travel.csv", rs.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.RepairRelation(rel, Linear)
+	if res.Steps != 4 {
+		t.Errorf("steps = %d, want 4", res.Steps)
+	}
+	if res.Relation.Get(2, "country") != "Japan" {
+		t.Error("Peter's country not repaired")
+	}
+}
+
+func TestPublicDiscoverFDs(t *testing.T) {
+	sch := NewSchema("R", "k", "v", "w")
+	rel := NewRelation(sch)
+	rel.Append(Tuple{"a", "1", "x"})
+	rel.Append(Tuple{"a", "1", "y"})
+	rel.Append(Tuple{"b", "2", "x"})
+	fds, err := DiscoverFDs(rel, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kFD *FD
+	for _, f := range fds {
+		if len(f.LHS()) == 1 && f.LHS()[0] == "k" {
+			kFD = f
+		}
+	}
+	if kFD == nil || len(kFD.RHS()) != 1 || kFD.RHS()[0] != "v" {
+		t.Fatalf("fds = %v", fds)
+	}
+	// End to end: the discovered FD drives discovery-based repair.
+	dirty := rel.Clone()
+	dirty.Append(Tuple{"a", "1", "z"})
+	dirty.Append(Tuple{"a", "1", "z"})
+	dirty.Append(Tuple{"a", "9", "q"}) // violates k -> v
+	rules, err := DiscoverRules(dirty, fds, DiscoverOptions{MinSupport: 2, MinConfidence: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Len() != 1 {
+		t.Fatalf("rules = %d", rules.Len())
+	}
+}

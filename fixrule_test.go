@@ -1,0 +1,231 @@
+package fixrule
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSetup builds the running example through the public API only.
+func paperSetup(t *testing.T) (*Schema, *Ruleset) {
+	t.Helper()
+	sch := NewSchema("Travel", "name", "country", "capital", "city", "conf")
+	rs, err := ParseRulesWith(`
+RULE phi1
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong")
+  THEN capital = "Beijing"
+RULE phi2
+  WHEN country = "Canada"
+  IF capital IN ("Toronto")
+  THEN capital = "Ottawa"
+RULE phi3
+  WHEN capital = "Tokyo", city = "Tokyo", conf = "ICDE"
+  IF country IN ("China")
+  THEN country = "Japan"
+RULE phi4
+  WHEN capital = "Beijing", conf = "ICDE"
+  IF city IN ("Hongkong")
+  THEN city = "Shanghai"
+`, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, rs
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	sch, rs := paperSetup(t)
+	if conf := CheckConsistency(rs); conf != nil {
+		t.Fatalf("paper rules inconsistent: %v", conf)
+	}
+	rep, err := NewRepairer(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := NewRelation(sch)
+	rel.Append(Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	rel.Append(Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	rel.Append(Tuple{"Peter", "China", "Tokyo", "Tokyo", "ICDE"})
+	rel.Append(Tuple{"Mike", "Canada", "Toronto", "Toronto", "VLDB"})
+
+	res := rep.RepairRelation(rel, Linear)
+	want := [][2]string{{"capital", "Beijing"}, {"city", "Shanghai"}}
+	for _, wc := range want {
+		if got := res.Relation.Get(1, wc[0]); got != wc[1] {
+			t.Errorf("r2 %s = %q, want %q", wc[0], got, wc[1])
+		}
+	}
+	if res.Relation.Get(2, "country") != "Japan" {
+		t.Error("r3 country not repaired")
+	}
+	if res.Relation.Get(3, "capital") != "Ottawa" {
+		t.Error("r4 capital not repaired")
+	}
+	if res.Steps != 4 {
+		t.Errorf("steps = %d", res.Steps)
+	}
+}
+
+func TestPublicConsistencyAndResolve(t *testing.T) {
+	sch, _ := paperSetup(t)
+	phi1p, err := NewRule("phi1p", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong", "Tokyo"}, "Beijing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi3, err := NewRule("phi3", sch,
+		map[string]string{"capital": "Tokyo", "city": "Tokyo", "conf": "ICDE"},
+		"country", []string{"China"}, "Japan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RulesetOf(phi1p, phi3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := CheckConsistency(rs)
+	if conf == nil {
+		t.Fatal("Example 8 conflict not detected")
+	}
+	if len(AllConflicts(rs)) != 1 {
+		t.Error("AllConflicts miscounts")
+	}
+	if _, err := NewRepairer(rs); err == nil {
+		t.Error("NewRepairer accepted an inconsistent ruleset")
+	}
+	fixed, edited, err := Resolve(rs, TrimNegatives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CheckConsistency(fixed) != nil || len(edited) == 0 {
+		t.Error("Resolve failed to fix the conflict")
+	}
+	if fixed.Get("phi1p").IsNegative("Tokyo") {
+		t.Error("Tokyo survived trimming")
+	}
+	removed, names, err := Resolve(rs, RemoveConflicting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Len() != 0 || len(names) != 2 {
+		t.Errorf("RemoveConflicting left %d rules", removed.Len())
+	}
+}
+
+func TestPublicImplication(t *testing.T) {
+	sch, rs := paperSetup(t)
+	sub, err := NewRule("sub", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied, err := Implies(rs, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !implied {
+		t.Error("sub-rule should be implied")
+	}
+	withSub := rs.Clone()
+	if err := withSub.Add(sub); err != nil {
+		t.Fatal(err)
+	}
+	min, dropped, err := Minimize(withSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Len() != 4 || len(dropped) != 1 || dropped[0] != "sub" {
+		t.Errorf("Minimize: %d rules, dropped %v", min.Len(), dropped)
+	}
+}
+
+func TestPublicRuleIO(t *testing.T) {
+	_, rs := paperSetup(t)
+	dsl := FormatRules(rs)
+	back, err := ParseRules(dsl)
+	if err != nil {
+		t.Fatalf("%v in:\n%s", err, dsl)
+	}
+	if back.Len() != rs.Len() {
+		t.Error("DSL round trip lost rules")
+	}
+	data, err := MarshalRulesJSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := UnmarshalRulesJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Len() != rs.Len() {
+		t.Error("JSON round trip lost rules")
+	}
+}
+
+func TestPublicCSVAndFD(t *testing.T) {
+	sch := NewSchema("Cap", "country", "capital")
+	rel := NewRelation(sch)
+	rel.Append(Tuple{"China", "Beijing"})
+	rel.Append(Tuple{"China", "Shanghai"})
+	f, err := ParseFD(sch, "country -> capital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := FDViolationCount(rel, []*FD{f}); n != 1 {
+		t.Errorf("violations = %d", n)
+	}
+	dir := t.TempDir()
+	if err := SaveCSV(dir+"/cap.csv", rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(dir+"/cap.csv", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Error("CSV round trip lost rows")
+	}
+}
+
+func TestPublicMiningAndEvaluate(t *testing.T) {
+	// A tiny mining scenario through the public API: a key-value relation
+	// with one corrupted cell.
+	sch := NewSchema("KV", "k", "v")
+	truth := NewRelation(sch)
+	dirty := NewRelation(sch)
+	for i := 0; i < 6; i++ {
+		truth.Append(Tuple{"a", "1"})
+		dirty.Append(Tuple{"a", "1"})
+	}
+	dirty.Row(0)[1] = "9" // corruption
+	f, err := ParseFD(sch, "k -> v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := MineRules(truth, dirty, []*FD{f}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("mined %d rules", rs.Len())
+	}
+	enriched, err := EnrichRules(rs, truth, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enriched.Len() != 1 {
+		t.Error("enrichment dropped the rule")
+	}
+	rep, err := NewRepairer(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.RepairRelation(dirty, Chase)
+	s := Evaluate(truth, dirty, res.Relation)
+	if s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("scores = %v", s)
+	}
+	if !strings.Contains(s.String(), "P=1.0000") {
+		t.Errorf("String = %q", s.String())
+	}
+}

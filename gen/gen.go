@@ -1,0 +1,57 @@
+// Package gen exposes the repository's synthetic data generators and the
+// paper's noise model as public API, so downstream users (and the examples)
+// can reproduce the experimental workloads without touching internal
+// packages.
+package gen
+
+import (
+	"fixrule"
+	"fixrule/internal/dataset"
+	"fixrule/internal/noise"
+)
+
+// Dataset bundles a clean relation, its FDs and the noise-eligible
+// attributes.
+type Dataset struct {
+	// Name is "hosp" or "uis".
+	Name string
+	// Rel is the clean (ground-truth) relation.
+	Rel *fixrule.Relation
+	// FDs are the dataset's functional dependencies (Section 7.1).
+	FDs []*fixrule.FD
+	// NoiseAttrs are the FD-related attributes noise may corrupt.
+	NoiseAttrs []string
+}
+
+// Hosp generates the paper's hospital dataset: n rows over 17 attributes
+// with 5 FDs. Deterministic in seed.
+func Hosp(n int, seed int64) *Dataset { return wrap(dataset.Hosp(n, seed)) }
+
+// UIS generates the paper's mailing-list dataset: n rows over 11 attributes
+// with 3 FDs, sparse in repeated patterns. Deterministic in seed.
+func UIS(n int, seed int64) *Dataset { return wrap(dataset.UIS(n, seed)) }
+
+// ByName dispatches to Hosp or UIS.
+func ByName(name string, n int, seed int64) (*Dataset, error) {
+	d, err := dataset.ByName(name, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(d), nil
+}
+
+func wrap(d *dataset.Dataset) *Dataset {
+	return &Dataset{Name: d.Name, Rel: d.Rel, FDs: d.FDs, NoiseAttrs: d.NoiseAttrs}
+}
+
+// NoiseError records one injected error.
+type NoiseError = noise.Error
+
+// Corrupt returns a dirty copy of clean, corrupting rate × rows tuples (one
+// cell each) restricted to attrs; typoFraction of the errors are typos, the
+// rest active-domain substitutions. Deterministic in seed.
+func Corrupt(clean *fixrule.Relation, attrs []string, rate, typoFraction float64, seed int64) (*fixrule.Relation, []NoiseError, error) {
+	return noise.Inject(clean, noise.Config{
+		Rate: rate, TypoFraction: typoFraction, Attrs: attrs, Seed: seed,
+	})
+}

@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"testing"
+
+	"fixrule"
+)
+
+func TestGenerators(t *testing.T) {
+	h := Hosp(500, 1)
+	if h.Name != "hosp" || h.Rel.Len() != 500 || len(h.FDs) != 5 {
+		t.Errorf("hosp = %s/%d rows/%d FDs", h.Name, h.Rel.Len(), len(h.FDs))
+	}
+	u := UIS(400, 1)
+	if u.Name != "uis" || u.Rel.Len() != 400 || len(u.FDs) != 3 {
+		t.Errorf("uis = %s/%d rows/%d FDs", u.Name, u.Rel.Len(), len(u.FDs))
+	}
+	if fixrule.FDViolationCount(h.Rel, h.FDs) != 0 || fixrule.FDViolationCount(u.Rel, u.FDs) != 0 {
+		t.Error("clean data violates its FDs")
+	}
+	if _, err := ByName("hosp", 10, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("zzz", 10, 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCorruptAndRepairRoundTrip(t *testing.T) {
+	d := Hosp(2000, 1)
+	dirty, errs, err := Corrupt(d.Rel, d.NoiseAttrs, 0.1, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 200 {
+		t.Fatalf("errors = %d", len(errs))
+	}
+	rs, err := fixrule.MineRules(d.Rel, dirty, d.FDs, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fixrule.NewRepairer(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.RepairRelation(dirty, fixrule.Linear)
+	s := fixrule.Evaluate(d.Rel, dirty, res.Relation)
+	if s.Precision < 0.9 || s.Recall < 0.3 {
+		t.Errorf("end-to-end scores %v", s)
+	}
+}
+
+func TestCorruptValidation(t *testing.T) {
+	d := UIS(50, 1)
+	if _, _, err := Corrupt(d.Rel, nil, 0.1, 0.5, 1); err == nil {
+		t.Error("empty attrs accepted")
+	}
+	if _, _, err := Corrupt(d.Rel, d.NoiseAttrs, 2, 0.5, 1); err == nil {
+		t.Error("bad rate accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module fixrule
+
+go 1.22

@@ -1,0 +1,313 @@
+// Package consistency decides whether a set of fixing rules is conflict-free
+// (Sections 4.2 and 5 of the paper).
+//
+// A set Σ is consistent iff every tuple of R has a unique fix by Σ. By
+// Proposition 3 it suffices to check rules pairwise, which makes the problem
+// PTIME (Theorem 1). Two pair checkers are provided:
+//
+//   - PairConsistentT: tuple enumeration (Section 5.2.1, "isConsist_t") —
+//     enumerate every tuple drawing values from the two rules' evidence and
+//     negative patterns and test unique-fix via the chase oracle.
+//   - PairConsistentR: rule characterisation (Section 5.2.2, Figure 4,
+//     "isConsist_r") — a constant-time case analysis on the two rules.
+//
+// Both return a *Conflict carrying a witness tuple with two distinct
+// fixpoints, so callers (and experts, per Section 5.3) can see why the pair
+// clashes.
+package consistency
+
+import (
+	"fmt"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// Case classifies how a pair of rules conflicts, following the case analysis
+// of Section 5.2.2.
+type Case int
+
+const (
+	// CaseNone means the pair is consistent.
+	CaseNone Case = iota
+	// CaseSameTarget is case 1: Bi = Bj, the negative patterns overlap and
+	// the facts differ.
+	CaseSameTarget
+	// CaseTargetInJ is case 2(a): Bi ∈ Xj, Bj ∉ Xi and tpj[Bi] ∈ Tpi[Bi].
+	CaseTargetInJ
+	// CaseTargetInI is case 2(b): Bj ∈ Xi, Bi ∉ Xj and tpi[Bj] ∈ Tpj[Bj].
+	CaseTargetInI
+	// CaseMutual is case 2(c): Bi ∈ Xj, Bj ∈ Xi and both membership
+	// conditions hold.
+	CaseMutual
+	// CaseEnumerated marks a conflict found by tuple enumeration, where the
+	// witness (not the case analysis) is the evidence.
+	CaseEnumerated
+)
+
+// String names the case for diagnostics.
+func (c Case) String() string {
+	switch c {
+	case CaseNone:
+		return "none"
+	case CaseSameTarget:
+		return "same-target (case 1)"
+	case CaseTargetInJ:
+		return "target-of-first-in-evidence-of-second (case 2a)"
+	case CaseTargetInI:
+		return "target-of-second-in-evidence-of-first (case 2b)"
+	case CaseMutual:
+		return "mutual-evidence (case 2c)"
+	case CaseEnumerated:
+		return "enumerated witness"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// Conflict reports that two fixing rules are inconsistent: some tuple has
+// more than one fix depending on which rule is applied first.
+type Conflict struct {
+	I, J    *core.Rule
+	Case    Case
+	Witness schema.Tuple // a tuple with at least two distinct fixpoints
+}
+
+// Error renders the conflict as a human-readable explanation.
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("rules %s and %s are inconsistent (%s); witness tuple %v",
+		c.I.Name(), c.J.Name(), c.Case, []string(c.Witness))
+}
+
+// evidenceCompatible reports whether the two rules' evidence patterns agree
+// on Xi ∩ Xj (line 2 of Figure 4). If they disagree on a shared attribute no
+// tuple matches both rules, so the pair is trivially consistent (Lemma 4).
+func evidenceCompatible(i, j *core.Rule) bool {
+	for _, a := range i.EvidenceAttrs() {
+		vi, _ := i.EvidenceValue(a)
+		if vj, shared := j.EvidenceValue(a); shared && vi != vj {
+			return false
+		}
+	}
+	return true
+}
+
+// PairConsistentR checks one pair with the Figure 4 characterisation.
+// It returns nil if the pair is consistent, else a Conflict with a
+// constructed witness tuple.
+func PairConsistentR(i, j *core.Rule) *Conflict {
+	if !evidenceCompatible(i, j) {
+		return nil
+	}
+	if i.Target() == j.Target() {
+		// Case 1: overlapping negatives + different facts.
+		if i.Fact() == j.Fact() {
+			return nil
+		}
+		for _, v := range i.NegativePatterns() {
+			if j.IsNegative(v) {
+				w := witness(i, j)
+				w[i.TargetIndex()] = v
+				return &Conflict{I: i, J: j, Case: CaseSameTarget, Witness: w}
+			}
+		}
+		return nil
+	}
+
+	_, biInXj := j.EvidenceValue(i.Target())
+	_, bjInXi := i.EvidenceValue(j.Target())
+	switch {
+	case biInXj && !bjInXi:
+		// Case 2(a): tpj[Bi] ∈ Tpi[Bi].
+		v, _ := j.EvidenceValue(i.Target())
+		if i.IsNegative(v) {
+			w := witness(i, j)
+			w[j.TargetIndex()] = j.NegativePatterns()[0]
+			return &Conflict{I: i, J: j, Case: CaseTargetInJ, Witness: w}
+		}
+	case bjInXi && !biInXj:
+		// Case 2(b): tpi[Bj] ∈ Tpj[Bj].
+		v, _ := i.EvidenceValue(j.Target())
+		if j.IsNegative(v) {
+			w := witness(i, j)
+			w[i.TargetIndex()] = i.NegativePatterns()[0]
+			return &Conflict{I: i, J: j, Case: CaseTargetInI, Witness: w}
+		}
+	case biInXj && bjInXi:
+		// Case 2(c): both membership conditions.
+		vi, _ := j.EvidenceValue(i.Target())
+		vj, _ := i.EvidenceValue(j.Target())
+		if i.IsNegative(vi) && j.IsNegative(vj) {
+			return &Conflict{I: i, J: j, Case: CaseMutual, Witness: witness(i, j)}
+		}
+	}
+	// Case 2(d): Bi ∉ Xj and Bj ∉ Xi — always consistent.
+	return nil
+}
+
+// witness builds the skeleton of a tuple matching both rules' evidence:
+// unconstrained attributes get Wildcard.
+func witness(i, j *core.Rule) schema.Tuple {
+	sch := i.Schema()
+	t := make(schema.Tuple, sch.Arity())
+	for k := range t {
+		t[k] = Wildcard
+	}
+	for _, r := range []*core.Rule{i, j} {
+		for _, a := range r.EvidenceAttrs() {
+			v, _ := r.EvidenceValue(a)
+			t[sch.Index(a)] = v
+		}
+	}
+	return t
+}
+
+// Wildcard is the special constant '_' of Example 9: a value outside every
+// active domain, matching no rule constant.
+const Wildcard = "_"
+
+// PairConsistentT checks one pair by tuple enumeration (Section 5.2.1).
+// For each attribute it collects the constants appearing in either rule's
+// evidence or negative patterns, enumerates the cartesian product (with
+// Wildcard for unconstrained attributes), and asks the chase oracle whether
+// every enumerated tuple has a unique fix.
+func PairConsistentT(i, j *core.Rule) *Conflict {
+	return pairEnumerate(i, j, false)
+}
+
+// PairConsistentTStrict is PairConsistentT with a stricter uniqueness
+// requirement: every enumerated tuple must reach a unique fixpoint counting
+// BOTH the repaired tuple and the assured attribute set.
+//
+// The distinction matters: this reproduction found that the paper's
+// Proposition 3 (pairwise consistency implies set consistency) does not
+// hold under tuple-only uniqueness. Two rules with the same target and the
+// same fact but different evidence sets can produce the same fixed tuple
+// while assuring different attributes; a third rule blocked in one branch
+// but not the other then diverges. Requiring fixpoint equality at the pair
+// level closes that gap (validated empirically in TestProposition3);
+// DESIGN.md documents the deviation.
+func PairConsistentTStrict(i, j *core.Rule) *Conflict {
+	return pairEnumerate(i, j, true)
+}
+
+func pairEnumerate(i, j *core.Rule, strict bool) *Conflict {
+	sch := i.Schema()
+	values := make([][]string, sch.Arity())
+	add := func(idx int, v string) {
+		for _, u := range values[idx] {
+			if u == v {
+				return
+			}
+		}
+		values[idx] = append(values[idx], v)
+	}
+	for _, r := range []*core.Rule{i, j} {
+		for _, a := range r.EvidenceAttrs() {
+			v, _ := r.EvidenceValue(a)
+			add(sch.Index(a), v)
+		}
+		for _, v := range r.NegativePatterns() {
+			add(r.TargetIndex(), v)
+		}
+	}
+	for idx := range values {
+		if len(values[idx]) == 0 {
+			values[idx] = []string{Wildcard}
+		}
+	}
+
+	rules := []*core.Rule{i, j}
+	t := make(schema.Tuple, sch.Arity())
+	var enumerate func(idx int) *Conflict
+	enumerate = func(idx int) *Conflict {
+		if idx == sch.Arity() {
+			if strict {
+				if fps := core.AllFixpoints(rules, t); len(fps) > 1 {
+					return &Conflict{I: i, J: j, Case: CaseEnumerated, Witness: t.Clone()}
+				}
+			} else if fixes := core.AllFixes(rules, t); len(fixes) > 1 {
+				return &Conflict{I: i, J: j, Case: CaseEnumerated, Witness: t.Clone()}
+			}
+			return nil
+		}
+		for _, v := range values[idx] {
+			t[idx] = v
+			if c := enumerate(idx + 1); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+	return enumerate(0)
+}
+
+// Checker selects a pair-checking strategy.
+type Checker int
+
+const (
+	// ByRule uses the Figure 4 characterisation (isConsist_r).
+	ByRule Checker = iota
+	// ByEnumeration uses tuple enumeration (isConsist_t).
+	ByEnumeration
+	// ByEnumerationStrict uses tuple enumeration with fixpoint (tuple +
+	// assured set) uniqueness; see PairConsistentTStrict.
+	ByEnumerationStrict
+)
+
+func (c Checker) pair(i, j *core.Rule) *Conflict {
+	switch c {
+	case ByEnumeration:
+		return PairConsistentT(i, j)
+	case ByEnumerationStrict:
+		return PairConsistentTStrict(i, j)
+	default:
+		return PairConsistentR(i, j)
+	}
+}
+
+// IsConsistent reports whether Σ is consistent, stopping at the first
+// conflicting pair ("real case" behaviour in the paper's Exp-1). The
+// returned conflict is nil iff Σ is consistent.
+func IsConsistent(rs *core.Ruleset, c Checker) *Conflict {
+	rules := rs.Rules()
+	for x := 0; x < len(rules); x++ {
+		for y := x + 1; y < len(rules); y++ {
+			if conf := c.pair(rules[x], rules[y]); conf != nil {
+				return conf
+			}
+		}
+	}
+	return nil
+}
+
+// AllConflicts checks every pair regardless of earlier hits ("worst case"
+// behaviour in Exp-1) and returns every conflicting pair.
+func AllConflicts(rs *core.Ruleset, c Checker) []*Conflict {
+	var out []*Conflict
+	rules := rs.Rules()
+	for x := 0; x < len(rules); x++ {
+		for y := x + 1; y < len(rules); y++ {
+			if conf := c.pair(rules[x], rules[y]); conf != nil {
+				out = append(out, conf)
+			}
+		}
+	}
+	return out
+}
+
+// CheckAddition decides whether adding one rule to an already-consistent Σ
+// preserves consistency, checking only the |Σ| new pairs (Proposition 3
+// makes this sound). Rule-authoring sessions use it to validate each new
+// rule in O(size(Σ)) instead of re-checking all pairs.
+func CheckAddition(rs *core.Ruleset, r *core.Rule, c Checker) *Conflict {
+	for _, existing := range rs.Rules() {
+		if existing.Name() == r.Name() {
+			continue
+		}
+		if conf := c.pair(existing, r); conf != nil {
+			return conf
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package consistency
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+func travel() *schema.Schema {
+	return schema.New("Travel", "name", "country", "capital", "city", "conf")
+}
+
+// Rules from Examples 3 and 8.
+func phi1(sch *schema.Schema) *core.Rule {
+	return core.MustNew("phi1", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong"}, "Beijing")
+}
+func phi1p(sch *schema.Schema) *core.Rule {
+	return core.MustNew("phi1p", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong", "Tokyo"}, "Beijing")
+}
+func phi2(sch *schema.Schema) *core.Rule {
+	return core.MustNew("phi2", sch, map[string]string{"country": "Canada"},
+		"capital", []string{"Toronto"}, "Ottawa")
+}
+func phi3(sch *schema.Schema) *core.Rule {
+	return core.MustNew("phi3", sch,
+		map[string]string{"capital": "Tokyo", "city": "Tokyo", "conf": "ICDE"},
+		"country", []string{"China"}, "Japan")
+}
+func phi4(sch *schema.Schema) *core.Rule {
+	return core.MustNew("phi4", sch,
+		map[string]string{"capital": "Beijing", "conf": "ICDE"},
+		"city", []string{"Hongkong"}, "Shanghai")
+}
+
+func checkers() map[string]func(i, j *core.Rule) *Conflict {
+	return map[string]func(i, j *core.Rule) *Conflict{
+		"rule": PairConsistentR,
+		"enum": PairConsistentT,
+	}
+}
+
+func TestPaperPairs(t *testing.T) {
+	sch := travel()
+	cases := []struct {
+		name       string
+		i, j       *core.Rule
+		consistent bool
+	}{
+		// Example 10: φ1' and φ2 are consistent (incompatible evidence).
+		{"phi1p-phi2", phi1p(sch), phi2(sch), true},
+		// Example 10 / 8: φ1' and φ3 are inconsistent (case 2c).
+		{"phi1p-phi3", phi1p(sch), phi3(sch), false},
+		// Section 5.3: after trimming Tokyo, φ1 and φ3 are consistent.
+		{"phi1-phi3", phi1(sch), phi3(sch), true},
+		{"phi1-phi2", phi1(sch), phi2(sch), true},
+		{"phi1-phi4", phi1(sch), phi4(sch), true},
+		{"phi3-phi4", phi3(sch), phi4(sch), true},
+		{"phi2-phi3", phi2(sch), phi3(sch), true},
+	}
+	for _, c := range cases {
+		for mode, pair := range checkers() {
+			t.Run(c.name+"/"+mode, func(t *testing.T) {
+				conf := pair(c.i, c.j)
+				if c.consistent && conf != nil {
+					t.Fatalf("want consistent, got conflict: %v", conf)
+				}
+				if !c.consistent && conf == nil {
+					t.Fatal("want conflict, got consistent")
+				}
+				// Symmetry: consistency of a pair has no direction.
+				conf2 := pair(c.j, c.i)
+				if (conf == nil) != (conf2 == nil) {
+					t.Fatalf("pair check is asymmetric: %v vs %v", conf, conf2)
+				}
+			})
+		}
+	}
+}
+
+func TestConflictWitnessHasTwoFixes(t *testing.T) {
+	sch := travel()
+	for mode, pair := range checkers() {
+		t.Run(mode, func(t *testing.T) {
+			conf := pair(phi1p(sch), phi3(sch))
+			if conf == nil {
+				t.Fatal("expected a conflict")
+			}
+			fixes := core.AllFixes([]*core.Rule{conf.I, conf.J}, conf.Witness)
+			if len(fixes) < 2 {
+				t.Errorf("witness %v has %d fixpoints, want >= 2", conf.Witness, len(fixes))
+			}
+		})
+	}
+}
+
+func TestCase1SameTarget(t *testing.T) {
+	sch := travel()
+	// Same evidence, overlapping negatives, different facts: inconsistent.
+	a := core.MustNew("a", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	b := core.MustNew("b", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Nanjing"}, "Nanking")
+	for mode, pair := range checkers() {
+		conf := pair(a, b)
+		if conf == nil {
+			t.Fatalf("%s: want case-1 conflict", mode)
+		}
+		if mode == "rule" && conf.Case != CaseSameTarget {
+			t.Errorf("case = %v, want CaseSameTarget", conf.Case)
+		}
+	}
+	// Same facts: consistent even with overlapping negatives.
+	c := core.MustNew("c", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Nanjing"}, "Beijing")
+	for mode, pair := range checkers() {
+		if conf := pair(a, c); conf != nil {
+			t.Errorf("%s: same-fact pair should be consistent, got %v", mode, conf)
+		}
+	}
+	// Disjoint negatives: consistent.
+	d := core.MustNew("d", sch, map[string]string{"country": "China"},
+		"capital", []string{"Chengdu"}, "Nanking")
+	for mode, pair := range checkers() {
+		if conf := pair(a, d); conf != nil {
+			t.Errorf("%s: disjoint-negative pair should be consistent, got %v", mode, conf)
+		}
+	}
+}
+
+func TestCase2aAnd2b(t *testing.T) {
+	sch := travel()
+	// i targets capital; j's evidence uses capital with a value negative in i.
+	i := core.MustNew("i", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Tokyo"}, "Beijing")
+	j := core.MustNew("j", sch, map[string]string{"capital": "Tokyo"},
+		"city", []string{"Kyoto"}, "Tokyo")
+	for mode, pair := range checkers() {
+		conf := pair(i, j)
+		if conf == nil {
+			t.Fatalf("%s: want case-2a conflict", mode)
+		}
+		if mode == "rule" && conf.Case != CaseTargetInJ {
+			t.Errorf("case = %v, want CaseTargetInJ", conf.Case)
+		}
+		// Reversed argument order must classify as 2b on the rule checker.
+		conf = pair(j, i)
+		if conf == nil {
+			t.Fatalf("%s: want case-2b conflict on reversed pair", mode)
+		}
+		if mode == "rule" && conf.Case != CaseTargetInI {
+			t.Errorf("reversed case = %v, want CaseTargetInI", conf.Case)
+		}
+	}
+	// If j's evidence value on capital is NOT negative in i: consistent.
+	j2 := core.MustNew("j2", sch, map[string]string{"capital": "Beijing"},
+		"city", []string{"Kyoto"}, "Tokyo")
+	for mode, pair := range checkers() {
+		if conf := pair(i, j2); conf != nil {
+			t.Errorf("%s: want consistent, got %v", mode, conf)
+		}
+	}
+}
+
+func TestCase2cMutual(t *testing.T) {
+	sch := travel()
+	// φ1' vs φ3 is the paper's case-2c example.
+	conf := PairConsistentR(phi1p(sch), phi3(sch))
+	if conf == nil || conf.Case != CaseMutual {
+		t.Fatalf("conf = %v, want CaseMutual", conf)
+	}
+	// Only one membership direction holding is NOT enough in case 2c.
+	i := core.MustNew("i", sch, map[string]string{"city": "Tokyo"},
+		"capital", []string{"Shanghai"}, "Tokyo")
+	j := core.MustNew("j", sch, map[string]string{"capital": "Shanghai"},
+		"city", []string{"Osaka"}, "Shanghai")
+	// Bi=capital ∈ Xj, Bj=city ∈ Xi; tpj[capital]=Shanghai ∈ Tpi ✓ but
+	// tpi[city]=Tokyo ∉ Tpj ✗ → consistent.
+	for mode, pair := range checkers() {
+		if conf := pair(i, j); conf != nil {
+			t.Errorf("%s: one-directional case 2c should be consistent, got %v", mode, conf)
+		}
+	}
+}
+
+func TestCase2dAlwaysConsistent(t *testing.T) {
+	sch := travel()
+	i := core.MustNew("i", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	j := core.MustNew("j", sch, map[string]string{"country": "China"},
+		"city", []string{"Peking"}, "Beijing")
+	for mode, pair := range checkers() {
+		if conf := pair(i, j); conf != nil {
+			t.Errorf("%s: case 2d must be consistent, got %v", mode, conf)
+		}
+	}
+}
+
+func TestIncompatibleEvidenceShortCircuit(t *testing.T) {
+	sch := travel()
+	// Shared evidence attribute with different constants: no tuple matches both.
+	i := core.MustNew("i", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	j := core.MustNew("j", sch, map[string]string{"country": "Japan"},
+		"capital", []string{"Shanghai"}, "Tokyo")
+	for mode, pair := range checkers() {
+		if conf := pair(i, j); conf != nil {
+			t.Errorf("%s: incompatible evidence must be consistent, got %v", mode, conf)
+		}
+	}
+}
+
+func TestIsConsistentAndAllConflicts(t *testing.T) {
+	sch := travel()
+	good := core.MustRuleset(phi1(sch), phi2(sch), phi3(sch), phi4(sch))
+	for _, mode := range []Checker{ByRule, ByEnumeration} {
+		if conf := IsConsistent(good, mode); conf != nil {
+			t.Errorf("checker %v: paper ruleset should be consistent, got %v", mode, conf)
+		}
+		if confs := AllConflicts(good, mode); len(confs) != 0 {
+			t.Errorf("checker %v: AllConflicts = %v", mode, confs)
+		}
+	}
+	bad := core.MustRuleset(phi1p(sch), phi2(sch), phi3(sch))
+	for _, mode := range []Checker{ByRule, ByEnumeration} {
+		conf := IsConsistent(bad, mode)
+		if conf == nil {
+			t.Fatalf("checker %v: want inconsistent", mode)
+		}
+		if conf.Error() == "" || !strings.Contains(conf.Error(), "inconsistent") {
+			t.Errorf("Error() = %q", conf.Error())
+		}
+		confs := AllConflicts(bad, mode)
+		if len(confs) != 1 {
+			t.Errorf("checker %v: %d conflicts, want 1", mode, len(confs))
+		}
+	}
+}
+
+// TestCheckersAgreeRandomized is the paper-critical property: the Figure 4
+// characterisation and tuple enumeration must decide identically on random
+// rule pairs over a small domain.
+func TestCheckersAgreeRandomized(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	vals := []string{"0", "1", "2"}
+	rng := rand.New(rand.NewSource(42))
+	randomRule := func(name string) *core.Rule {
+		attrs := []string{"a", "b", "c"}
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		nEvidence := 1 + rng.Intn(2)
+		evidence := map[string]string{}
+		for _, a := range attrs[:nEvidence] {
+			evidence[a] = vals[rng.Intn(len(vals))]
+		}
+		target := attrs[nEvidence]
+		fact := vals[rng.Intn(len(vals))]
+		var negs []string
+		for _, v := range vals {
+			if v != fact && rng.Intn(2) == 0 {
+				negs = append(negs, v)
+			}
+		}
+		if len(negs) == 0 {
+			for _, v := range vals {
+				if v != fact {
+					negs = append(negs, v)
+					break
+				}
+			}
+		}
+		return core.MustNew(name, sch, evidence, target, negs, fact)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		i, j := randomRule("i"), randomRule("j")
+		r := PairConsistentR(i, j) == nil
+		e := PairConsistentT(i, j) == nil
+		if r != e {
+			t.Fatalf("trial %d: checkers disagree on\n  %v\n  %v\n  rule=%v enum=%v",
+				trial, i, j, r, e)
+		}
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	for _, c := range []Case{CaseNone, CaseSameTarget, CaseTargetInJ, CaseTargetInI, CaseMutual, CaseEnumerated, Case(99)} {
+		if c.String() == "" {
+			t.Errorf("Case(%d).String() empty", int(c))
+		}
+	}
+}
+
+func TestCheckAddition(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch), phi2(sch))
+	// φ3 is compatible with the trimmed φ1.
+	if conf := CheckAddition(rs, phi3(sch), ByRule); conf != nil {
+		t.Errorf("phi3 addition flagged: %v", conf)
+	}
+	// A same-target/different-fact rule with overlapping negatives is not.
+	bad := core.MustNew("bad", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Nanking")
+	conf := CheckAddition(rs, bad, ByRule)
+	if conf == nil || conf.Case != CaseSameTarget {
+		t.Errorf("bad addition conf = %v", conf)
+	}
+	// Incremental result matches the full check.
+	withBad := rs.Clone()
+	if err := withBad.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	if full := IsConsistent(withBad, ByRule); (full == nil) != (conf == nil) {
+		t.Error("incremental and full checks disagree")
+	}
+}

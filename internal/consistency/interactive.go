@@ -1,0 +1,105 @@
+package consistency
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// InteractiveResolver implements the Section 5.1 workflow with a human in
+// step 2: each conflict is presented on Out, and a decision is read from
+// In. The expert may trim the offending negative pattern from either rule,
+// drop either rule, or delegate to the automatic TrimNegatives edit — all
+// shrink-only operations, so the workflow terminates (§5.3).
+//
+// Commands (one per line):
+//
+//	ti    trim the conflicting negative pattern(s) from the FIRST rule
+//	tj    trim from the SECOND rule
+//	di    drop the first rule
+//	dj    drop the second rule
+//	a     apply the automatic TrimNegatives suggestion (default on empty)
+type InteractiveResolver struct {
+	In  io.Reader
+	Out io.Writer
+
+	scanner *bufio.Scanner
+}
+
+// ResolveConflict presents the conflict and reads one decision.
+func (r *InteractiveResolver) ResolveConflict(c *Conflict) []Edit {
+	if r.scanner == nil {
+		r.scanner = bufio.NewScanner(r.In)
+	}
+	fmt.Fprintf(r.Out, "conflict (%s):\n", c.Case)
+	fmt.Fprintf(r.Out, "  [i] %s\n", c.I)
+	fmt.Fprintf(r.Out, "  [j] %s\n", c.J)
+	if c.Witness != nil {
+		fmt.Fprintf(r.Out, "  witness tuple: %v\n", []string(c.Witness))
+	}
+	for {
+		fmt.Fprint(r.Out, "resolve [ti/tj/di/dj/a]: ")
+		if !r.scanner.Scan() {
+			// Input exhausted: fall back to the automatic edit so the
+			// workflow still terminates.
+			fmt.Fprintln(r.Out, "(input closed; applying automatic trim)")
+			return TrimNegatives{}.ResolveConflict(c)
+		}
+		switch strings.TrimSpace(r.scanner.Text()) {
+		case "ti":
+			if e, ok := trimOffending(c, true); ok {
+				return []Edit{e}
+			}
+			fmt.Fprintln(r.Out, "nothing to trim on [i]; choose another action")
+		case "tj":
+			if e, ok := trimOffending(c, false); ok {
+				return []Edit{e}
+			}
+			fmt.Fprintln(r.Out, "nothing to trim on [j]; choose another action")
+		case "di":
+			return []Edit{{Name: c.I.Name()}}
+		case "dj":
+			return []Edit{{Name: c.J.Name()}}
+		case "", "a":
+			return TrimNegatives{}.ResolveConflict(c)
+		default:
+			fmt.Fprintln(r.Out, "unknown command")
+		}
+	}
+}
+
+// trimOffending computes the trim edit for the chosen side of the
+// conflict, reporting false when that side has no trimmable pattern for
+// this conflict case.
+func trimOffending(c *Conflict, first bool) (Edit, bool) {
+	switch c.Case {
+	case CaseSameTarget:
+		shared := overlap(c.I, c.J)
+		if first {
+			return trimOrDrop(c.I, diff(c.I.NegativePatterns(), shared)), true
+		}
+		return trimOrDrop(c.J, diff(c.J.NegativePatterns(), shared)), true
+	case CaseTargetInJ:
+		if first {
+			v, _ := c.J.EvidenceValue(c.I.Target())
+			return trimOrDrop(c.I, remove(c.I.NegativePatterns(), v)), true
+		}
+		return Edit{}, false
+	case CaseTargetInI:
+		if !first {
+			v, _ := c.I.EvidenceValue(c.J.Target())
+			return trimOrDrop(c.J, remove(c.J.NegativePatterns(), v)), true
+		}
+		return Edit{}, false
+	case CaseMutual:
+		if first {
+			v, _ := c.J.EvidenceValue(c.I.Target())
+			return trimOrDrop(c.I, remove(c.I.NegativePatterns(), v)), true
+		}
+		v, _ := c.I.EvidenceValue(c.J.Target())
+		return trimOrDrop(c.J, remove(c.J.NegativePatterns(), v)), true
+	default:
+		return Edit{}, false
+	}
+}

@@ -1,0 +1,119 @@
+package consistency
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+)
+
+func TestInteractiveTrimExpertChoice(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi3(sch))
+	// The expert chooses to trim Tokyo from φ1' (command "ti") — the exact
+	// Section 5.3 edit.
+	var out bytes.Buffer
+	r := &InteractiveResolver{In: strings.NewReader("ti\n"), Out: &out}
+	fixed, edits, err := Resolve(rs, r, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConsistent(fixed, ByRule) != nil {
+		t.Fatal("still inconsistent")
+	}
+	if fixed.Get("phi1p").IsNegative("Tokyo") {
+		t.Error("Tokyo survived")
+	}
+	if len(edits) != 1 || edits[0].Name != "phi1p" {
+		t.Errorf("edits = %v", edits)
+	}
+	if !strings.Contains(out.String(), "mutual-evidence") {
+		t.Errorf("prompt missing case info:\n%s", out.String())
+	}
+}
+
+func TestInteractiveDropAndDefault(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi3(sch))
+	// "dj" drops φ3.
+	var out bytes.Buffer
+	r := &InteractiveResolver{In: strings.NewReader("dj\n"), Out: &out}
+	fixed, _, err := Resolve(rs, r, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Get("phi3") != nil {
+		t.Error("phi3 survived dj")
+	}
+	// Empty line = automatic suggestion.
+	rs2 := core.MustRuleset(phi1p(sch), phi3(sch))
+	r2 := &InteractiveResolver{In: strings.NewReader("\n"), Out: &out}
+	fixed2, _, err := Resolve(rs2, r2, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConsistent(fixed2, ByRule) != nil {
+		t.Error("default action left inconsistency")
+	}
+}
+
+func TestInteractiveBadCommandsThenValid(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi3(sch))
+	var out bytes.Buffer
+	r := &InteractiveResolver{In: strings.NewReader("zzz\nwhat\ndi\n"), Out: &out}
+	fixed, _, err := Resolve(rs, r, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Get("phi1p") != nil {
+		t.Error("phi1p survived di")
+	}
+	if !strings.Contains(out.String(), "unknown command") {
+		t.Error("bad command not reported")
+	}
+}
+
+func TestInteractiveInputExhausted(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi3(sch))
+	var out bytes.Buffer
+	r := &InteractiveResolver{In: strings.NewReader(""), Out: &out}
+	fixed, _, err := Resolve(rs, r, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConsistent(fixed, ByRule) != nil {
+		t.Error("EOF fallback left inconsistency")
+	}
+	if !strings.Contains(out.String(), "input closed") {
+		t.Error("EOF fallback not announced")
+	}
+}
+
+func TestInteractiveUntrimmableSide(t *testing.T) {
+	sch := travel()
+	// Case 2a conflict: only rule i has a trimmable pattern; asking for
+	// "tj" must re-prompt, then "ti" succeeds.
+	i := core.MustNew("i", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Tokyo"}, "Beijing")
+	j := core.MustNew("j", sch, map[string]string{"capital": "Tokyo"},
+		"city", []string{"Kyoto"}, "Tokyo")
+	rs := core.MustRuleset(i, j)
+	var out bytes.Buffer
+	r := &InteractiveResolver{In: strings.NewReader("tj\nti\n"), Out: &out}
+	fixed, _, err := Resolve(rs, r, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConsistent(fixed, ByRule) != nil {
+		t.Fatal("still inconsistent")
+	}
+	if !strings.Contains(out.String(), "nothing to trim") {
+		t.Errorf("untrimmable side not reported:\n%s", out.String())
+	}
+	if fixed.Get("i").IsNegative("Tokyo") {
+		t.Error("Tokyo survived on rule i")
+	}
+}

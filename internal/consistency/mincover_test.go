@@ -1,0 +1,127 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// starRuleset builds one "hub" rule conflicting with n "spoke" rules: the
+// hub targets capital with a huge negative set; each spoke's evidence uses
+// one of those negatives (case 2a).
+func starRuleset(t *testing.T, n int) *core.Ruleset {
+	t.Helper()
+	sch := schema.New("R", "country", "capital", "city", "extra")
+	negs := make([]string, n)
+	for i := range negs {
+		negs[i] = "cap" + string(rune('A'+i))
+	}
+	rs := core.NewRuleset(sch)
+	hub := core.MustNew("hub", sch, map[string]string{"country": "X"},
+		"capital", negs, "TRUTH")
+	if err := rs.Add(hub); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		spoke := core.MustNew("spoke"+string(rune('A'+i)), sch,
+			map[string]string{"capital": negs[i]},
+			"city", []string{"bad"}, "good")
+		if err := rs.Add(spoke); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rs
+}
+
+func TestBuildConflictGraphStar(t *testing.T) {
+	rs := starRuleset(t, 4)
+	g := BuildConflictGraph(rs, ByRule)
+	if g.Edges != 4 {
+		t.Fatalf("edges = %d, want 4", g.Edges)
+	}
+	if len(g.Adjacency["hub"]) != 4 {
+		t.Errorf("hub degree = %d", len(g.Adjacency["hub"]))
+	}
+	for _, s := range []string{"spokeA", "spokeB", "spokeC", "spokeD"} {
+		if len(g.Adjacency[s]) != 1 || g.Adjacency[s][0] != "hub" {
+			t.Errorf("%s adjacency = %v", s, g.Adjacency[s])
+		}
+	}
+}
+
+func TestMinRemovalPrefersHub(t *testing.T) {
+	rs := starRuleset(t, 5)
+	cover := MinRemoval(rs, ByRule)
+	// The greedy cover is exactly the hub: one removal instead of the
+	// RemoveBoth strategy's six.
+	if len(cover) != 1 || cover[0] != "hub" {
+		t.Fatalf("cover = %v, want [hub]", cover)
+	}
+	fixed, removed := ResolveByMinCover(rs, ByRule)
+	if len(removed) != 1 || fixed.Len() != 5 {
+		t.Fatalf("removed %v, kept %d rules", removed, fixed.Len())
+	}
+	if conf := IsConsistent(fixed, ByRule); conf != nil {
+		t.Fatalf("cover removal left conflict: %v", conf)
+	}
+}
+
+func TestMinRemovalConsistentInput(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch), phi2(sch))
+	if cover := MinRemoval(rs, ByRule); len(cover) != 0 {
+		t.Errorf("consistent input produced cover %v", cover)
+	}
+}
+
+func TestMinRemovalAlwaysConsistentRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		rs := randomRuleset(rng, 3+rng.Intn(15))
+		fixed, removed := ResolveByMinCover(rs, ByRule)
+		if conf := IsConsistent(fixed, ByRule); conf != nil {
+			t.Fatalf("trial %d: cover removal left conflict %v (removed %v)", trial, conf, removed)
+		}
+		// The cover never beats keeping everything when already consistent.
+		if IsConsistent(rs, ByRule) == nil && len(removed) != 0 {
+			t.Fatalf("trial %d: consistent set lost rules %v", trial, removed)
+		}
+	}
+}
+
+func TestMinRemovalBeatsRemoveBothOnStar(t *testing.T) {
+	rs := starRuleset(t, 6)
+	viaCover, coverRemoved := ResolveByMinCover(rs, ByRule)
+	viaBoth, bothEdits, err := ResolveAll(rs, RemoveBoth{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCover.Len() <= viaBoth.Len() {
+		t.Errorf("cover kept %d rules, RemoveBoth kept %d — cover should win",
+			viaCover.Len(), viaBoth.Len())
+	}
+	if len(coverRemoved) >= len(bothEdits) {
+		t.Errorf("cover removed %d, RemoveBoth removed %d", len(coverRemoved), len(bothEdits))
+	}
+}
+
+func TestRemoveMinCoverResolver(t *testing.T) {
+	rs := starRuleset(t, 3)
+	fixed, edits, err := ResolveAll(rs, RemoveMinCover{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := IsConsistent(fixed, ByRule); conf != nil {
+		t.Fatalf("resolver left conflict: %v", conf)
+	}
+	// The hub has the biggest negative surface, so the heuristic drops it
+	// on the first conflict and everything else survives.
+	if fixed.Get("hub") != nil {
+		t.Error("hub survived")
+	}
+	if len(edits) != 1 {
+		t.Errorf("edits = %v", edits)
+	}
+}

@@ -1,0 +1,85 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// randomRuleset builds a ruleset over a small universe; roughly half the
+// generated sets contain conflicts.
+func randomRuleset(rng *rand.Rand, n int) *core.Ruleset {
+	sch := schema.New("R", "a", "b", "c", "d")
+	vals := []string{"0", "1", "2"}
+	rs := core.NewRuleset(sch)
+	for k := 0; k < n; k++ {
+		attrs := []string{"a", "b", "c", "d"}
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		nEv := 1 + rng.Intn(2)
+		ev := map[string]string{}
+		for _, a := range attrs[:nEv] {
+			ev[a] = vals[rng.Intn(len(vals))]
+		}
+		fact := vals[rng.Intn(len(vals))]
+		var negs []string
+		for _, v := range vals {
+			if v != fact && rng.Intn(2) == 0 {
+				negs = append(negs, v)
+			}
+		}
+		if len(negs) == 0 {
+			continue
+		}
+		r, err := core.New("r"+string(rune('A'+k%26))+string(rune('0'+k/26)), sch, ev, attrs[nEv], negs, fact)
+		if err != nil {
+			continue
+		}
+		_ = rs.Add(r)
+	}
+	return rs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		rs := randomRuleset(rng, 2+rng.Intn(20))
+		for _, checker := range []Checker{ByRule, ByEnumeration} {
+			seq := AllConflicts(rs, checker)
+			for _, workers := range []int{0, 1, 4} {
+				par := AllConflictsParallel(rs, checker, workers)
+				if len(par) != len(seq) {
+					t.Fatalf("trial %d: %d parallel vs %d sequential conflicts", trial, len(par), len(seq))
+				}
+				for i := range seq {
+					if par[i].I.Name() != seq[i].I.Name() || par[i].J.Name() != seq[i].J.Name() {
+						t.Fatalf("trial %d: conflict %d ordering differs: %v vs %v",
+							trial, i, par[i], seq[i])
+					}
+				}
+			}
+			first := IsConsistent(rs, checker)
+			pfirst := IsConsistentParallel(rs, checker, 4)
+			if (first == nil) != (pfirst == nil) {
+				t.Fatalf("trial %d: first-conflict presence differs", trial)
+			}
+			if first != nil && (first.I.Name() != pfirst.I.Name() || first.J.Name() != pfirst.J.Name()) {
+				t.Fatalf("trial %d: first conflict differs: %v vs %v", trial, first, pfirst)
+			}
+		}
+	}
+}
+
+func TestParallelTinyRulesets(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	rs := core.NewRuleset(sch)
+	if got := AllConflictsParallel(rs, ByRule, 4); got != nil {
+		t.Errorf("empty ruleset: %v", got)
+	}
+	r := core.MustNew("x", sch, map[string]string{"a": "1"}, "b", []string{"2"}, "3")
+	_ = rs.Add(r)
+	if got := IsConsistentParallel(rs, ByRule, 4); got != nil {
+		t.Errorf("singleton ruleset: %v", got)
+	}
+}

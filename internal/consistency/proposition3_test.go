@@ -1,0 +1,163 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// This file empirically probes the paper's Proposition 3: "Σ is consistent
+// iff any two fixing rules in Σ are consistent."
+//
+// Reproduction finding: under the paper's own definitions (uniqueness of
+// the fixed TUPLE), the proposition's "if" direction fails. The regression
+// case below has four pairwise-consistent rules but a tuple with two fixes:
+// two rules share target and fact but differ in evidence, so they reach the
+// same pair-level fixpoint tuple with DIFFERENT assured sets; a third rule
+// is blocked in one branch and fires in the other. The direction the
+// checkers rely on in practice — an inconsistent pair makes Σ inconsistent
+// — does hold, and strengthening the pair check to compare full fixpoints
+// (tuple + assured set, PairConsistentTStrict) restores the implication on
+// every random instance tested. DESIGN.md records the deviation.
+
+// prop3Counterexample returns the four-rule counterexample found by random
+// search (seed 77, trial 302).
+func prop3Counterexample(t *testing.T) (*schema.Schema, []*core.Rule) {
+	t.Helper()
+	sch := schema.New("R", "a", "b", "c")
+	return sch, []*core.Rule{
+		core.MustNew("r0", sch, map[string]string{"b": "0", "c": "1"}, "a", []string{"1"}, "2"),
+		core.MustNew("r1", sch, map[string]string{"a": "0", "b": "2"}, "c", []string{"1"}, "0"),
+		core.MustNew("r2", sch, map[string]string{"a": "0"}, "c", []string{"1"}, "0"),
+		core.MustNew("r3", sch, map[string]string{"a": "0", "c": "0"}, "b", []string{"2"}, "1"),
+	}
+}
+
+func TestProposition3Counterexample(t *testing.T) {
+	sch, rules := prop3Counterexample(t)
+	rs := core.MustRuleset(rules...)
+
+	// Every pair is consistent under the paper's checkers...
+	if conf := IsConsistent(rs, ByRule); conf != nil {
+		t.Fatalf("isConsist_r flags the counterexample (it should not): %v", conf)
+	}
+	if conf := IsConsistent(rs, ByEnumeration); conf != nil {
+		t.Fatalf("isConsist_t flags the counterexample (it should not): %v", conf)
+	}
+
+	// ...yet the tuple (0,2,1) has two distinct fixes.
+	witness := schema.Tuple{"0", "2", "1"}
+	fixes := core.AllFixes(rules, witness)
+	if len(fixes) != 2 {
+		t.Fatalf("witness has %d fixes, want 2: %v", len(fixes), fixes)
+	}
+	want := map[string]bool{}
+	for _, f := range fixes {
+		want[f.Key()] = true
+	}
+	if !want[(schema.Tuple{"0", "2", "0"}).Key()] || !want[(schema.Tuple{"0", "1", "0"}).Key()] {
+		t.Fatalf("unexpected fixpoints: %v", fixes)
+	}
+
+	// The root cause: r1 and r2 reach the same pair-level fixpoint tuple
+	// with different assured sets. The strict checker catches exactly this.
+	if conf := IsConsistent(rs, ByEnumerationStrict); conf == nil {
+		t.Fatal("strict checker missed the counterexample")
+	}
+	if conf := PairConsistentTStrict(rs.Get("r1"), rs.Get("r2")); conf == nil {
+		t.Fatal("strict pair check missed the r1/r2 assured-set divergence")
+	}
+	_ = sch
+}
+
+// TestProposition3Directions validates, on random rulesets over a small
+// universe, the two directions that DO hold:
+//
+//  1. (paper's "only if") a globally consistent Σ has no inconsistent pair;
+//  2. (repaired "if") strict pairwise consistency implies global
+//     consistency.
+func TestProposition3Directions(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	vals := []string{"0", "1", "2"}
+	rng := rand.New(rand.NewSource(77))
+
+	randomRule := func(name string) *core.Rule {
+		attrs := []string{"a", "b", "c"}
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		nEv := 1 + rng.Intn(2)
+		ev := map[string]string{}
+		for _, a := range attrs[:nEv] {
+			ev[a] = vals[rng.Intn(len(vals))]
+		}
+		target := attrs[nEv]
+		fact := vals[rng.Intn(len(vals))]
+		var negs []string
+		for _, v := range vals {
+			if v != fact && rng.Intn(2) == 0 {
+				negs = append(negs, v)
+			}
+		}
+		if len(negs) == 0 {
+			negs = []string{pickOther(vals, fact)}
+		}
+		return core.MustNew(name, sch, ev, target, negs, fact)
+	}
+
+	universe := []string{"0", "1", "2", "_"}
+	globallyConsistent := func(rules []*core.Rule) bool {
+		tup := make(schema.Tuple, 3)
+		for _, x := range universe {
+			for _, y := range universe {
+				for _, z := range universe {
+					tup[0], tup[1], tup[2] = x, y, z
+					if !core.HasUniqueFix(rules, tup) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	stats := map[string]int{}
+	for trial := 0; trial < 800; trial++ {
+		n := 2 + rng.Intn(3)
+		rs := core.NewRuleset(sch)
+		for k := 0; k < n; k++ {
+			_ = rs.Add(randomRule("r" + string(rune('0'+k))))
+		}
+		pairwiseWeak := IsConsistent(rs, ByRule) == nil
+		pairwiseStrict := IsConsistent(rs, ByEnumerationStrict) == nil
+		global := globallyConsistent(rs.Rules())
+
+		if global && !pairwiseWeak {
+			t.Fatalf("trial %d: globally consistent but a pair is flagged: %v", trial, rs.Rules())
+		}
+		if pairwiseStrict && !global {
+			t.Fatalf("trial %d: strict-pairwise consistent but globally inconsistent: %v", trial, rs.Rules())
+		}
+		switch {
+		case global:
+			stats["consistent"]++
+		case !pairwiseWeak:
+			stats["pair-detected"]++
+		default:
+			stats["prop3-gap"]++ // counterexamples to the paper's claim
+		}
+	}
+	if stats["consistent"] == 0 || stats["pair-detected"] == 0 {
+		t.Fatalf("degenerate trial mix: %v", stats)
+	}
+	t.Logf("trial mix: %v", stats)
+}
+
+func pickOther(vals []string, not string) string {
+	for _, v := range vals {
+		if v != not {
+			return v
+		}
+	}
+	return not + "x"
+}

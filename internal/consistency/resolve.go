@@ -1,0 +1,230 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"fixrule/internal/core"
+)
+
+// Resolver decides how to fix one conflicting pair of rules (Section 5.3).
+// To guarantee termination, a resolver may only shrink the ruleset: remove
+// rules, or remove negative patterns from a rule — never add values. Resolve
+// enforces this contract.
+type Resolver interface {
+	// ResolveConflict inspects a conflict and returns edits. Each edit
+	// either drops a rule (Revised == nil) or replaces it with a revised
+	// rule of the same name carrying strictly fewer negative patterns.
+	ResolveConflict(c *Conflict) []Edit
+}
+
+// Edit is one resolution action on a named rule.
+type Edit struct {
+	Name    string
+	Revised *core.Rule // nil means: remove the rule
+}
+
+// Resolve runs the Section 5.1 workflow: check Σ (step 1); if inconsistent,
+// let the resolver revise the conflicting rules (step 2); repeat until the
+// ruleset is consistent (step 3). It returns the consistent ruleset (a
+// modified clone; the input is untouched) and the edits applied, in order.
+//
+// Termination: every accepted edit strictly decreases the total number of
+// negative patterns in Σ (rule removal removes all of the rule's patterns),
+// so the loop runs at most size(Σ) iterations.
+func Resolve(rs *core.Ruleset, r Resolver, c Checker) (*core.Ruleset, []Edit, error) {
+	cur := rs.Clone()
+	var applied []Edit
+	for {
+		conf := IsConsistent(cur, c)
+		if conf == nil {
+			return cur, applied, nil
+		}
+		n, err := applyEdits(cur, r, conf, &applied)
+		if err != nil {
+			return nil, applied, err
+		}
+		if n == 0 {
+			return nil, applied, fmt.Errorf("consistency: resolver made no progress on %v", conf)
+		}
+	}
+}
+
+// ResolveAll is Resolve optimised for large rulesets: each round it collects
+// every conflicting pair at once, re-validates each against the current rule
+// versions, and applies the resolver's edits in bulk. For mined rulesets
+// with many independent conflicts this converges in a handful of O(|Σ|²)
+// rounds instead of one full scan per individual conflict.
+func ResolveAll(rs *core.Ruleset, r Resolver, c Checker) (*core.Ruleset, []Edit, error) {
+	cur := rs.Clone()
+	var applied []Edit
+	for {
+		confs := AllConflicts(cur, c)
+		if len(confs) == 0 {
+			return cur, applied, nil
+		}
+		progressed := 0
+		for _, stale := range confs {
+			i, j := cur.Get(stale.I.Name()), cur.Get(stale.J.Name())
+			if i == nil || j == nil {
+				continue // a rule was removed earlier this round
+			}
+			conf := c.pair(i, j)
+			if conf == nil {
+				continue // an earlier edit already resolved this pair
+			}
+			n, err := applyEdits(cur, r, conf, &applied)
+			if err != nil {
+				return nil, applied, err
+			}
+			progressed += n
+		}
+		if progressed == 0 {
+			return nil, applied, fmt.Errorf("consistency: resolver made no progress on %d conflicts", len(confs))
+		}
+	}
+}
+
+// applyEdits validates and applies the resolver's edits for one conflict,
+// returning the number applied.
+func applyEdits(cur *core.Ruleset, r Resolver, conf *Conflict, applied *[]Edit) (int, error) {
+	edits := r.ResolveConflict(conf)
+	if len(edits) == 0 {
+		return 0, fmt.Errorf("consistency: resolver returned no edit for %v", conf)
+	}
+	n := 0
+	for _, e := range edits {
+		old := cur.Get(e.Name)
+		if old == nil {
+			return n, fmt.Errorf("consistency: edit names unknown rule %q", e.Name)
+		}
+		if e.Revised == nil {
+			cur.Remove(e.Name)
+			*applied = append(*applied, e)
+			n++
+			continue
+		}
+		if e.Revised.Name() != e.Name {
+			return n, fmt.Errorf("consistency: edit renames rule %q to %q", e.Name, e.Revised.Name())
+		}
+		if !shrinks(old, e.Revised) {
+			return n, fmt.Errorf("consistency: edit to %q does not strictly shrink negative patterns", e.Name)
+		}
+		if err := cur.Replace(e.Revised); err != nil {
+			return n, err
+		}
+		*applied = append(*applied, e)
+		n++
+	}
+	return n, nil
+}
+
+// shrinks reports whether revised keeps the rule's evidence, target and fact
+// and carries a strict subset of the negative patterns.
+func shrinks(old, revised *core.Rule) bool {
+	if revised.Target() != old.Target() || revised.Fact() != old.Fact() {
+		return false
+	}
+	if len(revised.EvidenceAttrs()) != len(old.EvidenceAttrs()) {
+		return false
+	}
+	for _, a := range old.EvidenceAttrs() {
+		ov, _ := old.EvidenceValue(a)
+		rv, ok := revised.EvidenceValue(a)
+		if !ok || rv != ov {
+			return false
+		}
+	}
+	if revised.NegativeSize() >= old.NegativeSize() {
+		return false
+	}
+	for _, v := range revised.NegativePatterns() {
+		if !old.IsNegative(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// RemoveBoth is the conservative resolver of Section 5.3: drop every rule
+// involved in a conflict. It always terminates and leaves a consistent set,
+// at the cost of discarding possibly-useful rules (the paper's φ3 example).
+type RemoveBoth struct{}
+
+// ResolveConflict drops both rules of the pair.
+func (RemoveBoth) ResolveConflict(c *Conflict) []Edit {
+	return []Edit{{Name: c.I.Name()}, {Name: c.J.Name()}}
+}
+
+// TrimNegatives mimics the expert edit the paper recommends: remove from a
+// rule's negative patterns exactly the values that create the conflict
+// (e.g. dropping Tokyo from φ1′, Example 8/Section 5.3). If trimming would
+// empty a rule's negative patterns the rule is removed instead.
+type TrimNegatives struct{}
+
+// ResolveConflict trims the offending negative pattern(s).
+func (TrimNegatives) ResolveConflict(c *Conflict) []Edit {
+	switch c.Case {
+	case CaseSameTarget:
+		// Drop the overlapping negatives from rule J (keeping I intact);
+		// symmetric choices are equally valid, this one is deterministic.
+		keep := diff(c.J.NegativePatterns(), overlap(c.I, c.J))
+		return []Edit{trimOrDrop(c.J, keep)}
+	case CaseTargetInJ:
+		// tpj[Bi] ∈ Tpi[Bi]: the evidence value of J over I's target is a
+		// negative of I; the pair cannot agree on it, so I must stop
+		// claiming it is wrong.
+		v, _ := c.J.EvidenceValue(c.I.Target())
+		return []Edit{trimOrDrop(c.I, remove(c.I.NegativePatterns(), v))}
+	case CaseTargetInI:
+		v, _ := c.I.EvidenceValue(c.J.Target())
+		return []Edit{trimOrDrop(c.J, remove(c.J.NegativePatterns(), v))}
+	case CaseMutual:
+		// Break one direction; re-checking will confirm the other is fine.
+		v, _ := c.J.EvidenceValue(c.I.Target())
+		return []Edit{trimOrDrop(c.I, remove(c.I.NegativePatterns(), v))}
+	default:
+		// Enumerated conflicts carry no case analysis; fall back to the
+		// conservative strategy.
+		return RemoveBoth{}.ResolveConflict(c)
+	}
+}
+
+func overlap(i, j *core.Rule) []string {
+	var out []string
+	for _, v := range i.NegativePatterns() {
+		if j.IsNegative(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diff(all, drop []string) []string {
+	dropSet := make(map[string]struct{}, len(drop))
+	for _, v := range drop {
+		dropSet[v] = struct{}{}
+	}
+	var out []string
+	for _, v := range all {
+		if _, ok := dropSet[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func remove(all []string, v string) []string { return diff(all, []string{v}) }
+
+func trimOrDrop(r *core.Rule, keep []string) Edit {
+	if len(keep) == 0 {
+		return Edit{Name: r.Name()}
+	}
+	revised, err := r.WithNegative(keep)
+	if err != nil {
+		// Trimming a validated rule cannot fail; treat failure as removal.
+		return Edit{Name: r.Name()}
+	}
+	return Edit{Name: r.Name(), Revised: revised}
+}

@@ -1,0 +1,162 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+)
+
+func TestResolveRemoveBoth(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi2(sch), phi3(sch))
+	fixed, edits, err := Resolve(rs, RemoveBoth{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := IsConsistent(fixed, ByRule); conf != nil {
+		t.Fatalf("resolved set still inconsistent: %v", conf)
+	}
+	// φ1' and φ3 are both dropped; φ2 survives.
+	if fixed.Len() != 1 || fixed.Get("phi2") == nil {
+		t.Errorf("survivors = %d rules, want only phi2", fixed.Len())
+	}
+	if len(edits) != 2 {
+		t.Errorf("edits = %v, want 2 removals", edits)
+	}
+	// The input ruleset is untouched.
+	if rs.Len() != 3 {
+		t.Error("Resolve mutated its input")
+	}
+}
+
+func TestResolveTrimNegatives(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi2(sch), phi3(sch))
+	fixed, edits, err := Resolve(rs, TrimNegatives{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := IsConsistent(fixed, ByRule); conf != nil {
+		t.Fatalf("resolved set still inconsistent: %v", conf)
+	}
+	// The expert edit of Section 5.3: Tokyo leaves φ1''s negatives, all
+	// three rules survive.
+	if fixed.Len() != 3 {
+		t.Fatalf("survivors = %d rules, want 3", fixed.Len())
+	}
+	got := fixed.Get("phi1p")
+	if got.IsNegative("Tokyo") {
+		t.Error("Tokyo should have been trimmed from phi1p")
+	}
+	if !got.IsNegative("Shanghai") || !got.IsNegative("Hongkong") {
+		t.Error("trimming removed too much")
+	}
+	if len(edits) != 1 || edits[0].Name != "phi1p" || edits[0].Revised == nil {
+		t.Errorf("edits = %+v", edits)
+	}
+}
+
+func TestResolveTrimSameTarget(t *testing.T) {
+	sch := travel()
+	a := core.MustNew("a", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	b := core.MustNew("b", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Nanjing"}, "Nanking")
+	rs := core.MustRuleset(a, b)
+	fixed, _, err := Resolve(rs, TrimNegatives{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := IsConsistent(fixed, ByRule); conf != nil {
+		t.Fatalf("still inconsistent: %v", conf)
+	}
+	// b loses the shared negative Shanghai but keeps Nanjing.
+	rb := fixed.Get("b")
+	if rb == nil {
+		t.Fatal("rule b dropped, want trimmed")
+	}
+	if rb.IsNegative("Shanghai") || !rb.IsNegative("Nanjing") {
+		t.Errorf("b negatives = %v", rb.NegativePatterns())
+	}
+}
+
+func TestResolveDropsEmptiedRule(t *testing.T) {
+	sch := travel()
+	a := core.MustNew("a", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	b := core.MustNew("b", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Nanking")
+	rs := core.MustRuleset(a, b)
+	fixed, _, err := Resolve(rs, TrimNegatives{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trimming Shanghai from b would empty its negatives, so b is dropped.
+	if fixed.Get("b") != nil {
+		t.Errorf("b = %v, want dropped", fixed.Get("b"))
+	}
+	if fixed.Get("a") == nil {
+		t.Error("a must survive")
+	}
+}
+
+func TestResolveConsistentInputIsNoop(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch), phi2(sch), phi3(sch), phi4(sch))
+	fixed, edits, err := Resolve(rs, TrimNegatives{}, ByRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) != 0 || fixed.Len() != 4 {
+		t.Errorf("no-op resolve produced edits %v, %d rules", edits, fixed.Len())
+	}
+}
+
+// badResolver violates the shrink-only contract by returning a grown rule.
+type badResolver struct{}
+
+func (badResolver) ResolveConflict(c *Conflict) []Edit {
+	grown, err := c.I.WithNegative(append(c.I.NegativePatterns(), "EXTRA"))
+	if err != nil {
+		panic(err)
+	}
+	return []Edit{{Name: c.I.Name(), Revised: grown}}
+}
+
+// lazyResolver returns no edits at all.
+type lazyResolver struct{}
+
+func (lazyResolver) ResolveConflict(c *Conflict) []Edit { return nil }
+
+func TestResolveRejectsContractViolations(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi3(sch))
+	if _, _, err := Resolve(rs, badResolver{}, ByRule); err == nil ||
+		!strings.Contains(err.Error(), "shrink") {
+		t.Errorf("grow edit: err = %v, want shrink violation", err)
+	}
+	if _, _, err := Resolve(rs, lazyResolver{}, ByRule); err == nil {
+		t.Error("empty edit list must fail")
+	}
+}
+
+func TestResolveWithEnumerationChecker(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1p(sch), phi2(sch), phi3(sch))
+	fixed, _, err := Resolve(rs, RemoveBoth{}, ByEnumeration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := IsConsistent(fixed, ByEnumeration); conf != nil {
+		t.Fatalf("still inconsistent: %v", conf)
+	}
+	// Enumerated conflicts fall back to RemoveBoth inside TrimNegatives too.
+	fixed2, _, err := Resolve(rs, TrimNegatives{}, ByEnumeration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := IsConsistent(fixed2, ByRule); conf != nil {
+		t.Fatalf("TrimNegatives via enumeration left conflicts: %v", conf)
+	}
+}

@@ -1,0 +1,73 @@
+package consistency
+
+import (
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// TestWitnessValidityPerCase verifies that the witness tuple constructed
+// by the Figure 4 characterisation genuinely exhibits the conflict — it
+// has at least two distinct fixes under the pair — for every conflict
+// case.
+func TestWitnessValidityPerCase(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c", "d")
+	cases := []struct {
+		name string
+		i, j *core.Rule
+		want Case
+	}{
+		{
+			name: "case1 same target",
+			i: core.MustNew("i", sch, map[string]string{"a": "1"},
+				"b", []string{"x", "y"}, "F1"),
+			j: core.MustNew("j", sch, map[string]string{"c": "2"},
+				"b", []string{"y", "z"}, "F2"),
+			want: CaseSameTarget,
+		},
+		{
+			name: "case2a target of i in evidence of j",
+			i: core.MustNew("i", sch, map[string]string{"a": "1"},
+				"b", []string{"x"}, "F1"),
+			j: core.MustNew("j", sch, map[string]string{"b": "x"},
+				"c", []string{"q"}, "F2"),
+			want: CaseTargetInJ,
+		},
+		{
+			name: "case2b target of j in evidence of i",
+			i: core.MustNew("i", sch, map[string]string{"c": "q"},
+				"b", []string{"x"}, "F1"),
+			j: core.MustNew("j", sch, map[string]string{"a": "1"},
+				"c", []string{"q"}, "F2"),
+			want: CaseTargetInI,
+		},
+		{
+			name: "case2c mutual",
+			i: core.MustNew("i", sch, map[string]string{"c": "q"},
+				"b", []string{"x"}, "F1"),
+			j: core.MustNew("j", sch, map[string]string{"b": "x"},
+				"c", []string{"q"}, "F2"),
+			want: CaseMutual,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			conf := PairConsistentR(c.i, c.j)
+			if conf == nil {
+				t.Fatal("conflict not detected")
+			}
+			if conf.Case != c.want {
+				t.Fatalf("case = %v, want %v", conf.Case, c.want)
+			}
+			fixes := core.AllFixes([]*core.Rule{c.i, c.j}, conf.Witness)
+			if len(fixes) < 2 {
+				t.Fatalf("witness %v has %d fixes, want >= 2", conf.Witness, len(fixes))
+			}
+			// The enumeration checker agrees on the verdict.
+			if PairConsistentT(c.i, c.j) == nil {
+				t.Error("enumeration checker disagrees")
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+// Package core implements the paper's primary contribution: fixing rules
+// and their repairing semantics (Sections 3.1 and 3.2).
+//
+// A fixing rule φ : ((X, tp[X]), (B, Tp[B])) → tp+[B] over a schema R has
+//
+//   - an evidence pattern tp[X]: constants over attributes X ⊆ attr(R),
+//   - negative patterns Tp[B]: a finite set of known-wrong constants for an
+//     attribute B ∉ X, and
+//   - a fact tp+[B] ∈ dom(B) \ Tp[B]: the correct value for B given the
+//     evidence.
+//
+// A tuple t matches φ (t ⊢ φ) iff t[X] = tp[X] and t[B] ∈ Tp[B]. Applying φ
+// updates t[B] := tp+[B] and marks X ∪ {B} assured: those attributes are
+// treated as validated-correct and may not be changed by later rules.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fixrule/internal/schema"
+)
+
+// Rule is a fixing rule. Construct rules with New (or the ruleio parsers);
+// a Rule built by New is immutable and safe for concurrent use.
+type Rule struct {
+	name string
+	sch  *schema.Schema
+
+	// Evidence pattern: parallel slices, sorted by attribute position.
+	evidenceAttrs []string // X
+	evidenceVals  []string // tp[X]
+	evidenceIdx   []int    // schema positions of X
+
+	target    string // B
+	targetIdx int
+
+	negative map[string]struct{} // Tp[B]
+	fact     string              // tp+[B]
+}
+
+// New validates and constructs a fixing rule. The evidence map supplies
+// tp[X]; negative is Tp[B]; fact is tp+[B]. New enforces the syntactic
+// conditions of Section 3.1:
+//
+//  1. X ⊆ attr(R) and B ∈ attr(R) \ X,
+//  2. every evidence value is a constant (non-empty pattern set),
+//  3. Tp[B] is non-empty, and
+//  4. the fact is not a negative pattern: tp+[B] ∉ Tp[B].
+func New(name string, sch *schema.Schema, evidence map[string]string, target string, negative []string, fact string) (*Rule, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("fixing rule %s: nil schema", name)
+	}
+	if len(evidence) == 0 {
+		return nil, fmt.Errorf("fixing rule %s: empty evidence pattern", name)
+	}
+	if !sch.Has(target) {
+		return nil, fmt.Errorf("fixing rule %s: target attribute %q not in %s", name, target, sch)
+	}
+	if _, ok := evidence[target]; ok {
+		return nil, fmt.Errorf("fixing rule %s: target attribute %q appears in evidence X", name, target)
+	}
+	if len(negative) == 0 {
+		return nil, fmt.Errorf("fixing rule %s: empty negative pattern set", name)
+	}
+
+	r := &Rule{
+		name:      name,
+		sch:       sch,
+		target:    target,
+		targetIdx: sch.Index(target),
+		negative:  make(map[string]struct{}, len(negative)),
+		fact:      fact,
+	}
+	attrs := make([]string, 0, len(evidence))
+	for a := range evidence {
+		if !sch.Has(a) {
+			return nil, fmt.Errorf("fixing rule %s: evidence attribute %q not in %s", name, a, sch)
+		}
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return sch.Index(attrs[i]) < sch.Index(attrs[j]) })
+	for _, a := range attrs {
+		r.evidenceAttrs = append(r.evidenceAttrs, a)
+		r.evidenceVals = append(r.evidenceVals, evidence[a])
+		r.evidenceIdx = append(r.evidenceIdx, sch.Index(a))
+	}
+	for _, v := range negative {
+		if v == fact {
+			return nil, fmt.Errorf("fixing rule %s: fact %q appears in negative patterns", name, fact)
+		}
+		r.negative[v] = struct{}{}
+	}
+	return r, nil
+}
+
+// MustNew is like New but panics on error; intended for tests and examples
+// with literal rules.
+func MustNew(name string, sch *schema.Schema, evidence map[string]string, target string, negative []string, fact string) *Rule {
+	r, err := New(name, sch, evidence, target, negative, fact)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the rule's identifier (unique within a ruleset by convention).
+func (r *Rule) Name() string { return r.name }
+
+// Schema returns the schema the rule is defined on.
+func (r *Rule) Schema() *schema.Schema { return r.sch }
+
+// EvidenceAttrs returns X in schema order. The caller must not modify it.
+func (r *Rule) EvidenceAttrs() []string { return r.evidenceAttrs }
+
+// EvidenceValue returns tp[A] and whether A ∈ X.
+func (r *Rule) EvidenceValue(a string) (string, bool) {
+	for i, ea := range r.evidenceAttrs {
+		if ea == a {
+			return r.evidenceVals[i], true
+		}
+	}
+	return "", false
+}
+
+// Target returns B, the attribute the rule repairs.
+func (r *Rule) Target() string { return r.target }
+
+// TargetIndex returns B's position in the schema.
+func (r *Rule) TargetIndex() int { return r.targetIdx }
+
+// Fact returns tp+[B], the correct value the rule writes.
+func (r *Rule) Fact() string { return r.fact }
+
+// NegativePatterns returns Tp[B] as a sorted slice.
+func (r *Rule) NegativePatterns() []string {
+	out := make([]string, 0, len(r.negative))
+	for v := range r.negative {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NegativeSize returns |Tp[B]|.
+func (r *Rule) NegativeSize() int { return len(r.negative) }
+
+// IsNegative reports whether v ∈ Tp[B].
+func (r *Rule) IsNegative(v string) bool {
+	_, ok := r.negative[v]
+	return ok
+}
+
+// Size returns the rule's size: |X| + |Tp[B]| + 1, the number of constants
+// it mentions. size(Σ) in the paper's complexity bounds is the sum of rule
+// sizes.
+func (r *Rule) Size() int { return len(r.evidenceAttrs) + len(r.negative) + 1 }
+
+// Matches reports t ⊢ φ: t[X] = tp[X] and t[B] ∈ Tp[B].
+func (r *Rule) Matches(t schema.Tuple) bool {
+	for i, idx := range r.evidenceIdx {
+		if t[idx] != r.evidenceVals[i] {
+			return false
+		}
+	}
+	_, neg := r.negative[t[r.targetIdx]]
+	return neg
+}
+
+// EvidenceMatches reports t[X] = tp[X] only, ignoring the negative patterns.
+// lRepair's hash counters track exactly this condition.
+func (r *Rule) EvidenceMatches(t schema.Tuple) bool {
+	for i, idx := range r.evidenceIdx {
+		if t[idx] != r.evidenceVals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithNegative returns a copy of the rule with Tp[B] replaced by negative.
+// It is used by resolution strategies (Section 5.3), which may only shrink
+// negative patterns; New re-validates the result.
+func (r *Rule) WithNegative(negative []string) (*Rule, error) {
+	ev := make(map[string]string, len(r.evidenceAttrs))
+	for i, a := range r.evidenceAttrs {
+		ev[a] = r.evidenceVals[i]
+	}
+	return New(r.name, r.sch, ev, r.target, negative, r.fact)
+}
+
+// String renders the rule in the paper's notation:
+// φ: ((X, tp[X]), (B, Tp[B])) → fact.
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.name)
+	b.WriteString(": (([")
+	b.WriteString(strings.Join(r.evidenceAttrs, ", "))
+	b.WriteString("], [")
+	b.WriteString(strings.Join(r.evidenceVals, ", "))
+	b.WriteString("]), (")
+	b.WriteString(r.target)
+	b.WriteString(", {")
+	b.WriteString(strings.Join(r.NegativePatterns(), ", "))
+	b.WriteString("})) -> ")
+	b.WriteString(r.fact)
+	return b.String()
+}

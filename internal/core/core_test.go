@@ -1,0 +1,343 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/schema"
+)
+
+// travel returns the paper's running-example schema
+// Travel(name, country, capital, city, conf) (Figure 1).
+func travel() *schema.Schema {
+	return schema.New("Travel", "name", "country", "capital", "city", "conf")
+}
+
+// paperRules builds φ1..φ4 from Examples 3 and 8 and Section 6.2.
+func paperRules(t *testing.T, sch *schema.Schema) (phi1, phi2, phi3, phi4 *Rule) {
+	t.Helper()
+	phi1 = MustNew("phi1", sch,
+		map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong"}, "Beijing")
+	phi2 = MustNew("phi2", sch,
+		map[string]string{"country": "Canada"},
+		"capital", []string{"Toronto"}, "Ottawa")
+	phi3 = MustNew("phi3", sch,
+		map[string]string{"capital": "Tokyo", "city": "Tokyo", "conf": "ICDE"},
+		"country", []string{"China"}, "Japan")
+	phi4 = MustNew("phi4", sch,
+		map[string]string{"capital": "Beijing", "conf": "ICDE"},
+		"city", []string{"Hongkong"}, "Shanghai")
+	return
+}
+
+// fig1 returns the four tuples of Figure 1 (r1 clean; r2, r3, r4 dirty).
+func fig1() []schema.Tuple {
+	return []schema.Tuple{
+		{"George", "China", "Beijing", "Beijing", "SIGMOD"}, // r1: clean
+		{"Ian", "China", "Shanghai", "Hongkong", "ICDE"},    // r2: capital, city wrong
+		{"Peter", "China", "Tokyo", "Tokyo", "ICDE"},        // r3: country wrong
+		{"Mike", "Canada", "Toronto", "Toronto", "VLDB"},    // r4: capital wrong
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sch := travel()
+	cases := []struct {
+		name     string
+		evidence map[string]string
+		target   string
+		negative []string
+		fact     string
+		wantErr  string
+	}{
+		{"ok", map[string]string{"country": "China"}, "capital", []string{"Shanghai"}, "Beijing", ""},
+		{"empty evidence", nil, "capital", []string{"Shanghai"}, "Beijing", "empty evidence"},
+		{"bad target", map[string]string{"country": "China"}, "nope", []string{"x"}, "y", "not in"},
+		{"target in X", map[string]string{"capital": "Beijing"}, "capital", []string{"x"}, "y", "appears in evidence"},
+		{"bad evidence attr", map[string]string{"nope": "v"}, "capital", []string{"x"}, "y", "not in"},
+		{"empty negatives", map[string]string{"country": "China"}, "capital", nil, "Beijing", "empty negative"},
+		{"fact is negative", map[string]string{"country": "China"}, "capital", []string{"Beijing"}, "Beijing", "fact"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.name, sch, c.evidence, c.target, c.negative, c.fact)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("New: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("New: error %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestMatches(t *testing.T) {
+	sch := travel()
+	phi1, phi2, _, _ := paperRules(t, sch)
+	rows := fig1()
+
+	// Example 3: r1 does not match φ1 (capital Beijing ∉ negatives);
+	// r2 matches φ1; r4 matches φ2.
+	if phi1.Matches(rows[0]) {
+		t.Error("r1 should not match phi1")
+	}
+	if !phi1.Matches(rows[1]) {
+		t.Error("r2 should match phi1")
+	}
+	if phi1.Matches(rows[3]) {
+		t.Error("r4 should not match phi1 (country is Canada)")
+	}
+	if !phi2.Matches(rows[3]) {
+		t.Error("r4 should match phi2")
+	}
+}
+
+func TestEvidenceMatches(t *testing.T) {
+	sch := travel()
+	phi1, _, _, _ := paperRules(t, sch)
+	rows := fig1()
+	if !phi1.EvidenceMatches(rows[0]) {
+		t.Error("r1 evidence (country=China) should match phi1 even though capital is clean")
+	}
+	if phi1.EvidenceMatches(rows[3]) {
+		t.Error("r4 evidence should not match phi1")
+	}
+}
+
+func TestApplySingle(t *testing.T) {
+	sch := travel()
+	phi1, _, _, _ := paperRules(t, sch)
+	r2 := fig1()[1]
+	a := NewAssured()
+	if !ProperlyApplies(phi1, r2, a) {
+		t.Fatal("phi1 should properly apply to r2 with empty assured set")
+	}
+	Apply(phi1, r2, a)
+	if got := r2[sch.MustIndex("capital")]; got != "Beijing" {
+		t.Errorf("capital = %q, want Beijing", got)
+	}
+	// Example 6: assured becomes {country, capital}.
+	if !a.Has("country") || !a.Has("capital") || a.Len() != 2 {
+		t.Errorf("assured = %v, want {capital, country}", a.Attrs())
+	}
+	// Once capital is assured, no rule targeting capital properly applies.
+	if ProperlyApplies(phi1, r2, a) {
+		t.Error("phi1 must not re-apply once capital is assured")
+	}
+}
+
+func TestApplyPanicsWhenImproper(t *testing.T) {
+	sch := travel()
+	phi1, _, _, _ := paperRules(t, sch)
+	r1 := fig1()[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply on non-matching tuple should panic")
+		}
+	}()
+	Apply(phi1, r1, NewAssured())
+}
+
+func TestFixRunningExample(t *testing.T) {
+	sch := travel()
+	phi1, phi2, phi3, phi4 := paperRules(t, sch)
+	rules := []*Rule{phi1, phi2, phi3, phi4}
+	rows := fig1()
+
+	// Figure 8 outcomes.
+	want := []schema.Tuple{
+		{"George", "China", "Beijing", "Beijing", "SIGMOD"},
+		{"Ian", "China", "Beijing", "Shanghai", "ICDE"},
+		{"Peter", "Japan", "Tokyo", "Tokyo", "ICDE"},
+		{"Mike", "Canada", "Ottawa", "Toronto", "VLDB"},
+	}
+	wantSteps := []int{0, 2, 1, 1}
+	for i, row := range rows {
+		got, steps, _ := Fix(rules, row)
+		if !got.Equal(want[i]) {
+			t.Errorf("r%d: fix = %v, want %v", i+1, got, want[i])
+		}
+		if len(steps) != wantSteps[i] {
+			t.Errorf("r%d: %d steps, want %d", i+1, len(steps), wantSteps[i])
+		}
+	}
+}
+
+func TestFixDoesNotMutateInput(t *testing.T) {
+	sch := travel()
+	phi1, _, _, _ := paperRules(t, sch)
+	r2 := fig1()[1]
+	orig := r2.Clone()
+	Fix([]*Rule{phi1}, r2)
+	if !r2.Equal(orig) {
+		t.Errorf("Fix mutated its input: %v", r2)
+	}
+}
+
+func TestFixSteps(t *testing.T) {
+	sch := travel()
+	phi1, phi2, phi3, phi4 := paperRules(t, sch)
+	rules := []*Rule{phi1, phi2, phi3, phi4}
+	r2 := fig1()[1]
+	_, steps, a := Fix(rules, r2)
+	if len(steps) != 2 {
+		t.Fatalf("r2: %d steps, want 2", len(steps))
+	}
+	if steps[0].Rule != phi1 || steps[0].From != "Shanghai" || steps[0].To != "Beijing" {
+		t.Errorf("step 1 = %+v, want phi1 Shanghai->Beijing", steps[0])
+	}
+	if steps[1].Rule != phi4 || steps[1].From != "Hongkong" || steps[1].To != "Shanghai" {
+		t.Errorf("step 2 = %+v, want phi4 Hongkong->Shanghai", steps[1])
+	}
+	for _, attr := range []string{"country", "capital", "city", "conf"} {
+		if !a.Has(attr) {
+			t.Errorf("assured should contain %s after fixing r2", attr)
+		}
+	}
+	if a.Has("name") {
+		t.Error("name was never touched and must not be assured")
+	}
+}
+
+func TestAllFixesUniqueOnConsistentRules(t *testing.T) {
+	sch := travel()
+	phi1, phi2, phi3, phi4 := paperRules(t, sch)
+	rules := []*Rule{phi1, phi2, phi3, phi4}
+	for i, row := range fig1() {
+		fixes := AllFixes(rules, row)
+		if len(fixes) != 1 {
+			t.Errorf("r%d: %d distinct fixpoints, want 1 (rules are consistent)", i+1, len(fixes))
+		}
+		if !HasUniqueFix(rules, row) {
+			t.Errorf("r%d: HasUniqueFix = false", i+1)
+		}
+	}
+}
+
+func TestAllFixesDetectsConflict(t *testing.T) {
+	sch := travel()
+	// Example 8: φ1' (negatives + Tokyo) conflicts with φ3 on r3.
+	phi1p := MustNew("phi1p", sch,
+		map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong", "Tokyo"}, "Beijing")
+	phi3 := MustNew("phi3", sch,
+		map[string]string{"capital": "Tokyo", "city": "Tokyo", "conf": "ICDE"},
+		"country", []string{"China"}, "Japan")
+	r3 := fig1()[2]
+	fixes := AllFixes([]*Rule{phi1p, phi3}, r3)
+	if len(fixes) != 2 {
+		t.Fatalf("r3 under {phi1p, phi3}: %d fixpoints, want 2", len(fixes))
+	}
+	// One fix has capital=Beijing, the other country=Japan.
+	keys := map[string]bool{}
+	for _, f := range fixes {
+		keys[f[sch.MustIndex("country")]+"/"+f[sch.MustIndex("capital")]] = true
+	}
+	if !keys["China/Beijing"] || !keys["Japan/Tokyo"] {
+		t.Errorf("fixpoints = %v, want {China/Beijing, Japan/Tokyo}", keys)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	sch := travel()
+	phi1, _, _, _ := paperRules(t, sch)
+	s := phi1.String()
+	for _, want := range []string{"phi1", "country", "China", "capital", "Hongkong", "Shanghai", "-> Beijing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestRuleAccessors(t *testing.T) {
+	sch := travel()
+	phi1, _, phi3, _ := paperRules(t, sch)
+	if phi1.Target() != "capital" || phi1.Fact() != "Beijing" {
+		t.Errorf("phi1 target/fact = %s/%s", phi1.Target(), phi1.Fact())
+	}
+	if got := phi1.NegativePatterns(); len(got) != 2 || got[0] != "Hongkong" || got[1] != "Shanghai" {
+		t.Errorf("phi1 negatives = %v", got)
+	}
+	if !phi1.IsNegative("Shanghai") || phi1.IsNegative("Beijing") {
+		t.Error("IsNegative misclassifies")
+	}
+	if v, ok := phi1.EvidenceValue("country"); !ok || v != "China" {
+		t.Errorf("EvidenceValue(country) = %q, %v", v, ok)
+	}
+	if _, ok := phi1.EvidenceValue("capital"); ok {
+		t.Error("capital is not evidence of phi1")
+	}
+	// Evidence attrs come back in schema order.
+	if got := phi3.EvidenceAttrs(); got[0] != "capital" || got[1] != "city" || got[2] != "conf" {
+		t.Errorf("phi3 evidence order = %v", got)
+	}
+	if phi1.Size() != 1+2+1 {
+		t.Errorf("phi1.Size() = %d, want 4", phi1.Size())
+	}
+}
+
+func TestWithNegative(t *testing.T) {
+	sch := travel()
+	phi1, _, _, _ := paperRules(t, sch)
+	trimmed, err := phi1.WithNegative([]string{"Shanghai"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.IsNegative("Hongkong") {
+		t.Error("trimmed rule should drop Hongkong")
+	}
+	if trimmed.Name() != phi1.Name() || trimmed.Fact() != phi1.Fact() {
+		t.Error("trimmed rule must keep name and fact")
+	}
+	if _, err := phi1.WithNegative([]string{"Beijing"}); err == nil {
+		t.Error("WithNegative must re-validate (fact in negatives)")
+	}
+}
+
+func TestRuleset(t *testing.T) {
+	sch := travel()
+	phi1, phi2, phi3, phi4 := paperRules(t, sch)
+	rs := MustRuleset(phi1, phi2, phi3, phi4)
+	if rs.Len() != 4 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if rs.Size() != phi1.Size()+phi2.Size()+phi3.Size()+phi4.Size() {
+		t.Errorf("Size = %d", rs.Size())
+	}
+	if rs.Get("phi3") != phi3 || rs.Get("nope") != nil {
+		t.Error("Get misbehaves")
+	}
+	if err := rs.Add(phi1); err == nil {
+		t.Error("duplicate Add must fail")
+	}
+	other := schema.New("Other", "a", "b")
+	alien := MustNew("alien", other, map[string]string{"a": "1"}, "b", []string{"2"}, "3")
+	if err := rs.Add(alien); err == nil {
+		t.Error("cross-schema Add must fail")
+	}
+	if !rs.Remove("phi4") || rs.Remove("phi4") {
+		t.Error("Remove misbehaves")
+	}
+	if rs.Len() != 3 {
+		t.Errorf("Len after Remove = %d", rs.Len())
+	}
+	trimmed, _ := phi1.WithNegative([]string{"Shanghai"})
+	if err := rs.Replace(trimmed); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if rs.Get("phi1").NegativeSize() != 1 {
+		t.Error("Replace did not take effect")
+	}
+	clone := rs.Clone()
+	clone.Remove("phi1")
+	if rs.Get("phi1") == nil {
+		t.Error("Clone is not independent")
+	}
+	if _, err := NewRulesetOf(); err == nil {
+		t.Error("empty NewRulesetOf must fail")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fixrule/internal/schema"
+)
+
+// genRule draws a random (syntactically valid) rule over a small universe.
+func genRule(rng *rand.Rand, sch *schema.Schema, vals []string, name string) *Rule {
+	attrs := append([]string(nil), sch.Attrs()...)
+	rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+	nEv := 1 + rng.Intn(2)
+	ev := map[string]string{}
+	for _, a := range attrs[:nEv] {
+		ev[a] = vals[rng.Intn(len(vals))]
+	}
+	target := attrs[nEv]
+	fact := vals[rng.Intn(len(vals))]
+	var negs []string
+	for _, v := range vals {
+		if v != fact && rng.Intn(2) == 0 {
+			negs = append(negs, v)
+		}
+	}
+	if len(negs) == 0 {
+		for _, v := range vals {
+			if v != fact {
+				negs = []string{v}
+				break
+			}
+		}
+	}
+	return MustNew(name, sch, ev, target, negs, fact)
+}
+
+func genTuple(rng *rand.Rand, sch *schema.Schema, vals []string) schema.Tuple {
+	t := make(schema.Tuple, sch.Arity())
+	for i := range t {
+		t[i] = vals[rng.Intn(len(vals))]
+	}
+	return t
+}
+
+// TestFixIdempotent: a fix is a fixpoint — fixing the fixed tuple changes
+// nothing (Section 3.2, condition (2)).
+func TestFixIdempotent(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c", "d")
+	vals := []string{"0", "1", "2", "_"}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		rules := []*Rule{
+			genRule(rng, sch, vals, "p"),
+			genRule(rng, sch, vals, "q"),
+			genRule(rng, sch, vals, "r"),
+		}
+		tup := genTuple(rng, sch, vals)
+		fixed, _, _ := Fix(rules, tup)
+		again, steps, _ := Fix(rules, fixed)
+		if !again.Equal(fixed) || len(steps) != 0 {
+			t.Fatalf("fix not a fixpoint: %v -> %v -> %v (%d extra steps)",
+				tup, fixed, again, len(steps))
+		}
+	}
+}
+
+// TestFixTerminationBound: a fix applies at most |R| rules, because every
+// proper application strictly grows the assured set (Section 4.1).
+func TestFixTerminationBound(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c", "d")
+	vals := []string{"0", "1", "2"}
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		var rules []*Rule
+		for k := 0; k < 6; k++ {
+			rules = append(rules, genRule(rng, sch, vals, "r"+string(rune('a'+k))))
+		}
+		tup := genTuple(rng, sch, vals)
+		_, steps, a := Fix(rules, tup)
+		if len(steps) > sch.Arity() {
+			t.Fatalf("%d steps exceeds |R| = %d", len(steps), sch.Arity())
+		}
+		if a.Len() > sch.Arity() {
+			t.Fatalf("assured set %v exceeds schema", a.Attrs())
+		}
+	}
+}
+
+// TestFixChangesOnlyTargets: every difference between input and fix is the
+// fact of some applied rule, and evidence attributes used by applied rules
+// are never modified.
+func TestFixChangesOnlyTargets(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c", "d")
+	vals := []string{"0", "1", "2", "_"}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		rules := []*Rule{
+			genRule(rng, sch, vals, "p"),
+			genRule(rng, sch, vals, "q"),
+			genRule(rng, sch, vals, "r"),
+		}
+		tup := genTuple(rng, sch, vals)
+		fixed, steps, _ := Fix(rules, tup)
+		changedBySteps := map[int]string{}
+		for _, s := range steps {
+			changedBySteps[s.Rule.TargetIndex()] = s.To
+		}
+		for i := range tup {
+			if tup[i] != fixed[i] {
+				want, ok := changedBySteps[i]
+				if !ok {
+					t.Fatalf("attribute %d changed with no step", i)
+				}
+				if fixed[i] != want {
+					t.Fatalf("attribute %d = %q, last step wrote %q", i, fixed[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchesQuick: Matches agrees with its definition t[X] = tp[X] ∧
+// t[B] ∈ Tp[B], via testing/quick over random tuples.
+func TestMatchesQuick(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rule := MustNew("q", sch, map[string]string{"a": "1"}, "b", []string{"2", "3"}, "4")
+	f := func(a, b, c uint8) bool {
+		vals := []string{"1", "2", "3", "4"}
+		tup := schema.Tuple{vals[a%4], vals[b%4], vals[c%4]}
+		want := tup[0] == "1" && (tup[1] == "2" || tup[1] == "3")
+		return rule.Matches(tup) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllFixesContainsSequentialFix: the exhaustive fixpoint search always
+// contains the greedy chase's result.
+func TestAllFixesContainsSequentialFix(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c", "d")
+	vals := []string{"0", "1", "2"}
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 200; trial++ {
+		rules := []*Rule{
+			genRule(rng, sch, vals, "p"),
+			genRule(rng, sch, vals, "q"),
+			genRule(rng, sch, vals, "r"),
+		}
+		tup := genTuple(rng, sch, vals)
+		fixed, _, _ := Fix(rules, tup)
+		found := false
+		for _, f := range AllFixes(rules, tup) {
+			if f.Equal(fixed) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("greedy fix %v missing from AllFixes(%v)", fixed, tup)
+		}
+	}
+}

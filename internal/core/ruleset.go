@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"fixrule/internal/schema"
+)
+
+// Ruleset is an ordered collection Σ of fixing rules over one schema.
+// Order matters only for deterministic iteration; when Σ is consistent the
+// repair result is order-independent (Church–Rosser).
+type Ruleset struct {
+	sch    *schema.Schema
+	rules  []*Rule
+	byName map[string]*Rule
+}
+
+// NewRuleset creates an empty ruleset over sch.
+func NewRuleset(sch *schema.Schema) *Ruleset {
+	return &Ruleset{sch: sch, byName: make(map[string]*Rule)}
+}
+
+// NewRulesetOf creates a ruleset containing the given rules; all rules must
+// share one schema and have distinct names.
+func NewRulesetOf(rules ...*Rule) (*Ruleset, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("core: empty ruleset")
+	}
+	rs := NewRuleset(rules[0].Schema())
+	for _, r := range rules {
+		if err := rs.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// MustRuleset is like NewRulesetOf but panics on error.
+func MustRuleset(rules ...*Rule) *Ruleset {
+	rs, err := NewRulesetOf(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// Schema returns the schema Σ is defined on.
+func (rs *Ruleset) Schema() *schema.Schema { return rs.sch }
+
+// Add appends a rule to Σ. It rejects schema mismatches and duplicate names.
+func (rs *Ruleset) Add(r *Rule) error {
+	if !r.Schema().Equal(rs.sch) {
+		return fmt.Errorf("core: rule %s is on schema %s, ruleset is on %s",
+			r.Name(), r.Schema(), rs.sch)
+	}
+	if _, dup := rs.byName[r.Name()]; dup {
+		return fmt.Errorf("core: duplicate rule name %q", r.Name())
+	}
+	rs.rules = append(rs.rules, r)
+	rs.byName[r.Name()] = r
+	return nil
+}
+
+// Rules returns the rules in insertion order. Callers must not modify the
+// returned slice.
+func (rs *Ruleset) Rules() []*Rule { return rs.rules }
+
+// Len returns |Σ|, the number of rules.
+func (rs *Ruleset) Len() int { return len(rs.rules) }
+
+// Get returns the rule with the given name, or nil.
+func (rs *Ruleset) Get(name string) *Rule { return rs.byName[name] }
+
+// Size returns size(Σ): the total number of constants across all rules,
+// the quantity the paper's complexity bounds are stated in.
+func (rs *Ruleset) Size() int {
+	n := 0
+	for _, r := range rs.rules {
+		n += r.Size()
+	}
+	return n
+}
+
+// Remove deletes the named rule, reporting whether it was present.
+func (rs *Ruleset) Remove(name string) bool {
+	if _, ok := rs.byName[name]; !ok {
+		return false
+	}
+	delete(rs.byName, name)
+	for i, r := range rs.rules {
+		if r.Name() == name {
+			rs.rules = append(rs.rules[:i], rs.rules[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Replace swaps the named rule for a revised one with the same name.
+// Resolution strategies (Section 5.3) use it after trimming negative
+// patterns.
+func (rs *Ruleset) Replace(r *Rule) error {
+	if _, ok := rs.byName[r.Name()]; !ok {
+		return fmt.Errorf("core: Replace: no rule named %q", r.Name())
+	}
+	if !r.Schema().Equal(rs.sch) {
+		return fmt.Errorf("core: Replace: rule %s schema mismatch", r.Name())
+	}
+	rs.byName[r.Name()] = r
+	for i, old := range rs.rules {
+		if old.Name() == r.Name() {
+			rs.rules[i] = r
+			break
+		}
+	}
+	return nil
+}
+
+// Clone returns a shallow copy of the ruleset (rules are immutable and
+// shared; the containers are fresh).
+func (rs *Ruleset) Clone() *Ruleset {
+	c := NewRuleset(rs.sch)
+	c.rules = append([]*Rule(nil), rs.rules...)
+	for k, v := range rs.byName {
+		c.byName[k] = v
+	}
+	return c
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+
+	"fixrule/internal/schema"
+)
+
+// Assured is the set A of assured attributes relative to a tuple
+// (Section 3.2): attributes validated correct by earlier rule applications,
+// which later rules may not change. The zero value (nil map inside) is NOT
+// usable; create with NewAssured.
+type Assured struct {
+	set map[string]struct{}
+}
+
+// NewAssured returns an empty assured set (A = ∅).
+func NewAssured() *Assured {
+	return &Assured{set: make(map[string]struct{})}
+}
+
+// Has reports whether attribute a ∈ A.
+func (a *Assured) Has(attr string) bool {
+	_, ok := a.set[attr]
+	return ok
+}
+
+// Add inserts attributes into A.
+func (a *Assured) Add(attrs ...string) {
+	for _, x := range attrs {
+		a.set[x] = struct{}{}
+	}
+}
+
+// Len returns |A|.
+func (a *Assured) Len() int { return len(a.set) }
+
+// Attrs returns the assured attributes, sorted.
+func (a *Assured) Attrs() []string {
+	out := make([]string, 0, len(a.set))
+	for x := range a.set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of A.
+func (a *Assured) Clone() *Assured {
+	c := NewAssured()
+	for x := range a.set {
+		c.set[x] = struct{}{}
+	}
+	return c
+}
+
+// ProperlyApplies reports whether φ can be properly applied to t w.r.t. A
+// (written t →(A,φ) t′ in the paper): t ⊢ φ and B ∉ A.
+func ProperlyApplies(r *Rule, t schema.Tuple, a *Assured) bool {
+	return !a.Has(r.target) && r.Matches(t)
+}
+
+// Apply performs one proper application step: it updates t[B] := tp+[B] in
+// place and extends A with X ∪ {B}. The caller must have checked
+// ProperlyApplies; Apply panics otherwise, because applying a non-matching
+// rule would corrupt the chase invariants.
+func Apply(r *Rule, t schema.Tuple, a *Assured) {
+	if !ProperlyApplies(r, t, a) {
+		panic("core: Apply on a rule that does not properly apply")
+	}
+	t[r.targetIdx] = r.fact
+	a.Add(r.evidenceAttrs...)
+	a.Add(r.target)
+}
+
+// Step records one proper rule application in a fix sequence.
+type Step struct {
+	Rule *Rule
+	Attr string // B, the repaired attribute
+	From string // the negative-pattern value that was replaced
+	To   string // the fact written
+}
+
+// Fix chases t with Σ from an empty assured set until a fixpoint is reached
+// (Section 3.2): it repeatedly picks the first rule (in Σ order) that
+// properly applies. The input tuple is not modified; the repaired tuple,
+// the applied steps, and the final assured set are returned.
+//
+// Termination is guaranteed because every proper application strictly grows
+// A, bounded by |R| (Section 4.1). When Σ is consistent the result is the
+// unique fix regardless of application order (Church–Rosser).
+func Fix(rules []*Rule, t schema.Tuple) (schema.Tuple, []Step, *Assured) {
+	cur := t.Clone()
+	a := NewAssured()
+	var steps []Step
+	for {
+		applied := false
+		for _, r := range rules {
+			if ProperlyApplies(r, cur, a) {
+				from := cur[r.targetIdx]
+				Apply(r, cur, a)
+				steps = append(steps, Step{Rule: r, Attr: r.target, From: from, To: r.fact})
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return cur, steps, a
+		}
+	}
+}
+
+// Fixpoint is one terminal state of the chase: the fixed tuple together
+// with the assured attributes accumulated along the way. Two application
+// orders can reach the same tuple with different assured sets — a
+// distinction that matters for consistency analysis (see the strict
+// checker in internal/consistency).
+type Fixpoint struct {
+	Tuple   schema.Tuple
+	Assured *Assured
+}
+
+// AllFixes explores every maximal application order of Σ on t and returns
+// the set of distinct fixpoints, keyed and deduplicated by tuple value.
+// It is the reference oracle behind tuple-enumeration consistency checking
+// (isConsist_t) and the implication checker: t has a unique fix by Σ iff
+// AllFixes returns a single tuple.
+//
+// The search is exponential in the number of applicable rules in the worst
+// case; callers use it on the small models of Sections 4.3 and 5.2, where
+// few rules can fire on any one tuple.
+func AllFixes(rules []*Rule, t schema.Tuple) []schema.Tuple {
+	seen := make(map[string]schema.Tuple)
+	for _, fp := range AllFixpoints(rules, t) {
+		seen[fp.Tuple.Key()] = fp.Tuple
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]schema.Tuple, 0, len(seen))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// AllFixpoints is AllFixes with full terminal states: fixpoints are
+// deduplicated by (tuple, assured set), so two orders reaching the same
+// tuple with different assured attributes yield two entries.
+func AllFixpoints(rules []*Rule, t schema.Tuple) []Fixpoint {
+	seen := make(map[string]Fixpoint)
+	// visited memoizes (tuple, assured) states to avoid re-exploring
+	// permutations that converge to the same intermediate state.
+	visited := make(map[string]struct{})
+	var rec func(cur schema.Tuple, a *Assured)
+	rec = func(cur schema.Tuple, a *Assured) {
+		stateKey := cur.Key() + "|" + keyOf(a)
+		if _, ok := visited[stateKey]; ok {
+			return
+		}
+		visited[stateKey] = struct{}{}
+		fired := false
+		for _, r := range rules {
+			if !ProperlyApplies(r, cur, a) {
+				continue
+			}
+			fired = true
+			next := cur.Clone()
+			na := a.Clone()
+			Apply(r, next, na)
+			rec(next, na)
+		}
+		if !fired {
+			seen[stateKey] = Fixpoint{Tuple: cur, Assured: a}
+		}
+	}
+	rec(t.Clone(), NewAssured())
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Fixpoint, 0, len(seen))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// HasUniqueFix reports whether t has a unique fix by Σ (Section 3.2).
+func HasUniqueFix(rules []*Rule, t schema.Tuple) bool {
+	return len(AllFixes(rules, t)) == 1
+}
+
+func keyOf(a *Assured) string {
+	attrs := a.Attrs()
+	out := ""
+	for _, x := range attrs {
+		out += x + ","
+	}
+	return out
+}

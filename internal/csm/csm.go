@@ -1,0 +1,144 @@
+// Package csm implements the paper's second baseline, "Csm": sampling from
+// the space of cardinality-set-minimal repairs after Beskales, Ilyas and
+// Golab, "Sampling the repairs of functional dependency violations under
+// hard constraints" (PVLDB 2010) — reference [5] of the paper.
+//
+// A cardinality-set-minimal repair changes a set of cells none of whose
+// subsets can be reverted without reintroducing a violation. The sampler
+// resolves each violation group by keeping the value that requires the
+// fewest cell changes (the majority value), breaking ties uniformly at
+// random, and occasionally — with probability LHSBreakProb — repairs a
+// minority tuple's LHS cell to a fresh variable instead, which detaches the
+// tuple from the group (the "fresh variable" move of the original
+// algorithm). Different seeds sample different repairs from the space.
+//
+// Like Heu it computes a consistent database; its randomised choices make
+// it strictly less precise than Heu's cost-based choices on typo-heavy
+// noise, reproducing the ordering of Figure 10(a).
+package csm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// Config tunes the sampler.
+type Config struct {
+	// Seed drives all random choices.
+	Seed int64
+	// MaxRounds caps the violation-resolution rounds (0 = default 10).
+	MaxRounds int
+	// LHSBreakProb is the probability of resolving a group by detaching a
+	// minority tuple (fresh-variable LHS change) instead of equalising the
+	// RHS. Negative disables; 0 selects the default 0.05.
+	LHSBreakProb float64
+}
+
+func (c Config) maxRounds() int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	return 10
+}
+
+func (c Config) lhsBreakProb() float64 {
+	if c.LHSBreakProb < 0 {
+		return 0
+	}
+	if c.LHSBreakProb == 0 {
+		return 0.05
+	}
+	return c.LHSBreakProb
+}
+
+// Repair returns one sampled repair of dirty; the input is untouched.
+func Repair(dirty *schema.Relation, fds []*fd.FD, cfg Config) *schema.Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := dirty.Clone()
+	fresh := 0
+	for round := 0; round < cfg.maxRounds(); round++ {
+		violations := fd.Violations(out, fds)
+		if len(violations) == 0 {
+			break
+		}
+		changed := false
+		for _, v := range violations {
+			if resolveGroup(out, v, rng, &fresh, cfg.lhsBreakProb()) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// resolveGroup resolves one violation group, reporting whether a cell
+// changed.
+func resolveGroup(rel *schema.Relation, v *fd.Violation, rng *rand.Rand, fresh *int, lhsBreak float64) bool {
+	sch := rel.Schema()
+	attrIdx := sch.MustIndex(v.Attr)
+
+	vals := make([]string, 0, len(v.Groups))
+	for val := range v.Groups {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	if len(vals) < 2 {
+		return false
+	}
+
+	if rng.Float64() < lhsBreak {
+		// Fresh-variable move: detach one tuple of a random minority value
+		// by rewriting one of its LHS cells to a value outside every active
+		// domain. The change can never be reverted without re-merging the
+		// groups, so set-minimality is preserved.
+		val := vals[rng.Intn(len(vals))]
+		rows := v.Groups[val]
+		r := rows[rng.Intn(len(rows))]
+		if v.FD.LHSKey(rel.Row(r)) == v.LHSKey {
+			lhs := v.FD.LHS()
+			a := lhs[rng.Intn(len(lhs))]
+			*fresh++
+			rel.Row(r)[sch.MustIndex(a)] = fmt.Sprintf("_v%d", *fresh)
+			return true
+		}
+		// Row moved already; fall through to RHS equalisation.
+	}
+
+	// Cardinality-minimal equalisation: keep a value held by the largest
+	// number of rows; ties are broken uniformly at random (this is where
+	// sampling happens).
+	bestN := 0
+	for _, val := range vals {
+		if n := len(v.Groups[val]); n > bestN {
+			bestN = n
+		}
+	}
+	var top []string
+	for _, val := range vals {
+		if len(v.Groups[val]) == bestN {
+			top = append(top, val)
+		}
+	}
+	keep := top[rng.Intn(len(top))]
+
+	changed := false
+	for val, rows := range v.Groups {
+		if val == keep {
+			continue
+		}
+		for _, r := range rows {
+			if rel.Row(r)[attrIdx] == val && v.FD.LHSKey(rel.Row(r)) == v.LHSKey {
+				rel.Row(r)[attrIdx] = keep
+				changed = true
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,131 @@
+package csm
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/dataset"
+	"fixrule/internal/fd"
+	"fixrule/internal/metrics"
+	"fixrule/internal/noise"
+	"fixrule/internal/schema"
+)
+
+func TestRepairEqualizesByCardinality(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	f := fd.MustNew(sch, []string{"k"}, []string{"v"})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"a", "X"})
+	rel.Append(schema.Tuple{"a", "X"})
+	rel.Append(schema.Tuple{"a", "X"})
+	rel.Append(schema.Tuple{"a", "Y"})
+	// The majority X requires one change; keeping Y would require three.
+	out := Repair(rel, []*fd.FD{f}, Config{Seed: 1, LHSBreakProb: -1})
+	for i := 0; i < 4; i++ {
+		if got := out.Get(i, "v"); got != "X" {
+			t.Errorf("row %d = %q, want majority X", i, got)
+		}
+	}
+	if rel.Get(3, "v") != "Y" {
+		t.Error("Repair mutated its input")
+	}
+}
+
+func TestRepairSamplesOnTies(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	f := fd.MustNew(sch, []string{"k"}, []string{"v"})
+	build := func() *schema.Relation {
+		rel := schema.NewRelation(sch)
+		rel.Append(schema.Tuple{"a", "X"})
+		rel.Append(schema.Tuple{"a", "Y"})
+		return rel
+	}
+	got := map[string]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		out := Repair(build(), []*fd.FD{f}, Config{Seed: seed, LHSBreakProb: -1})
+		if out.Get(0, "v") != out.Get(1, "v") {
+			t.Fatal("group left inconsistent")
+		}
+		got[out.Get(0, "v")] = true
+	}
+	if !got["X"] || !got["Y"] {
+		t.Errorf("32 seeds sampled only %v: tie-breaking is not random", got)
+	}
+}
+
+func TestRepairComputesConsistentDatabase(t *testing.T) {
+	d := dataset.Hosp(3000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Repair(dirty, d.FDs, Config{Seed: 3})
+	if !fd.Satisfies(out, d.FDs) {
+		t.Error("Csm left FD violations (expected a consistent database)")
+	}
+}
+
+func TestFreshVariableMove(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	f := fd.MustNew(sch, []string{"k"}, []string{"v"})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"a", "X"})
+	rel.Append(schema.Tuple{"a", "Y"})
+	// Force the LHS-break path every time: the violation resolves by
+	// detaching a tuple with a fresh key value.
+	out := Repair(rel, []*fd.FD{f}, Config{Seed: 4, LHSBreakProb: 1})
+	if !fd.Satisfies(out, []*fd.FD{f}) {
+		t.Fatal("not consistent after fresh-variable repair")
+	}
+	freshSeen := false
+	for i := 0; i < out.Len(); i++ {
+		if strings.HasPrefix(out.Get(i, "k"), "_v") {
+			freshSeen = true
+		}
+	}
+	if !freshSeen {
+		t.Error("no fresh variable introduced despite LHSBreakProb=1")
+	}
+}
+
+func TestRepairAccuracyShape(t *testing.T) {
+	d := dataset.Hosp(4000, 1)
+	score := func(typoFrac float64) metrics.Scores {
+		dirty, _, err := noise.Inject(d.Rel, noise.Config{Rate: 0.10, TypoFraction: typoFrac, Attrs: d.NoiseAttrs, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := Repair(dirty, d.FDs, Config{Seed: 3})
+		return metrics.Evaluate(d.Rel, dirty, out)
+	}
+	typoHeavy := score(1.0)
+	domainHeavy := score(0.0)
+	if domainHeavy.Precision >= typoHeavy.Precision {
+		t.Errorf("precision should drop with active-domain errors: typo=%v domain=%v",
+			typoHeavy.Precision, domainHeavy.Precision)
+	}
+	if typoHeavy.Recall < 0.4 {
+		t.Errorf("typo-heavy recall = %v", typoHeavy.Recall)
+	}
+}
+
+func TestRepairDeterministicInSeed(t *testing.T) {
+	d := dataset.UIS(1000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Repair(dirty, d.FDs, Config{Seed: 7})
+	b := Repair(dirty, d.FDs, Config{Seed: 7})
+	if len(schema.Diff(a, b)) != 0 {
+		t.Error("same seed produced different repairs")
+	}
+}
+
+func TestRepairCleanInputIsNoop(t *testing.T) {
+	d := dataset.UIS(500, 1)
+	out := Repair(d.Rel, d.FDs, Config{Seed: 1})
+	if len(schema.Diff(d.Rel, out)) != 0 {
+		t.Error("Csm modified a clean relation")
+	}
+}

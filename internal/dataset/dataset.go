@@ -1,0 +1,65 @@
+// Package dataset generates the paper's two experimental datasets
+// synthetically (see DESIGN.md for the substitution rationale):
+//
+//   - hosp: US hospital quality data (115K records, 17 attributes, 5 FDs)
+//     originally from hospitalcompare.hhs.gov;
+//   - uis: a mailing list (15K records, 11 attributes, 3 FDs) originally
+//     from the UIS Database generator.
+//
+// Both generators are deterministic in their seed and produce clean
+// relations satisfying their FDs by construction; the noise package then
+// corrupts copies of them.
+package dataset
+
+import (
+	"fmt"
+
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// Dataset bundles a clean relation with its integrity constraints.
+type Dataset struct {
+	// Name is "hosp" or "uis".
+	Name string
+	// Rel is the clean (ground-truth) relation.
+	Rel *schema.Relation
+	// FDs are the paper's functional dependencies for this dataset.
+	FDs []*fd.FD
+	// NoiseAttrs are the attributes related to the FDs — the only
+	// attributes the paper injects noise into.
+	NoiseAttrs []string
+}
+
+// ByName dispatches to the named generator ("hosp" or "uis").
+func ByName(name string, n int, seed int64) (*Dataset, error) {
+	switch name {
+	case "hosp":
+		return Hosp(n, seed), nil
+	case "uis":
+		return UIS(n, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q (want hosp or uis)", name)
+	}
+}
+
+// fdAttrs returns the union of LHS and RHS attributes across fds, in schema
+// order.
+func fdAttrs(sch *schema.Schema, fds []*fd.FD) []string {
+	in := make(map[string]bool)
+	for _, f := range fds {
+		for _, a := range f.LHS() {
+			in[a] = true
+		}
+		for _, a := range f.RHS() {
+			in[a] = true
+		}
+	}
+	var out []string
+	for _, a := range sch.Attrs() {
+		if in[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

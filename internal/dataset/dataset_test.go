@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"testing"
+
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+func TestHospCleanByConstruction(t *testing.T) {
+	d := Hosp(5000, 1)
+	if d.Rel.Len() != 5000 {
+		t.Fatalf("len = %d", d.Rel.Len())
+	}
+	if len(d.FDs) != 5 {
+		t.Fatalf("FDs = %d, want 5", len(d.FDs))
+	}
+	if vs := fd.Violations(d.Rel, d.FDs); len(vs) != 0 {
+		t.Fatalf("clean hosp violates its FDs: %v (first: %+v)", len(vs), vs[0])
+	}
+}
+
+func TestUISCleanByConstruction(t *testing.T) {
+	d := UIS(3000, 1)
+	if d.Rel.Len() != 3000 {
+		t.Fatalf("len = %d", d.Rel.Len())
+	}
+	if len(d.FDs) != 3 {
+		t.Fatalf("FDs = %d, want 3", len(d.FDs))
+	}
+	if vs := fd.Violations(d.Rel, d.FDs); len(vs) != 0 {
+		t.Fatalf("clean uis violates its FDs: %d violations (first: %+v)", len(vs), vs[0])
+	}
+}
+
+func TestHospShape(t *testing.T) {
+	d := Hosp(1000, 2)
+	sch := d.Rel.Schema()
+	if sch.Arity() != 17 {
+		t.Errorf("hosp arity = %d, want 17", sch.Arity())
+	}
+	// Provider attributes repeat across measures: PN has far fewer
+	// distinct values than rows.
+	pns := d.Rel.ActiveDomain("PN")
+	if len(pns) >= d.Rel.Len()/2 {
+		t.Errorf("PN domain = %d for %d rows: providers should repeat", len(pns), d.Rel.Len())
+	}
+	// Measure codes come from the fixed measure table.
+	mcs := d.Rel.ActiveDomain("MC")
+	if len(mcs) == 0 || len(mcs) > len(measures) {
+		t.Errorf("MC domain = %d", len(mcs))
+	}
+	// NoiseAttrs excludes nothing the FDs mention and includes no extras.
+	want := map[string]bool{}
+	for _, f := range d.FDs {
+		for _, a := range f.LHS() {
+			want[a] = true
+		}
+		for _, a := range f.RHS() {
+			want[a] = true
+		}
+	}
+	if len(d.NoiseAttrs) != len(want) {
+		t.Errorf("NoiseAttrs = %v", d.NoiseAttrs)
+	}
+	for _, a := range d.NoiseAttrs {
+		if !want[a] {
+			t.Errorf("NoiseAttrs contains %q not in any FD", a)
+		}
+	}
+}
+
+func TestUISShape(t *testing.T) {
+	d := UIS(1500, 2)
+	sch := d.Rel.Schema()
+	if sch.Arity() != 11 {
+		t.Errorf("uis arity = %d, want 11", sch.Arity())
+	}
+	// RecordID is unique and not FD-related.
+	ids := d.Rel.ActiveDomain("RecordID")
+	if len(ids) != d.Rel.Len() {
+		t.Errorf("RecordID domain = %d for %d rows", len(ids), d.Rel.Len())
+	}
+	for _, a := range d.NoiseAttrs {
+		if a == "RecordID" {
+			t.Error("RecordID must not be a noise attribute")
+		}
+	}
+	// Few repeated patterns: most persons appear once or twice, so the ssn
+	// domain is large relative to rows (paper's uis sparsity property).
+	ssns := d.Rel.ActiveDomain("ssn")
+	if len(ssns) < d.Rel.Len()/2 {
+		t.Errorf("ssn domain = %d for %d rows: uis should be sparse", len(ssns), d.Rel.Len())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Hosp(500, 42)
+	b := Hosp(500, 42)
+	if len(schema.Diff(a.Rel, b.Rel)) != 0 {
+		t.Error("Hosp is not deterministic in its seed")
+	}
+	c := Hosp(500, 43)
+	if len(schema.Diff(a.Rel, c.Rel)) == 0 {
+		t.Error("different seeds produced identical hosp data")
+	}
+	u1 := UIS(500, 42)
+	u2 := UIS(500, 42)
+	if len(schema.Diff(u1.Rel, u2.Rel)) != 0 {
+		t.Error("UIS is not deterministic in its seed")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"hosp", "uis"} {
+		d, err := ByName(name, 100, 1)
+		if err != nil || d.Name != name || d.Rel.Len() != 100 {
+			t.Errorf("ByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("zzz", 100, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTinyDatasets(t *testing.T) {
+	// Degenerate sizes must not panic and must still satisfy the FDs.
+	for _, n := range []int{1, 2, 10} {
+		if vs := fd.Violations(Hosp(n, 1).Rel, HospFDs(HospSchema())); len(vs) != 0 {
+			t.Errorf("Hosp(%d) violates FDs", n)
+		}
+		if vs := fd.Violations(UIS(n, 1).Rel, UISFDs(UISSchema())); len(vs) != 0 {
+			t.Errorf("UIS(%d) violates FDs", n)
+		}
+	}
+}
+
+func TestGeneratorPanicsOnBadN(t *testing.T) {
+	for name, f := range map[string]func(){
+		"hosp": func() { Hosp(0, 1) },
+		"uis":  func() { UIS(-1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}

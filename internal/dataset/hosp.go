@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// HospSchema returns the 17-attribute hosp schema of Section 7.1.
+func HospSchema() *schema.Schema {
+	return schema.New("hosp",
+		"PN", "HN", "address1", "address2", "address3", "city", "state",
+		"zip", "county", "phn", "ht", "ho", "es", "MC", "MN", "condition",
+		"stateAvg")
+}
+
+// HospFDs returns the five FDs the paper uses for hosp.
+func HospFDs(sch *schema.Schema) []*fd.FD {
+	return []*fd.FD{
+		fd.MustNew(sch,
+			[]string{"PN"},
+			[]string{"HN", "address1", "address2", "address3", "city", "state", "zip", "county", "phn", "ht", "ho", "es"}),
+		fd.MustNew(sch,
+			[]string{"phn"},
+			[]string{"zip", "city", "state", "address1", "address2", "address3"}),
+		fd.MustNew(sch, []string{"MC"}, []string{"MN", "condition"}),
+		fd.MustNew(sch, []string{"PN", "MC"}, []string{"stateAvg"}),
+		fd.MustNew(sch, []string{"state", "MC"}, []string{"stateAvg"}),
+	}
+}
+
+// hospProvider is one synthetic hospital; every attribute functionally
+// determined by PN lives here.
+type hospProvider struct {
+	pn, hn                        string
+	addr1, addr2, addr3           string
+	city, state, zip, county, phn string
+	ht, ho, es                    string
+}
+
+// Hosp generates a clean hosp relation with n rows. Rows are provider ×
+// measure combinations, mirroring the real dataset where each hospital
+// reports many quality measures; with the paper's n = 115000 the generator
+// yields roughly 4600 providers × 24 measures.
+//
+// The generated relation satisfies HospFDs by construction:
+// provider-determined attributes are copied from the provider record,
+// measure-determined attributes from the measure table, and stateAvg from a
+// (state, measure) table (PN, MC → stateAvg then follows because
+// PN → state).
+func Hosp(n int, seed int64) *Dataset {
+	if n <= 0 {
+		panic("dataset: Hosp needs n > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sch := HospSchema()
+
+	// Assign each city (and its zip and county) to one state so that
+	// city values correlate with states the way rule mining expects.
+	type place struct{ city, state, zip, county string }
+	places := make([]place, len(cityNames))
+	for i, c := range cityNames {
+		st := states[i%len(states)]
+		places[i] = place{
+			city:   c,
+			state:  st,
+			zip:    fmt.Sprintf("%05d", 10000+i*37%89999),
+			county: counties[i%len(counties)],
+		}
+	}
+
+	numProviders := n / len(measures)
+	if numProviders < 1 {
+		numProviders = 1
+	}
+	providers := make([]hospProvider, numProviders)
+	for i := range providers {
+		pl := places[rng.Intn(len(places))]
+		providers[i] = hospProvider{
+			pn:     fmt.Sprintf("%06d", 10001+i),
+			hn:     hospitalPrefixes[rng.Intn(len(hospitalPrefixes))] + " " + hospitalSuffixes[rng.Intn(len(hospitalSuffixes))],
+			addr1:  fmt.Sprintf("%d %s", 100+rng.Intn(9900), streetNames[rng.Intn(len(streetNames))]),
+			addr2:  fmt.Sprintf("UNIT %d", 1+rng.Intn(40)),
+			addr3:  fmt.Sprintf("BLDG %c", 'A'+rune(rng.Intn(6))),
+			city:   pl.city,
+			state:  pl.state,
+			zip:    pl.zip,
+			county: pl.county,
+			phn:    fmt.Sprintf("%010d", 2000000000+int64(i)*7919),
+			ht:     hospitalTypes[rng.Intn(len(hospitalTypes))],
+			ho:     hospitalOwners[rng.Intn(len(hospitalOwners))],
+			es:     emergencyService[rng.Intn(len(emergencyService))],
+		}
+	}
+
+	// stateAvg is determined by (state, MC).
+	stateAvg := make(map[string]string)
+	for _, st := range states {
+		for _, m := range measures {
+			key := st + "|" + m.code
+			stateAvg[key] = fmt.Sprintf("%s_%s_%d%%", st, m.code, 50+rng.Intn(50))
+		}
+	}
+
+	rel := schema.NewRelation(sch)
+	for i := 0; i < n; i++ {
+		p := providers[i%numProviders]
+		m := measures[(i/numProviders)%len(measures)]
+		rel.Append(schema.Tuple{
+			p.pn, p.hn, p.addr1, p.addr2, p.addr3, p.city, p.state,
+			p.zip, p.county, p.phn, p.ht, p.ho, p.es,
+			m.code, m.name, m.condition,
+			stateAvg[p.state+"|"+m.code],
+		})
+	}
+
+	fds := HospFDs(sch)
+	return &Dataset{
+		Name:       "hosp",
+		Rel:        rel,
+		FDs:        fds,
+		NoiseAttrs: fdAttrs(sch, fds),
+	}
+}

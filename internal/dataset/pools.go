@@ -1,0 +1,165 @@
+package dataset
+
+// Value pools for the synthetic generators. The pools mimic the vocabulary
+// of the paper's real datasets (US hospitals, US mailing lists) so that
+// typos and active-domain substitutions look like the errors the paper
+// injects.
+
+// states are two-letter US state codes.
+var states = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+	"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+	"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+	"NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+	"SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+}
+
+// cityNames is a pool of plausible US city names, partitioned among states
+// by the generators so each city belongs to exactly one state.
+var cityNames = []string{
+	"SPRINGFIELD", "FRANKLIN", "GREENVILLE", "BRISTOL", "CLINTON",
+	"FAIRVIEW", "SALEM", "MADISON", "GEORGETOWN", "ARLINGTON",
+	"ASHLAND", "DOVER", "OXFORD", "JACKSON", "BURLINGTON",
+	"MANCHESTER", "MILTON", "NEWPORT", "AUBURN", "CENTERVILLE",
+	"CLEVELAND", "DAYTON", "LEXINGTON", "MILFORD", "RIVERSIDE",
+	"WINCHESTER", "ALBANY", "ATHENS", "CANTON", "CHESTER",
+	"COLUMBIA", "CONCORD", "DANVILLE", "FLORENCE", "GLENDALE",
+	"HAMILTON", "HARRISON", "HENDERSON", "HUDSON", "KINGSTON",
+	"LANCASTER", "LEBANON", "LINCOLN", "MARION", "MONROE",
+	"MONTGOMERY", "MOUNT VERNON", "NEWARK", "NORWALK", "PLYMOUTH",
+	"PORTLAND", "PRINCETON", "QUINCY", "RICHMOND", "ROCHESTER",
+	"SOMERSET", "TRENTON", "TROY", "UNION", "VIENNA",
+	"WARREN", "WATERLOO", "WAVERLY", "WESTFIELD", "WILMINGTON",
+	"WINDSOR", "WOODSTOCK", "YORK", "AURORA", "BEDFORD",
+	"BELMONT", "BERLIN", "BLOOMFIELD", "BRIDGEPORT", "BROOKFIELD",
+	"CAMBRIDGE", "CARLISLE", "CHELSEA", "CLAYTON", "DENVER",
+	"DUBLIN", "EDGEWOOD", "ELDORADO", "FAIRFIELD", "FARMINGTON",
+	"FREEPORT", "GENEVA", "GRANVILLE", "GREENWOOD", "HANOVER",
+	"HARTFORD", "HILLSBORO", "HOPEWELL", "JAMESTOWN", "KENSINGTON",
+	"LAKEWOOD", "LIVINGSTON", "LOUISVILLE", "MARSHALL", "MAYFIELD",
+	"MIDDLETOWN", "NASHUA", "NORTHFIELD", "OAKLAND", "ORANGE",
+	"PALMYRA", "PITTSFIELD", "POMONA", "RALEIGH", "REDMOND",
+	"RIDGEFIELD", "ROSEVILLE", "RUTLAND", "SHARON", "SHELBY",
+	"STERLING", "SUMMIT", "SYRACUSE", "TAYLORVILLE", "UTICA",
+	"VERONA", "WAKEFIELD", "WALNUT GROVE", "WAYNESBORO", "WELLINGTON",
+	"WESTON", "WHEELING", "WILLIAMSBURG", "WINFIELD", "WOODBURY",
+	"YORKTOWN", "ZANESVILLE", "ALTON", "BARTON", "CALDWELL",
+	"DELMAR", "EASTON", "FULTON", "GRAFTON", "HALSTEAD",
+	"IRVING", "JASPER", "KEMPTON", "LOWELL", "MERTON",
+	"NORTON", "OSWEGO", "PRESTON", "RAVENNA", "SELMA",
+}
+
+// counties is a pool of county names.
+var counties = []string{
+	"ADAMS", "ALLEN", "BENTON", "BROWN", "CARROLL", "CLARK", "CLAY",
+	"CRAWFORD", "DOUGLAS", "FAYETTE", "FRANKLIN", "FULTON", "GRANT",
+	"GREENE", "HAMILTON", "HANCOCK", "HARDIN", "HENRY", "HOWARD",
+	"JACKSON", "JEFFERSON", "JOHNSON", "KNOX", "LAKE", "LAWRENCE",
+	"LEE", "LINCOLN", "LOGAN", "MADISON", "MARION", "MARSHALL",
+	"MERCER", "MONROE", "MONTGOMERY", "MORGAN", "PERRY", "PIKE",
+	"POLK", "PUTNAM", "RANDOLPH", "SCOTT", "SHELBY", "UNION",
+	"WARREN", "WASHINGTON", "WAYNE", "WEBSTER", "WHITE", "WOOD", "YORK",
+}
+
+// hospitalPrefixes and hospitalSuffixes combine into hospital names.
+var hospitalPrefixes = []string{
+	"ST VINCENT", "ST MARY", "ST LUKE", "MERCY", "BAPTIST",
+	"METHODIST", "MEMORIAL", "COMMUNITY", "REGIONAL", "UNIVERSITY",
+	"GOOD SAMARITAN", "HOLY CROSS", "SACRED HEART", "PROVIDENCE",
+	"TRINITY", "UNITY", "GRACE", "FAITH", "HOPE", "VALLEY",
+	"LAKESIDE", "RIVERSIDE", "NORTHSIDE", "SOUTHSIDE", "EASTSIDE",
+	"WESTSIDE", "HIGHLAND", "PARKVIEW", "FAIRVIEW", "GRANDVIEW",
+}
+
+var hospitalSuffixes = []string{
+	"MEDICAL CENTER", "HOSPITAL", "GENERAL HOSPITAL",
+	"REGIONAL MEDICAL CENTER", "COMMUNITY HOSPITAL",
+	"MEMORIAL HOSPITAL", "HEALTH CENTER", "MEDICAL PAVILION",
+}
+
+// streetNames feed address generation for both datasets.
+var streetNames = []string{
+	"MAIN ST", "OAK AVE", "MAPLE DR", "CEDAR LN", "ELM ST",
+	"WASHINGTON BLVD", "PARK AVE", "LAKE RD", "HILL ST", "RIVER RD",
+	"CHURCH ST", "HIGH ST", "CENTER ST", "MILL RD", "SPRING ST",
+	"FRANKLIN AVE", "HIGHLAND AVE", "FOREST DR", "SUNSET BLVD", "RIDGE RD",
+	"VALLEY VIEW DR", "MEADOW LN", "PLEASANT ST", "PROSPECT AVE", "WALNUT ST",
+	"CHESTNUT ST", "LOCUST ST", "PINE ST", "DOGWOOD CT", "BIRCH WAY",
+	"COLLEGE AVE", "UNIVERSITY DR", "COMMERCE ST", "INDUSTRIAL PKWY", "HARBOR DR",
+	"BAY ST", "OCEAN AVE", "GROVE ST", "ORCHARD RD", "GARDEN ST",
+}
+
+// hospitalTypes, hospitalOwners and emergencyService are the categorical
+// HOSP attributes.
+var hospitalTypes = []string{
+	"Acute Care Hospitals", "Critical Access Hospitals", "Childrens",
+}
+
+var hospitalOwners = []string{
+	"Voluntary non-profit - Private", "Voluntary non-profit - Church",
+	"Voluntary non-profit - Other", "Proprietary",
+	"Government - Federal", "Government - State",
+	"Government - Local", "Government - Hospital District or Authority",
+}
+
+var emergencyService = []string{"Yes", "No"}
+
+// measure describes one HOSP quality measure: a code, a name and the
+// condition it belongs to. MC → MN, condition is one of the paper's FDs.
+type measure struct {
+	code, name, condition string
+}
+
+var measures = []measure{
+	{"AMI-1", "Aspirin at Arrival", "Heart Attack"},
+	{"AMI-2", "Aspirin Prescribed at Discharge", "Heart Attack"},
+	{"AMI-3", "ACEI or ARB for LVSD", "Heart Attack"},
+	{"AMI-4", "Adult Smoking Cessation Advice", "Heart Attack"},
+	{"AMI-5", "Beta Blocker Prescribed at Discharge", "Heart Attack"},
+	{"AMI-7A", "Fibrinolytic Therapy Within 30 Minutes", "Heart Attack"},
+	{"AMI-8A", "Primary PCI Within 90 Minutes", "Heart Attack"},
+	{"HF-1", "Discharge Instructions", "Heart Failure"},
+	{"HF-2", "Evaluation of LVS Function", "Heart Failure"},
+	{"HF-3", "ACEI or ARB for LVSD", "Heart Failure"},
+	{"HF-4", "Adult Smoking Cessation Advice", "Heart Failure"},
+	{"PN-2", "Pneumococcal Vaccination", "Pneumonia"},
+	{"PN-3B", "Blood Culture Before First Antibiotic", "Pneumonia"},
+	{"PN-4", "Adult Smoking Cessation Advice", "Pneumonia"},
+	{"PN-5C", "Initial Antibiotic Within 6 Hours", "Pneumonia"},
+	{"PN-6", "Appropriate Initial Antibiotic", "Pneumonia"},
+	{"PN-7", "Influenza Vaccination", "Pneumonia"},
+	{"SCIP-CARD-2", "Beta Blocker Continued", "Surgical Infection Prevention"},
+	{"SCIP-INF-1", "Antibiotic Within One Hour Before Incision", "Surgical Infection Prevention"},
+	{"SCIP-INF-2", "Appropriate Prophylactic Antibiotic", "Surgical Infection Prevention"},
+	{"SCIP-INF-3", "Antibiotic Discontinued Within 24 Hours", "Surgical Infection Prevention"},
+	{"SCIP-INF-4", "Controlled 6AM Blood Glucose", "Surgical Infection Prevention"},
+	{"SCIP-VTE-1", "VTE Prophylaxis Ordered", "Surgical Infection Prevention"},
+	{"SCIP-VTE-2", "VTE Prophylaxis Within 24 Hours", "Surgical Infection Prevention"},
+}
+
+// firstNames and lastNames feed the UIS mailing-list generator.
+var firstNames = []string{
+	"JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER",
+	"MICHAEL", "LINDA", "WILLIAM", "ELIZABETH", "DAVID", "BARBARA",
+	"RICHARD", "SUSAN", "JOSEPH", "JESSICA", "THOMAS", "SARAH",
+	"CHARLES", "KAREN", "CHRISTOPHER", "NANCY", "DANIEL", "LISA",
+	"MATTHEW", "BETTY", "ANTHONY", "MARGARET", "MARK", "SANDRA",
+	"DONALD", "ASHLEY", "STEVEN", "KIMBERLY", "PAUL", "EMILY",
+	"ANDREW", "DONNA", "JOSHUA", "MICHELLE", "KENNETH", "DOROTHY",
+	"KEVIN", "CAROL", "BRIAN", "AMANDA", "GEORGE", "MELISSA",
+	"EDWARD", "DEBORAH", "RONALD", "STEPHANIE", "TIMOTHY", "REBECCA",
+	"JASON", "SHARON", "JEFFREY", "LAURA", "RYAN", "CYNTHIA",
+}
+
+var lastNames = []string{
+	"SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA",
+	"MILLER", "DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ",
+	"GONZALEZ", "WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE",
+	"JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON", "WHITE",
+	"HARRIS", "SANCHEZ", "CLARK", "RAMIREZ", "LEWIS", "ROBINSON",
+	"WALKER", "YOUNG", "ALLEN", "KING", "WRIGHT", "SCOTT",
+	"TORRES", "NGUYEN", "HILL", "FLORES", "GREEN", "ADAMS",
+	"NELSON", "BAKER", "HALL", "RIVERA", "CAMPBELL", "MITCHELL",
+	"CARTER", "ROBERTS", "GOMEZ", "PHILLIPS", "EVANS", "TURNER",
+	"DIAZ", "PARKER", "CRUZ", "EDWARDS", "COLLINS", "REYES",
+}

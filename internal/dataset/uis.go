@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// UISSchema returns the 11-attribute uis mailing-list schema of Section 7.1.
+func UISSchema() *schema.Schema {
+	return schema.New("uis",
+		"RecordID", "ssn", "fname", "minit", "lname",
+		"stnum", "stadd", "apt", "city", "state", "zip")
+}
+
+// UISFDs returns the three FDs the paper uses for uis.
+func UISFDs(sch *schema.Schema) []*fd.FD {
+	return []*fd.FD{
+		fd.MustNew(sch,
+			[]string{"ssn"},
+			[]string{"fname", "minit", "lname", "stnum", "stadd", "apt", "city", "state", "zip"}),
+		fd.MustNew(sch,
+			[]string{"fname", "minit", "lname"},
+			[]string{"ssn", "stnum", "stadd", "apt", "city", "state", "zip"}),
+		fd.MustNew(sch, []string{"zip"}, []string{"state", "city"}),
+	}
+}
+
+// uisPerson is one mailing-list person; all FD-determined attributes live
+// here.
+type uisPerson struct {
+	ssn, fname, minit, lname string
+	stnum, stadd, apt        string
+	city, state, zip         string
+}
+
+// UIS generates a clean uis relation with n rows. A mailing list contains
+// only sparse near-duplicates, so ~98% of synthetic persons yield a single
+// record and the rest repeat (sharing every FD-determined attribute and
+// differing only in RecordID). Together with a zip pool larger than the
+// row count, this reproduces the paper's observation that uis has few
+// repeated patterns per FD — most LHS groups are singletons, so recall
+// stays below 8% for every repair method (Figure 10(f)).
+//
+// Names are made unique per ssn by construction (combinatorial indexing
+// over the name pools), which the FD fname, minit, lname → ssn requires.
+func UIS(n int, seed int64) *Dataset {
+	if n <= 0 {
+		panic("dataset: UIS needs n > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sch := UISSchema()
+
+	// zip → (city, state): one (city, state) per zip. Many zips map to the
+	// same city (as in reality); the pool is larger than the row count so
+	// most zip groups are singletons — the "few repeated patterns" property
+	// driving the paper's sub-8% uis recall (Figure 10(f)).
+	type place struct{ city, state, zip string }
+	numZips := 4 * n
+	if numZips > 90000 {
+		numZips = 90000
+	}
+	zips := make([]place, numZips)
+	for i := range zips {
+		ci := i % len(cityNames)
+		zips[i] = place{
+			city:  cityNames[ci],
+			state: states[ci%len(states)],
+			zip:   fmt.Sprintf("%05d", 10000+i),
+		}
+	}
+
+	// 98% of persons appear exactly once; a mailing list has only sparse
+	// near-duplicates, so most FD groups are singletons too.
+	numPersons := n * 49 / 50
+	if numPersons < 1 {
+		numPersons = 1
+	}
+	persons := make([]uisPerson, numPersons)
+	for i := range persons {
+		pl := zips[rng.Intn(numZips)]
+		// Unique (fname, minit, lname) via combinatorial indexing: the
+		// triple index i decomposes into pool positions.
+		f := firstNames[i%len(firstNames)]
+		l := lastNames[(i/len(firstNames))%len(lastNames)]
+		m := string(rune('A' + (i/(len(firstNames)*len(lastNames)))%26))
+		persons[i] = uisPerson{
+			ssn:   fmt.Sprintf("%03d-%02d-%04d", 100+i/10000%900, i/100%100, i%10000),
+			fname: f, minit: m, lname: l,
+			stnum: fmt.Sprintf("%d", 1+rng.Intn(9999)),
+			stadd: streetNames[rng.Intn(len(streetNames))],
+			apt:   fmt.Sprintf("APT %d", 1+rng.Intn(99)),
+			city:  pl.city, state: pl.state, zip: pl.zip,
+		}
+	}
+
+	rel := schema.NewRelation(sch)
+	for i := 0; i < n; i++ {
+		var p uisPerson
+		if i < numPersons {
+			p = persons[i] // everyone appears at least once
+		} else {
+			p = persons[rng.Intn(numPersons)] // duplicates
+		}
+		rel.Append(schema.Tuple{
+			fmt.Sprintf("R%07d", i+1),
+			p.ssn, p.fname, p.minit, p.lname,
+			p.stnum, p.stadd, p.apt, p.city, p.state, p.zip,
+		})
+	}
+
+	fds := UISFDs(sch)
+	return &Dataset{
+		Name:       "uis",
+		Rel:        rel,
+		FDs:        fds,
+		NoiseAttrs: fdAttrs(sch, fds),
+	}
+}

@@ -1,0 +1,267 @@
+// Package editrule implements editing rules with master data (Fan et al.,
+// "Towards certain fixes with editing rules and master data", VLDB J. 2012
+// — reference [19] of the paper), the related technique the paper compares
+// against in Section 7.2, Exp-2(d).
+//
+// An editing rule ((X, X′) → (B, B′), tp) says: if a data tuple t matches
+// the pattern tp, and t[X] equals s[X′] for some master tuple s, then
+// update t[B] := s[B′]. Editing rules guarantee correct fixes only because
+// a user certifies that t[X] is correct before each application — which is
+// why the paper measures them in interactions per tuple.
+//
+// Two modes are provided:
+//
+//   - Engine with a Certifier: the genuine semantics. Certifier answers the
+//     user question "is t[X] correct?"; every question is counted.
+//   - Automated simulation (AutoEngine, FromFixingRules): the paper's
+//     Exp-2(d) setup — negative patterns are stripped from fixing rules and
+//     the user always says yes, so the rule fires whenever the evidence
+//     pattern matches.
+package editrule
+
+import (
+	"fmt"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// Rule is one editing rule over a data schema and a master schema.
+type Rule struct {
+	name string
+	// match maps data attributes X to master attributes X′.
+	match map[string]string
+	// target is B (data), masterTarget is B′ (master).
+	target       string
+	masterTarget string
+	// pattern holds optional constant conditions tp on data attributes.
+	pattern map[string]string
+}
+
+// NewRule validates and constructs an editing rule.
+func NewRule(name string, data, master *schema.Schema, match map[string]string, target, masterTarget string, pattern map[string]string) (*Rule, error) {
+	if len(match) == 0 {
+		return nil, fmt.Errorf("editrule %s: empty match", name)
+	}
+	for da, ma := range match {
+		if !data.Has(da) {
+			return nil, fmt.Errorf("editrule %s: data attribute %q not in %s", name, da, data)
+		}
+		if !master.Has(ma) {
+			return nil, fmt.Errorf("editrule %s: master attribute %q not in %s", name, ma, master)
+		}
+	}
+	if !data.Has(target) {
+		return nil, fmt.Errorf("editrule %s: target %q not in %s", name, target, data)
+	}
+	if !master.Has(masterTarget) {
+		return nil, fmt.Errorf("editrule %s: master target %q not in %s", name, masterTarget, master)
+	}
+	if _, ok := match[target]; ok {
+		return nil, fmt.Errorf("editrule %s: target %q also matched", name, target)
+	}
+	for pa := range pattern {
+		if !data.Has(pa) {
+			return nil, fmt.Errorf("editrule %s: pattern attribute %q not in %s", name, pa, data)
+		}
+	}
+	return &Rule{
+		name: name, match: match,
+		target: target, masterTarget: masterTarget,
+		pattern: pattern,
+	}, nil
+}
+
+// Name returns the rule name.
+func (r *Rule) Name() string { return r.name }
+
+// Certifier answers the user question at the heart of editing rules:
+// "for this tuple, are the matched attributes X correct?". Every call is
+// one user interaction.
+type Certifier interface {
+	// Certify is called with the row index of the tuple under repair,
+	// the tuple's current values, and the matched attributes X.
+	Certify(row int, t schema.Tuple, attrs []string) bool
+}
+
+// AlwaysYes is the automated certifier of Exp-2(d): it always confirms.
+type AlwaysYes struct{}
+
+// Certify confirms unconditionally.
+func (AlwaysYes) Certify(int, schema.Tuple, []string) bool { return true }
+
+// CertifierFunc adapts a function to the Certifier interface, e.g. an
+// oracle that checks the matched attributes against ground truth.
+type CertifierFunc func(row int, t schema.Tuple, attrs []string) bool
+
+// Certify calls f.
+func (f CertifierFunc) Certify(row int, t schema.Tuple, attrs []string) bool {
+	return f(row, t, attrs)
+}
+
+// Engine applies a set of editing rules against one master relation.
+type Engine struct {
+	data   *schema.Schema
+	master *schema.Relation
+	rules  []*Rule
+	// index per rule: joined match-key → master row.
+	index []map[string]int
+}
+
+// NewEngine indexes the master relation for each rule.
+func NewEngine(data *schema.Schema, master *schema.Relation, rules []*Rule) *Engine {
+	e := &Engine{data: data, master: master, rules: rules}
+	for _, r := range rules {
+		idx := make(map[string]int)
+		attrs := matchedDataAttrs(r)
+		for i := 0; i < master.Len(); i++ {
+			key := ""
+			for _, da := range attrs {
+				key += master.Get(i, r.match[da]) + "\x1f"
+			}
+			if _, dup := idx[key]; !dup {
+				idx[key] = i
+			}
+		}
+		e.index = append(e.index, idx)
+	}
+	return e
+}
+
+// matchedDataAttrs returns X in deterministic (sorted) order.
+func matchedDataAttrs(r *Rule) []string {
+	out := make([]string, 0, len(r.match))
+	for da := range r.match {
+		out = append(out, da)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Result summarises an editing-rule repair run.
+type Result struct {
+	Relation *schema.Relation
+	// Interactions counts user certifications requested — the paper's
+	// cost metric for editing rules.
+	Interactions int
+	// Applied counts rule firings that changed a cell.
+	Applied int
+}
+
+// Repair applies every rule to every tuple once, in order, asking the
+// certifier before each application. The input is not modified.
+func (e *Engine) Repair(rel *schema.Relation, certify Certifier) *Result {
+	out := rel.Clone()
+	res := &Result{}
+	for i := 0; i < out.Len(); i++ {
+		t := out.Row(i)
+		for ri, r := range e.rules {
+			if !e.patternMatches(r, t) {
+				continue
+			}
+			attrs := matchedDataAttrs(r)
+			key := ""
+			for _, da := range attrs {
+				key += t[e.data.Index(da)] + "\x1f"
+			}
+			mi, ok := e.index[ri][key]
+			if !ok {
+				continue
+			}
+			res.Interactions++
+			if !certify.Certify(i, t, attrs) {
+				continue
+			}
+			v := e.master.Get(mi, r.masterTarget)
+			ti := e.data.Index(r.target)
+			if t[ti] != v {
+				t[ti] = v
+				res.Applied++
+			}
+		}
+	}
+	res.Relation = out
+	return res
+}
+
+func (e *Engine) patternMatches(r *Rule, t schema.Tuple) bool {
+	for a, v := range r.pattern {
+		if t[e.data.Index(a)] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildMaster projects a relation onto the given attributes and
+// deduplicates, producing a master relation (the paper's Figure 2 Cap table
+// is exactly such a projection of correct (country, capital) pairs).
+// The source should be trusted/clean data: master data is "an asset that
+// is considered correct".
+func BuildMaster(name string, src *schema.Relation, attrs []string) (*schema.Relation, error) {
+	for _, a := range attrs {
+		if !src.Schema().Has(a) {
+			return nil, fmt.Errorf("editrule: master attribute %q not in %s", a, src.Schema())
+		}
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("editrule: no master attributes")
+	}
+	sch := schema.New(name, attrs...)
+	out := schema.NewRelation(sch)
+	seen := map[string]struct{}{}
+	for i := 0; i < src.Len(); i++ {
+		row := make(schema.Tuple, len(attrs))
+		for j, a := range attrs {
+			row[j] = src.Get(i, a)
+		}
+		k := row.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Append(row)
+	}
+	return out, nil
+}
+
+// AutoEngine is the paper's Exp-2(d) simulation: fixing rules with their
+// negative patterns removed. Each rule fires whenever its evidence pattern
+// matches, unconditionally rewriting the target to the fact.
+type AutoEngine struct {
+	rules []*core.Rule
+}
+
+// FromFixingRules builds the automated editing-rule simulation from a
+// fixing ruleset.
+func FromFixingRules(rs *core.Ruleset) *AutoEngine {
+	return &AutoEngine{rules: rs.Rules()}
+}
+
+// Repair applies every rule to every tuple once, in ruleset order. There is
+// no assured-attribute protection and no negative-pattern guard: a later
+// rule matching corrupted evidence can overwrite an earlier correct fix,
+// which is exactly the failure mode Figure 12(b) demonstrates.
+func (a *AutoEngine) Repair(rel *schema.Relation) *Result {
+	out := rel.Clone()
+	res := &Result{}
+	for i := 0; i < out.Len(); i++ {
+		t := out.Row(i)
+		for _, r := range a.rules {
+			if !r.EvidenceMatches(t) {
+				continue
+			}
+			res.Interactions++ // a user would have been asked here
+			if t[r.TargetIndex()] != r.Fact() {
+				t[r.TargetIndex()] = r.Fact()
+				res.Applied++
+			}
+		}
+	}
+	res.Relation = out
+	return res
+}

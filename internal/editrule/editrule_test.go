@@ -1,0 +1,210 @@
+package editrule
+
+import (
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/dataset"
+	"fixrule/internal/metrics"
+	"fixrule/internal/noise"
+	"fixrule/internal/repair"
+	"fixrule/internal/rulegen"
+	"fixrule/internal/schema"
+)
+
+// The paper's Figure 2 master data Cap(country, capital) and the eR1 rule.
+func capMaster() *schema.Relation {
+	m := schema.NewRelation(schema.New("Cap", "country", "capital"))
+	m.Append(schema.Tuple{"China", "Beijing"})
+	m.Append(schema.Tuple{"Canada", "Ottawa"})
+	m.Append(schema.Tuple{"Japan", "Tokyo"})
+	return m
+}
+
+func travel() *schema.Schema {
+	return schema.New("Travel", "name", "country", "capital", "city", "conf")
+}
+
+func TestEditingRulePaperExample(t *testing.T) {
+	sch := travel()
+	master := capMaster()
+	// eR1: ((country, country) -> (capital, capital), tp1[country] = ())
+	er, err := NewRule("eR1", sch, master.Schema(),
+		map[string]string{"country": "country"}, "capital", "capital", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(sch, master, []*Rule{er})
+
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	rel.Append(schema.Tuple{"Mike", "Canada", "Toronto", "Toronto", "VLDB"})
+	rel.Append(schema.Tuple{"Ann", "Utopia", "X", "Y", "Z"}) // no master match
+
+	res := e.Repair(rel, AlwaysYes{})
+	if res.Relation.Get(0, "capital") != "Beijing" {
+		t.Errorf("r1 capital = %q", res.Relation.Get(0, "capital"))
+	}
+	if res.Relation.Get(1, "capital") != "Ottawa" {
+		t.Errorf("r2 capital = %q", res.Relation.Get(1, "capital"))
+	}
+	if res.Relation.Get(2, "capital") != "X" {
+		t.Error("unmatched tuple was modified")
+	}
+	// Two certifications requested (Utopia never matches master).
+	if res.Interactions != 2 || res.Applied != 2 {
+		t.Errorf("interactions=%d applied=%d", res.Interactions, res.Applied)
+	}
+	// Input untouched.
+	if rel.Get(0, "capital") != "Shanghai" {
+		t.Error("Repair mutated input")
+	}
+}
+
+func TestCertifierDeclines(t *testing.T) {
+	sch := travel()
+	master := capMaster()
+	er, _ := NewRule("eR1", sch, master.Schema(),
+		map[string]string{"country": "country"}, "capital", "capital", nil)
+	e := NewEngine(sch, master, []*Rule{er})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+
+	no := CertifierFunc(func(int, schema.Tuple, []string) bool { return false })
+	res := e.Repair(rel, no)
+	if res.Applied != 0 || res.Interactions != 1 {
+		t.Errorf("interactions=%d applied=%d", res.Interactions, res.Applied)
+	}
+	if res.Relation.Get(0, "capital") != "Shanghai" {
+		t.Error("declined rule still applied")
+	}
+}
+
+func TestPatternCondition(t *testing.T) {
+	sch := travel()
+	master := capMaster()
+	er, _ := NewRule("eR", sch, master.Schema(),
+		map[string]string{"country": "country"}, "capital", "capital",
+		map[string]string{"conf": "ICDE"})
+	e := NewEngine(sch, master, []*Rule{er})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	rel.Append(schema.Tuple{"Joe", "China", "Shanghai", "Hongkong", "VLDB"})
+	res := e.Repair(rel, AlwaysYes{})
+	if res.Relation.Get(0, "capital") != "Beijing" {
+		t.Error("pattern-matching tuple not repaired")
+	}
+	if res.Relation.Get(1, "capital") != "Shanghai" {
+		t.Error("pattern-violating tuple repaired")
+	}
+}
+
+func TestNewRuleValidation(t *testing.T) {
+	sch := travel()
+	master := capMaster().Schema()
+	cases := []struct {
+		match        map[string]string
+		target, mtgt string
+		pattern      map[string]string
+	}{
+		{nil, "capital", "capital", nil},
+		{map[string]string{"nope": "country"}, "capital", "capital", nil},
+		{map[string]string{"country": "nope"}, "capital", "capital", nil},
+		{map[string]string{"country": "country"}, "nope", "capital", nil},
+		{map[string]string{"country": "country"}, "capital", "nope", nil},
+		{map[string]string{"capital": "capital"}, "capital", "capital", nil},
+		{map[string]string{"country": "country"}, "capital", "capital", map[string]string{"zzz": "1"}},
+	}
+	for i, c := range cases {
+		if _, err := NewRule("bad", sch, master, c.match, c.target, c.mtgt, c.pattern); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAutoEngineFromFixingRules(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(
+		core.MustNew("phi1", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+	)
+	auto := FromFixingRules(rs)
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"}) // negative value
+	rel.Append(schema.Tuple{"Joe", "China", "Nanjing", "X", "Y"})            // NOT a negative value
+	rel.Append(schema.Tuple{"Sam", "China", "Beijing", "X", "Y"})            // already the fact
+	res := auto.Repair(rel)
+	// Without negative patterns the rule fires on any China tuple whose
+	// capital differs from the fact — including Nanjing, which the fixing
+	// rule would conservatively skip.
+	if res.Relation.Get(0, "capital") != "Beijing" || res.Relation.Get(1, "capital") != "Beijing" {
+		t.Errorf("auto repair: %v / %v", res.Relation.Get(0, "capital"), res.Relation.Get(1, "capital"))
+	}
+	if res.Relation.Get(2, "capital") != "Beijing" {
+		t.Error("fact-valued tuple should stay Beijing")
+	}
+	if res.Interactions != 3 {
+		t.Errorf("interactions = %d, want 3 (every evidence match)", res.Interactions)
+	}
+	if res.Applied != 2 {
+		t.Errorf("applied = %d, want 2", res.Applied)
+	}
+}
+
+// TestFixBeatsAutomatedEdit reproduces the Figure 12(b) comparison: fixing
+// rules dominate automated editing rules on precision.
+func TestFixBeatsAutomatedEdit(t *testing.T) {
+	d := dataset.Hosp(6000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{
+		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rulegen.MineConsistent(d.Rel, dirty, d.FDs, rulegen.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := repair.NewRepairer(rs).RepairRelation(dirty, repair.Linear)
+	edit := FromFixingRules(rs).Repair(dirty)
+	sFix := metrics.Evaluate(d.Rel, dirty, fix.Relation)
+	sEdit := metrics.Evaluate(d.Rel, dirty, edit.Relation)
+	if sFix.Precision < sEdit.Precision {
+		t.Errorf("Fix precision %v < Edit precision %v", sFix.Precision, sEdit.Precision)
+	}
+	if edit.Interactions == 0 {
+		t.Error("automated edit counted no interactions")
+	}
+}
+
+func TestBuildMasterInternal(t *testing.T) {
+	sch := travel()
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"a", "China", "Beijing", "Beijing", "SIGMOD"})
+	rel.Append(schema.Tuple{"b", "China", "Beijing", "Shanghai", "ICDE"})
+	m, err := BuildMaster("Cap", rel, []string{"country", "capital"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 || m.Schema().Name() != "Cap" {
+		t.Errorf("master = %v", m.Rows())
+	}
+	if _, err := BuildMaster("Cap", rel, nil); err == nil {
+		t.Error("empty attrs accepted")
+	}
+	if _, err := BuildMaster("Cap", rel, []string{"zzz"}); err == nil {
+		t.Error("unknown attr accepted")
+	}
+}
+
+func TestRuleName(t *testing.T) {
+	sch := travel()
+	er, err := NewRule("eR9", sch, capMaster().Schema(),
+		map[string]string{"country": "country"}, "capital", "capital", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Name() != "eR9" {
+		t.Errorf("Name = %q", er.Name())
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fixrule/internal/dataset"
+	"fixrule/internal/noise"
+	"fixrule/internal/schema"
+)
+
+// Config sets workload sizes for the experiment drivers. The zero value is
+// not usable; call Default or FastConfig.
+type Config struct {
+	// HospRows and UISRows size the two datasets. The paper uses 115000
+	// and 15000.
+	HospRows, UISRows int
+	// HospRules and UISRules are the default rule budgets (paper: 1000 and
+	// 100).
+	HospRules, UISRules int
+	// NoiseRate is the fraction of dirty tuples (paper: 0.10).
+	NoiseRate float64
+	// Seed drives every generator and sampler; same seed, same numbers.
+	Seed int64
+	// RealCases is how many early-terminating consistency checks Exp-1
+	// averages over (paper: 10).
+	RealCases int
+	// TypoSteps is the number of typo-rate steps in Exp-2(a) including both
+	// endpoints (paper: 11 → 0%,10%,...,100%).
+	TypoSteps int
+	// RuleSteps is the number of |Σ| steps in Exp-2(b), Exp-1 and Exp-3
+	// (paper: 10).
+	RuleSteps int
+}
+
+// Default returns the paper-scale configuration.
+func Default() Config {
+	return Config{
+		HospRows: 115000, UISRows: 15000,
+		HospRules: 1000, UISRules: 100,
+		NoiseRate: 0.10, Seed: 1,
+		RealCases: 10, TypoSteps: 11, RuleSteps: 10,
+	}
+}
+
+// FastConfig returns a scaled-down configuration for tests and smoke runs;
+// every driver exercises the same code paths over smaller sweeps.
+func FastConfig() Config {
+	return Config{
+		HospRows: 4000, UISRows: 3000,
+		HospRules: 60, UISRules: 30,
+		NoiseRate: 0.10, Seed: 1,
+		RealCases: 3, TypoSteps: 3, RuleSteps: 3,
+	}
+}
+
+// rows returns the dataset size for ds ("hosp" or "uis").
+func (c Config) rows(ds string) int {
+	if ds == "uis" {
+		return c.UISRows
+	}
+	return c.HospRows
+}
+
+// ruleBudget returns the default |Σ| for ds.
+func (c Config) ruleBudget(ds string) int {
+	if ds == "uis" {
+		return c.UISRules
+	}
+	return c.HospRules
+}
+
+// workload bundles one prepared experiment input.
+type workload struct {
+	ds    *dataset.Dataset
+	dirty *schema.Relation
+	errs  []noise.Error
+}
+
+// makeWorkload generates the dataset and its dirty copy at the given typo
+// fraction.
+func makeWorkload(cfg Config, ds string, typoFrac float64) (*workload, error) {
+	d, err := dataset.ByName(ds, cfg.rows(ds), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dirty, errs, err := noise.Inject(d.Rel, noise.Config{
+		Rate: cfg.NoiseRate, TypoFraction: typoFrac,
+		Attrs: d.NoiseAttrs, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &workload{ds: d, dirty: dirty, errs: errs}, nil
+}
+
+// ruleCounts returns the |Σ| sweep for ds: RuleSteps evenly spaced budgets
+// ending at the dataset's default budget.
+func (c Config) ruleCounts(ds string) []int {
+	max := c.ruleBudget(ds)
+	steps := c.RuleSteps
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([]int, 0, steps)
+	for i := 1; i <= steps; i++ {
+		n := max * i / steps
+		if n < 1 {
+			n = 1
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// typoFracs returns the typo-rate sweep 0..1 with TypoSteps points.
+func (c Config) typoFracs() []float64 {
+	steps := c.TypoSteps
+	if steps < 2 {
+		steps = 2
+	}
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = float64(i) / float64(steps-1)
+	}
+	return out
+}
+
+// timeMS runs f and returns its wall-clock duration in milliseconds.
+func timeMS(f func()) float64 {
+	start := time.Now()
+	f()
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+func dsCheck(ds string) error {
+	if ds != "hosp" && ds != "uis" {
+		return fmt.Errorf("experiments: unknown dataset %q", ds)
+	}
+	return nil
+}

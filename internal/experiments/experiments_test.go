@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFig9ShapesHosp(t *testing.T) {
+	tables, err := Fig9(FastConfig(), "hosp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.X) != FastConfig().RuleSteps {
+		t.Fatalf("points = %d", len(tab.X))
+	}
+	// Paper shape: rule characterisation beats tuple enumeration in the
+	// worst case at the largest |Σ|.
+	last := len(tab.X) - 1
+	worstT := tab.Series[0].Values[last]
+	worstR := tab.Series[2].Values[last]
+	if worstR > worstT {
+		t.Errorf("isConsist_r worst (%v ms) slower than isConsist_t worst (%v ms)", worstR, worstT)
+	}
+	// Real cases terminate at or below worst case (small tolerance for
+	// timer noise on tiny inputs).
+	realT := tab.Series[1].Values[last]
+	if realT > worstT*1.5+1 {
+		t.Errorf("real case (%v ms) above worst case (%v ms)", realT, worstT)
+	}
+}
+
+func TestFig10TypoShapes(t *testing.T) {
+	for _, ds := range []string{"hosp", "uis"} {
+		tables, err := Fig10Typo(FastConfig(), ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prec, rec := tables[0], tables[1]
+		// Fix precision is high at every typo rate (the headline claim).
+		for i, v := range prec.Series[0].Values {
+			if v < 0.85 {
+				t.Errorf("%s: Fix precision at point %d = %v, want >= 0.85", ds, i, v)
+			}
+		}
+		// Fix beats both baselines on precision at typo rate 0.
+		if prec.Series[0].Values[0] < prec.Series[1].Values[0] ||
+			prec.Series[0].Values[0] < prec.Series[2].Values[0] {
+			t.Errorf("%s: Fix is not the precision leader at typo=0: %v", ds, prec.Series)
+		}
+		// Recall series must be populated and within [0,1].
+		for _, s := range rec.Series {
+			for _, v := range s.Values {
+				if v < 0 || v > 1 {
+					t.Errorf("%s: recall %v out of range", ds, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig10RulesShapes(t *testing.T) {
+	tables, err := Fig10Rules(FastConfig(), "hosp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, prec := tables[0], tables[1]
+	fixRec := rec.Series[0].Values
+	// More rules, more recall (monotone up to measurement ties).
+	if fixRec[len(fixRec)-1] < fixRec[0] {
+		t.Errorf("Fix recall fell as rules grew: %v", fixRec)
+	}
+	// Baselines are flat lines.
+	for _, si := range []int{1, 2} {
+		vs := rec.Series[si].Values
+		for _, v := range vs[1:] {
+			if v != vs[0] {
+				t.Errorf("baseline %s recall not constant: %v", rec.Series[si].Name, vs)
+			}
+		}
+	}
+	// Precision stays high for Fix.
+	for _, v := range prec.Series[0].Values {
+		if v < 0.85 {
+			t.Errorf("Fix precision = %v with growing rules", v)
+		}
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	tables, err := Fig11(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := tables[0], tables[1]
+	// (a) histogram is sorted ascending.
+	vals := ta.Series[0].Values
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Errorf("fig11a histogram not sorted: %v", vals)
+		}
+	}
+	// (b) recall at the full negative budget >= recall at the smallest.
+	recall := tb.Series[1].Values
+	if len(recall) < 2 {
+		t.Fatalf("fig11b has %d points", len(recall))
+	}
+	if recall[len(recall)-1] < recall[0] {
+		t.Errorf("more negatives lowered recall: %v", recall)
+	}
+	for _, v := range tb.Series[0].Values {
+		if v < 0.85 {
+			t.Errorf("fig11b precision dipped to %v", v)
+		}
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	tables, err := Fig12(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := tables[0], tables[1]
+	// (a) sorted descending, and the top rule fixes multiple errors.
+	vals := ta.Series[0].Values
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Errorf("fig12a not sorted descending: %v", vals)
+		}
+	}
+	if len(vals) > 0 && vals[0] < 2 {
+		t.Errorf("top rule fixed only %v errors", vals[0])
+	}
+	// (b) Fix precision >= Edit precision.
+	if tb.Series[0].Values[0] < tb.Series[1].Values[0] {
+		t.Errorf("Fix precision %v < Edit precision %v",
+			tb.Series[0].Values[0], tb.Series[1].Values[0])
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	tables, err := Fig13(FastConfig(), "uis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Series) != 2 || len(tab.X) == 0 {
+		t.Fatalf("fig13 = %+v", tab)
+	}
+	for _, s := range tab.Series {
+		for _, v := range s.Values {
+			if v < 0 {
+				t.Errorf("negative time %v", v)
+			}
+		}
+	}
+}
+
+func TestTableRuntime(t *testing.T) {
+	tables, err := TableRuntime(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.XLabels) != 2 {
+		t.Fatalf("labels = %v", tab.XLabels)
+	}
+	// lRepair must be the fastest column on both datasets (the paper's
+	// Exp-3 table conclusion).
+	for i := range tab.XLabels {
+		l := tab.Series[0].Values[i]
+		if l > tab.Series[1].Values[i] || l > tab.Series[2].Values[i] {
+			t.Errorf("%s: lRepair (%vms) not fastest (Heu %vms, Csm %vms)",
+				tab.XLabels[i], l, tab.Series[1].Values[i], tab.Series[2].Values[i])
+		}
+	}
+}
+
+func TestRunDispatchAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := FastConfig()
+	if err := Run(cfg, []string{"fig12", "tbl-rt"}, &buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig12a", "fig12b", "tbl-rt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+	for _, f := range []string{"fig12a.csv", "fig12b.csv", "tbl-rt.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing CSV %s: %v", f, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("empty CSV %s", f)
+		}
+	}
+	if err := Run(cfg, []string{"nope"}, &buf, ""); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestIDsCoverPaperArtifacts(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig9a", "fig9b", "fig10ab", "fig10cd", "fig10ef", "fig10gh",
+		"fig11", "fig12", "fig13a", "fig13b", "tbl-rt",
+		"ext-datasize-hosp", "ext-datasize-uis", "ext-discover", "ext-prop3gap"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	set := map[string]bool{}
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("missing experiment %s", w)
+		}
+	}
+}
+
+func TestExtProp3Gap(t *testing.T) {
+	tables, err := ExtProp3Gap(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	for i := range tab.X {
+		if tab.Series[1].Values[i] < tab.Series[0].Values[i] {
+			t.Errorf("point %d: strict found fewer conflicts (%v) than weak (%v)",
+				i, tab.Series[1].Values[i], tab.Series[0].Values[i])
+		}
+	}
+}
+
+func TestExtDataSize(t *testing.T) {
+	tables, err := ExtDataSize(FastConfig(), "uis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.X) < 2 || len(tab.Series) != 2 {
+		t.Fatalf("table = %+v", tab)
+	}
+	// Rows grow monotonically up to the configured size.
+	if tab.X[len(tab.X)-1] != float64(FastConfig().UISRows) {
+		t.Errorf("last x = %v", tab.X[len(tab.X)-1])
+	}
+}
+
+func TestExtDiscover(t *testing.T) {
+	tables, err := ExtDiscover(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := tables[0]
+	if len(prec.Series) != 4 {
+		t.Fatalf("series = %d", len(prec.Series))
+	}
+	// Expert rules stay the most precise at every point.
+	for i := range prec.X {
+		expert := prec.Series[0].Values[i]
+		if expert < prec.Series[1].Values[i]-0.05 {
+			t.Errorf("point %d: expert %.3f below discovered %.3f",
+				i, expert, prec.Series[1].Values[i])
+		}
+	}
+}
+
+func TestTableRenderAndSanity(t *testing.T) {
+	tab := &Table{
+		ID: "demo", Title: "demo", XLabel: "x",
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "y", Values: []float64{0.5, 1}}},
+	}
+	if err := tab.sanity(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "0.5000") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+	// Categorical render.
+	cat := &Table{
+		ID: "cat", Title: "cat", XLabel: "m",
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "v", Values: []float64{1, 2}}},
+	}
+	buf.Reset()
+	cat.Render(&buf)
+	if !strings.Contains(buf.String(), "#") {
+		t.Errorf("categorical render lacks bar chart:\n%s", buf.String())
+	}
+	// Sanity failures.
+	bad := &Table{ID: "bad", X: []float64{1}, Series: []Series{{Name: "y", Values: []float64{1, 2}}}}
+	if err := bad.sanity(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := &Table{ID: "empty"}
+	if err := empty.sanity(); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+// TestTableRenderGolden pins the exact rendering of a small numeric table,
+// including its ASCII chart — a regression net for the experiment output
+// the documentation quotes.
+func TestTableRenderGolden(t *testing.T) {
+	tab := &Table{
+		ID: "golden", Title: "golden demo", XLabel: "x",
+		X: []float64{0, 1},
+		Series: []Series{
+			{Name: "up", Values: []float64{0, 1}},
+			{Name: "down", Values: []float64{1, 0}},
+		},
+		Notes: []string{"crossing lines"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"== golden: golden demo ==",
+		"x                          up           down",
+		"0                           0              1",
+		"1                           1              0",
+		"* = up",
+		"o = down",
+		"note: crossing lines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTableWriteCSVContents pins the CSV export format.
+func TestTableWriteCSVContents(t *testing.T) {
+	tab := &Table{
+		ID: "csvdemo", Title: "t", XLabel: "n",
+		X:      []float64{10, 20},
+		Series: []Series{{Name: "v", Values: []float64{0.5, 1.25}}},
+	}
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := tab.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "n,v\n10,0.5\n20,1.25\n"
+	if string(data) != want {
+		t.Errorf("csv = %q, want %q", data, want)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Driver runs one experiment and returns its tables.
+type Driver func(Config) ([]*Table, error)
+
+// Registry maps experiment ids (DESIGN.md's per-experiment index) to
+// drivers.
+func Registry() map[string]Driver {
+	return map[string]Driver{
+		"fig9a":   func(c Config) ([]*Table, error) { return Fig9(c, "hosp") },
+		"fig9b":   func(c Config) ([]*Table, error) { return Fig9(c, "uis") },
+		"fig10ab": func(c Config) ([]*Table, error) { return Fig10Typo(c, "hosp") },
+		"fig10ef": func(c Config) ([]*Table, error) { return Fig10Typo(c, "uis") },
+		"fig10cd": func(c Config) ([]*Table, error) { return Fig10Rules(c, "hosp") },
+		"fig10gh": func(c Config) ([]*Table, error) { return Fig10Rules(c, "uis") },
+		"fig11":   Fig11,
+		"fig12":   Fig12,
+		"fig13a":  func(c Config) ([]*Table, error) { return Fig13(c, "hosp") },
+		"fig13b":  func(c Config) ([]*Table, error) { return Fig13(c, "uis") },
+		"tbl-rt":  TableRuntime,
+		// Extensions beyond the paper's figures (DESIGN.md §5-§6).
+		"ext-datasize-hosp": func(c Config) ([]*Table, error) { return ExtDataSize(c, "hosp") },
+		"ext-datasize-uis":  func(c Config) ([]*Table, error) { return ExtDataSize(c, "uis") },
+		"ext-discover":      ExtDiscover,
+		"ext-prop3gap":      ExtProp3Gap,
+	}
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiments (all when ids is empty), rendering
+// each table to w and, when csvDir is non-empty, saving one CSV per table.
+func Run(cfg Config, ids []string, w io.Writer, csvDir string) error {
+	reg := Registry()
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	for _, id := range ids {
+		driver, ok := reg[id]
+		if !ok {
+			return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		}
+		tables, err := driver(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		for _, t := range tables {
+			t.Render(w)
+			if csvDir != "" {
+				if err := t.WriteCSV(filepath.Join(csvDir, t.ID+".csv")); err != nil {
+					return fmt.Errorf("experiments: %s: %w", t.ID, err)
+				}
+			}
+		}
+	}
+	return nil
+}

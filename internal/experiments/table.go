@@ -1,0 +1,162 @@
+// Package experiments regenerates every figure and table of the paper's
+// Section 7 evaluation. Each driver returns one or more Tables: named data
+// series over a shared x-axis, renderable as an aligned text table, an
+// ASCII chart, and CSV. DESIGN.md's per-experiment index maps the paper's
+// figures to these drivers; EXPERIMENTS.md records paper-vs-measured
+// shapes.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"fixrule/internal/textplot"
+)
+
+// Series is one named data column.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Table is the result of one experiment: x values (or categorical labels)
+// against one or more series.
+type Table struct {
+	ID     string // experiment id, e.g. "fig10ab-precision"
+	Title  string
+	XLabel string
+	// X holds numeric x coordinates; XLabels, when non-nil, overrides them
+	// with categorical labels.
+	X       []float64
+	XLabels []string
+	Series  []Series
+	// Notes carry free-form observations (e.g. measured crossover points).
+	Notes []string
+}
+
+// xLabel returns the rendered label of point i.
+func (t *Table) xLabel(i int) string {
+	if t.XLabels != nil {
+		return t.XLabels[i]
+	}
+	return trimFloat(t.X[i])
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Render writes the table as aligned text followed by an ASCII chart (line
+// chart for numeric x, bar chart for a single categorical series).
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	n := t.points()
+
+	// Header.
+	fmt.Fprintf(w, "%-14s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%-14s", t.xLabel(i))
+		for _, s := range t.Series {
+			fmt.Fprintf(w, " %14s", trimTo(s.Values[i]))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if t.XLabels == nil && len(t.X) > 1 {
+		series := make([]textplot.Series, len(t.Series))
+		for i, s := range t.Series {
+			series[i] = textplot.Series{Name: s.Name, Values: s.Values}
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.Line("", t.X, series, 60, 12))
+	} else if len(t.Series) == 1 && t.XLabels != nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.Bar("", t.XLabels, t.Series[0].Values, 40))
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	fmt.Fprintln(w)
+}
+
+func trimTo(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+func (t *Table) points() int {
+	if t.XLabels != nil {
+		return len(t.XLabels)
+	}
+	return len(t.X)
+}
+
+// WriteCSV saves the table to path with an x column followed by one column
+// per series.
+func (t *Table) WriteCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for i := 0; i < t.points(); i++ {
+		rec := []string{t.xLabel(i)}
+		for _, s := range t.Series {
+			rec = append(rec, strconv.FormatFloat(s.Values[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanity validates the table's internal consistency; drivers call it before
+// returning.
+func (t *Table) sanity() error {
+	n := t.points()
+	if n == 0 {
+		return fmt.Errorf("experiments: table %s has no points", t.ID)
+	}
+	for _, s := range t.Series {
+		if len(s.Values) != n {
+			return fmt.Errorf("experiments: table %s series %q has %d values, want %d",
+				t.ID, s.Name, len(s.Values), n)
+		}
+	}
+	if strings.TrimSpace(t.ID) == "" {
+		return fmt.Errorf("experiments: table without id")
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fixrule/internal/schema"
+)
+
+// PatternWildcard is the unnamed variable '_' of a CFD pattern tuple: it
+// matches any constant.
+const PatternWildcard = "_"
+
+// CFD is a conditional functional dependency (X → Y, tp): the embedded FD
+// X → Y holds only on tuples matching the pattern tuple tp, which assigns
+// each attribute of X ∪ Y either a constant or the wildcard '_'.
+//
+// CFDs generalise the FDs of this package and appear throughout the paper's
+// related work (Fan et al., TODS 2008); the repository supports them so
+// rule mining can be conditioned on constants (e.g. zip → city only for
+// state = "CA").
+type CFD struct {
+	fd      *FD
+	pattern map[string]string // attr → constant or PatternWildcard
+}
+
+// NewCFD constructs a CFD over fd with the given pattern. Every pattern
+// attribute must belong to X ∪ Y; missing attributes default to '_'.
+func NewCFD(f *FD, pattern map[string]string) (*CFD, error) {
+	if f == nil {
+		return nil, fmt.Errorf("fd: nil embedded FD")
+	}
+	in := map[string]bool{}
+	for _, a := range f.lhs {
+		in[a] = true
+	}
+	for _, a := range f.rhs {
+		in[a] = true
+	}
+	p := make(map[string]string, len(pattern))
+	for a, v := range pattern {
+		if !in[a] {
+			return nil, fmt.Errorf("fd: pattern attribute %q not in X ∪ Y of %s", a, f)
+		}
+		p[a] = v
+	}
+	return &CFD{fd: f, pattern: p}, nil
+}
+
+// MustNewCFD is NewCFD that panics on error.
+func MustNewCFD(f *FD, pattern map[string]string) *CFD {
+	c, err := NewCFD(f, pattern)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FD returns the embedded FD.
+func (c *CFD) FD() *FD { return c.fd }
+
+// PatternValue returns the pattern constant for attribute a ('_' if
+// unconstrained).
+func (c *CFD) PatternValue(a string) string {
+	if v, ok := c.pattern[a]; ok {
+		return v
+	}
+	return PatternWildcard
+}
+
+// String renders the CFD as "(X -> Y, (a=c, ...))".
+func (c *CFD) String() string {
+	var parts []string
+	attrs := append(append([]string(nil), c.fd.lhs...), c.fd.rhs...)
+	for _, a := range attrs {
+		if v := c.PatternValue(a); v != PatternWildcard {
+			parts = append(parts, a+"="+v)
+		}
+	}
+	sort.Strings(parts)
+	return "(" + c.fd.String() + ", (" + strings.Join(parts, ", ") + "))"
+}
+
+// matchesLHS reports whether t satisfies the constant constraints of the
+// pattern on X.
+func (c *CFD) matchesLHS(t schema.Tuple) bool {
+	for i, a := range c.fd.lhs {
+		if v := c.PatternValue(a); v != PatternWildcard && t[c.fd.lhsIdx[i]] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CFDViolation is one violated CFD condition. Constant violations involve a
+// single tuple (a row matching the LHS pattern whose RHS value differs from
+// the pattern constant); variable violations involve a group of rows, as for
+// plain FDs.
+type CFDViolation struct {
+	CFD  *CFD
+	Attr string
+	// Rows lists the violating rows: a single row for constant violations,
+	// the whole conflicting group for variable violations.
+	Rows []int
+	// Constant is true for single-tuple (pattern-constant) violations.
+	Constant bool
+}
+
+// CFDViolations detects all violations of the CFDs in rel. Variable RHS
+// attributes (pattern '_') are checked like FD attributes but only on rows
+// matching the LHS pattern; constant RHS attributes are checked per row.
+func CFDViolations(rel *schema.Relation, cfds []*CFD) []*CFDViolation {
+	var out []*CFDViolation
+	for _, c := range cfds {
+		f := c.fd
+		// Constant RHS checks.
+		for ai, attr := range f.rhs {
+			want := c.PatternValue(attr)
+			if want == PatternWildcard {
+				continue
+			}
+			for i := 0; i < rel.Len(); i++ {
+				t := rel.Row(i)
+				if c.matchesLHS(t) && t[f.rhsIdx[ai]] != want {
+					out = append(out, &CFDViolation{CFD: c, Attr: attr, Rows: []int{i}, Constant: true})
+				}
+			}
+		}
+		// Variable RHS checks: partition matching rows by LHS key.
+		groups := make(map[string][]int)
+		for i := 0; i < rel.Len(); i++ {
+			if c.matchesLHS(rel.Row(i)) {
+				k := f.LHSKey(rel.Row(i))
+				groups[k] = append(groups[k], i)
+			}
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rows := groups[k]
+			if len(rows) < 2 {
+				continue
+			}
+			for ai, attr := range f.rhs {
+				if c.PatternValue(attr) != PatternWildcard {
+					continue
+				}
+				vals := map[string]bool{}
+				for _, r := range rows {
+					vals[rel.Row(r)[f.rhsIdx[ai]]] = true
+				}
+				if len(vals) > 1 {
+					out = append(out, &CFDViolation{CFD: c, Attr: attr, Rows: append([]int(nil), rows...)})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package fd implements functional dependencies and their violation
+// detection — the substrate the paper mines fixing rules from (Section 7.1:
+// seed rules come from FD violations) and that the Heu/Csm baselines repair
+// against.
+//
+// An FD X → Y over schema R requires that any two tuples agreeing on X also
+// agree on every attribute of Y. Violations are detected with a hash
+// partition on the LHS values, which is linear in the relation size; a
+// quadratic pairwise detector is kept for the ablation benchmark.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fixrule/internal/schema"
+)
+
+// FD is a functional dependency X → Y.
+type FD struct {
+	sch *schema.Schema
+	lhs []string
+	rhs []string
+
+	lhsIdx []int
+	rhsIdx []int
+}
+
+// New validates and constructs an FD. LHS and RHS must be non-empty,
+// disjoint, and drawn from attr(R).
+func New(sch *schema.Schema, lhs, rhs []string) (*FD, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("fd: nil schema")
+	}
+	if len(lhs) == 0 || len(rhs) == 0 {
+		return nil, fmt.Errorf("fd: empty LHS or RHS")
+	}
+	seen := map[string]bool{}
+	f := &FD{sch: sch}
+	for _, a := range lhs {
+		if !sch.Has(a) {
+			return nil, fmt.Errorf("fd: LHS attribute %q not in %s", a, sch)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("fd: duplicate attribute %q", a)
+		}
+		seen[a] = true
+		f.lhs = append(f.lhs, a)
+		f.lhsIdx = append(f.lhsIdx, sch.Index(a))
+	}
+	for _, a := range rhs {
+		if !sch.Has(a) {
+			return nil, fmt.Errorf("fd: RHS attribute %q not in %s", a, sch)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("fd: attribute %q appears on both sides or twice", a)
+		}
+		seen[a] = true
+		f.rhs = append(f.rhs, a)
+		f.rhsIdx = append(f.rhsIdx, sch.Index(a))
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error, for literals in tests and examples.
+func MustNew(sch *schema.Schema, lhs, rhs []string) *FD {
+	f, err := New(sch, lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Parse reads an FD in the paper's notation "A, B -> C, D".
+func Parse(sch *schema.Schema, s string) (*FD, error) {
+	parts := strings.SplitN(s, "->", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("fd: %q: missing \"->\"", s)
+	}
+	return New(sch, splitAttrs(parts[0]), splitAttrs(parts[1]))
+}
+
+func splitAttrs(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Schema returns the schema the FD is defined on.
+func (f *FD) Schema() *schema.Schema { return f.sch }
+
+// LHS returns X. The caller must not modify the returned slice.
+func (f *FD) LHS() []string { return f.lhs }
+
+// RHS returns Y. The caller must not modify the returned slice.
+func (f *FD) RHS() []string { return f.rhs }
+
+// String renders the FD as "X -> Y" in the paper's list notation.
+func (f *FD) String() string {
+	return strings.Join(f.lhs, ", ") + " -> " + strings.Join(f.rhs, ", ")
+}
+
+// LHSKey returns the partition key of tuple t under the FD's LHS.
+func (f *FD) LHSKey(t schema.Tuple) string {
+	parts := make([]string, len(f.lhsIdx))
+	for i, idx := range f.lhsIdx {
+		parts[i] = t[idx]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Violation is one violated (FD, LHS group, RHS attribute) combination:
+// a set of rows agreeing on X but carrying at least two distinct values of
+// Attr. Rows are grouped by their Attr value.
+type Violation struct {
+	FD     *FD
+	Attr   string           // the RHS attribute with conflicting values
+	LHSKey string           // partition key (joined X values)
+	Groups map[string][]int // Attr value → rows carrying it
+}
+
+// Rows returns all row indices involved in the violation, sorted.
+func (v *Violation) Rows() []int {
+	var out []int
+	for _, rows := range v.Groups {
+		out = append(out, rows...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MajorityValue returns the Attr value held by the most rows in the
+// violation, breaking ties lexicographically. Heuristic repairs and rule
+// mining both use the majority as the presumed-correct value.
+func (v *Violation) MajorityValue() string {
+	best, bestN := "", -1
+	vals := make([]string, 0, len(v.Groups))
+	for val := range v.Groups {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	for _, val := range vals {
+		if n := len(v.Groups[val]); n > bestN {
+			best, bestN = val, n
+		}
+	}
+	return best
+}
+
+// Violations finds all violations of the given FDs in rel using a hash
+// partition on each FD's LHS: O(|rel| · Σ|fd|) time.
+func Violations(rel *schema.Relation, fds []*FD) []*Violation {
+	var out []*Violation
+	for _, f := range fds {
+		groups := make(map[string][]int)
+		for i := 0; i < rel.Len(); i++ {
+			k := f.LHSKey(rel.Row(i))
+			groups[k] = append(groups[k], i)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rows := groups[k]
+			if len(rows) < 2 {
+				continue
+			}
+			for ai, attr := range f.rhs {
+				byVal := make(map[string][]int)
+				for _, r := range rows {
+					v := rel.Row(r)[f.rhsIdx[ai]]
+					byVal[v] = append(byVal[v], r)
+				}
+				if len(byVal) > 1 {
+					out = append(out, &Violation{FD: f, Attr: attr, LHSKey: k, Groups: byVal})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ViolationsNaive is the O(n²) pairwise detector, kept as the ablation
+// baseline for the hash-partition design choice. It returns the same
+// violations as Violations (same grouping, same order).
+func ViolationsNaive(rel *schema.Relation, fds []*FD) []*Violation {
+	var out []*Violation
+	for _, f := range fds {
+		// Discover conflicting groups by comparing every pair.
+		conflicting := make(map[string]map[string]bool) // lhs key → set of attrs in conflict
+		for i := 0; i < rel.Len(); i++ {
+			for j := i + 1; j < rel.Len(); j++ {
+				ti, tj := rel.Row(i), rel.Row(j)
+				if f.LHSKey(ti) != f.LHSKey(tj) {
+					continue
+				}
+				for ai, attr := range f.rhs {
+					if ti[f.rhsIdx[ai]] != tj[f.rhsIdx[ai]] {
+						k := f.LHSKey(ti)
+						if conflicting[k] == nil {
+							conflicting[k] = make(map[string]bool)
+						}
+						conflicting[k][attr] = true
+					}
+				}
+			}
+		}
+		// Materialise groups in the same shape as Violations.
+		groups := make(map[string][]int)
+		for i := 0; i < rel.Len(); i++ {
+			k := f.LHSKey(rel.Row(i))
+			groups[k] = append(groups[k], i)
+		}
+		keys := make([]string, 0, len(conflicting))
+		for k := range conflicting {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for ai, attr := range f.rhs {
+				if !conflicting[k][attr] {
+					continue
+				}
+				byVal := make(map[string][]int)
+				for _, r := range groups[k] {
+					v := rel.Row(r)[f.rhsIdx[ai]]
+					byVal[v] = append(byVal[v], r)
+				}
+				out = append(out, &Violation{FD: f, Attr: attr, LHSKey: k, Groups: byVal})
+			}
+		}
+	}
+	return out
+}
+
+// Satisfies reports whether rel satisfies every FD (no violations).
+func Satisfies(rel *schema.Relation, fds []*FD) bool {
+	return len(Violations(rel, fds)) == 0
+}

@@ -1,0 +1,230 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fixrule/internal/schema"
+)
+
+func cap3() *schema.Schema {
+	return schema.New("Cap", "country", "capital", "city")
+}
+
+func relOf(rows ...[]string) *schema.Relation {
+	rel := schema.NewRelation(cap3())
+	for _, r := range rows {
+		rel.Append(schema.Tuple(r))
+	}
+	return rel
+}
+
+func TestNewValidation(t *testing.T) {
+	sch := cap3()
+	cases := []struct {
+		lhs, rhs []string
+		wantErr  bool
+	}{
+		{[]string{"country"}, []string{"capital"}, false},
+		{[]string{"country"}, []string{"capital", "city"}, false},
+		{nil, []string{"capital"}, true},
+		{[]string{"country"}, nil, true},
+		{[]string{"nope"}, []string{"capital"}, true},
+		{[]string{"country"}, []string{"nope"}, true},
+		{[]string{"country", "country"}, []string{"capital"}, true},
+		{[]string{"country"}, []string{"country"}, true},
+	}
+	for _, c := range cases {
+		_, err := New(sch, c.lhs, c.rhs)
+		if (err != nil) != c.wantErr {
+			t.Errorf("New(%v, %v): err = %v, wantErr %v", c.lhs, c.rhs, err, c.wantErr)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	sch := cap3()
+	f, err := Parse(sch, " country ->  capital , city ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.LHS(), []string{"country"}) ||
+		!reflect.DeepEqual(f.RHS(), []string{"capital", "city"}) {
+		t.Errorf("parsed %v -> %v", f.LHS(), f.RHS())
+	}
+	if f.String() != "country -> capital, city" {
+		t.Errorf("String = %q", f.String())
+	}
+	for _, bad := range []string{"country capital", "-> capital", "country ->", "zzz -> capital"} {
+		if _, err := Parse(sch, bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestViolations(t *testing.T) {
+	f := MustNew(cap3(), []string{"country"}, []string{"capital"})
+	rel := relOf(
+		[]string{"China", "Beijing", "Beijing"},
+		[]string{"China", "Shanghai", "Hongkong"},
+		[]string{"China", "Beijing", "Tokyo"},
+		[]string{"Canada", "Ottawa", "Toronto"},
+	)
+	vs := Violations(rel, []*FD{f})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Attr != "capital" || v.FD != f {
+		t.Errorf("violation = %+v", v)
+	}
+	if !reflect.DeepEqual(v.Rows(), []int{0, 1, 2}) {
+		t.Errorf("rows = %v", v.Rows())
+	}
+	if v.MajorityValue() != "Beijing" {
+		t.Errorf("majority = %q", v.MajorityValue())
+	}
+	if !reflect.DeepEqual(v.Groups["Beijing"], []int{0, 2}) {
+		t.Errorf("groups = %v", v.Groups)
+	}
+}
+
+func TestMajorityTieBreak(t *testing.T) {
+	v := &Violation{Groups: map[string][]int{"b": {1}, "a": {0}}}
+	if v.MajorityValue() != "a" {
+		t.Errorf("tie break = %q, want lexicographic 'a'", v.MajorityValue())
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	f := MustNew(cap3(), []string{"country"}, []string{"capital"})
+	clean := relOf(
+		[]string{"China", "Beijing", "Beijing"},
+		[]string{"China", "Beijing", "Shanghai"},
+		[]string{"Canada", "Ottawa", "Toronto"},
+	)
+	if !Satisfies(clean, []*FD{f}) {
+		t.Error("clean relation reported violating")
+	}
+	clean.Set(1, "capital", "Shanghai")
+	if Satisfies(clean, []*FD{f}) {
+		t.Error("dirty relation reported clean")
+	}
+}
+
+func TestMultiAttributeLHSAndRHS(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c", "d")
+	f := MustNew(sch, []string{"a", "b"}, []string{"c", "d"})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"1", "2", "x", "y"})
+	rel.Append(schema.Tuple{"1", "2", "x", "z"}) // violates on d only
+	rel.Append(schema.Tuple{"1", "3", "q", "y"}) // different group
+	vs := Violations(rel, []*FD{f})
+	if len(vs) != 1 || vs[0].Attr != "d" {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestViolationsNaiveAgreesRandomized(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rng := rand.New(rand.NewSource(5))
+	fds := []*FD{
+		MustNew(sch, []string{"a"}, []string{"b"}),
+		MustNew(sch, []string{"a", "b"}, []string{"c"}),
+	}
+	vals := []string{"0", "1", "2"}
+	for trial := 0; trial < 50; trial++ {
+		rel := schema.NewRelation(sch)
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			rel.Append(schema.Tuple{
+				vals[rng.Intn(3)], vals[rng.Intn(3)], vals[rng.Intn(3)],
+			})
+		}
+		fast := Violations(rel, fds)
+		slow := ViolationsNaive(rel, fds)
+		if len(fast) != len(slow) {
+			t.Fatalf("trial %d: %d fast vs %d slow violations", trial, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i].LHSKey != slow[i].LHSKey || fast[i].Attr != slow[i].Attr ||
+				!reflect.DeepEqual(fast[i].Groups, slow[i].Groups) {
+				t.Fatalf("trial %d: violation %d differs:\n fast=%+v\n slow=%+v",
+					trial, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestLHSKeyUnambiguous(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	f := MustNew(sch, []string{"a", "b"}, []string{"c"})
+	k1 := f.LHSKey(schema.Tuple{"x", "yz", "-"})
+	k2 := f.LHSKey(schema.Tuple{"xy", "z", "-"})
+	if k1 == k2 {
+		t.Error("LHSKey collides across field boundaries")
+	}
+}
+
+func TestCFDConstantViolations(t *testing.T) {
+	sch := cap3()
+	f := MustNew(sch, []string{"country"}, []string{"capital"})
+	// (country -> capital, (country=China, capital=Beijing))
+	c := MustNewCFD(f, map[string]string{"country": "China", "capital": "Beijing"})
+	rel := relOf(
+		[]string{"China", "Beijing", "x"},
+		[]string{"China", "Shanghai", "x"}, // constant violation
+		[]string{"Japan", "Tokyo", "x"},    // LHS pattern does not match
+	)
+	vs := CFDViolations(rel, []*CFD{c})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %+v", vs)
+	}
+	if !vs[0].Constant || vs[0].Rows[0] != 1 || vs[0].Attr != "capital" {
+		t.Errorf("violation = %+v", vs[0])
+	}
+}
+
+func TestCFDVariableViolations(t *testing.T) {
+	sch := cap3()
+	f := MustNew(sch, []string{"country"}, []string{"capital"})
+	// Variable CFD scoped to country=China: capital must be functionally
+	// determined within China rows only.
+	c := MustNewCFD(f, map[string]string{"country": "China"})
+	rel := relOf(
+		[]string{"China", "Beijing", "x"},
+		[]string{"China", "Shanghai", "x"},
+		[]string{"Canada", "Ottawa", "x"},
+		[]string{"Canada", "Toronto", "x"}, // would violate plain FD, but pattern excludes it
+	)
+	vs := CFDViolations(rel, []*CFD{c})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %+v", vs)
+	}
+	if vs[0].Constant || !reflect.DeepEqual(vs[0].Rows, []int{0, 1}) {
+		t.Errorf("violation = %+v", vs[0])
+	}
+}
+
+func TestCFDValidationAndString(t *testing.T) {
+	sch := cap3()
+	f := MustNew(sch, []string{"country"}, []string{"capital"})
+	if _, err := NewCFD(f, map[string]string{"city": "x"}); err == nil {
+		t.Error("pattern attribute outside X ∪ Y accepted")
+	}
+	if _, err := NewCFD(nil, nil); err == nil {
+		t.Error("nil FD accepted")
+	}
+	c := MustNewCFD(f, map[string]string{"country": "China"})
+	if got := c.String(); !strings.Contains(got, "country=China") {
+		t.Errorf("String = %q", got)
+	}
+	if c.PatternValue("capital") != PatternWildcard {
+		t.Error("missing pattern attr should default to wildcard")
+	}
+	if c.FD() != f {
+		t.Error("FD accessor")
+	}
+}

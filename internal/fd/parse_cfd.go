@@ -1,0 +1,55 @@
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"fixrule/internal/schema"
+)
+
+// ParseCFD reads a CFD in the notation
+//
+//	"country -> capital, (country=China, capital=Beijing)"
+//
+// i.e. an embedded FD followed by a parenthesised pattern tuple assigning
+// constants (or '_') to attributes of X ∪ Y. Pattern entries may be
+// omitted, defaulting to '_'. Whitespace is insignificant.
+func ParseCFD(sch *schema.Schema, s string) (*CFD, error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		return nil, fmt.Errorf("fd: %q: missing pattern tuple \"(...)\"", s)
+	}
+	head := strings.TrimSpace(s[:open])
+	head = strings.TrimSuffix(head, ",")
+	f, err := Parse(sch, head)
+	if err != nil {
+		return nil, err
+	}
+	closeIdx := strings.LastIndex(s, ")")
+	if closeIdx < open {
+		return nil, fmt.Errorf("fd: %q: unterminated pattern tuple", s)
+	}
+	if rest := strings.TrimSpace(s[closeIdx+1:]); rest != "" {
+		return nil, fmt.Errorf("fd: %q: trailing content %q", s, rest)
+	}
+	pattern := map[string]string{}
+	body := strings.TrimSpace(s[open+1 : closeIdx])
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("fd: %q: malformed pattern entry %q", s, part)
+			}
+			a := strings.TrimSpace(kv[0])
+			v := strings.TrimSpace(kv[1])
+			if a == "" || v == "" {
+				return nil, fmt.Errorf("fd: %q: malformed pattern entry %q", s, part)
+			}
+			if _, dup := pattern[a]; dup {
+				return nil, fmt.Errorf("fd: %q: duplicate pattern attribute %q", s, a)
+			}
+			pattern[a] = v
+		}
+	}
+	return NewCFD(f, pattern)
+}

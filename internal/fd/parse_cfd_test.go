@@ -1,0 +1,80 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/schema"
+)
+
+func TestParseCFD(t *testing.T) {
+	sch := schema.New("R", "country", "capital", "city")
+	c, err := ParseCFD(sch, "country -> capital, (country=China, capital=Beijing)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PatternValue("country") != "China" || c.PatternValue("capital") != "Beijing" {
+		t.Errorf("pattern = %v/%v", c.PatternValue("country"), c.PatternValue("capital"))
+	}
+	if got := c.FD().String(); got != "country -> capital" {
+		t.Errorf("embedded FD = %q", got)
+	}
+
+	// Wildcards and omissions are equivalent.
+	c2, err := ParseCFD(sch, "country -> capital, (country=China, capital=_)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := ParseCFD(sch, "country -> capital, (country=China)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.PatternValue("capital") != PatternWildcard || c3.PatternValue("capital") != PatternWildcard {
+		t.Error("wildcard handling differs")
+	}
+
+	// Empty pattern tuple: all wildcards (plain FD semantics).
+	c4, err := ParseCFD(sch, "country -> capital, ()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.PatternValue("country") != PatternWildcard {
+		t.Error("empty pattern should default to wildcards")
+	}
+}
+
+func TestParseCFDErrors(t *testing.T) {
+	sch := schema.New("R", "country", "capital", "city")
+	cases := []struct{ src, wantErr string }{
+		{"country -> capital", "missing pattern"},
+		{"country capital, (x=1)", "missing \"->\""},
+		{"country -> capital, (country=China", "unterminated"},
+		{"country -> capital, (country China)", "malformed"},
+		{"country -> capital, (=China)", "malformed"},
+		{"country -> capital, (country=China, country=Japan)", "duplicate"},
+		{"country -> capital, (city=Paris)", "not in X"},
+		{"country -> capital, (country=China) extra", "trailing"},
+		{"zzz -> capital, (country=China)", "not in"},
+	}
+	for _, c := range cases {
+		_, err := ParseCFD(sch, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseCFD(%q) err = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseCFDRoundTripWithViolations(t *testing.T) {
+	sch := schema.New("R", "country", "capital", "city")
+	c, err := ParseCFD(sch, "country -> capital, (country=China, capital=Beijing)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"China", "Shanghai", "x"})
+	rel.Append(schema.Tuple{"Japan", "Kyoto", "x"})
+	vs := CFDViolations(rel, []*CFD{c})
+	if len(vs) != 1 || !vs[0].Constant || vs[0].Rows[0] != 0 {
+		t.Errorf("violations = %+v", vs)
+	}
+}

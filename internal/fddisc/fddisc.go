@@ -1,0 +1,248 @@
+// Package fddisc discovers functional dependencies from data, in the
+// levelwise style of TANE (Huhtala et al., The Computer Journal 1999).
+// The paper's rule-generation pipeline "start[s] with known dependencies";
+// discovery removes that last manual input, completing the fully
+// autonomous chain envisioned by its Section 8: dirty data → discovered
+// FDs → discovered fixing rules → repair.
+//
+// The search enumerates LHS candidates level by level up to MaxLHS
+// attributes and tests X → A with partition counting: the FD holds exactly
+// when the number of distinct X values equals the number of distinct
+// X ∪ {A} values. For dirty data an approximate criterion is used: the g3
+// error — the minimum fraction of tuples to delete for the FD to hold,
+// computed as 1 − (Σ over X-groups of the dominant A-count) / |rel| — must
+// not exceed MaxError. Discovered FDs are minimal: once X → A is accepted,
+// no superset of X is reported for A.
+package fddisc
+
+import (
+	"sort"
+	"strings"
+
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// Config tunes discovery.
+type Config struct {
+	// MaxLHS bounds the determinant size (default 2). Level l costs
+	// O(C(|R|, l) · |R| · n), so keep this small for wide schemas.
+	MaxLHS int
+	// MaxError is the highest admissible g3 error in [0, 1) (default 0:
+	// exact FDs only). Set it around the expected noise rate to discover
+	// FDs from dirty data.
+	MaxError float64
+	// MinDistinct rejects trivial determinants: an LHS must take at least
+	// this many distinct values (default 2), else everything trivially
+	// "depends" on it within one giant group.
+	MinDistinct int
+}
+
+func (c Config) maxLHS() int {
+	if c.MaxLHS > 0 {
+		return c.MaxLHS
+	}
+	return 2
+}
+
+func (c Config) minDistinct() int {
+	if c.MinDistinct > 0 {
+		return c.MinDistinct
+	}
+	return 2
+}
+
+// Discovered is one discovered dependency with its measured error.
+type Discovered struct {
+	FD *fd.FD
+	// Error is the g3 error on the input relation (0 for exact FDs).
+	Error float64
+}
+
+// Discover returns the minimal FDs of rel under the configuration, sorted
+// by determinant then dependent for determinism. RHS attributes with the
+// same LHS are reported as separate single-attribute FDs; use Merge to
+// combine them into the paper's X → Y1, Y2, ... notation.
+func Discover(rel *schema.Relation, cfg Config) ([]Discovered, error) {
+	sch := rel.Schema()
+	n := rel.Len()
+	arity := sch.Arity()
+	if n == 0 {
+		return nil, nil
+	}
+
+	// groupKeys materialises the group key of every row for an attribute
+	// set, encoded as joined values.
+	groupKeys := func(attrs []int) []string {
+		keys := make([]string, n)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.Reset()
+			row := rel.Row(i)
+			for _, a := range attrs {
+				b.WriteString(row[a])
+				b.WriteByte('\x1f')
+			}
+			keys[i] = b.String()
+		}
+		return keys
+	}
+
+	// g3 error of X → A given X's group keys.
+	g3 := func(xKeys []string, attr int) (float64, int) {
+		counts := make(map[string]map[string]int)
+		for i := 0; i < n; i++ {
+			m, ok := counts[xKeys[i]]
+			if !ok {
+				m = make(map[string]int)
+				counts[xKeys[i]] = m
+			}
+			m[rel.Row(i)[attr]]++
+		}
+		kept := 0
+		for _, m := range counts {
+			best := 0
+			for _, c := range m {
+				if c > best {
+					best = c
+				}
+			}
+			kept += best
+		}
+		return 1 - float64(kept)/float64(n), len(counts)
+	}
+
+	// accepted[A] collects the minimal determinants found for A so far, as
+	// sorted attr-index slices.
+	accepted := make([][][]int, arity)
+	isSuperset := func(attr int, x []int) bool {
+		for _, det := range accepted[attr] {
+			if containsAll(x, det) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Discovered
+	for _, x := range combinations(arity, cfg.maxLHS()) {
+		xKeys := groupKeys(x)
+		distinct := countDistinct(xKeys)
+		if distinct < cfg.minDistinct() {
+			continue
+		}
+		for a := 0; a < arity; a++ {
+			if containsIdx(x, a) || isSuperset(a, x) {
+				continue
+			}
+			err, _ := g3(xKeys, a)
+			if err <= cfg.MaxError {
+				lhs := make([]string, len(x))
+				for i, idx := range x {
+					lhs[i] = sch.Attrs()[idx]
+				}
+				f, ferr := fd.New(sch, lhs, []string{sch.Attrs()[a]})
+				if ferr != nil {
+					return nil, ferr
+				}
+				accepted[a] = append(accepted[a], x)
+				out = append(out, Discovered{FD: f, Error: err})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li := strings.Join(out[i].FD.LHS(), ",")
+		lj := strings.Join(out[j].FD.LHS(), ",")
+		if li != lj {
+			return li < lj
+		}
+		return out[i].FD.RHS()[0] < out[j].FD.RHS()[0]
+	})
+	return out, nil
+}
+
+// Merge combines discovered FDs sharing a determinant into one FD with a
+// multi-attribute RHS, preserving determinant order.
+func Merge(ds []Discovered) []*fd.FD {
+	type group struct {
+		lhs []string
+		rhs []string
+	}
+	byKey := map[string]*group{}
+	var order []string
+	for _, d := range ds {
+		k := strings.Join(d.FD.LHS(), "\x1f")
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{lhs: d.FD.LHS()}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.rhs = append(g.rhs, d.FD.RHS()...)
+	}
+	var out []*fd.FD
+	for _, k := range order {
+		g := byKey[k]
+		sort.Strings(g.rhs)
+		if f, err := fd.New(ds[0].FD.Schema(), g.lhs, g.rhs); err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// combinations enumerates the sorted index subsets of {0..n-1} of size 1
+// to maxSize, level by level (all singletons, then pairs, ...), which the
+// minimality pruning relies on.
+func combinations(n, maxSize int) [][]int {
+	var out [][]int
+	for size := 1; size <= maxSize && size <= n; size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			out = append(out, append([]int(nil), idx...))
+			// Advance to the next combination.
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return out
+}
+
+func containsIdx(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// containsAll reports whether sorted set x contains every element of det.
+func containsAll(x, det []int) bool {
+	for _, d := range det {
+		if !containsIdx(x, d) {
+			return false
+		}
+	}
+	return true
+}
+
+func countDistinct(keys []string) int {
+	set := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		set[k] = struct{}{}
+	}
+	return len(set)
+}

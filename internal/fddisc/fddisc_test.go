@@ -1,0 +1,238 @@
+package fddisc
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/dataset"
+	"fixrule/internal/fd"
+	"fixrule/internal/metrics"
+	"fixrule/internal/noise"
+	"fixrule/internal/repair"
+	"fixrule/internal/rulegen"
+	"fixrule/internal/schema"
+)
+
+func TestDiscoverExactFD(t *testing.T) {
+	sch := schema.New("Cap", "country", "capital", "conf")
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"China", "Beijing", "ICDE"})
+	rel.Append(schema.Tuple{"China", "Beijing", "SIGMOD"})
+	rel.Append(schema.Tuple{"Canada", "Ottawa", "ICDE"})
+	rel.Append(schema.Tuple{"Canada", "Ottawa", "VLDB"})
+	rel.Append(schema.Tuple{"Japan", "Tokyo", "ICDE"})
+
+	ds, err := Discover(rel, Config{MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// country → capital and capital → country hold; conf determines
+	// nothing; country → conf does not hold.
+	found := map[string]bool{}
+	for _, d := range ds {
+		found[d.FD.String()] = true
+		if d.Error != 0 {
+			t.Errorf("exact discovery returned error %v for %s", d.Error, d.FD)
+		}
+	}
+	if !found["country -> capital"] || !found["capital -> country"] {
+		t.Errorf("discovered = %v", found)
+	}
+	if found["country -> conf"] || found["conf -> country"] {
+		t.Errorf("bogus FD discovered: %v", found)
+	}
+}
+
+func TestDiscoverMinimality(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rel := schema.NewRelation(sch)
+	// a → c holds; {a,b} → c must NOT be reported (not minimal).
+	rel.Append(schema.Tuple{"1", "x", "p"})
+	rel.Append(schema.Tuple{"1", "y", "p"})
+	rel.Append(schema.Tuple{"2", "x", "q"})
+	rel.Append(schema.Tuple{"2", "y", "q"})
+	ds, err := Discover(rel, Config{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if len(d.FD.LHS()) == 2 && d.FD.RHS()[0] == "c" &&
+			containsStr(d.FD.LHS(), "a") {
+			t.Errorf("non-minimal FD reported: %s", d.FD)
+		}
+	}
+}
+
+func TestDiscoverApproximate(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	rel := schema.NewRelation(sch)
+	// k → v holds on 19 of 20 rows (one corrupted cell): g3 error 0.05.
+	for i := 0; i < 10; i++ {
+		rel.Append(schema.Tuple{"a", "1"})
+		rel.Append(schema.Tuple{"b", "2"})
+	}
+	rel.Set(0, "v", "9")
+	exact, err := Discover(rel, Config{MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range exact {
+		if d.FD.String() == "k -> v" {
+			t.Error("exact mode accepted a violated FD")
+		}
+	}
+	approx, err := Discover(rel, Config{MaxLHS: 1, MaxError: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	for _, d := range approx {
+		if d.FD.String() == "k -> v" {
+			ok = true
+			if d.Error < 0.049 || d.Error > 0.051 {
+				t.Errorf("g3 error = %v, want 0.05", d.Error)
+			}
+		}
+	}
+	if !ok {
+		t.Error("approximate mode missed k -> v")
+	}
+}
+
+func TestDiscoverRecoversPaperFDsOnHosp(t *testing.T) {
+	d := dataset.Hosp(3000, 1)
+	ds, err := Discover(d.Rel, Config{MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, disc := range ds {
+		found[disc.FD.String()] = true
+	}
+	// The single-attribute paper FDs must surface attribute by attribute.
+	for _, want := range []string{
+		"PN -> HN", "PN -> city", "PN -> state", "PN -> zip", "PN -> phn",
+		"phn -> zip", "phn -> city", "phn -> state",
+		"MC -> MN", "MC -> condition",
+	} {
+		if !found[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"1", "x", "p"})
+	rel.Append(schema.Tuple{"1", "x", "p"})
+	rel.Append(schema.Tuple{"2", "y", "q"})
+	ds, err := Discover(rel, Config{MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(ds)
+	var aFD *fd.FD
+	for _, f := range merged {
+		if len(f.LHS()) == 1 && f.LHS()[0] == "a" {
+			aFD = f
+		}
+	}
+	if aFD == nil || len(aFD.RHS()) != 2 {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+func TestDiscoverEmptyRelation(t *testing.T) {
+	rel := schema.NewRelation(schema.New("R", "a", "b"))
+	ds, err := Discover(rel, Config{})
+	if err != nil || ds != nil {
+		t.Errorf("empty relation: %v, %v", ds, err)
+	}
+}
+
+// TestFullyAutonomousPipeline is the Section 8 end-state: no expert, no
+// ground truth, no given FDs. Discover approximate FDs from the dirty
+// data, discover fixing rules from their violations, repair, and verify
+// the repairs are still dependable (high precision against the withheld
+// truth).
+func TestFullyAutonomousPipeline(t *testing.T) {
+	d := dataset.Hosp(6000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{
+		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FDs from the dirty data itself: allow error around the noise rate.
+	discovered, err := Discover(dirty, Config{MaxLHS: 1, MaxError: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds := Merge(discovered)
+	if len(fds) == 0 {
+		t.Fatal("no FDs discovered")
+	}
+	rules, err := rulegen.Discover(dirty, fds, rulegen.DiscoverConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Len() == 0 {
+		t.Fatal("no rules discovered")
+	}
+	res := repair.NewRepairer(rules).RepairRelation(dirty, repair.Linear)
+	s := metrics.Evaluate(d.Rel, dirty, res.Relation)
+	if s.Updated == 0 {
+		t.Fatal("autonomous pipeline repaired nothing")
+	}
+	if s.Precision < 0.75 {
+		t.Errorf("autonomous precision = %v, want >= 0.75", s.Precision)
+	}
+	t.Logf("autonomous pipeline: %d FDs, %d rules, %v", len(fds), rules.Len(), s)
+}
+
+func containsStr(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = strings.Join // keep strings import if assertions shrink
+
+// TestDiscoverLevel2 exercises the levelwise search beyond singletons:
+// on hosp, stateAvg is determined by {state, MC} but by neither attribute
+// alone, so it must surface exactly at level 2 — and not as a superset of
+// an accepted level-1 determinant.
+func TestDiscoverLevel2(t *testing.T) {
+	d := dataset.Hosp(4000, 1)
+	// Project to the three relevant attributes so level-2 enumeration on
+	// the full 17-attribute schema stays out of the test's time budget.
+	rel, err := d.Rel.Project("state", "MC", "stateAvg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Discover(rel, Config{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, disc := range ds {
+		found[disc.FD.String()] = true
+	}
+	if !found["state, MC -> stateAvg"] {
+		t.Errorf("missing the paper's level-2 FD; found %v", found)
+	}
+	if found["state -> stateAvg"] || found["MC -> stateAvg"] {
+		t.Error("level-1 determinant wrongly accepted for stateAvg")
+	}
+	// stateAvg encodes state and MC, so the reverse level-1 FDs hold and
+	// {stateAvg, X} supersets must be pruned.
+	for f := range found {
+		if strings.HasPrefix(f, "MC, stateAvg ->") || strings.HasPrefix(f, "state, stateAvg ->") {
+			t.Errorf("non-minimal FD reported: %s", f)
+		}
+	}
+}

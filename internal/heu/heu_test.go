@@ -1,0 +1,111 @@
+package heu
+
+import (
+	"testing"
+
+	"fixrule/internal/dataset"
+	"fixrule/internal/fd"
+	"fixrule/internal/metrics"
+	"fixrule/internal/noise"
+	"fixrule/internal/schema"
+)
+
+func TestRepairFixesTypoByMajority(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	f := fd.MustNew(sch, []string{"k"}, []string{"v"})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"a", "Beijing"})
+	rel.Append(schema.Tuple{"a", "Beijing"})
+	rel.Append(schema.Tuple{"a", "Bejing"}) // typo: close and outnumbered
+	out := Repair(rel, []*fd.FD{f}, Config{})
+	for i := 0; i < 3; i++ {
+		if got := out.Get(i, "v"); got != "Beijing" {
+			t.Errorf("row %d = %q", i, got)
+		}
+	}
+	// Input untouched.
+	if rel.Get(2, "v") != "Bejing" {
+		t.Error("Repair mutated its input")
+	}
+}
+
+func TestRepairPrefersCheapValueOnTie(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	f := fd.MustNew(sch, []string{"k"}, []string{"v"})
+	rel := schema.NewRelation(sch)
+	// 1-1 split: edit distance decides. "abcd" vs "abce" — both cost 1
+	// each way; the tie breaks to the lexicographically smaller candidate
+	// deterministically.
+	rel.Append(schema.Tuple{"a", "abcd"})
+	rel.Append(schema.Tuple{"a", "abce"})
+	out := Repair(rel, []*fd.FD{f}, Config{})
+	if out.Get(0, "v") != out.Get(1, "v") {
+		t.Fatal("group left inconsistent")
+	}
+	if got := out.Get(0, "v"); got != "abcd" {
+		t.Errorf("kept %q, want deterministic tie-break abcd", got)
+	}
+}
+
+func TestRepairComputesConsistentDatabase(t *testing.T) {
+	d := dataset.Hosp(3000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Repair(dirty, d.FDs, Config{})
+	if !fd.Satisfies(out, d.FDs) {
+		t.Error("Heu left FD violations (expected a consistent database)")
+	}
+}
+
+func TestRepairAccuracyShape(t *testing.T) {
+	// On typo-heavy noise Heu is accurate; on active-domain noise its
+	// precision drops (the paper's central comparison).
+	d := dataset.Hosp(4000, 1)
+	score := func(typoFrac float64) metrics.Scores {
+		dirty, _, err := noise.Inject(d.Rel, noise.Config{Rate: 0.10, TypoFraction: typoFrac, Attrs: d.NoiseAttrs, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := Repair(dirty, d.FDs, Config{})
+		return metrics.Evaluate(d.Rel, dirty, out)
+	}
+	typoHeavy := score(1.0)
+	domainHeavy := score(0.0)
+	if typoHeavy.Precision < 0.8 {
+		t.Errorf("typo-heavy precision = %v, want >= 0.8", typoHeavy.Precision)
+	}
+	if domainHeavy.Precision >= typoHeavy.Precision {
+		t.Errorf("precision should drop with active-domain errors: typo=%v domain=%v",
+			typoHeavy.Precision, domainHeavy.Precision)
+	}
+	if typoHeavy.Recall < 0.5 {
+		t.Errorf("typo-heavy recall = %v: Heu should repair most detectable errors", typoHeavy.Recall)
+	}
+}
+
+func TestRepairCleanInputIsNoop(t *testing.T) {
+	d := dataset.Hosp(1000, 1)
+	out := Repair(d.Rel, d.FDs, Config{})
+	if len(schema.Diff(d.Rel, out)) != 0 {
+		t.Error("Heu modified a clean relation")
+	}
+}
+
+func TestMaxRoundsCap(t *testing.T) {
+	// Two FDs that pull the same attribute different ways can oscillate;
+	// the round cap must force termination.
+	sch := schema.New("R", "a", "b", "c")
+	f1 := fd.MustNew(sch, []string{"a"}, []string{"c"})
+	f2 := fd.MustNew(sch, []string{"b"}, []string{"c"})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"x", "p", "1"})
+	rel.Append(schema.Tuple{"x", "q", "2"})
+	rel.Append(schema.Tuple{"y", "q", "3"})
+	rel.Append(schema.Tuple{"y", "p", "1"})
+	out := Repair(rel, []*fd.FD{f1, f2}, Config{MaxRounds: 3})
+	if out == nil {
+		t.Fatal("nil result")
+	}
+}

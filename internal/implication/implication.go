@@ -1,0 +1,198 @@
+// Package implication decides whether a fixing rule is implied by a
+// consistent ruleset (Section 4.3).
+//
+// Σ |= φ iff (i) Σ ∪ {φ} is consistent and (ii) for every tuple t the fix of
+// t by Σ equals the fix by Σ ∪ {φ} — i.e. φ is redundant.
+//
+// The problem is coNP-complete in general but PTIME when the relation schema
+// is fixed (Theorem 2). The checker here follows the paper's upper-bound
+// construction: a small-model property guarantees it suffices to inspect the
+// tuples whose values appear in Σ ∪ {φ} (plus one fresh constant per
+// attribute), so the checker enumerates exactly those tuples and compares
+// fixes. For a fixed schema the model count is polynomial in size(Σ).
+//
+// Condition (i) — Σ ∪ {φ} consistent — is decided with the paper's pairwise
+// characterisation, and therefore inherits the Proposition 3 gap documented
+// in DESIGN.md §6: rare same-target/same-fact rule trios can slip past the
+// pairwise check. Callers needing the stronger guarantee can pre-screen
+// with consistency.ByEnumerationStrict.
+package implication
+
+import (
+	"fmt"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// DefaultMaxTuples bounds the small-model enumeration. The bound exists
+// because the general problem is coNP-complete: with many attributes the
+// model can blow up exponentially, and the checker reports an error rather
+// than silently running forever.
+const DefaultMaxTuples = 2_000_000
+
+// Options configures the checker.
+type Options struct {
+	// MaxTuples overrides DefaultMaxTuples when positive.
+	MaxTuples int
+}
+
+func (o Options) maxTuples() int {
+	if o.MaxTuples > 0 {
+		return o.MaxTuples
+	}
+	return DefaultMaxTuples
+}
+
+// Result reports an implication decision.
+type Result struct {
+	// Implied is true iff Σ |= φ.
+	Implied bool
+	// Witness, when Implied is false, explains why: either a tuple whose
+	// fixes under Σ and Σ ∪ {φ} differ, or the witness of an inconsistency
+	// between φ and Σ.
+	Witness schema.Tuple
+	// Inconsistent is true when the failure is a consistency violation
+	// (condition (i)) rather than a fix difference (condition (ii)).
+	Inconsistent bool
+	// Checked is the number of small-model tuples inspected.
+	Checked int
+}
+
+// Implies decides Σ |= φ. Σ must be consistent; an inconsistent Σ is
+// reported as an error because implication is defined only for consistent
+// sets. An enumeration larger than MaxTuples is also an error.
+func Implies(rs *core.Ruleset, phi *core.Rule, opts Options) (*Result, error) {
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		return nil, fmt.Errorf("implication: Σ is inconsistent: %w", conf)
+	}
+	if !phi.Schema().Equal(rs.Schema()) {
+		return nil, fmt.Errorf("implication: rule %s is on schema %s, Σ is on %s",
+			phi.Name(), phi.Schema(), rs.Schema())
+	}
+
+	// Condition (i): Σ ∪ {φ} consistent. Σ is already consistent, so only
+	// pairs involving φ need checking (Proposition 3).
+	for _, r := range rs.Rules() {
+		if conf := consistency.PairConsistentR(r, phi); conf != nil {
+			return &Result{Inconsistent: true, Witness: conf.Witness}, nil
+		}
+	}
+
+	// Condition (ii): equal fixes over the small model.
+	values := smallModelValues(rs, phi)
+	total := 1
+	for _, vs := range values {
+		total *= len(vs)
+		if total > opts.maxTuples() {
+			return nil, fmt.Errorf("implication: small model has more than %d tuples (use Options.MaxTuples to raise the bound)", opts.maxTuples())
+		}
+	}
+
+	withPhi := append(append([]*core.Rule(nil), rs.Rules()...), phi)
+	sch := rs.Schema()
+	t := make(schema.Tuple, sch.Arity())
+	res := &Result{Implied: true}
+	var enumerate func(idx int) bool // returns false to stop
+	enumerate = func(idx int) bool {
+		if idx == sch.Arity() {
+			res.Checked++
+			a, _, _ := core.Fix(rs.Rules(), t)
+			b, _, _ := core.Fix(withPhi, t)
+			if !a.Equal(b) {
+				res.Implied = false
+				res.Witness = t.Clone()
+				return false
+			}
+			return true
+		}
+		for _, v := range values[idx] {
+			t[idx] = v
+			if !enumerate(idx + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	enumerate(0)
+	return res, nil
+}
+
+// smallModelValues collects, per attribute position, the constants appearing
+// in Σ ∪ {φ} on that attribute — evidence values, negative patterns and
+// facts — plus the fresh wildcard constant.
+func smallModelValues(rs *core.Ruleset, phi *core.Rule) [][]string {
+	sch := rs.Schema()
+	sets := make([]map[string]struct{}, sch.Arity())
+	for i := range sets {
+		sets[i] = map[string]struct{}{consistency.Wildcard: {}}
+	}
+	collect := func(r *core.Rule) {
+		for _, a := range r.EvidenceAttrs() {
+			v, _ := r.EvidenceValue(a)
+			sets[sch.Index(a)][v] = struct{}{}
+		}
+		for _, v := range r.NegativePatterns() {
+			sets[r.TargetIndex()][v] = struct{}{}
+		}
+		sets[r.TargetIndex()][r.Fact()] = struct{}{}
+	}
+	for _, r := range rs.Rules() {
+		collect(r)
+	}
+	collect(phi)
+
+	out := make([][]string, sch.Arity())
+	for i, set := range sets {
+		for v := range set {
+			out[i] = append(out[i], v)
+		}
+		// Deterministic order for reproducible witnesses.
+		sortStrings(out[i])
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Minimize removes implied (redundant) rules from Σ greedily: it repeatedly
+// looks for a rule implied by the remaining ones and drops it. The result is
+// a non-redundant subset with the same repairing behaviour on every tuple.
+// Rules are considered in reverse insertion order, so earlier (presumably
+// more fundamental) rules are preferred.
+func Minimize(rs *core.Ruleset, opts Options) (*core.Ruleset, []string, error) {
+	cur := rs.Clone()
+	var dropped []string
+	for {
+		removedOne := false
+		rules := cur.Rules()
+		for i := len(rules) - 1; i >= 0; i-- {
+			phi := rules[i]
+			rest := cur.Clone()
+			rest.Remove(phi.Name())
+			if rest.Len() == 0 {
+				continue
+			}
+			res, err := Implies(rest, phi, opts)
+			if err != nil {
+				return nil, dropped, err
+			}
+			if res.Implied {
+				cur = rest
+				dropped = append(dropped, phi.Name())
+				removedOne = true
+				break
+			}
+		}
+		if !removedOne {
+			return cur, dropped, nil
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package implication
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+func travel() *schema.Schema {
+	return schema.New("Travel", "name", "country", "capital", "city", "conf")
+}
+
+func phi1(sch *schema.Schema) *core.Rule {
+	return core.MustNew("phi1", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong"}, "Beijing")
+}
+
+func TestSubRuleIsImplied(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch))
+	// A rule with a subset of φ1's negative patterns repairs a subset of the
+	// tuples φ1 repairs, to the same fact: implied.
+	sub := core.MustNew("sub", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	res, err := Implies(rs, sub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Implied {
+		t.Errorf("sub-rule not implied; witness %v", res.Witness)
+	}
+	if res.Checked == 0 {
+		t.Error("no tuples checked")
+	}
+}
+
+func TestWiderRuleIsNotImplied(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch))
+	// Extra negative pattern Nanjing: repairs tuples Σ does not touch.
+	wider := core.MustNew("wider", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong", "Nanjing"}, "Beijing")
+	res, err := Implies(rs, wider, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implied {
+		t.Fatal("wider rule must not be implied")
+	}
+	if res.Inconsistent {
+		t.Error("failure should be a fix difference, not inconsistency")
+	}
+	// The witness must be a (China, Nanjing) tuple.
+	if res.Witness[sch.MustIndex("country")] != "China" || res.Witness[sch.MustIndex("capital")] != "Nanjing" {
+		t.Errorf("witness = %v", res.Witness)
+	}
+}
+
+func TestInconsistentCandidate(t *testing.T) {
+	sch := travel()
+	phi1p := core.MustNew("phi1p", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong", "Tokyo"}, "Beijing")
+	rs := core.MustRuleset(phi1p)
+	phi3 := core.MustNew("phi3", sch,
+		map[string]string{"capital": "Tokyo", "city": "Tokyo", "conf": "ICDE"},
+		"country", []string{"China"}, "Japan")
+	res, err := Implies(rs, phi3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implied || !res.Inconsistent {
+		t.Errorf("res = %+v, want inconsistent non-implication", res)
+	}
+}
+
+func TestImpliesRejectsInconsistentSigma(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(
+		core.MustNew("a", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai"}, "Beijing"),
+		core.MustNew("b", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai"}, "Nanking"),
+	)
+	probe := core.MustNew("p", sch, map[string]string{"country": "Japan"},
+		"capital", []string{"Osaka"}, "Tokyo")
+	if _, err := Implies(rs, probe, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("err = %v, want inconsistent-Σ error", err)
+	}
+}
+
+func TestImpliesSchemaMismatch(t *testing.T) {
+	rs := core.MustRuleset(phi1(travel()))
+	other := schema.New("Other", "x", "y")
+	probe := core.MustNew("p", other, map[string]string{"x": "1"}, "y", []string{"2"}, "3")
+	if _, err := Implies(rs, probe, Options{}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestMaxTuplesBound(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch))
+	sub := core.MustNew("sub", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai"}, "Beijing")
+	if _, err := Implies(rs, sub, Options{MaxTuples: 1}); err == nil ||
+		!strings.Contains(err.Error(), "small model") {
+		t.Errorf("err = %v, want small-model bound error", err)
+	}
+}
+
+func TestSelfImplication(t *testing.T) {
+	// A rule identical (same semantics, different name) to one in Σ is implied.
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch))
+	copyRule := core.MustNew("copy", sch, map[string]string{"country": "China"},
+		"capital", []string{"Shanghai", "Hongkong"}, "Beijing")
+	res, err := Implies(rs, copyRule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Implied {
+		t.Errorf("identical rule not implied; witness %v", res.Witness)
+	}
+}
+
+func TestDifferentEvidenceNotImplied(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(phi1(sch))
+	probe := core.MustNew("p", sch, map[string]string{"country": "Canada"},
+		"capital", []string{"Toronto"}, "Ottawa")
+	res, err := Implies(rs, probe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implied {
+		t.Fatal("rule on fresh evidence must not be implied")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	sch := travel()
+	full := phi1(sch)
+	sub := core.MustNew("sub", sch, map[string]string{"country": "China"},
+		"capital", []string{"Hongkong"}, "Beijing")
+	indep := core.MustNew("indep", sch, map[string]string{"country": "Canada"},
+		"capital", []string{"Toronto"}, "Ottawa")
+	rs := core.MustRuleset(full, sub, indep)
+	min, dropped, err := Minimize(rs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Len() != 2 {
+		t.Fatalf("minimized to %d rules, want 2 (dropped %v)", min.Len(), dropped)
+	}
+	if min.Get("sub") != nil {
+		t.Error("sub should have been dropped (implied by phi1)")
+	}
+	if min.Get("phi1") == nil || min.Get("indep") == nil {
+		t.Error("non-redundant rules dropped")
+	}
+	if len(dropped) != 1 || dropped[0] != "sub" {
+		t.Errorf("dropped = %v", dropped)
+	}
+}
+
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	sch := travel()
+	rs := core.MustRuleset(
+		phi1(sch),
+		core.MustNew("phi2", sch, map[string]string{"country": "Canada"},
+			"capital", []string{"Toronto"}, "Ottawa"),
+	)
+	min, dropped, err := Minimize(rs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Len() != 2 || len(dropped) != 0 {
+		t.Errorf("minimal set changed: %d rules, dropped %v", min.Len(), dropped)
+	}
+}

@@ -1,0 +1,70 @@
+package implication
+
+import (
+	"fmt"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// TestFixedSchemaPolynomial exercises Theorem 2's special case: for a
+// fixed schema the small model grows polynomially in the number of rules,
+// so implication stays tractable as Σ grows. The test checks that the
+// number of inspected tuples matches the product of per-attribute value
+// counts and stays well under the default bound for dozens of rules.
+func TestFixedSchemaPolynomial(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	rs := core.NewRuleset(sch)
+	// n rules with distinct evidence constants on a, shared target b.
+	const n = 40
+	for i := 0; i < n; i++ {
+		r := core.MustNew(fmt.Sprintf("r%02d", i), sch,
+			map[string]string{"a": fmt.Sprintf("e%02d", i)},
+			"b", []string{fmt.Sprintf("neg%02d", i)}, "fact")
+		if err := rs.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := core.MustNew("probe", sch,
+		map[string]string{"a": "e00"}, "b", []string{"neg00"}, "fact")
+	res, err := Implies(rs, probe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Implied {
+		t.Errorf("duplicate of r00 not implied; witness %v", res.Witness)
+	}
+	// Small model: |values(a)| × |values(b)| = (n evidence + probe dup +
+	// wildcard) × (n negatives + fact + wildcard). Exact counting guards
+	// against accidental exponential blow-up.
+	wantA := n + 1 // n distinct evidence values + wildcard (probe duplicates e00)
+	wantB := n + 2 // n negatives + shared fact + wildcard
+	if res.Checked != wantA*wantB {
+		t.Errorf("checked %d tuples, want %d", res.Checked, wantA*wantB)
+	}
+}
+
+// TestWitnessMinimality: the first differing tuple reported as witness
+// must actually distinguish Σ from Σ∪{φ}.
+func TestWitnessMinimality(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	rs := core.MustRuleset(
+		core.MustNew("base", sch, map[string]string{"a": "1"}, "b", []string{"x"}, "ok"),
+	)
+	probe := core.MustNew("probe", sch, map[string]string{"a": "1"}, "b", []string{"x", "y"}, "ok")
+	res, err := Implies(rs, probe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implied {
+		t.Fatal("wider probe must not be implied")
+	}
+	w := res.Witness
+	before, _, _ := core.Fix(rs.Rules(), w)
+	withProbe := append(append([]*core.Rule(nil), rs.Rules()...), probe)
+	after, _, _ := core.Fix(withProbe, w)
+	if before.Equal(after) {
+		t.Errorf("witness %v does not distinguish the rulesets", w)
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fixrule/internal/schema"
+)
+
+// AttributeScores breaks a repair's quality down by attribute: which
+// columns the rules repair well and which they miss — the first question a
+// practitioner asks when recall is low.
+type AttributeScores struct {
+	// Attr is the attribute name.
+	Attr string
+	// Scores are the cell-level scores restricted to this attribute.
+	Scores Scores
+}
+
+// EvaluateByAttribute computes per-attribute precision/recall. Attributes
+// with neither errors nor updates are omitted.
+func EvaluateByAttribute(truth, dirty, repaired *schema.Relation) []AttributeScores {
+	if truth.Len() != dirty.Len() || truth.Len() != repaired.Len() {
+		panic("metrics: relations have different lengths")
+	}
+	if !truth.Schema().Equal(dirty.Schema()) || !truth.Schema().Equal(repaired.Schema()) {
+		panic("metrics: relations have different schemas")
+	}
+	sch := truth.Schema()
+	per := make([]Scores, sch.Arity())
+	for i := 0; i < truth.Len(); i++ {
+		tt, td, tr := truth.Row(i), dirty.Row(i), repaired.Row(i)
+		for j := 0; j < sch.Arity(); j++ {
+			if td[j] != tt[j] {
+				per[j].Errors++
+			}
+			if tr[j] != td[j] {
+				per[j].Updated++
+				if tr[j] == tt[j] {
+					per[j].Corrected++
+				}
+			}
+		}
+	}
+	var out []AttributeScores
+	for j, s := range per {
+		if s.Errors == 0 && s.Updated == 0 {
+			continue
+		}
+		s.Precision = ratio(s.Corrected, s.Updated)
+		s.Recall = ratio(s.Corrected, s.Errors)
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		out = append(out, AttributeScores{Attr: sch.Attrs()[j], Scores: s})
+	}
+	// Worst recall first: that is where the practitioner looks.
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Scores.Recall != out[b].Scores.Recall {
+			return out[a].Scores.Recall < out[b].Scores.Recall
+		}
+		return out[a].Attr < out[b].Attr
+	})
+	return out
+}
+
+// FormatByAttribute renders per-attribute scores as an aligned table.
+func FormatByAttribute(scores []AttributeScores) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %9s %9s %8s %8s %9s\n",
+		"attribute", "precision", "recall", "errors", "updated", "corrected")
+	for _, as := range scores {
+		fmt.Fprintf(&b, "%-14s %9.4f %9.4f %8d %8d %9d\n",
+			as.Attr, as.Scores.Precision, as.Scores.Recall,
+			as.Scores.Errors, as.Scores.Updated, as.Scores.Corrected)
+	}
+	return b.String()
+}

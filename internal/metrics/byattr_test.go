@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/schema"
+)
+
+func rel3(rows ...[]string) *schema.Relation {
+	r := schema.NewRelation(schema.New("R", "a", "b", "c"))
+	for _, row := range rows {
+		r.Append(schema.Tuple(row))
+	}
+	return r
+}
+
+func TestEvaluateByAttribute(t *testing.T) {
+	truth := rel3(
+		[]string{"1", "x", "p"},
+		[]string{"2", "y", "q"},
+	)
+	dirty := rel3(
+		[]string{"1", "BAD", "p"},  // error on b, repaired
+		[]string{"2", "BAD2", "Q"}, // error on b (missed) and c (missed)
+	)
+	repaired := rel3(
+		[]string{"1", "x", "p"},
+		[]string{"2", "BAD2", "Q"},
+	)
+	scores := EvaluateByAttribute(truth, dirty, repaired)
+	// a: clean and untouched → omitted. b and c present.
+	if len(scores) != 2 {
+		t.Fatalf("scores = %+v", scores)
+	}
+	// Sorted worst-recall first: c (0/1) before b (1/2).
+	if scores[0].Attr != "c" || scores[0].Scores.Recall != 0 {
+		t.Errorf("first = %+v", scores[0])
+	}
+	if scores[1].Attr != "b" || scores[1].Scores.Recall != 0.5 || scores[1].Scores.Precision != 1 {
+		t.Errorf("second = %+v", scores[1])
+	}
+	out := FormatByAttribute(scores)
+	if !strings.Contains(out, "attribute") || !strings.Contains(out, "c ") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestEvaluateByAttributeAllClean(t *testing.T) {
+	truth := rel3([]string{"1", "x", "p"})
+	if got := EvaluateByAttribute(truth, truth.Clone(), truth.Clone()); len(got) != 0 {
+		t.Errorf("clean data produced %v", got)
+	}
+}
+
+func TestEvaluateByAttributePanics(t *testing.T) {
+	truth := rel3([]string{"1", "x", "p"})
+	short := rel3()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvaluateByAttribute(truth, short, truth.Clone())
+}

@@ -1,0 +1,80 @@
+// Package metrics scores repair quality the way Section 7.1 does:
+//
+//	precision = corrected attribute values / all attribute values updated
+//	recall    = corrected attribute values / all erroneous attribute values
+//
+// where a cell counts as corrected when the repair changed it and its new
+// value equals the ground truth.
+package metrics
+
+import (
+	"fmt"
+
+	"fixrule/internal/schema"
+)
+
+// Scores is the outcome of comparing a repair against ground truth.
+type Scores struct {
+	// Errors is the number of erroneous cells in the dirty relation
+	// (cells differing from truth).
+	Errors int
+	// Updated is the number of cells the repair changed.
+	Updated int
+	// Corrected is the number of updated cells whose new value equals the
+	// truth.
+	Corrected int
+	// Precision = Corrected / Updated (1 if nothing was updated: a repair
+	// that changes nothing makes no mistakes).
+	Precision float64
+	// Recall = Corrected / Errors (1 if the dirty data had no errors).
+	Recall float64
+	// F1 is the harmonic mean of Precision and Recall.
+	F1 float64
+}
+
+// String renders the scores compactly.
+func (s Scores) String() string {
+	return fmt.Sprintf("P=%.4f R=%.4f F1=%.4f (errors=%d updated=%d corrected=%d)",
+		s.Precision, s.Recall, s.F1, s.Errors, s.Updated, s.Corrected)
+}
+
+// Evaluate scores a repaired relation against the ground truth and the
+// dirty input. The three relations must share schema and length.
+func Evaluate(truth, dirty, repaired *schema.Relation) Scores {
+	if truth.Len() != dirty.Len() || truth.Len() != repaired.Len() {
+		panic("metrics: relations have different lengths")
+	}
+	if !truth.Schema().Equal(dirty.Schema()) || !truth.Schema().Equal(repaired.Schema()) {
+		panic("metrics: relations have different schemas")
+	}
+	var s Scores
+	arity := truth.Schema().Arity()
+	for i := 0; i < truth.Len(); i++ {
+		tt, td, tr := truth.Row(i), dirty.Row(i), repaired.Row(i)
+		for j := 0; j < arity; j++ {
+			if td[j] != tt[j] {
+				s.Errors++
+			}
+			if tr[j] != td[j] {
+				s.Updated++
+				if tr[j] == tt[j] {
+					s.Corrected++
+				}
+			}
+		}
+	}
+	s.Precision = ratio(s.Corrected, s.Updated)
+	s.Recall = ratio(s.Corrected, s.Errors)
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// ratio returns num/den, or 1 when den is zero (vacuous success).
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fixrule/internal/schema"
+)
+
+func rel(rows ...[]string) *schema.Relation {
+	r := schema.NewRelation(schema.New("R", "a", "b"))
+	for _, row := range rows {
+		r.Append(schema.Tuple(row))
+	}
+	return r
+}
+
+func TestEvaluatePerfectRepair(t *testing.T) {
+	truth := rel([]string{"1", "x"}, []string{"2", "y"})
+	dirty := rel([]string{"1", "z"}, []string{"2", "y"})
+	s := Evaluate(truth, dirty, truth.Clone())
+	if s.Errors != 1 || s.Updated != 1 || s.Corrected != 1 {
+		t.Fatalf("scores = %+v", s)
+	}
+	if s.Precision != 1 || s.Recall != 1 || s.F1 != 1 {
+		t.Errorf("P/R/F1 = %v/%v/%v", s.Precision, s.Recall, s.F1)
+	}
+}
+
+func TestEvaluateNoOpRepair(t *testing.T) {
+	truth := rel([]string{"1", "x"})
+	dirty := rel([]string{"1", "z"})
+	s := Evaluate(truth, dirty, dirty.Clone())
+	// Nothing updated: vacuous precision 1, recall 0.
+	if s.Precision != 1 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("scores = %+v", s)
+	}
+	if s.Errors != 1 || s.Updated != 0 {
+		t.Errorf("counts = %+v", s)
+	}
+}
+
+func TestEvaluateWrongUpdate(t *testing.T) {
+	truth := rel([]string{"1", "x"}, []string{"2", "y"})
+	dirty := rel([]string{"1", "z"}, []string{"2", "y"})
+	repaired := rel([]string{"1", "w"}, []string{"2", "q"}) // both updates wrong
+	s := Evaluate(truth, dirty, repaired)
+	if s.Updated != 2 || s.Corrected != 0 {
+		t.Fatalf("scores = %+v", s)
+	}
+	if s.Precision != 0 || s.Recall != 0 {
+		t.Errorf("P/R = %v/%v", s.Precision, s.Recall)
+	}
+}
+
+func TestEvaluateMixed(t *testing.T) {
+	truth := rel(
+		[]string{"1", "x"},
+		[]string{"2", "y"},
+		[]string{"3", "z"},
+		[]string{"4", "w"},
+	)
+	dirty := rel(
+		[]string{"1", "BAD"},  // error, will be corrected
+		[]string{"2", "BAD"},  // error, left alone
+		[]string{"3", "z"},    // clean, will be wrongly updated
+		[]string{"4", "BAD2"}, // error, updated to a still-wrong value
+	)
+	repaired := rel(
+		[]string{"1", "x"},
+		[]string{"2", "BAD"},
+		[]string{"3", "OOPS"},
+		[]string{"4", "OOPS2"},
+	)
+	s := Evaluate(truth, dirty, repaired)
+	if s.Errors != 3 || s.Updated != 3 || s.Corrected != 1 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if math.Abs(s.Precision-1.0/3) > 1e-12 || math.Abs(s.Recall-1.0/3) > 1e-12 {
+		t.Errorf("P/R = %v/%v, want 1/3 each", s.Precision, s.Recall)
+	}
+	if math.Abs(s.F1-1.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", s.F1)
+	}
+}
+
+func TestEvaluateCleanData(t *testing.T) {
+	truth := rel([]string{"1", "x"})
+	s := Evaluate(truth, truth.Clone(), truth.Clone())
+	// No errors, no updates: vacuous 1/1.
+	if s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("scores = %+v", s)
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	truth := rel([]string{"1", "x"})
+	short := rel()
+	t.Run("length", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		Evaluate(truth, short, truth.Clone())
+	})
+	t.Run("schema", func(t *testing.T) {
+		other := schema.NewRelation(schema.New("Other", "q", "r"))
+		other.Append(schema.Tuple{"1", "x"})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		Evaluate(truth, other, truth.Clone())
+	})
+}
+
+func TestScoresString(t *testing.T) {
+	s := Scores{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3, Errors: 4, Updated: 2, Corrected: 1}
+	out := s.String()
+	for _, want := range []string{"P=0.5000", "R=0.2500", "errors=4", "updated=2", "corrected=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}

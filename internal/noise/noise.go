@@ -1,0 +1,180 @@
+// Package noise generates dirty data the way Section 7.1 describes: the
+// clean dataset is treated as ground truth and noise is added only to
+// attributes related to the integrity constraints, controlled by a noise
+// rate (10% by default in the paper). Two error types are injected:
+//
+//   - typos: one random character edit on the value (e.g. Ottawa → Ottawo);
+//   - active-domain errors: the value is replaced with a different value
+//     drawn from the same attribute's active domain (e.g. Ottawa → Beijing).
+//
+// The mix is controlled by the typo fraction, the x-axis of Figures 10(a)
+// and 10(e).
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fixrule/internal/schema"
+	"fixrule/internal/strutil"
+)
+
+// Mode selects what the noise rate is a fraction of.
+type Mode int
+
+const (
+	// PerTuple (the default, matching the paper's setup) corrupts
+	// Rate × |rel| tuples, one randomly chosen eligible cell each.
+	PerTuple Mode = iota
+	// PerCell corrupts Rate × |rel| × |Attrs| cells chosen uniformly over
+	// the whole eligible cell grid; individual tuples may then carry
+	// several errors.
+	PerCell
+)
+
+// Config controls dirty-data generation.
+type Config struct {
+	// Rate is the noise rate in [0, 1]: the fraction of tuples (PerTuple)
+	// or eligible cells (PerCell) to corrupt. The paper's default is 0.10.
+	Rate float64
+	// Mode selects the rate interpretation; the zero value is PerTuple.
+	Mode Mode
+	// TypoFraction is the fraction of corrupted cells receiving a typo;
+	// the rest receive an active-domain error. In [0, 1].
+	TypoFraction float64
+	// Attrs are the attributes eligible for corruption (the FD-related
+	// attributes of the dataset).
+	Attrs []string
+	// Seed drives the deterministic PRNG.
+	Seed int64
+}
+
+// Error records one injected error, for ground-truth bookkeeping.
+type Error struct {
+	Cell      schema.Cell
+	Original  string
+	Corrupted string
+	// Typo is true for character-edit errors, false for active-domain
+	// errors.
+	Typo bool
+}
+
+// Inject returns a corrupted copy of clean plus the injected error list.
+// The input relation is not modified. Corruption is deterministic in
+// cfg.Seed: the same configuration always yields the same dirty relation.
+func Inject(clean *schema.Relation, cfg Config) (*schema.Relation, []Error, error) {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, nil, fmt.Errorf("noise: rate %v out of [0,1]", cfg.Rate)
+	}
+	if cfg.TypoFraction < 0 || cfg.TypoFraction > 1 {
+		return nil, nil, fmt.Errorf("noise: typo fraction %v out of [0,1]", cfg.TypoFraction)
+	}
+	if len(cfg.Attrs) == 0 {
+		return nil, nil, fmt.Errorf("noise: no attributes to corrupt")
+	}
+	sch := clean.Schema()
+	attrIdx := make([]int, len(cfg.Attrs))
+	for i, a := range cfg.Attrs {
+		if !sch.Has(a) {
+			return nil, nil, fmt.Errorf("noise: attribute %q not in %s", a, sch)
+		}
+		attrIdx[i] = sch.Index(a)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dirty := clean.Clone()
+
+	// Pre-compute active domains once per eligible attribute.
+	domains := make([][]string, len(cfg.Attrs))
+	for i, a := range cfg.Attrs {
+		domains[i] = clean.ActiveDomain(a)
+	}
+
+	// Choose the victim cells. Both modes pick exactly round(rate × pool)
+	// distinct units via a partial Fisher–Yates shuffle: tuples for
+	// PerTuple (one random eligible cell each), cells for PerCell.
+	type victim struct{ row, ai int }
+	var victims []victim
+	switch cfg.Mode {
+	case PerTuple:
+		pool := clean.Len()
+		target := int(cfg.Rate*float64(pool) + 0.5)
+		if target > pool {
+			target = pool
+		}
+		flat := make([]int, pool)
+		for i := range flat {
+			flat[i] = i
+		}
+		for k := 0; k < target; k++ {
+			j := k + rng.Intn(pool-k)
+			flat[k], flat[j] = flat[j], flat[k]
+			victims = append(victims, victim{row: flat[k], ai: rng.Intn(len(cfg.Attrs))})
+		}
+	case PerCell:
+		pool := clean.Len() * len(cfg.Attrs)
+		target := int(cfg.Rate*float64(pool) + 0.5)
+		if target > pool {
+			target = pool
+		}
+		flat := make([]int, pool)
+		for i := range flat {
+			flat[i] = i
+		}
+		for k := 0; k < target; k++ {
+			j := k + rng.Intn(pool-k)
+			flat[k], flat[j] = flat[j], flat[k]
+			victims = append(victims, victim{row: flat[k] / len(cfg.Attrs), ai: flat[k] % len(cfg.Attrs)})
+		}
+	default:
+		return nil, nil, fmt.Errorf("noise: unknown mode %d", cfg.Mode)
+	}
+
+	var errors []Error
+	for _, v := range victims {
+		row, ai := v.row, v.ai
+		orig := dirty.Row(row)[attrIdx[ai]]
+
+		isTypo := rng.Float64() < cfg.TypoFraction
+		var corrupted string
+		if isTypo {
+			corrupted = strutil.Typo(rng, orig)
+		} else {
+			corrupted = activeDomainError(rng, domains[ai], orig)
+			if corrupted == orig {
+				// Degenerate domain (single value): fall back to a typo so
+				// the requested error count is honoured.
+				corrupted = strutil.Typo(rng, orig)
+				isTypo = true
+			}
+		}
+		dirty.Row(row)[attrIdx[ai]] = corrupted
+		errors = append(errors, Error{
+			Cell:      schema.Cell{Row: row, Attr: cfg.Attrs[ai]},
+			Original:  orig,
+			Corrupted: corrupted,
+			Typo:      isTypo,
+		})
+	}
+	return dirty, errors, nil
+}
+
+// activeDomainError picks a domain value different from orig, or returns
+// orig when the domain is degenerate.
+func activeDomainError(rng *rand.Rand, domain []string, orig string) string {
+	if len(domain) < 2 {
+		return orig
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		if v := domain[rng.Intn(len(domain))]; v != orig {
+			return v
+		}
+	}
+	// Deterministic fallback: the first domain value that differs.
+	for _, v := range domain {
+		if v != orig {
+			return v
+		}
+	}
+	return orig
+}

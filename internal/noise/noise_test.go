@@ -1,0 +1,204 @@
+package noise
+
+import (
+	"testing"
+
+	"fixrule/internal/dataset"
+	"fixrule/internal/schema"
+)
+
+func TestInjectRateAndBookkeeping(t *testing.T) {
+	d := dataset.Hosp(2000, 1)
+	cfg := Config{Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 7}
+	dirty, errs, err := Inject(d.Rel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default mode is PerTuple: 10% of tuples get one error each.
+	want := int(0.10*float64(d.Rel.Len()) + 0.5)
+	if len(errs) != want {
+		t.Errorf("injected %d errors, want %d", len(errs), want)
+	}
+	// Every recorded error matches the actual diff between clean and dirty.
+	diff := schema.Diff(d.Rel, dirty)
+	if len(diff) != len(errs) {
+		t.Errorf("diff = %d cells, errors = %d", len(diff), len(errs))
+	}
+	for _, e := range errs {
+		if got := dirty.Get(e.Cell.Row, e.Cell.Attr); got != e.Corrupted {
+			t.Fatalf("cell %v = %q, recorded %q", e.Cell, got, e.Corrupted)
+		}
+		if orig := d.Rel.Get(e.Cell.Row, e.Cell.Attr); orig != e.Original {
+			t.Fatalf("cell %v original = %q, recorded %q", e.Cell, orig, e.Original)
+		}
+		if e.Original == e.Corrupted {
+			t.Fatalf("cell %v: error did not change the value %q", e.Cell, e.Original)
+		}
+	}
+	// Input untouched.
+	if len(schema.Diff(d.Rel, dataset.Hosp(2000, 1).Rel)) != 0 {
+		t.Error("Inject mutated the clean relation")
+	}
+}
+
+func TestInjectTypoFractionExtremes(t *testing.T) {
+	d := dataset.Hosp(1000, 1)
+	// All typos.
+	_, errs, err := Inject(d.Rel, Config{Rate: 0.05, TypoFraction: 1, Attrs: d.NoiseAttrs, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		if !e.Typo {
+			t.Fatalf("TypoFraction=1 produced an active-domain error: %+v", e)
+		}
+	}
+	// All active-domain (up to degenerate-domain fallbacks).
+	_, errs, err = Inject(d.Rel, Config{Rate: 0.05, TypoFraction: 0, Attrs: d.NoiseAttrs, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	domainErrs := 0
+	for _, e := range errs {
+		if !e.Typo {
+			domainErrs++
+			// Active-domain errors come from the clean active domain.
+			found := false
+			for _, v := range d.Rel.ActiveDomain(e.Cell.Attr) {
+				if v == e.Corrupted {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("active-domain error %q not in domain of %s", e.Corrupted, e.Cell.Attr)
+			}
+		}
+	}
+	if domainErrs < len(errs)*9/10 {
+		t.Errorf("TypoFraction=0: only %d/%d active-domain errors", domainErrs, len(errs))
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	d := dataset.UIS(500, 1)
+	cfg := Config{Rate: 0.1, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 11}
+	a, _, _ := Inject(d.Rel, cfg)
+	b, _, _ := Inject(d.Rel, cfg)
+	if len(schema.Diff(a, b)) != 0 {
+		t.Error("Inject is not deterministic in its seed")
+	}
+	cfg.Seed = 12
+	c, _, _ := Inject(d.Rel, cfg)
+	if len(schema.Diff(a, c)) == 0 {
+		t.Error("different seeds produced identical dirty data")
+	}
+}
+
+func TestInjectDistinctCells(t *testing.T) {
+	d := dataset.UIS(200, 1)
+	_, errs, err := Inject(d.Rel, Config{Rate: 1, Mode: PerCell, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[schema.Cell]bool{}
+	for _, e := range errs {
+		if seen[e.Cell] {
+			t.Fatalf("cell %v corrupted twice", e.Cell)
+		}
+		seen[e.Cell] = true
+	}
+	if len(errs) != 200*len(d.NoiseAttrs) {
+		t.Errorf("rate 1.0 corrupted %d cells, want all %d", len(errs), 200*len(d.NoiseAttrs))
+	}
+}
+
+func TestInjectPerTupleOneErrorPerRow(t *testing.T) {
+	d := dataset.UIS(300, 1)
+	_, errs, err := Inject(d.Rel, Config{Rate: 1, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 300 {
+		t.Fatalf("rate 1.0 per-tuple injected %d errors, want 300", len(errs))
+	}
+	rows := map[int]bool{}
+	for _, e := range errs {
+		if rows[e.Cell.Row] {
+			t.Fatalf("row %d corrupted twice in PerTuple mode", e.Cell.Row)
+		}
+		rows[e.Cell.Row] = true
+	}
+}
+
+func TestInjectPerCellRate(t *testing.T) {
+	d := dataset.Hosp(1000, 1)
+	_, errs, err := Inject(d.Rel, Config{Rate: 0.10, Mode: PerCell, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(0.10*float64(1000*len(d.NoiseAttrs)) + 0.5)
+	if len(errs) != want {
+		t.Errorf("PerCell injected %d, want %d", len(errs), want)
+	}
+}
+
+func TestInjectUnknownMode(t *testing.T) {
+	d := dataset.UIS(10, 1)
+	if _, _, err := Inject(d.Rel, Config{Rate: 0.1, Mode: Mode(9), TypoFraction: 0.5, Attrs: d.NoiseAttrs}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	d := dataset.UIS(10, 1)
+	bad := []Config{
+		{Rate: -0.1, TypoFraction: 0.5, Attrs: d.NoiseAttrs},
+		{Rate: 1.5, TypoFraction: 0.5, Attrs: d.NoiseAttrs},
+		{Rate: 0.1, TypoFraction: -1, Attrs: d.NoiseAttrs},
+		{Rate: 0.1, TypoFraction: 2, Attrs: d.NoiseAttrs},
+		{Rate: 0.1, TypoFraction: 0.5, Attrs: nil},
+		{Rate: 0.1, TypoFraction: 0.5, Attrs: []string{"nope"}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Inject(d.Rel, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInjectZeroRate(t *testing.T) {
+	d := dataset.UIS(100, 1)
+	dirty, errs, err := Inject(d.Rel, Config{Rate: 0, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 0 || len(schema.Diff(d.Rel, dirty)) != 0 {
+		t.Error("rate 0 must be a no-op")
+	}
+}
+
+func TestActiveDomainFallbackOnDegenerateDomain(t *testing.T) {
+	// A single-valued attribute cannot take an active-domain error: the
+	// injector must fall back to a typo so the error count holds.
+	sch := schema.New("R", "k", "v")
+	rel := schema.NewRelation(sch)
+	for i := 0; i < 50; i++ {
+		rel.Append(schema.Tuple{"same", "same"})
+	}
+	dirty, errs, err := Inject(rel, Config{Rate: 1, TypoFraction: 0, Attrs: []string{"k", "v"}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 50 {
+		t.Fatalf("errors = %d", len(errs))
+	}
+	for _, e := range errs {
+		if !e.Typo {
+			t.Fatalf("degenerate domain produced an active-domain error: %+v", e)
+		}
+		if dirty.Get(e.Cell.Row, e.Cell.Attr) == "same" {
+			t.Fatal("cell unchanged")
+		}
+	}
+}

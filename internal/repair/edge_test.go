@@ -1,0 +1,159 @@
+package repair
+
+import (
+	"fmt"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// TestLinearCandidateRejectedByNegatives: a rule whose evidence becomes
+// fully matched by a cascade but whose target is not a negative value must
+// be checked once and discarded without applying.
+func TestLinearCandidateRejectedByNegatives(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rs := core.MustRuleset(
+		// Fires first: sets b := "2".
+		core.MustNew("first", sch, map[string]string{"a": "1"}, "b", []string{"9"}, "2"),
+		// Evidence (b=2) completes after the cascade, but c is clean
+		// ("ok" is not a negative) — must not fire.
+		core.MustNew("second", sch, map[string]string{"b": "2"}, "c", []string{"bad"}, "good"),
+	)
+	r := NewRepairer(rs)
+	got, steps := r.RepairTuple(schema.Tuple{"1", "9", "ok"}, Linear)
+	if len(steps) != 1 || steps[0].Rule.Name() != "first" {
+		t.Fatalf("steps = %v", steps)
+	}
+	if !got.Equal(schema.Tuple{"1", "2", "ok"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+// TestLinearCascadeEnablesRule: the inverse — the cascade completes the
+// second rule's evidence AND its target is negative, so it fires.
+func TestLinearCascadeEnablesRule(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rs := core.MustRuleset(
+		core.MustNew("first", sch, map[string]string{"a": "1"}, "b", []string{"9"}, "2"),
+		core.MustNew("second", sch, map[string]string{"b": "2"}, "c", []string{"bad"}, "good"),
+	)
+	r := NewRepairer(rs)
+	got, steps := r.RepairTuple(schema.Tuple{"1", "9", "bad"}, Linear)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if !got.Equal(schema.Tuple{"1", "2", "good"}) {
+		t.Errorf("got %v", got)
+	}
+	// The chase algorithm agrees.
+	chased, _ := r.RepairTuple(schema.Tuple{"1", "9", "bad"}, Chase)
+	if !chased.Equal(got) {
+		t.Errorf("chase = %v", chased)
+	}
+}
+
+// TestLinearMultiEvidencePartialMatch: a rule with two evidence attributes
+// where only one matches initially must not fire, even though its counter
+// is non-zero.
+func TestLinearMultiEvidencePartialMatch(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rs := core.MustRuleset(
+		core.MustNew("pair", sch, map[string]string{"a": "1", "b": "2"}, "c", []string{"bad"}, "good"),
+	)
+	r := NewRepairer(rs)
+	got, steps := r.RepairTuple(schema.Tuple{"1", "X", "bad"}, Linear)
+	if len(steps) != 0 || got[2] != "bad" {
+		t.Fatalf("partial evidence fired: %v %v", got, steps)
+	}
+}
+
+// TestLinearScratchReuseAcrossTuples: repairing many tuples through the
+// same Repairer must not leak counter state between tuples (the pooled
+// scratch is reset via the touched list).
+func TestLinearScratchReuseAcrossTuples(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	rs := core.MustRuleset(
+		core.MustNew("r1", sch, map[string]string{"a": "1"}, "b", []string{"bad"}, "good"),
+	)
+	r := NewRepairer(rs)
+	// First tuple bumps r1's counter to full.
+	if _, steps := r.RepairTuple(schema.Tuple{"1", "bad"}, Linear); len(steps) != 1 {
+		t.Fatal("first tuple not repaired")
+	}
+	// Second tuple does NOT match the evidence; stale counters would make
+	// the rule a candidate and (correctly) fail the verify — but a bug in
+	// reset could also make candidates appear spuriously. Repeat many times
+	// through the pool.
+	for i := 0; i < 100; i++ {
+		got, steps := r.RepairTuple(schema.Tuple{"2", "bad"}, Linear)
+		if len(steps) != 0 || got[1] != "bad" {
+			t.Fatalf("iteration %d: stale scratch fired a rule: %v", i, got)
+		}
+		got, steps = r.RepairTuple(schema.Tuple{"1", "bad"}, Linear)
+		if len(steps) != 1 || got[1] != "good" {
+			t.Fatalf("iteration %d: matching tuple not repaired", i)
+		}
+	}
+}
+
+// TestUnicodeValues: rules and tuples with non-ASCII values work end to
+// end (values are opaque strings).
+func TestUnicodeValues(t *testing.T) {
+	sch := schema.New("R", "国家", "首都")
+	rs := core.MustRuleset(
+		core.MustNew("φ1", sch, map[string]string{"国家": "中国"},
+			"首都", []string{"上海", "香港"}, "北京"),
+	)
+	r := NewRepairer(rs)
+	got, steps := r.RepairTuple(schema.Tuple{"中国", "上海"}, Linear)
+	if len(steps) != 1 || got[1] != "北京" {
+		t.Errorf("unicode repair = %v (%d steps)", got, len(steps))
+	}
+}
+
+// TestEmptyStringValues: the empty string is a legal constant everywhere.
+func TestEmptyStringValues(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	rs := core.MustRuleset(
+		core.MustNew("blank", sch, map[string]string{"a": ""}, "b", []string{""}, "filled"),
+	)
+	r := NewRepairer(rs)
+	got, steps := r.RepairTuple(schema.Tuple{"", ""}, Linear)
+	if len(steps) != 1 || got[1] != "filled" {
+		t.Errorf("empty-string repair = %v", got)
+	}
+	got, steps = r.RepairTuple(schema.Tuple{"x", ""}, Linear)
+	if len(steps) != 0 || got[1] != "" {
+		t.Errorf("non-matching evidence fired: %v", got)
+	}
+}
+
+// TestRepairerConcurrentUse: one Repairer serving many goroutines must
+// produce correct results (the scratch pool is the shared state).
+func TestRepairerConcurrentUse(t *testing.T) {
+	r := NewRepairer(paperRuleset())
+	dirty := schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"}
+	clean := schema.Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				if got, _ := r.RepairTuple(dirty, Linear); got[2] != "Beijing" || got[3] != "Shanghai" {
+					done <- fmt.Errorf("dirty repair = %v", got)
+					return
+				}
+				if got, steps := r.RepairTuple(clean, Linear); len(steps) != 0 {
+					done <- fmt.Errorf("clean tuple repaired: %v", got)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

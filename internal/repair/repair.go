@@ -1,0 +1,287 @@
+// Package repair implements the paper's two data-repairing algorithms
+// (Section 6):
+//
+//   - cRepair (Figure 6): the chase — repeatedly scan the unused rules for
+//     one that properly applies; O(size(Σ)·|R|) per tuple.
+//   - lRepair (Figure 7): a fast linear algorithm that interweaves inverted
+//     lists (key (A, a) → rules with A ∈ Xφ and tp[A] = a) and hash
+//     counters (c(φ) = number of evidence attributes of φ the tuple
+//     currently agrees with); O(size(Σ)) per tuple.
+//
+// Both algorithms require a consistent ruleset; by the Church–Rosser
+// property they then compute the same unique fix for every tuple.
+package repair
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// Algorithm selects a repairing strategy.
+type Algorithm int
+
+const (
+	// Chase is cRepair (Figure 6).
+	Chase Algorithm = iota
+	// Linear is lRepair (Figure 7).
+	Linear
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case Chase:
+		return "cRepair"
+	case Linear:
+		return "lRepair"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Repairer repairs tuples and relations with a fixed ruleset. The inverted
+// lists are built once at construction (they depend only on Σ, Section 6.2)
+// and shared by all repairs; a Repairer is safe for concurrent use.
+type Repairer struct {
+	rs    *core.Ruleset
+	rules []*core.Rule
+	// inverted holds one inverted list per attribute position: value → rule
+	// positions whose evidence carries that (attribute, value) pair.
+	inverted []map[string][]int
+	needed   []int // |Xφ| per rule position
+	scratch  sync.Pool
+}
+
+// lScratch is the reusable per-repair working set of lRepair; pooling it
+// keeps the per-tuple cost allocation-free for the hot path.
+type lScratch struct {
+	counters   []int32
+	checked    []bool
+	touched    []int
+	candidates []int
+}
+
+// NewRepairer builds a Repairer over Σ, constructing the inverted lists.
+// It does not verify consistency; use NewRepairerChecked when the ruleset
+// comes from an untrusted source.
+func NewRepairer(rs *core.Ruleset) *Repairer {
+	rules := rs.Rules()
+	sch := rs.Schema()
+	r := &Repairer{
+		rs:       rs,
+		rules:    rules,
+		inverted: make([]map[string][]int, sch.Arity()),
+		needed:   make([]int, len(rules)),
+	}
+	for i := range r.inverted {
+		r.inverted[i] = make(map[string][]int)
+	}
+	for pos, rule := range rules {
+		r.needed[pos] = len(rule.EvidenceAttrs())
+		for _, a := range rule.EvidenceAttrs() {
+			v, _ := rule.EvidenceValue(a)
+			idx := sch.Index(a)
+			r.inverted[idx][v] = append(r.inverted[idx][v], pos)
+		}
+	}
+	n := len(rules)
+	r.scratch.New = func() any {
+		return &lScratch{
+			counters: make([]int32, n),
+			checked:  make([]bool, n),
+		}
+	}
+	return r
+}
+
+// NewRepairerChecked is NewRepairer preceded by a consistency check with the
+// rule-characterisation checker; it fails if Σ has conflicts, because repair
+// results would then depend on application order.
+func NewRepairerChecked(rs *core.Ruleset) (*Repairer, error) {
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		return nil, fmt.Errorf("repair: ruleset is inconsistent: %w", conf)
+	}
+	return NewRepairer(rs), nil
+}
+
+// Ruleset returns the Σ the repairer was built over.
+func (r *Repairer) Ruleset() *core.Ruleset { return r.rs }
+
+// RepairTuple repairs one tuple with the chosen algorithm. The input is not
+// modified; the repaired tuple and the applied steps are returned.
+func (r *Repairer) RepairTuple(t schema.Tuple, alg Algorithm) (schema.Tuple, []core.Step) {
+	if alg == Linear {
+		return r.linear(t)
+	}
+	return r.chase(t)
+}
+
+// chase is cRepair (Figure 6): while some unused rule properly applies,
+// apply it; each rule is used at most once.
+func (r *Repairer) chase(t schema.Tuple) (schema.Tuple, []core.Step) {
+	cur := t.Clone()
+	a := core.NewAssured()
+	used := make([]bool, len(r.rules))
+	var steps []core.Step
+	for updated := true; updated; {
+		updated = false
+		for pos, rule := range r.rules {
+			if used[pos] || !core.ProperlyApplies(rule, cur, a) {
+				continue
+			}
+			from := cur[rule.TargetIndex()]
+			core.Apply(rule, cur, a)
+			steps = append(steps, core.Step{Rule: rule, Attr: rule.Target(), From: from, To: rule.Fact()})
+			used[pos] = true
+			updated = true
+		}
+	}
+	return cur, steps
+}
+
+// linear is lRepair (Figure 7). Counters track how many evidence attributes
+// of each rule the current tuple agrees with; a rule becomes a candidate
+// when its counter reaches |Xφ|. After each update t[B] := fact, only the
+// inverted list of (B, fact) is consulted, so each rule's counter is touched
+// at most |Xφ| times overall and the total work is O(size(Σ)).
+func (r *Repairer) linear(t schema.Tuple) (schema.Tuple, []core.Step) {
+	cur := t.Clone()
+	a := core.NewAssured()
+
+	// Reuse pooled flat counters: the hot path allocates nothing beyond the
+	// repaired tuple itself.
+	sc := r.scratch.Get().(*lScratch)
+	counters, checked := sc.counters, sc.checked
+	touched := sc.touched[:0]
+	candidates := sc.candidates[:0]
+
+	bump := func(pos int) {
+		if counters[pos] == 0 {
+			touched = append(touched, pos)
+		}
+		counters[pos]++
+		if int(counters[pos]) == r.needed[pos] && !checked[pos] {
+			candidates = append(candidates, pos)
+		}
+	}
+	// Initialise counters from the dirty tuple (lines 2-7).
+	for attr, v := range cur {
+		if pos, ok := r.inverted[attr][v]; ok {
+			for _, p := range pos {
+				bump(p)
+			}
+		}
+	}
+
+	var steps []core.Step
+	for len(candidates) > 0 {
+		pos := candidates[len(candidates)-1]
+		candidates = candidates[:len(candidates)-1]
+		if checked[pos] {
+			continue
+		}
+		checked[pos] = true // once checked, a rule is never revisited (§6.2)
+		rule := r.rules[pos]
+		if !core.ProperlyApplies(rule, cur, a) {
+			continue
+		}
+		from := cur[rule.TargetIndex()]
+		core.Apply(rule, cur, a)
+		steps = append(steps, core.Step{Rule: rule, Attr: rule.Target(), From: from, To: rule.Fact()})
+		// The update may complete other rules' evidence (lines 13-15).
+		for _, p := range r.inverted[rule.TargetIndex()][rule.Fact()] {
+			if !checked[p] {
+				bump(p)
+			}
+		}
+	}
+
+	// Reset only the entries this repair dirtied, then recycle the scratch.
+	for _, pos := range touched {
+		counters[pos] = 0
+		checked[pos] = false
+	}
+	sc.touched = touched
+	sc.candidates = candidates
+	r.scratch.Put(sc)
+	return cur, steps
+}
+
+// Result summarises a relation-level repair.
+type Result struct {
+	// Relation is the repaired copy; the input relation is untouched.
+	Relation *schema.Relation
+	// Changed lists every modified cell.
+	Changed []schema.Cell
+	// Steps is the total number of rule applications.
+	Steps int
+	// PerRule counts, for each rule name, how many errors it corrected —
+	// the quantity plotted in Figure 12(a).
+	PerRule map[string]int
+}
+
+// RepairRelation repairs every tuple of rel with the chosen algorithm.
+func (r *Repairer) RepairRelation(rel *schema.Relation, alg Algorithm) *Result {
+	out := schema.NewRelation(rel.Schema())
+	res := &Result{PerRule: make(map[string]int)}
+	for i := 0; i < rel.Len(); i++ {
+		fixed, steps := r.RepairTuple(rel.Row(i), alg)
+		out.Append(fixed)
+		for _, s := range steps {
+			res.Steps++
+			res.PerRule[s.Rule.Name()]++
+			res.Changed = append(res.Changed, schema.Cell{Row: i, Attr: s.Attr})
+		}
+	}
+	res.Relation = out
+	return res
+}
+
+// RepairRelationParallel is RepairRelation with a worker pool; tuples are
+// independent, so the result is identical. workers <= 0 selects GOMAXPROCS.
+func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := rel.Len()
+	fixedRows := make([]schema.Tuple, n)
+	stepsPer := make([][]core.Step, n)
+
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fixedRows[i], stepsPer[i] = r.RepairTuple(rel.Row(i), alg)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	out := schema.NewRelation(rel.Schema())
+	res := &Result{PerRule: make(map[string]int)}
+	for i, row := range fixedRows {
+		out.Append(row)
+		for _, s := range stepsPer[i] {
+			res.Steps++
+			res.PerRule[s.Rule.Name()]++
+			res.Changed = append(res.Changed, schema.Cell{Row: i, Attr: s.Attr})
+		}
+	}
+	res.Relation = out
+	return res
+}

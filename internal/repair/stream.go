@@ -1,0 +1,115 @@
+package repair
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"fixrule/internal/schema"
+	"fixrule/internal/store"
+)
+
+// StreamStats summarises a streaming repair run.
+type StreamStats struct {
+	// Rows is the number of tuples processed.
+	Rows int
+	// Repaired is the number of tuples changed by at least one rule.
+	Repaired int
+	// Steps is the total number of rule applications.
+	Steps int
+	// PerRule counts corrections per rule name.
+	PerRule map[string]int
+}
+
+// StreamCSV repairs a CSV stream tuple by tuple: it reads rows from r
+// (whose header must match the repairer's schema), repairs each with the
+// chosen algorithm, and writes the repaired rows (with header) to w.
+// Memory use is constant in the input size, which suits the data-monitoring
+// deployment the paper contrasts with editing rules: fixing rules repair a
+// stream of incoming tuples with no user in the loop.
+func (rp *Repairer) StreamCSV(r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	sch := rp.rs.Schema()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = sch.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("repair: stream header: %w", err)
+	}
+	for i, a := range sch.Attrs() {
+		if header[i] != a {
+			return nil, fmt.Errorf("repair: stream header field %d is %q, want %q", i, header[i], a)
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+
+	stats := &StreamStats{PerRule: make(map[string]int)}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("repair: stream row %d: %w", stats.Rows+1, err)
+		}
+		fixed, steps := rp.RepairTuple(schema.Tuple(rec), alg)
+		stats.Rows++
+		if len(steps) > 0 {
+			stats.Repaired++
+			stats.Steps += len(steps)
+			for _, s := range steps {
+				stats.PerRule[s.Rule.Name()]++
+			}
+		}
+		if err := cw.Write(fixed); err != nil {
+			return nil, err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// StreamFrel is StreamCSV for the frel binary format (internal/store):
+// rows are scanned from r, repaired, and written to w, in constant memory.
+// The stream's schema must match the repairer's.
+func (rp *Repairer) StreamFrel(r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	sc, err := store.NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.Schema().Equal(rp.rs.Schema()) {
+		return nil, fmt.Errorf("repair: frel schema %s does not match rule schema %s",
+			sc.Schema(), rp.rs.Schema())
+	}
+	sw, err := store.NewWriter(w, sc.Schema())
+	if err != nil {
+		return nil, err
+	}
+	stats := &StreamStats{PerRule: make(map[string]int)}
+	for sc.Next() {
+		fixed, steps := rp.RepairTuple(sc.Tuple(), alg)
+		stats.Rows++
+		if len(steps) > 0 {
+			stats.Repaired++
+			stats.Steps += len(steps)
+			for _, s := range steps {
+				stats.PerRule[s.Rule.Name()]++
+			}
+		}
+		if err := sw.Append(fixed); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,123 @@
+// Package repairlog reads, writes, applies and reverts repair logs: the
+// cell-level change records a repair run emits (row, attribute, old value,
+// new value). Logs make automated repairs auditable — and reversible,
+// which matters for a tool whose whole point is dependability: if a
+// ruleset turns out to be wrong, Revert restores the exact pre-repair
+// state without keeping a full copy of the data.
+package repairlog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fixrule/internal/schema"
+)
+
+// Entry is one repaired cell.
+type Entry struct {
+	Row  int
+	Attr string
+	Old  string
+	New  string
+}
+
+// Write saves entries as CSV with the header fixrepair emits
+// (row, attr, old, new).
+func Write(w io.Writer, entries []Entry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"row", "attr", "old", "new"}); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := cw.Write([]string{strconv.Itoa(e.Row), e.Attr, e.Old, e.New}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses a repair log written by Write (or by fixrepair's -log flag).
+func Read(r io.Reader) ([]Entry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("repairlog: header: %w", err)
+	}
+	want := []string{"row", "attr", "old", "new"}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, fmt.Errorf("repairlog: header field %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var entries []Entry
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return entries, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("repairlog: line %d: %w", line, err)
+		}
+		row, err := strconv.Atoi(rec[0])
+		if err != nil || row < 0 {
+			return nil, fmt.Errorf("repairlog: line %d: bad row %q", line, rec[0])
+		}
+		entries = append(entries, Entry{Row: row, Attr: rec[1], Old: rec[2], New: rec[3]})
+	}
+}
+
+// FromResult converts a repair result's changed cells into log entries.
+// before must be the pre-repair relation the result was computed from.
+func FromResult(before, after *schema.Relation, changed []schema.Cell) []Entry {
+	entries := make([]Entry, 0, len(changed))
+	for _, c := range changed {
+		entries = append(entries, Entry{
+			Row: c.Row, Attr: c.Attr,
+			Old: before.Get(c.Row, c.Attr),
+			New: after.Get(c.Row, c.Attr),
+		})
+	}
+	return entries
+}
+
+// Apply replays the log onto rel in place: every logged cell must currently
+// hold the Old value (the log matches the data), and is set to New.
+// On mismatch nothing before the failing entry is rolled back; callers
+// should treat errors as fatal for the target copy.
+func Apply(rel *schema.Relation, entries []Entry) error {
+	return transform(rel, entries, false)
+}
+
+// Revert undoes the log on rel in place: every logged cell must currently
+// hold the New value, and is restored to Old. Reverting the log of a
+// repair run on the repaired relation yields the original dirty relation
+// exactly.
+func Revert(rel *schema.Relation, entries []Entry) error {
+	return transform(rel, entries, true)
+}
+
+func transform(rel *schema.Relation, entries []Entry, revert bool) error {
+	sch := rel.Schema()
+	for i, e := range entries {
+		if !sch.Has(e.Attr) {
+			return fmt.Errorf("repairlog: entry %d: attribute %q not in %s", i, e.Attr, sch)
+		}
+		if e.Row < 0 || e.Row >= rel.Len() {
+			return fmt.Errorf("repairlog: entry %d: row %d out of range", i, e.Row)
+		}
+		expect, write := e.Old, e.New
+		if revert {
+			expect, write = e.New, e.Old
+		}
+		if got := rel.Get(e.Row, e.Attr); got != expect {
+			return fmt.Errorf("repairlog: entry %d: cell %d[%s] holds %q, log expects %q",
+				i, e.Row, e.Attr, got, expect)
+		}
+		rel.Set(e.Row, e.Attr, write)
+	}
+	return nil
+}

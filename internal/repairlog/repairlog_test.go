@@ -1,0 +1,113 @@
+package repairlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+func travelFixture(t *testing.T) (*schema.Relation, *repair.Repairer) {
+	t.Helper()
+	sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+	rs := core.MustRuleset(
+		core.MustNew("phi1", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+		core.MustNew("phi4", sch,
+			map[string]string{"capital": "Beijing", "conf": "ICDE"},
+			"city", []string{"Hongkong"}, "Shanghai"),
+	)
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	rel.Append(schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, rep
+}
+
+func TestRoundTripAndRevert(t *testing.T) {
+	dirty, rep := travelFixture(t)
+	res := rep.RepairRelation(dirty, repair.Linear)
+	entries := FromResult(dirty, res.Relation, res.Changed)
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+
+	// Serialise and parse back.
+	var buf bytes.Buffer
+	if err := Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) || back[0] != entries[0] || back[1] != entries[1] {
+		t.Fatalf("read back %+v", back)
+	}
+
+	// Apply the log to a fresh dirty copy: reproduces the repair exactly.
+	copy1 := dirty.Clone()
+	if err := Apply(copy1, back); err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Diff(copy1, res.Relation)) != 0 {
+		t.Error("Apply did not reproduce the repair")
+	}
+
+	// Revert the repaired relation: restores the dirty original exactly.
+	restored := res.Relation.Clone()
+	if err := Revert(restored, back); err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Diff(restored, dirty)) != 0 {
+		t.Error("Revert did not restore the original")
+	}
+}
+
+func TestApplyMismatchDetected(t *testing.T) {
+	dirty, rep := travelFixture(t)
+	res := rep.RepairRelation(dirty, repair.Linear)
+	entries := FromResult(dirty, res.Relation, res.Changed)
+
+	tampered := dirty.Clone()
+	tampered.Set(1, "capital", "SOMETHING-ELSE")
+	if err := Apply(tampered, entries); err == nil ||
+		!strings.Contains(err.Error(), "log expects") {
+		t.Errorf("tampered apply err = %v", err)
+	}
+	// Reverting a relation that was never repaired fails the same way.
+	if err := Revert(dirty.Clone(), entries); err == nil {
+		t.Error("revert of unrepaired relation accepted")
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	cases := []string{
+		"",
+		"not,the,right,header\n",
+		"row,attr,old,new\nNaN,capital,a,b\n",
+		"row,attr,old,new\n-3,capital,a,b\n",
+		"row,attr,old,new\n1,capital,a\n",
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	dirty, _ := travelFixture(t)
+	if err := Apply(dirty.Clone(), []Entry{{Row: 0, Attr: "zzz"}}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if err := Apply(dirty.Clone(), []Entry{{Row: 99, Attr: "capital"}}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}

@@ -1,0 +1,291 @@
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/core"
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// This file implements the paper's two future-work directions (Section 8):
+//
+//  1. Rule discovery — mining fixing rules without an expert or ground
+//     truth (DiscoverConfig / Discover), using support and majority
+//     confidence in place of the expert's judgement.
+//  2. Interaction with other data-quality rules — deriving fixing rules
+//     from constant CFDs (FromCFDs): a constant CFD already names the
+//     correct RHS value for its pattern, so it converts directly into a
+//     fixing rule once negative patterns are observed.
+
+// DiscoverConfig controls unsupervised rule discovery.
+type DiscoverConfig struct {
+	// MinSupport is the minimum number of tuples agreeing on the dominant
+	// RHS value before a group is trusted (default 3). Higher support
+	// makes the majority vote a better stand-in for the expert.
+	MinSupport int
+	// MinConfidence is the minimum fraction of the group carrying the
+	// dominant value (default 0.8). Groups split more evenly are ambiguous
+	// — the (China, Tokyo) situation — and are skipped.
+	MinConfidence float64
+	// MaxDeviations bounds how many RHS attributes a tuple may disagree on
+	// with its group's majority before the tuple is considered misplaced —
+	// its LHS, not its RHS, is then presumed wrong, and none of its values
+	// become negative patterns (default 1).
+	MaxDeviations int
+	// MaxRules caps the number of discovered rules (0 = unlimited).
+	MaxRules int
+	// Seed drives sampling when MaxRules truncates.
+	Seed int64
+}
+
+func (c DiscoverConfig) minSupport() int {
+	if c.MinSupport > 0 {
+		return c.MinSupport
+	}
+	return 3
+}
+
+func (c DiscoverConfig) minConfidence() float64 {
+	if c.MinConfidence > 0 {
+		return c.MinConfidence
+	}
+	return 0.8
+}
+
+func (c DiscoverConfig) maxDeviations() int {
+	if c.MaxDeviations > 0 {
+		return c.MaxDeviations
+	}
+	return 1
+}
+
+// candidateRule is the shared pre-validation rule shape the discovery
+// miners produce and buildRuleset consumes.
+type candidateRule struct {
+	key      string // deterministic ordering key
+	evidence map[string]string
+	target   string
+	fact     string
+	negs     []string
+}
+
+// Discover mines fixing rules from dirty data alone: for each FD violation
+// group, the dominant RHS value plays the fact if its support and
+// confidence clear the thresholds, and the outvoted values become negative
+// patterns. The result is resolved to consistency before being returned.
+//
+// Two conservative filters replace the expert's judgement:
+//
+//   - support/confidence thresholds on the majority value (a thin majority
+//     is the ambiguous (China, Tokyo) situation the paper refuses to act
+//     on);
+//   - a deviation filter on the outvoted tuples: a tuple disagreeing with
+//     the group's majority on more than MaxDeviations RHS attributes most
+//     likely carries a wrong LHS (it is "misplaced" into the group), so
+//     its values are treated as someone else's correct data rather than as
+//     corruptions.
+//
+// Discovery is necessarily less dependable than expert-certified rules —
+// a majority can be wrong — but these filters keep it conservative, and
+// the Section 5 machinery still guarantees deterministic repairs.
+func Discover(dirty *schema.Relation, fds []*fd.FD, cfg DiscoverConfig) (*core.Ruleset, error) {
+	sch := dirty.Schema()
+	var cands []candidateRule
+
+	for fi, f := range fds {
+		// Partition rows by LHS key.
+		groups := make(map[string][]int)
+		for i := 0; i < dirty.Len(); i++ {
+			k := f.LHSKey(dirty.Row(i))
+			groups[k] = append(groups[k], i)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		rhsIdx := make([]int, len(f.RHS()))
+		for ai, a := range f.RHS() {
+			rhsIdx[ai] = sch.Index(a)
+		}
+
+		for _, k := range keys {
+			rows := groups[k]
+			if len(rows) < 2 {
+				continue
+			}
+			// Per-RHS-attribute majorities within the group.
+			majority := make([]string, len(rhsIdx))
+			majSupport := make([]int, len(rhsIdx))
+			for ai, idx := range rhsIdx {
+				counts := map[string]int{}
+				for _, r := range rows {
+					counts[dirty.Row(r)[idx]]++
+				}
+				vals := make([]string, 0, len(counts))
+				for v := range counts {
+					vals = append(vals, v)
+				}
+				sort.Strings(vals)
+				for _, v := range vals {
+					if counts[v] > majSupport[ai] {
+						majority[ai], majSupport[ai] = v, counts[v]
+					}
+				}
+			}
+			// Deviation count per row: on how many RHS attributes does it
+			// disagree with the majority?
+			deviations := make(map[int]int, len(rows))
+			for _, r := range rows {
+				for ai, idx := range rhsIdx {
+					if dirty.Row(r)[idx] != majority[ai] {
+						deviations[r]++
+					}
+				}
+			}
+			// Harvest one candidate rule per conflicting attribute.
+			for ai, idx := range rhsIdx {
+				if majSupport[ai] == len(rows) {
+					continue // attribute is clean within the group
+				}
+				if majSupport[ai] < cfg.minSupport() {
+					continue
+				}
+				if float64(majSupport[ai])/float64(len(rows)) < cfg.minConfidence() {
+					continue
+				}
+				var negs []string
+				seen := map[string]bool{}
+				for _, r := range rows {
+					v := dirty.Row(r)[idx]
+					if v == majority[ai] || seen[v] {
+						continue
+					}
+					if deviations[r] > cfg.maxDeviations() {
+						continue // row presumed misplaced: LHS wrong, not RHS
+					}
+					seen[v] = true
+					negs = append(negs, v)
+				}
+				if len(negs) == 0 {
+					continue
+				}
+				sort.Strings(negs)
+				evidence := make(map[string]string, len(f.LHS()))
+				row := dirty.Row(rows[0])
+				for _, a := range f.LHS() {
+					evidence[a] = row[sch.Index(a)]
+				}
+				cands = append(cands, candidateRule{
+					key:      fmt.Sprintf("%d|%s|%s", fi, f.RHS()[ai], k),
+					evidence: evidence, target: f.RHS()[ai], fact: majority[ai], negs: negs,
+				})
+			}
+		}
+	}
+	return buildRuleset(sch, cands, cfg.MaxRules, cfg.Seed)
+}
+
+// FromCFDs converts constant CFDs into fixing rules. A constant CFD
+// (X → B, (tp[X] = constants, tp[B] = b)) asserts that tuples matching the
+// LHS pattern must carry b in B; its violations in the dirty data supply
+// the negative patterns, and b is the fact. Variable CFDs (pattern '_' on
+// the RHS) and CFDs with wildcard LHS attributes carry no usable evidence
+// pattern and are skipped.
+func FromCFDs(dirty *schema.Relation, cfds []*fd.CFD, cfg Config) (*core.Ruleset, error) {
+	sch := dirty.Schema()
+	var cands []candidateRule
+	byKey := make(map[string]int) // candidate index by (cfd, target)
+
+	for ci, c := range cfds {
+		f := c.FD()
+		for _, viol := range fd.CFDViolations(dirty, []*fd.CFD{c}) {
+			if !viol.Constant {
+				continue // variable CFDs carry no fact
+			}
+			fact := c.PatternValue(viol.Attr)
+			key := fmt.Sprintf("%d|%s", ci, viol.Attr)
+			idx, ok := byKey[key]
+			if !ok {
+				evidence := make(map[string]string, len(f.LHS()))
+				usable := true
+				for _, a := range f.LHS() {
+					v := c.PatternValue(a)
+					if v == fd.PatternWildcard {
+						usable = false
+						break
+					}
+					evidence[a] = v
+				}
+				if !usable {
+					continue
+				}
+				byKey[key] = len(cands)
+				idx = len(cands)
+				cands = append(cands, candidateRule{
+					key: key, evidence: evidence, target: viol.Attr, fact: fact,
+				})
+			}
+			wrong := dirty.Row(viol.Rows[0])[sch.Index(viol.Attr)]
+			dup := false
+			for _, n := range cands[idx].negs {
+				if n == wrong {
+					dup = true
+					break
+				}
+			}
+			if !dup && wrong != fact {
+				cands[idx].negs = append(cands[idx].negs, wrong)
+			}
+		}
+	}
+	for i := range cands {
+		sort.Strings(cands[i].negs)
+	}
+	return buildRuleset(sch, cands, cfg.MaxRules, cfg.Seed)
+}
+
+// buildRuleset orders, truncates, validates and resolves candidates into a
+// consistent ruleset.
+func buildRuleset(sch *schema.Schema, cands []candidateRule, maxRules int, seed int64) (*core.Ruleset, error) {
+	sort.Slice(cands, func(a, b int) bool { return cands[a].key < cands[b].key })
+	shuffleCandidates(cands, seed)
+
+	rs := core.NewRuleset(sch)
+	for _, c := range cands {
+		if maxRules > 0 && rs.Len() >= maxRules {
+			break
+		}
+		if len(c.negs) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("d%04d", rs.Len()+1)
+		rule, err := core.New(name, sch, c.evidence, c.target, c.negs, c.fact)
+		if err != nil {
+			continue
+		}
+		if err := rs.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	fixed, _, err := consistency.ResolveAll(rs, consistency.TrimNegatives{}, consistency.ByRule)
+	if err != nil {
+		return nil, err
+	}
+	return fixed, nil
+}
+
+// shuffleCandidates applies a deterministic LCG-driven Fisher–Yates
+// shuffle, so MaxRules truncation samples uniformly but reproducibly.
+func shuffleCandidates(xs []candidateRule, seed int64) {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := len(xs) - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

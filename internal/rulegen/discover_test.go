@@ -1,0 +1,152 @@
+package rulegen
+
+import (
+	"testing"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/dataset"
+	"fixrule/internal/fd"
+	"fixrule/internal/metrics"
+	"fixrule/internal/noise"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+func TestDiscoverUnsupervised(t *testing.T) {
+	d := dataset.Hosp(6000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{
+		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Discover(dirty, d.FDs, DiscoverConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("discovered no rules")
+	}
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		t.Fatalf("discovered rules inconsistent: %v", conf)
+	}
+	rep := repair.NewRepairer(rs)
+	res := rep.RepairRelation(dirty, repair.Linear)
+	s := metrics.Evaluate(d.Rel, dirty, res.Relation)
+	if s.Updated == 0 {
+		t.Fatal("discovered rules repaired nothing")
+	}
+	// Without ground truth the precision bar is lower than for expert
+	// rules, but majority voting with support 3 / confidence 0.8 should
+	// still be dependable on hosp's deep groups.
+	if s.Precision < 0.8 {
+		t.Errorf("unsupervised precision = %v, want >= 0.8", s.Precision)
+	}
+}
+
+func TestDiscoverThresholds(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	f := fd.MustNew(sch, []string{"k"}, []string{"v"})
+	rel := schema.NewRelation(sch)
+	// Group "a": 4 good vs 1 bad — clears support 3 and confidence 0.8.
+	for i := 0; i < 4; i++ {
+		rel.Append(schema.Tuple{"a", "good"})
+	}
+	rel.Append(schema.Tuple{"a", "bad"})
+	// Group "b": 2 vs 2 — ambiguous, must be skipped.
+	rel.Append(schema.Tuple{"b", "x"})
+	rel.Append(schema.Tuple{"b", "x"})
+	rel.Append(schema.Tuple{"b", "y"})
+	rel.Append(schema.Tuple{"b", "y"})
+	// Group "c": 2 vs 1 — support below threshold.
+	rel.Append(schema.Tuple{"c", "p"})
+	rel.Append(schema.Tuple{"c", "p"})
+	rel.Append(schema.Tuple{"c", "q"})
+
+	rs, err := Discover(rel, []*fd.FD{f}, DiscoverConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("discovered %d rules, want exactly the group-a rule", rs.Len())
+	}
+	r := rs.Rules()[0]
+	if v, _ := r.EvidenceValue("k"); v != "a" || r.Fact() != "good" || !r.IsNegative("bad") {
+		t.Errorf("rule = %v", r)
+	}
+	// Lower thresholds admit group c too.
+	rs2, err := Discover(rel, []*fd.FD{f}, DiscoverConfig{MinSupport: 2, MinConfidence: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Len() != 2 {
+		t.Errorf("relaxed thresholds found %d rules, want 2", rs2.Len())
+	}
+}
+
+func TestDiscoverMaxRules(t *testing.T) {
+	d := dataset.Hosp(4000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{
+		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Discover(dirty, d.FDs, DiscoverConfig{MaxRules: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() > 5 {
+		t.Errorf("MaxRules=5 produced %d rules", rs.Len())
+	}
+}
+
+func TestFromCFDs(t *testing.T) {
+	sch := schema.New("R", "country", "capital", "city")
+	f := fd.MustNew(sch, []string{"country"}, []string{"capital"})
+	// Constant CFD: country=China → capital=Beijing.
+	c := fd.MustNewCFD(f, map[string]string{"country": "China", "capital": "Beijing"})
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"China", "Beijing", "x"})
+	rel.Append(schema.Tuple{"China", "Shanghai", "x"})
+	rel.Append(schema.Tuple{"China", "Hongkong", "x"})
+	rel.Append(schema.Tuple{"Japan", "Tokyo", "x"})
+
+	rs, err := FromCFDs(rel, []*fd.CFD{c}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rules = %d, want 1", rs.Len())
+	}
+	r := rs.Rules()[0]
+	if v, _ := r.EvidenceValue("country"); v != "China" {
+		t.Errorf("evidence = %q", v)
+	}
+	if r.Fact() != "Beijing" || !r.IsNegative("Shanghai") || !r.IsNegative("Hongkong") {
+		t.Errorf("rule = %v", r)
+	}
+	// The derived rule repairs exactly the CFD's constant violations.
+	rep := repair.NewRepairer(rs)
+	fixed, steps := rep.RepairTuple(schema.Tuple{"China", "Shanghai", "x"}, repair.Linear)
+	if len(steps) != 1 || fixed[1] != "Beijing" {
+		t.Errorf("repair = %v (%d steps)", fixed, len(steps))
+	}
+}
+
+func TestFromCFDsSkipsUnusable(t *testing.T) {
+	sch := schema.New("R", "country", "capital")
+	f := fd.MustNew(sch, []string{"country"}, []string{"capital"})
+	variable := fd.MustNewCFD(f, map[string]string{"country": "China"})  // RHS wildcard
+	wildLHS := fd.MustNewCFD(f, map[string]string{"capital": "Beijing"}) // LHS wildcard
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"China", "Beijing"})
+	rel.Append(schema.Tuple{"China", "Shanghai"})
+	rs, err := FromCFDs(rel, []*fd.CFD{variable, wildLHS}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Errorf("unusable CFDs produced %d rules", rs.Len())
+	}
+}

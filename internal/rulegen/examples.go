@@ -1,0 +1,123 @@
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// Example is one correction example: the dirty tuple as observed and the
+// clean tuple a user (or an upstream system) corrected it to. Section 7.1
+// describes obtaining fixing rules from such examples, inspired by
+// learning semantic string transformations from examples (Singh & Gulwani,
+// PVLDB 2012 — reference [27] of the paper).
+type Example struct {
+	Dirty, Clean schema.Tuple
+}
+
+// FromExamples mines fixing rules from correction examples. For every
+// example and every attribute B the correction changed, a rule candidate is
+// formed with
+//
+//   - evidence: the values of the given evidence attributes in the CLEAN
+//     tuple (evidence must be correct by definition, and the example's
+//     clean side certifies it),
+//   - negative pattern: the observed dirty value of B,
+//   - fact: the corrected value of B.
+//
+// Examples whose evidence attributes were themselves corrected are skipped
+// for that attribute: the evidence would not have matched the dirty tuple,
+// so no rule can be justified from it. Candidates sharing (evidence, B,
+// fact) merge their negative patterns. The result is resolved to
+// consistency.
+func FromExamples(sch *schema.Schema, examples []Example, evidence []string, cfg Config) (*core.Ruleset, error) {
+	if len(evidence) == 0 {
+		return nil, fmt.Errorf("rulegen: no evidence attributes")
+	}
+	evIdx := make([]int, len(evidence))
+	for i, a := range evidence {
+		if !sch.Has(a) {
+			return nil, fmt.Errorf("rulegen: evidence attribute %q not in %s", a, sch)
+		}
+		evIdx[i] = sch.Index(a)
+	}
+
+	merged := make(map[string]*candidateRule)
+	var order []string
+	for xi, ex := range examples {
+		if len(ex.Dirty) != sch.Arity() || len(ex.Clean) != sch.Arity() {
+			return nil, fmt.Errorf("rulegen: example %d arity mismatch", xi)
+		}
+		// Evidence attrs must be untouched by the correction, else the rule
+		// could never have fired on the dirty tuple.
+		evidenceClean := true
+		for _, idx := range evIdx {
+			if ex.Dirty[idx] != ex.Clean[idx] {
+				evidenceClean = false
+				break
+			}
+		}
+		if !evidenceClean {
+			continue
+		}
+		for b := 0; b < sch.Arity(); b++ {
+			if ex.Dirty[b] == ex.Clean[b] || containsInt(evIdx, b) {
+				continue
+			}
+			key := fmt.Sprintf("%s|%d|%s", joinAt(ex.Clean, evIdx), b, ex.Clean[b])
+			c, ok := merged[key]
+			if !ok {
+				ev := make(map[string]string, len(evidence))
+				for i, a := range evidence {
+					ev[a] = ex.Clean[evIdx[i]]
+				}
+				c = &candidateRule{
+					key: key, evidence: ev,
+					target: sch.Attrs()[b], fact: ex.Clean[b],
+				}
+				merged[key] = c
+				order = append(order, key)
+			}
+			if !containsStr(c.negs, ex.Dirty[b]) {
+				c.negs = append(c.negs, ex.Dirty[b])
+			}
+		}
+	}
+
+	sort.Strings(order)
+	cands := make([]candidateRule, 0, len(merged))
+	for _, k := range order {
+		c := merged[k]
+		sort.Strings(c.negs)
+		cands = append(cands, *c)
+	}
+	return buildRuleset(sch, cands, cfg.MaxRules, cfg.Seed)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsStr(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func joinAt(t schema.Tuple, idx []int) string {
+	out := ""
+	for _, i := range idx {
+		out += t[i] + "\x1f"
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package rulegen
+
+import (
+	"testing"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+func TestFromExamplesPaperScenario(t *testing.T) {
+	sch := travelSchema()
+	// Two user corrections of the Figure 1 errors.
+	examples := []Example{
+		{
+			Dirty: schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"},
+			Clean: schema.Tuple{"Ian", "China", "Beijing", "Shanghai", "ICDE"},
+		},
+		{
+			Dirty: schema.Tuple{"Mike", "Canada", "Toronto", "Toronto", "VLDB"},
+			Clean: schema.Tuple{"Mike", "Canada", "Ottawa", "Toronto", "VLDB"},
+		},
+	}
+	rs, err := FromExamples(sch, examples, []string{"country"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three rules: (China)→capital Beijing neg{Shanghai};
+	// (China)→city Shanghai neg{Hongkong}; (Canada)→capital Ottawa
+	// neg{Toronto}.
+	if rs.Len() != 3 {
+		t.Fatalf("mined %d rules: %v", rs.Len(), rs.Rules())
+	}
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		t.Fatalf("example rules inconsistent: %v", conf)
+	}
+	// The mined rules repair a fresh tuple with the same error pattern.
+	rep := repair.NewRepairer(rs)
+	fixed, steps := rep.RepairTuple(schema.Tuple{"Zoe", "China", "Shanghai", "Hongkong", "KDD"}, repair.Linear)
+	if len(steps) != 2 || fixed[2] != "Beijing" || fixed[3] != "Shanghai" {
+		t.Errorf("repair of fresh tuple = %v (%d steps)", fixed, len(steps))
+	}
+}
+
+func TestFromExamplesMergesNegatives(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	examples := []Example{
+		{Dirty: schema.Tuple{"a", "x"}, Clean: schema.Tuple{"a", "good"}},
+		{Dirty: schema.Tuple{"a", "y"}, Clean: schema.Tuple{"a", "good"}},
+		{Dirty: schema.Tuple{"a", "x"}, Clean: schema.Tuple{"a", "good"}}, // duplicate
+	}
+	rs, err := FromExamples(sch, examples, []string{"k"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rules = %d", rs.Len())
+	}
+	r := rs.Rules()[0]
+	if r.NegativeSize() != 2 || !r.IsNegative("x") || !r.IsNegative("y") {
+		t.Errorf("negatives = %v", r.NegativePatterns())
+	}
+}
+
+func TestFromExamplesSkipsCorrectedEvidence(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	// The evidence attribute itself was corrected: unusable.
+	examples := []Example{
+		{Dirty: schema.Tuple{"WRONG", "x"}, Clean: schema.Tuple{"a", "good"}},
+	}
+	rs, err := FromExamples(sch, examples, []string{"k"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Errorf("corrected-evidence example produced %d rules", rs.Len())
+	}
+}
+
+func TestFromExamplesValidation(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	if _, err := FromExamples(sch, nil, nil, Config{}); err == nil {
+		t.Error("empty evidence accepted")
+	}
+	if _, err := FromExamples(sch, nil, []string{"zzz"}, Config{}); err == nil {
+		t.Error("unknown evidence attribute accepted")
+	}
+	bad := []Example{{Dirty: schema.Tuple{"a"}, Clean: schema.Tuple{"a", "b"}}}
+	if _, err := FromExamples(sch, bad, []string{"k"}, Config{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestFromExamplesConflictingExamplesResolved(t *testing.T) {
+	sch := schema.New("R", "k", "v")
+	// Two examples disagree about the correct value for the same evidence:
+	// the resolution workflow must leave a consistent (possibly smaller)
+	// ruleset rather than an inconsistent one.
+	examples := []Example{
+		{Dirty: schema.Tuple{"a", "x"}, Clean: schema.Tuple{"a", "good"}},
+		{Dirty: schema.Tuple{"a", "x"}, Clean: schema.Tuple{"a", "better"}},
+	}
+	rs, err := FromExamples(sch, examples, []string{"k"}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		t.Fatalf("conflicting examples left inconsistency: %v", conf)
+	}
+}

@@ -1,0 +1,154 @@
+package rulegen
+
+import (
+	"fmt"
+	"sort"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// MasterSpec describes how a master relation maps onto the data schema for
+// FromMaster: which master attributes serve as evidence (keyed by the data
+// attribute they correspond to) and which master attribute supplies the
+// fact for which data attribute.
+type MasterSpec struct {
+	// Match maps data attributes (the evidence X) to master attributes.
+	Match map[string]string
+	// Target is the data attribute B to repair.
+	Target string
+	// MasterTarget is the master attribute holding B's correct value.
+	MasterTarget string
+}
+
+// FromMaster mines fixing rules from a trusted master relation plus the
+// dirty data (Section 7.1's enrichment "from related tables in the same
+// domain", taken to its conclusion): for every master tuple s, the evidence
+// is s[X′] projected onto the data attributes, the fact is s[B′], and the
+// negative patterns are the values actually observed in dirty tuples that
+// match the evidence but deviate from the fact.
+//
+// The master is trusted, but the data tuple's evidence may itself be
+// corrupted — the reason editing rules need a user to certify t[X]. The
+// miner therefore stays conservative: a deviating value is harvested as a
+// negative pattern only when the master has never seen it as a correct
+// target value anywhere. Values that are some other master entry's fact
+// are ambiguous (the tuple may be misfiled under the wrong evidence) and
+// are left alone, trading recall for the dependability fixing rules are
+// about. Master rows whose evidence never appears corrupted in the data
+// produce no rule.
+func FromMaster(dirty, master *schema.Relation, spec MasterSpec, cfg Config) (*core.Ruleset, error) {
+	sch := dirty.Schema()
+	msch := master.Schema()
+	if len(spec.Match) == 0 {
+		return nil, fmt.Errorf("rulegen: empty master match")
+	}
+	dataAttrs := make([]string, 0, len(spec.Match))
+	for da, ma := range spec.Match {
+		if !sch.Has(da) {
+			return nil, fmt.Errorf("rulegen: data attribute %q not in %s", da, sch)
+		}
+		if !msch.Has(ma) {
+			return nil, fmt.Errorf("rulegen: master attribute %q not in %s", ma, msch)
+		}
+		dataAttrs = append(dataAttrs, da)
+	}
+	sort.Strings(dataAttrs)
+	if !sch.Has(spec.Target) {
+		return nil, fmt.Errorf("rulegen: target %q not in %s", spec.Target, sch)
+	}
+	if !msch.Has(spec.MasterTarget) {
+		return nil, fmt.Errorf("rulegen: master target %q not in %s", spec.MasterTarget, msch)
+	}
+	if _, ok := spec.Match[spec.Target]; ok {
+		return nil, fmt.Errorf("rulegen: target %q cannot also be evidence", spec.Target)
+	}
+
+	// Index master: evidence key → fact. Conflicting master rows (same
+	// evidence, different fact) are dropped: an ambiguous master entry
+	// cannot justify a deterministic repair.
+	facts := make(map[string]string)
+	ambiguous := make(map[string]bool)
+	for i := 0; i < master.Len(); i++ {
+		key := ""
+		for _, da := range dataAttrs {
+			key += master.Get(i, spec.Match[da]) + "\x1f"
+		}
+		fact := master.Get(i, spec.MasterTarget)
+		if prev, seen := facts[key]; seen && prev != fact {
+			ambiguous[key] = true
+			continue
+		}
+		facts[key] = fact
+	}
+
+	// validTargets holds every fact value the master knows. A deviation
+	// that equals some OTHER master entry's fact is ambiguous — the tuple's
+	// evidence, not its target, may be the corrupted side (the paper's
+	// (China, Tokyo) situation) — so it is never harvested as a negative.
+	// Only values the master has never seen as correct (typos, garbage) are
+	// confirmably wrong.
+	validTargets := make(map[string]struct{}, len(facts))
+	for key, fact := range facts {
+		if !ambiguous[key] {
+			validTargets[fact] = struct{}{}
+		}
+	}
+
+	// Scan the dirty data for deviations under matching evidence.
+	targetIdx := sch.Index(spec.Target)
+	negs := make(map[string]map[string]struct{})
+	for i := 0; i < dirty.Len(); i++ {
+		t := dirty.Row(i)
+		key := ""
+		for _, da := range dataAttrs {
+			key += t[sch.Index(da)] + "\x1f"
+		}
+		fact, ok := facts[key]
+		if !ok || ambiguous[key] {
+			continue
+		}
+		v := t[targetIdx]
+		if v == fact {
+			continue
+		}
+		if _, legit := validTargets[v]; legit {
+			continue // could be a correct value under corrupted evidence
+		}
+		if negs[key] == nil {
+			negs[key] = make(map[string]struct{})
+		}
+		negs[key][v] = struct{}{}
+	}
+
+	var cands []candidateRule
+	for key, set := range negs {
+		parts := splitKey(key)
+		evidence := make(map[string]string, len(dataAttrs))
+		for i, da := range dataAttrs {
+			evidence[da] = parts[i]
+		}
+		var nn []string
+		for v := range set {
+			nn = append(nn, v)
+		}
+		sort.Strings(nn)
+		cands = append(cands, candidateRule{
+			key: key, evidence: evidence, target: spec.Target,
+			fact: facts[key], negs: nn,
+		})
+	}
+	return buildRuleset(sch, cands, cfg.MaxRules, cfg.Seed)
+}
+
+func splitKey(key string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x1f' {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

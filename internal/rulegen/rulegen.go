@@ -1,0 +1,304 @@
+// Package rulegen obtains fixing rules the way Section 7.1 describes:
+//
+//  1. Seed generation: violations of known FDs are detected in the dirty
+//     data and turned into fixing rules. The paper presents violations to
+//     experts; here the expert is mechanised with the ground-truth relation
+//     (the experiments explicitly study "given high quality fixing rules,
+//     how they can be used to automatically repair data").
+//  2. Enrichment: negative patterns are enlarged with further known-wrong
+//     values from domain tables — here the target attribute's active domain.
+//
+// A mined rule for FD X → A and a violating LHS group g is
+//
+//	(( X, g's LHS values ), (A, { wrong values observed in g })) → true value,
+//
+// kept only when the LHS pattern exists in the ground truth (an expert can
+// only write a rule for evidence they recognise as correct).
+//
+// Rules mined from different FDs can conflict (the paper's Figure 9(a)
+// "real cases" terminate early on exactly such conflicts), so the miner
+// exposes the raw ruleset and MineConsistent additionally runs the
+// Section 5.3 trimming workflow.
+package rulegen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/core"
+	"fixrule/internal/fd"
+	"fixrule/internal/schema"
+)
+
+// Config controls rule mining.
+type Config struct {
+	// MaxRules caps the number of mined rules (0 = unlimited). The paper
+	// uses 1000 for hosp and 100 for uis. For a fixed seed, smaller budgets
+	// produce prefixes of larger ones, so accuracy-vs-|Σ| sweeps
+	// (Figure 10(c,d,g,h)) use nested rulesets.
+	MaxRules int
+	// MaxNegatives caps the negative patterns kept per rule at mining time
+	// (0 = unlimited).
+	MaxNegatives int
+	// Seed drives rule sampling when MaxRules truncates.
+	Seed int64
+}
+
+// Mine extracts seed fixing rules from the FD violations of dirty, using
+// truth as the mechanised expert. The returned ruleset is NOT guaranteed
+// consistent; see MineConsistent.
+func Mine(truth, dirty *schema.Relation, fds []*fd.FD, cfg Config) (*core.Ruleset, error) {
+	if !truth.Schema().Equal(dirty.Schema()) {
+		return nil, fmt.Errorf("rulegen: truth and dirty schemas differ")
+	}
+	sch := truth.Schema()
+
+	// Index the ground truth: for each FD, LHS key → first truth row.
+	truthIdx := make([]map[string]int, len(fds))
+	for fi, f := range fds {
+		idx := make(map[string]int)
+		for i := 0; i < truth.Len(); i++ {
+			k := f.LHSKey(truth.Row(i))
+			if _, ok := idx[k]; !ok {
+				idx[k] = i
+			}
+		}
+		truthIdx[fi] = idx
+	}
+
+	// candidate keys rules by (evidence, target, fact) so duplicates from
+	// several violations merge their negatives.
+	type candidate struct {
+		evidence map[string]string
+		target   string
+		fact     string
+		negs     map[string]struct{}
+	}
+	cands := make(map[string]*candidate)
+	var order []string // deterministic iteration
+
+	for fi, f := range fds {
+		for _, v := range fd.Violations(dirty, []*fd.FD{f}) {
+			ti, ok := truthIdx[fi][v.LHSKey]
+			if !ok {
+				continue // evidence pattern itself is corrupted: expert skips
+			}
+			truthRow := truth.Row(ti)
+			fact := truthRow[sch.Index(v.Attr)]
+			evidence := make(map[string]string, len(f.LHS()))
+			for _, a := range f.LHS() {
+				evidence[a] = truthRow[sch.Index(a)]
+			}
+			// Conservative negative harvesting: a value v becomes a negative
+			// pattern only when some row of the violation group demonstrably
+			// carries v as a corruption of the fact (its ground-truth value
+			// is the fact). Values that are merely *different* — e.g. the
+			// correct attributes of a row whose LHS was corrupted into this
+			// group — stay out, exactly as the paper's expert refuses to
+			// judge the ambiguous (China, Tokyo) (Section 1, "conservative").
+			attrIdx := sch.Index(v.Attr)
+			var confirmed []string
+			for val, rows := range v.Groups {
+				if val == fact {
+					continue
+				}
+				for _, row := range rows {
+					if truth.Row(row)[attrIdx] == fact {
+						confirmed = append(confirmed, val)
+						break
+					}
+				}
+			}
+			if len(confirmed) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%d|%s|%s", fi, v.Attr, v.LHSKey)
+			c, seen := cands[key]
+			if !seen {
+				c = &candidate{evidence: evidence, target: v.Attr, fact: fact,
+					negs: make(map[string]struct{})}
+				cands[key] = c
+				order = append(order, key)
+			}
+			for _, val := range confirmed {
+				c.negs[val] = struct{}{}
+			}
+		}
+	}
+
+	sort.Strings(order)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	rs := core.NewRuleset(sch)
+	for _, key := range order {
+		if cfg.MaxRules > 0 && rs.Len() >= cfg.MaxRules {
+			break
+		}
+		c := cands[key]
+		if len(c.negs) == 0 {
+			continue
+		}
+		negs := make([]string, 0, len(c.negs))
+		for v := range c.negs {
+			negs = append(negs, v)
+		}
+		sort.Strings(negs)
+		if cfg.MaxNegatives > 0 && len(negs) > cfg.MaxNegatives {
+			negs = negs[:cfg.MaxNegatives]
+		}
+		name := fmt.Sprintf("r%04d", rs.Len()+1)
+		rule, err := core.New(name, sch, c.evidence, c.target, negs, c.fact)
+		if err != nil {
+			// A fact colliding with a kept negative can only stem from a
+			// corrupted truth lookup; skip the candidate.
+			continue
+		}
+		if err := rs.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// MineConsistent mines seed rules and then runs the Section 5.3 resolution
+// workflow (negative-pattern trimming) so the result is consistent and
+// ready for repair.
+func MineConsistent(truth, dirty *schema.Relation, fds []*fd.FD, cfg Config) (*core.Ruleset, error) {
+	rs, err := Mine(truth, dirty, fds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fixed, _, err := consistency.ResolveAll(rs, consistency.TrimNegatives{}, consistency.ByRule)
+	if err != nil {
+		return nil, err
+	}
+	return fixed, nil
+}
+
+// enrichMinDomain is the smallest target active domain Enrich will draw
+// from. On a small domain (think EmergencyService ∈ {Yes, No}) every value
+// is plausible for some pattern, so blindly listing the others as
+// known-wrong makes rules fire on tuples whose evidence — not target — is
+// corrupted. An expert enriches from rich domain tables (city lists, zip
+// directories), which this guard mirrors.
+const enrichMinDomain = 50
+
+// Enrich enlarges every rule's negative patterns with up to perRule extra
+// values drawn from the domain relation's active domain of the rule's
+// target attribute (Section 7.1's "extracting new negative patterns from
+// related tables in the same domain"). The fact and existing negatives are
+// never added, and targets with fewer than enrichMinDomain distinct values
+// are left untouched. The result is re-resolved for consistency, since
+// wider negatives can introduce conflicts (the paper's φ1′ is exactly an
+// over-enriched rule).
+func Enrich(rs *core.Ruleset, domain *schema.Relation, perRule int, seed int64) (*core.Ruleset, error) {
+	if perRule <= 0 {
+		return rs.Clone(), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := core.NewRuleset(rs.Schema())
+	domains := make(map[string][]string)
+	for _, r := range rs.Rules() {
+		pool, ok := domains[r.Target()]
+		if !ok {
+			pool = domain.ActiveDomain(r.Target())
+			domains[r.Target()] = pool
+		}
+		if len(pool) < enrichMinDomain {
+			if err := out.Add(r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pool = append([]string(nil), pool...)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		negs := r.NegativePatterns()
+		added := 0
+		for _, v := range pool {
+			if added >= perRule {
+				break
+			}
+			if v == r.Fact() || r.IsNegative(v) {
+				continue
+			}
+			negs = append(negs, v)
+			added++
+		}
+		enriched, err := r.WithNegative(negs)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Add(enriched); err != nil {
+			return nil, err
+		}
+	}
+	fixed, _, err := consistency.ResolveAll(out, consistency.TrimNegatives{}, consistency.ByRule)
+	if err != nil {
+		return nil, err
+	}
+	return fixed, nil
+}
+
+// LimitTotalNegatives trims the ruleset so that the total number of
+// negative patterns across all rules is at most total, dropping rules whose
+// negatives are exhausted. It drives the Figure 11(b) sweep (accuracy vs
+// total negative patterns). Selection is deterministic in seed.
+func LimitTotalNegatives(rs *core.Ruleset, total int, seed int64) (*core.Ruleset, error) {
+	type slot struct {
+		rule string
+		neg  string
+	}
+	var slots []slot
+	for _, r := range rs.Rules() {
+		for _, v := range r.NegativePatterns() {
+			slots = append(slots, slot{rule: r.Name(), neg: v})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	if total > len(slots) {
+		total = len(slots)
+	}
+	keep := make(map[string]map[string]struct{})
+	for _, s := range slots[:total] {
+		if keep[s.rule] == nil {
+			keep[s.rule] = make(map[string]struct{})
+		}
+		keep[s.rule][s.neg] = struct{}{}
+	}
+	out := core.NewRuleset(rs.Schema())
+	for _, r := range rs.Rules() {
+		kept := keep[r.Name()]
+		if len(kept) == 0 {
+			continue
+		}
+		negs := make([]string, 0, len(kept))
+		for _, v := range r.NegativePatterns() {
+			if _, ok := kept[v]; ok {
+				negs = append(negs, v)
+			}
+		}
+		trimmed, err := r.WithNegative(negs)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Add(trimmed); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NegativeHistogram returns, for each rule, its negative-pattern count,
+// sorted ascending — the series of Figure 11(a).
+func NegativeHistogram(rs *core.Ruleset) []int {
+	out := make([]int, 0, rs.Len())
+	for _, r := range rs.Rules() {
+		out = append(out, r.NegativeSize())
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,251 @@
+package rulegen
+
+import (
+	"testing"
+
+	"fixrule/internal/consistency"
+	"fixrule/internal/core"
+	"fixrule/internal/dataset"
+	"fixrule/internal/fd"
+	"fixrule/internal/metrics"
+	"fixrule/internal/noise"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+// corpus returns a (truth, dirty) pair over the hosp generator.
+func corpus(t *testing.T, n int) (*dataset.Dataset, *schema.Relation) {
+	t.Helper()
+	d := dataset.Hosp(n, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{
+		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dirty
+}
+
+func TestMineProducesRules(t *testing.T) {
+	d, dirty := corpus(t, 3000)
+	rs, err := Mine(d.Rel, dirty, d.FDs, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("no rules mined from a dirty relation at 10 percent noise")
+	}
+	// Every mined rule must repair toward the truth: its evidence pattern
+	// appears in truth and its fact is the truth value there.
+	sch := d.Rel.Schema()
+	for _, r := range rs.Rules() {
+		found := false
+		for i := 0; i < d.Rel.Len() && !found; i++ {
+			if r.EvidenceMatches(d.Rel.Row(i)) {
+				found = true
+				if got := d.Rel.Row(i)[sch.Index(r.Target())]; got != r.Fact() {
+					t.Fatalf("rule %s fact %q != truth value %q", r.Name(), r.Fact(), got)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("rule %s evidence matches no truth row", r.Name())
+		}
+	}
+}
+
+func TestMineBudgetAndNesting(t *testing.T) {
+	d, dirty := corpus(t, 3000)
+	small, err := Mine(d.Rel, dirty, d.FDs, Config{MaxRules: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Mine(d.Rel, dirty, d.FDs, Config{MaxRules: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() != 10 || large.Len() != 30 {
+		t.Fatalf("budgets: %d, %d", small.Len(), large.Len())
+	}
+	// Same seed: the small set's rules are a prefix of the large set's,
+	// comparing rule semantics (names are positional).
+	for i, r := range small.Rules() {
+		l := large.Rules()[i]
+		if r.Target() != l.Target() || r.Fact() != l.Fact() {
+			t.Fatalf("rule %d differs between budgets: %v vs %v", i, r, l)
+		}
+	}
+}
+
+func TestMineMaxNegatives(t *testing.T) {
+	d, dirty := corpus(t, 3000)
+	rs, err := Mine(d.Rel, dirty, d.FDs, Config{MaxNegatives: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs.Rules() {
+		if r.NegativeSize() > 1 {
+			t.Fatalf("rule %s has %d negatives, cap was 1", r.Name(), r.NegativeSize())
+		}
+	}
+}
+
+func TestMineConsistent(t *testing.T) {
+	d, dirty := corpus(t, 4000)
+	rs, err := MineConsistent(d.Rel, dirty, d.FDs, Config{MaxRules: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		t.Fatalf("MineConsistent left a conflict: %v", conf)
+	}
+}
+
+func TestMinedRulesRepairWithHighPrecision(t *testing.T) {
+	d, dirty := corpus(t, 4000)
+	rs, err := MineConsistent(d.Rel, dirty, d.FDs, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.RepairRelation(dirty, repair.Linear)
+	s := metrics.Evaluate(d.Rel, dirty, res.Relation)
+	if s.Updated == 0 {
+		t.Fatal("repair changed nothing")
+	}
+	if s.Precision < 0.9 {
+		t.Errorf("precision = %v, want >= 0.9 (the paper's headline property)", s.Precision)
+	}
+	if s.Recall <= 0 {
+		t.Errorf("recall = %v, want > 0", s.Recall)
+	}
+}
+
+func TestEnrichGrowsNegativesAndKeepsConsistency(t *testing.T) {
+	d, dirty := corpus(t, 3000)
+	rs, err := MineConsistent(d.Rel, dirty, d.FDs, Config{MaxRules: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := totalNegatives(rs)
+	enriched, err := Enrich(rs, d.Rel, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalNegatives(enriched); got <= before {
+		t.Errorf("enrichment did not grow negatives: %d -> %d", before, got)
+	}
+	if conf := consistency.IsConsistent(enriched, consistency.ByRule); conf != nil {
+		t.Fatalf("enriched set inconsistent: %v", conf)
+	}
+	// Facts never appear among negatives.
+	for _, r := range enriched.Rules() {
+		if r.IsNegative(r.Fact()) {
+			t.Fatalf("rule %s lists its fact as negative", r.Name())
+		}
+	}
+	// perRule <= 0 is a no-op clone.
+	same, err := Enrich(rs, d.Rel, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalNegatives(same) != before || same.Len() != rs.Len() {
+		t.Error("perRule=0 should be a no-op")
+	}
+}
+
+func TestLimitTotalNegatives(t *testing.T) {
+	d, dirty := corpus(t, 3000)
+	rs, err := MineConsistent(d.Rel, dirty, d.FDs, Config{MaxRules: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := totalNegatives(rs)
+	if full < 10 {
+		t.Skipf("corpus too clean: only %d negatives", full)
+	}
+	for _, budget := range []int{1, 5, full / 2, full, full * 2} {
+		limited, err := LimitTotalNegatives(rs, budget, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := budget
+		if want > full {
+			want = full
+		}
+		if got := totalNegatives(limited); got != want {
+			t.Errorf("budget %d: total negatives = %d, want %d", budget, got, want)
+		}
+		for _, r := range limited.Rules() {
+			if r.NegativeSize() == 0 {
+				t.Errorf("budget %d: rule %s kept with no negatives", budget, r.Name())
+			}
+		}
+	}
+}
+
+func TestNegativeHistogram(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	rs := core.MustRuleset(
+		core.MustNew("x", sch, map[string]string{"a": "1"}, "b", []string{"2", "3"}, "4"),
+		core.MustNew("y", sch, map[string]string{"a": "2"}, "b", []string{"9"}, "4"),
+	)
+	h := NegativeHistogram(rs)
+	if len(h) != 2 || h[0] != 1 || h[1] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestMineSchemaMismatch(t *testing.T) {
+	d, _ := corpus(t, 500)
+	other := schema.NewRelation(schema.New("Other", "x"))
+	if _, err := Mine(d.Rel, other, d.FDs, Config{}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	d, dirty := corpus(t, 2000)
+	a, _ := Mine(d.Rel, dirty, d.FDs, Config{MaxRules: 20, Seed: 5})
+	b, _ := Mine(d.Rel, dirty, d.FDs, Config{MaxRules: 20, Seed: 5})
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic rule count")
+	}
+	for i := range a.Rules() {
+		if a.Rules()[i].String() != b.Rules()[i].String() {
+			t.Fatalf("rule %d differs across identical runs", i)
+		}
+	}
+}
+
+func totalNegatives(rs *core.Ruleset) int {
+	n := 0
+	for _, r := range rs.Rules() {
+		n += r.NegativeSize()
+	}
+	return n
+}
+
+func TestMineUIS(t *testing.T) {
+	d := dataset.UIS(3000, 1)
+	dirty, _, err := noise.Inject(d.Rel, noise.Config{
+		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := MineConsistent(d.Rel, dirty, d.FDs, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("no uis rules mined")
+	}
+	if conf := consistency.IsConsistent(rs, consistency.ByRule); conf != nil {
+		t.Fatalf("uis rules inconsistent: %v", conf)
+	}
+	_ = fd.Violations // keep fd import if the assertion list shrinks
+}

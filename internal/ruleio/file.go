@@ -1,0 +1,46 @@
+package ruleio
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"fixrule/internal/core"
+)
+
+// LoadFile reads a ruleset from a file, selecting the encoding by
+// extension: *.json uses the JSON encoding, everything else the DSL.
+func LoadFile(path string) (*core.Ruleset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".json") {
+		rs, err := UnmarshalJSON(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return rs, nil
+	}
+	rs, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// SaveFile writes a ruleset to a file, selecting the encoding by extension
+// as LoadFile does.
+func SaveFile(path string, rs *core.Ruleset) error {
+	var data []byte
+	if strings.HasSuffix(path, ".json") {
+		var err error
+		data, err = MarshalJSON(rs)
+		if err != nil {
+			return err
+		}
+	} else {
+		data = []byte(Format(rs))
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,70 @@
+package ruleio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSaveFileDSL(t *testing.T) {
+	rs, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rules.dsl")
+	if err := SaveFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rs.Len() {
+		t.Errorf("rules = %d, want %d", back.Len(), rs.Len())
+	}
+}
+
+func TestLoadSaveFileJSON(t *testing.T) {
+	rs, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := SaveFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != '{' {
+		t.Errorf("json file does not start with '{': %q", data[:1])
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rs.Len() {
+		t.Errorf("rules = %d", back.Len())
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.dsl")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.dsl")
+	if err := os.WriteFile(bad, []byte("not a rule file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Error("garbage DSL accepted")
+	}
+	badJSON := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badJSON, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(badJSON); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package ruleio
+
+import (
+	"fmt"
+	"strings"
+
+	"fixrule/internal/core"
+)
+
+// Format renders a ruleset in the DSL, including its SCHEMA declaration;
+// the output parses back to an equivalent ruleset.
+func Format(rs *core.Ruleset) string {
+	var b strings.Builder
+	sch := rs.Schema()
+	fmt.Fprintf(&b, "SCHEMA %s(%s)\n", sch.Name(), strings.Join(sch.Attrs(), ", "))
+	for _, r := range rs.Rules() {
+		b.WriteByte('\n')
+		b.WriteString(FormatRule(r))
+	}
+	return b.String()
+}
+
+// FormatRule renders a single rule as a DSL RULE block.
+func FormatRule(r *core.Rule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RULE %s\n", r.Name())
+	b.WriteString("  WHEN ")
+	for i, a := range r.EvidenceAttrs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		v, _ := r.EvidenceValue(a)
+		fmt.Fprintf(&b, "%s = %s", a, quote(v))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  IF %s IN (", r.Target())
+	for i, v := range r.NegativePatterns() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quote(v))
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  THEN %s = %s\n", r.Target(), quote(r.Fact()))
+	return b.String()
+}
+
+// quote renders a DSL string literal with the escapes the lexer accepts.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, c := range s {
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package ruleio
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the DSL parser: arbitrary input must either parse into
+// a ruleset that round-trips through Format, or fail cleanly with an error
+// — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add(paperDSL)
+	f.Add(`SCHEMA R(a, b)
+RULE x
+  WHEN a = "1"
+  IF b IN ("2")
+  THEN b = "3"`)
+	f.Add(`SCHEMA R(a)`)
+	f.Add(`RULE`)
+	f.Add(`SCHEMA R(a, b) # comment`)
+	f.Add("SCHEMA R(a, b)\nRULE x\n WHEN a = \"\\\"esc\\\\\"\n IF b IN (\"v\")\n THEN b = \"w\"")
+	f.Add("\"unterminated")
+	f.Add("SCHEMA R(a,\x00b)")
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip.
+		out := Format(rs)
+		rs2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format output fails to re-parse: %v\ninput: %q\nformatted:\n%s", err, src, out)
+		}
+		if rs2.Len() != rs.Len() {
+			t.Fatalf("round trip changed rule count: %d -> %d", rs.Len(), rs2.Len())
+		}
+		for _, r := range rs.Rules() {
+			r2 := rs2.Get(r.Name())
+			if r2 == nil || r2.String() != r.String() {
+				t.Fatalf("round trip changed rule %s:\n  %v\n  %v", r.Name(), r, r2)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalJSON hardens the JSON decoder the same way.
+func FuzzUnmarshalJSON(f *testing.F) {
+	seed, err := Parse(paperDSL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := MarshalJSON(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":{"name":"R","attrs":["a","b"]},"rules":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := UnmarshalJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalJSON(rs)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		rs2, err := UnmarshalJSON(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if rs2.Len() != rs.Len() {
+			t.Fatalf("JSON round trip changed rule count")
+		}
+	})
+}

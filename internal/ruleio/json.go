@@ -1,0 +1,85 @@
+package ruleio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// jsonFile is the JSON document shape: schema plus rules.
+type jsonFile struct {
+	Schema jsonSchema `json:"schema"`
+	Rules  []jsonRule `json:"rules"`
+}
+
+type jsonSchema struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+type jsonRule struct {
+	Name     string            `json:"name"`
+	Evidence map[string]string `json:"evidence"`
+	Target   string            `json:"target"`
+	Negative []string          `json:"negative"`
+	Fact     string            `json:"fact"`
+}
+
+// MarshalJSON encodes a ruleset (with its schema) as indented JSON.
+func MarshalJSON(rs *core.Ruleset) ([]byte, error) {
+	sch := rs.Schema()
+	doc := jsonFile{
+		Schema: jsonSchema{Name: sch.Name(), Attrs: sch.Attrs()},
+	}
+	for _, r := range rs.Rules() {
+		evidence := make(map[string]string, len(r.EvidenceAttrs()))
+		for _, a := range r.EvidenceAttrs() {
+			v, _ := r.EvidenceValue(a)
+			evidence[a] = v
+		}
+		doc.Rules = append(doc.Rules, jsonRule{
+			Name:     r.Name(),
+			Evidence: evidence,
+			Target:   r.Target(),
+			Negative: r.NegativePatterns(),
+			Fact:     r.Fact(),
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalJSON decodes a ruleset produced by MarshalJSON.
+func UnmarshalJSON(data []byte) (*core.Ruleset, error) {
+	var doc jsonFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("ruleio: %w", err)
+	}
+	if doc.Schema.Name == "" || len(doc.Schema.Attrs) == 0 {
+		return nil, fmt.Errorf("ruleio: JSON document lacks a schema")
+	}
+	var sch *schema.Schema
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("ruleio: %v", r)
+			}
+		}()
+		sch = schema.New(doc.Schema.Name, doc.Schema.Attrs...)
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+	rs := core.NewRuleset(sch)
+	for _, jr := range doc.Rules {
+		r, err := core.New(jr.Name, sch, jr.Evidence, jr.Target, jr.Negative, jr.Fact)
+		if err != nil {
+			return nil, fmt.Errorf("ruleio: rule %q: %w", jr.Name, err)
+		}
+		if err := rs.Add(r); err != nil {
+			return nil, fmt.Errorf("ruleio: %w", err)
+		}
+	}
+	return rs, nil
+}

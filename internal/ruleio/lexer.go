@@ -1,0 +1,151 @@
+package ruleio
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokEquals
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenises the rule DSL. '#' starts a comment running to end of
+// line; strings are double-quoted with \" and \\ escapes; identifiers are
+// letters, digits, '_', '-' and '.'.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '(':
+			l.pos++
+			return token{tokLParen, "(", l.line}, nil
+		case c == ')':
+			l.pos++
+			return token{tokRParen, ")", l.line}, nil
+		case c == ',':
+			l.pos++
+			return token{tokComma, ",", l.line}, nil
+		case c == '=':
+			l.pos++
+			return token{tokEquals, "=", l.line}, nil
+		case c == '"':
+			return l.lexString()
+		case isIdentRune(c):
+			return l.lexIdent(), nil
+		default:
+			return token{}, l.errorf("unexpected character %q", string(c))
+		}
+	}
+	return token{tokEOF, "", l.line}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated escape in string")
+			}
+			esc := l.src[l.pos]
+			switch esc {
+			case '"', '\\':
+				b.WriteRune(esc)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return token{}, l.errorf("unknown escape \\%s", string(esc))
+			}
+			l.pos++
+		case '\n':
+			return token{}, l.errorf("unterminated string")
+		default:
+			b.WriteRune(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errorf("unterminated string")
+}
+
+func (l *lexer) lexIdent() token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{tokIdent, string(l.src[start:l.pos]), l.line}
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.'
+}

@@ -1,0 +1,259 @@
+// Package ruleio reads and writes fixing rules: a human-oriented rule DSL
+// and a JSON encoding, both round-tripping with internal/core rulesets.
+//
+// The DSL mirrors the paper's notation. A file declares a schema and then
+// rules; each rule gives the evidence pattern (WHEN), the negative patterns
+// (IF ... IN) and the fact (THEN):
+//
+//	# φ1 of the running example
+//	SCHEMA Travel(name, country, capital, city, conf)
+//
+//	RULE phi1
+//	  WHEN country = "China"
+//	  IF capital IN ("Shanghai", "Hongkong")
+//	  THEN capital = "Beijing"
+//
+// Keywords are upper-case; attribute names are identifiers; values are
+// double-quoted strings. '#' comments run to end of line.
+package ruleio
+
+import (
+	"fmt"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// parser is a recursive-descent parser over the lexer.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("line %d: expected %v, found %v %q",
+			p.tok.line, kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// expectKeyword consumes an identifier with the exact given text.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return fmt.Errorf("line %d: expected %q, found %q", p.tok.line, kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+// Parse reads a full DSL file: a SCHEMA declaration followed by RULE
+// blocks.
+func Parse(src string) (*core.Ruleset, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	sch, err := p.parseSchema()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseRules(sch)
+}
+
+// ParseWith reads a DSL fragment containing only RULE blocks, against an
+// externally supplied schema. A SCHEMA declaration, if present, must match
+// the supplied schema.
+func ParseWith(src string, sch *schema.Schema) (*core.Ruleset, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("SCHEMA") {
+		declared, err := p.parseSchema()
+		if err != nil {
+			return nil, err
+		}
+		if !declared.Equal(sch) {
+			return nil, fmt.Errorf("ruleio: declared schema %s does not match expected %s", declared, sch)
+		}
+	}
+	return p.parseRules(sch)
+}
+
+func (p *parser) parseSchema() (*schema.Schema, error) {
+	if err := p.expectKeyword("SCHEMA"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a.text)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	// schema.New panics on malformed input; convert to an error.
+	var sch *schema.Schema
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("line %d: %v", name.line, r)
+			}
+		}()
+		sch = schema.New(name.text, attrs...)
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+func (p *parser) parseRules(sch *schema.Schema) (*core.Ruleset, error) {
+	rs := core.NewRuleset(sch)
+	for p.tok.kind != tokEOF {
+		r, err := p.parseRule(sch)
+		if err != nil {
+			return nil, err
+		}
+		if err := rs.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// parseRule reads one RULE block:
+//
+//	RULE name
+//	  WHEN attr = "v" [, attr = "v" ...]
+//	  IF attr IN ("v" [, "v" ...])
+//	  THEN attr = "v"
+func (p *parser) parseRule(sch *schema.Schema) (*core.Rule, error) {
+	if err := p.expectKeyword("RULE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := p.expectKeyword("WHEN"); err != nil {
+		return nil, err
+	}
+	evidence := map[string]string{}
+	for {
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := evidence[attr.text]; dup {
+			return nil, fmt.Errorf("line %d: duplicate evidence attribute %q", attr.line, attr.text)
+		}
+		evidence[attr.text] = val.text
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+
+	if err := p.expectKeyword("IF"); err != nil {
+		return nil, err
+	}
+	target, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var negatives []string
+	for {
+		v, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		negatives = append(negatives, v.text)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+
+	if err := p.expectKeyword("THEN"); err != nil {
+		return nil, err
+	}
+	thenAttr, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if thenAttr.text != target.text {
+		return nil, fmt.Errorf("line %d: THEN attribute %q differs from IF attribute %q",
+			thenAttr.line, thenAttr.text, target.text)
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return nil, err
+	}
+	fact, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+
+	r, err := core.New(name.text, sch, evidence, target.text, negatives, fact.text)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %w", name.line, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,107 @@
+package ruleio
+
+import (
+	"math/rand"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+// TestFormatParseRoundTripRandom: random rules with adversarial value
+// content (quotes, backslashes, unicode, separators) survive
+// Format → Parse unchanged.
+func TestFormatParseRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	alphabet := []string{
+		"a", "Z", "0", "_", "-", ".", " ", `"`, `\`, "\t", "\n",
+		"中", "ø", "#", ",", "(", ")", "=", "'",
+	}
+	randomValue := func() string {
+		n := rng.Intn(8)
+		out := ""
+		for i := 0; i < n; i++ {
+			out += alphabet[rng.Intn(len(alphabet))]
+		}
+		return out
+	}
+	sch := schema.New("R", "a", "b", "c", "d")
+	attrs := sch.Attrs()
+	for trial := 0; trial < 500; trial++ {
+		rs := core.NewRuleset(sch)
+		n := 1 + rng.Intn(4)
+		for k := 0; k < n; k++ {
+			perm := rng.Perm(len(attrs))
+			nEv := 1 + rng.Intn(3)
+			ev := map[string]string{}
+			for _, i := range perm[:nEv] {
+				ev[attrs[i]] = randomValue()
+			}
+			target := attrs[perm[nEv]]
+			fact := randomValue()
+			negSet := map[string]bool{}
+			for len(negSet) < 1+rng.Intn(3) {
+				v := randomValue()
+				if v != fact {
+					negSet[v] = true
+				}
+			}
+			var negs []string
+			for v := range negSet {
+				negs = append(negs, v)
+			}
+			r, err := core.New("r"+string(rune('a'+k)), sch, ev, target, negs, fact)
+			if err != nil {
+				continue
+			}
+			_ = rs.Add(r)
+		}
+		if rs.Len() == 0 {
+			continue
+		}
+		out := Format(rs)
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse failed: %v\n%s", trial, err, out)
+		}
+		if back.Len() != rs.Len() {
+			t.Fatalf("trial %d: rule count %d -> %d", trial, rs.Len(), back.Len())
+		}
+		for _, r := range rs.Rules() {
+			r2 := back.Get(r.Name())
+			if r2 == nil || r2.String() != r.String() {
+				t.Fatalf("trial %d: rule %s changed:\n  %v\n  %v\nDSL:\n%s",
+					trial, r.Name(), r, r2, out)
+			}
+		}
+	}
+}
+
+// TestJSONRoundTripRandom does the same through the JSON encoding.
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	sch := schema.New("R", "a", "b")
+	for trial := 0; trial < 200; trial++ {
+		v1 := string(rune(32 + rng.Intn(90)))
+		v2 := string(rune(32 + rng.Intn(90)))
+		if v1 == v2 {
+			continue
+		}
+		r, err := core.New("x", sch, map[string]string{"a": v1}, "b", []string{v1, v2}, v1+v2)
+		if err != nil {
+			continue
+		}
+		rs := core.MustRuleset(r)
+		data, err := MarshalJSON(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalJSON(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, data)
+		}
+		if back.Get("x").String() != r.String() {
+			t.Fatalf("trial %d: %v != %v", trial, back.Get("x"), r)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package ruleio
+
+import (
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/schema"
+)
+
+const paperDSL = `
+# The running example of the paper (Examples 3 and 8, Section 6.2).
+SCHEMA Travel(name, country, capital, city, conf)
+
+RULE phi1
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong")
+  THEN capital = "Beijing"
+
+RULE phi2
+  WHEN country = "Canada"
+  IF capital IN ("Toronto")
+  THEN capital = "Ottawa"
+
+RULE phi3
+  WHEN capital = "Tokyo", city = "Tokyo", conf = "ICDE"
+  IF country IN ("China")
+  THEN country = "Japan"
+
+RULE phi4
+  WHEN capital = "Beijing", conf = "ICDE"
+  IF city IN ("Hongkong")
+  THEN city = "Shanghai"
+`
+
+func TestParsePaperRules(t *testing.T) {
+	rs, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("parsed %d rules", rs.Len())
+	}
+	if rs.Schema().String() != "Travel(name, country, capital, city, conf)" {
+		t.Errorf("schema = %s", rs.Schema())
+	}
+	phi1 := rs.Get("phi1")
+	if phi1 == nil {
+		t.Fatal("phi1 missing")
+	}
+	if v, _ := phi1.EvidenceValue("country"); v != "China" {
+		t.Errorf("phi1 evidence = %q", v)
+	}
+	if !phi1.IsNegative("Shanghai") || !phi1.IsNegative("Hongkong") || phi1.Fact() != "Beijing" {
+		t.Errorf("phi1 = %v", phi1)
+	}
+	phi3 := rs.Get("phi3")
+	if len(phi3.EvidenceAttrs()) != 3 || phi3.Target() != "country" {
+		t.Errorf("phi3 = %v", phi3)
+	}
+}
+
+func TestRoundTripDSL(t *testing.T) {
+	rs, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(rs)
+	rs2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse of Format output failed: %v\n%s", err, out)
+	}
+	if rs2.Len() != rs.Len() {
+		t.Fatalf("round trip changed rule count")
+	}
+	for _, r := range rs.Rules() {
+		r2 := rs2.Get(r.Name())
+		if r2 == nil || r2.String() != r.String() {
+			t.Errorf("round trip changed %s:\n  %v\n  %v", r.Name(), r, r2)
+		}
+	}
+}
+
+func TestRoundTripJSON(t *testing.T) {
+	rs, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalJSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Len() != rs.Len() || !rs2.Schema().Equal(rs.Schema()) {
+		t.Fatal("JSON round trip changed shape")
+	}
+	for _, r := range rs.Rules() {
+		if rs2.Get(r.Name()).String() != r.String() {
+			t.Errorf("JSON round trip changed %s", r.Name())
+		}
+	}
+}
+
+func TestParseWith(t *testing.T) {
+	sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+	frag := `
+RULE phi2
+  WHEN country = "Canada"
+  IF capital IN ("Toronto")
+  THEN capital = "Ottawa"
+`
+	rs, err := ParseWith(frag, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 || rs.Schema() != sch {
+		t.Fatalf("rs = %v", rs)
+	}
+	// A matching SCHEMA declaration is allowed...
+	if _, err := ParseWith(paperDSL, sch); err != nil {
+		t.Errorf("matching declared schema rejected: %v", err)
+	}
+	// ...a mismatched one is not.
+	other := schema.New("Other", "a", "b")
+	if _, err := ParseWith(paperDSL, other); err == nil {
+		t.Error("mismatched declared schema accepted")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	src := `
+SCHEMA R(a, b)
+RULE q
+  WHEN a = "he said \"hi\"\n\tdone\\"
+  IF b IN ("x")
+  THEN b = "y"
+`
+	rs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := rs.Get("q").EvidenceValue("a")
+	if v != "he said \"hi\"\n\tdone\\" {
+		t.Errorf("escaped value = %q", v)
+	}
+	// Round trip with escapes.
+	rs2, err := Parse(Format(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := rs2.Get("q").EvidenceValue("a")
+	if v2 != v {
+		t.Errorf("escape round trip: %q != %q", v2, v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no schema", `RULE x WHEN a = "1" IF b IN ("2") THEN b = "3"`, `expected "SCHEMA"`},
+		{"bad schema attrs", `SCHEMA R(a, a)`, "duplicate"},
+		{"unterminated string", "SCHEMA R(a, b)\nRULE x\n WHEN a = \"oops", "unterminated"},
+		{"unterminated string newline", "SCHEMA R(a, b)\nRULE x\n WHEN a = \"oops\nIF", "unterminated"},
+		{"bad escape", `SCHEMA R(a, b)
+RULE x
+ WHEN a = "\q"`, "unknown escape"},
+		{"missing IF", `SCHEMA R(a, b)
+RULE x
+ WHEN a = "1"
+ THEN b = "2"`, `expected "IF"`},
+		{"then/if mismatch", `SCHEMA R(a, b, c)
+RULE x
+ WHEN a = "1"
+ IF b IN ("2")
+ THEN c = "3"`, "differs from"},
+		{"duplicate evidence", `SCHEMA R(a, b)
+RULE x
+ WHEN a = "1", a = "2"
+ IF b IN ("3")
+ THEN b = "4"`, "duplicate evidence"},
+		{"semantic error", `SCHEMA R(a, b)
+RULE x
+ WHEN a = "1"
+ IF b IN ("2")
+ THEN b = "2"`, "fact"},
+		{"duplicate rule name", `SCHEMA R(a, b)
+RULE x
+ WHEN a = "1"
+ IF b IN ("2")
+ THEN b = "3"
+RULE x
+ WHEN a = "9"
+ IF b IN ("8")
+ THEN b = "7"`, "duplicate rule"},
+		{"stray char", `SCHEMA R(a, b) !`, "unexpected character"},
+		{"empty negatives", `SCHEMA R(a, b)
+RULE x
+ WHEN a = "1"
+ IF b IN ()
+ THEN b = "3"`, "expected string"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	src := `SCHEMA R(a, b)
+
+RULE x
+  WHEN a = "1"
+  IF b IN ("2")
+  THEN b = "2"
+`
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want a line-3 position", err)
+	}
+}
+
+func TestUnmarshalJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"schema":{"name":"R","attrs":["a","b"]},"rules":[{"name":"x","evidence":{"a":"1"},"target":"b","negative":["2"],"fact":"2"}]}`,
+		`{"schema":{"name":"R","attrs":["a","a"]},"rules":[]}`,
+	}
+	for i, src := range cases {
+		if _, err := UnmarshalJSON([]byte(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFormatRule(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	r := core.MustNew("x", sch, map[string]string{"a": "1"}, "b", []string{"2"}, "3")
+	out := FormatRule(r)
+	for _, want := range []string{"RULE x", `WHEN a = "1"`, `IF b IN ("2")`, `THEN b = "3"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatRule = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for _, k := range []tokenKind{tokEOF, tokIdent, tokString, tokLParen, tokRParen, tokComma, tokEquals, tokenKind(99)} {
+		if k.String() == "" {
+			t.Errorf("tokenKind(%d).String() empty", int(k))
+		}
+	}
+}
+
+func TestParseWithLexErrorInSchemaCheck(t *testing.T) {
+	sch := schema.New("R", "a", "b")
+	if _, err := ParseWith("\x00", sch); err == nil {
+		t.Error("garbage fragment accepted")
+	}
+	// Fragment whose SCHEMA declaration is malformed.
+	if _, err := ParseWith("SCHEMA R(", sch); err == nil {
+		t.Error("broken schema declaration accepted")
+	}
+}

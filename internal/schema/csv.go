@@ -1,0 +1,74 @@
+package schema
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteCSV writes the relation to w with a header row of attribute names.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Attrs()); err != nil {
+		return fmt.Errorf("schema: write csv header: %w", err)
+	}
+	for _, t := range r.Rows() {
+		if err := cw.Write(t); err != nil {
+			return fmt.Errorf("schema: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation from r. The first record must be a header whose
+// fields exactly match the schema's attributes in order; this guards against
+// silently loading a file into the wrong schema.
+func ReadCSV(rd io.Reader, s *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = s.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("schema: read csv header: %w", err)
+	}
+	for i, a := range s.Attrs() {
+		if header[i] != a {
+			return nil, fmt.Errorf("schema: csv header field %d is %q, want %q", i, header[i], a)
+		}
+	}
+	rel := NewRelation(s)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("schema: read csv row: %w", err)
+		}
+		rel.Append(Tuple(rec))
+	}
+}
+
+// SaveCSV writes the relation to the named file, creating or truncating it.
+func SaveCSV(path string, r *Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a relation in the given schema from the named file.
+func LoadCSV(path string, s *Schema) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, s)
+}

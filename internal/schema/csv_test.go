@@ -1,0 +1,68 @@
+package schema
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Relation {
+	r := NewRelation(travel())
+	r.Append(Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	r.Append(Tuple{"Ian", "China", "Shanghai", "Hong, kong", "ICDE"})
+	return r
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Diff(r, got)) != 0 {
+		t.Errorf("round trip changed data: %v", got.Rows())
+	}
+}
+
+func TestReadCSVHeaderMismatch(t *testing.T) {
+	in := "name,country,capital,city,WRONG\na,b,c,d,e\n"
+	if _, err := ReadCSV(strings.NewReader(in), travel()); err == nil {
+		t.Fatal("mismatched header must fail")
+	}
+}
+
+func TestReadCSVArityMismatch(t *testing.T) {
+	in := "name,country,capital,city,conf\na,b,c\n"
+	if _, err := ReadCSV(strings.NewReader(in), travel()); err == nil {
+		t.Fatal("short row must fail")
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), travel()); err == nil {
+		t.Fatal("empty input must fail (no header)")
+	}
+}
+
+func TestSaveLoadCSV(t *testing.T) {
+	r := sample()
+	path := filepath.Join(t.TempDir(), "travel.csv")
+	if err := SaveCSV(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path, r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != r.Len() || len(Diff(r, got)) != 0 {
+		t.Error("Save/Load round trip failed")
+	}
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "missing.csv"), r.Schema()); err == nil {
+		t.Error("loading a missing file must fail")
+	}
+}

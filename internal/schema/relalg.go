@@ -1,0 +1,70 @@
+package schema
+
+import "fmt"
+
+// Project returns a new relation containing the given attributes (in the
+// given order) of every row. Duplicates are kept; use Distinct to collapse
+// them. The relation name is preserved.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: Project with no attributes")
+	}
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("schema: Project: unknown attribute %q", a)
+		}
+		idx[i] = j
+	}
+	out := NewRelation(New(r.schema.Name(), attrs...))
+	for _, t := range r.rows {
+		row := make(Tuple, len(idx))
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		out.Append(row)
+	}
+	return out, nil
+}
+
+// Select returns a new relation with the rows for which pred returns true.
+// The schema is shared; rows are copied.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := NewRelation(r.schema)
+	for _, t := range r.rows {
+		if pred(t) {
+			out.Append(t.Clone())
+		}
+	}
+	return out
+}
+
+// Distinct returns a new relation with duplicate rows removed, keeping the
+// first occurrence of each.
+func (r *Relation) Distinct() *Relation {
+	out := NewRelation(r.schema)
+	seen := make(map[string]struct{}, len(r.rows))
+	for _, t := range r.rows {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Append(t.Clone())
+	}
+	return out
+}
+
+// Sample returns a new relation with the rows at the given indices, in
+// order. Out-of-range indices are an error.
+func (r *Relation) Sample(indices []int) (*Relation, error) {
+	out := NewRelation(r.schema)
+	for _, i := range indices {
+		if i < 0 || i >= len(r.rows) {
+			return nil, fmt.Errorf("schema: Sample: index %d out of range [0,%d)", i, len(r.rows))
+		}
+		out.Append(r.rows[i].Clone())
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package schema
+
+import "testing"
+
+func relAlgSample() *Relation {
+	r := NewRelation(travel())
+	r.Append(Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	r.Append(Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	r.Append(Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"}) // dup
+	r.Append(Tuple{"Mike", "Canada", "Toronto", "Toronto", "VLDB"})
+	return r
+}
+
+func TestProject(t *testing.T) {
+	r := relAlgSample()
+	p, err := r.Project("country", "capital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Arity() != 2 || p.Len() != 4 {
+		t.Fatalf("projected = %d cols x %d rows", p.Schema().Arity(), p.Len())
+	}
+	if !p.Row(0).Equal(Tuple{"China", "Beijing"}) {
+		t.Errorf("row 0 = %v", p.Row(0))
+	}
+	// Attribute order is as requested, not schema order.
+	p2, err := r.Project("capital", "country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Row(0).Equal(Tuple{"Beijing", "China"}) {
+		t.Errorf("reordered row 0 = %v", p2.Row(0))
+	}
+	if _, err := r.Project(); err == nil {
+		t.Error("empty projection accepted")
+	}
+	if _, err := r.Project("zzz"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := relAlgSample()
+	china := r.Select(func(t Tuple) bool { return t[1] == "China" })
+	if china.Len() != 3 {
+		t.Fatalf("selected %d rows", china.Len())
+	}
+	// Rows are copies, not aliases.
+	china.Row(0)[0] = "X"
+	if r.Row(0)[0] != "George" {
+		t.Error("Select aliases rows")
+	}
+	none := r.Select(func(Tuple) bool { return false })
+	if none.Len() != 0 {
+		t.Error("empty selection non-empty")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := relAlgSample()
+	d := r.Distinct()
+	if d.Len() != 3 {
+		t.Fatalf("distinct = %d rows", d.Len())
+	}
+	// First occurrence order preserved.
+	if d.Row(1)[0] != "Ian" || d.Row(2)[0] != "Mike" {
+		t.Errorf("order = %v", d.Rows())
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := relAlgSample()
+	s, err := r.Sample([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Row(0)[0] != "Mike" || s.Row(1)[0] != "George" {
+		t.Errorf("sample = %v", s.Rows())
+	}
+	if _, err := r.Sample([]int{99}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := r.Sample([]int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func travel() *Schema {
+	return New("Travel", "name", "country", "capital", "city", "conf")
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := travel()
+	if s.Name() != "Travel" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Arity() != 5 {
+		t.Errorf("Arity = %d", s.Arity())
+	}
+	if s.Index("capital") != 2 || s.Index("nope") != -1 {
+		t.Error("Index misbehaves")
+	}
+	if !s.Has("conf") || s.Has("x") {
+		t.Error("Has misbehaves")
+	}
+	if got := s.String(); got != "Travel(name, country, capital, city, conf)" {
+		t.Errorf("String = %q", got)
+	}
+	if s.MustIndex("city") != 3 {
+		t.Error("MustIndex")
+	}
+}
+
+func TestSchemaPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no attrs":   func() { New("R") },
+		"empty attr": func() { New("R", "a", "") },
+		"dup attr":   func() { New("R", "a", "a") },
+		"must index": func() { travel().MustIndex("zzz") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := travel(), travel()
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Error("equal schemas reported unequal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil)")
+	}
+	if a.Equal(New("Travel", "name", "country")) {
+		t.Error("different arity reported equal")
+	}
+	if a.Equal(New("Other", "name", "country", "capital", "city", "conf")) {
+		t.Error("different name reported equal")
+	}
+	if a.Equal(New("Travel", "name", "country", "capital", "conf", "city")) {
+		t.Error("different order reported equal")
+	}
+}
+
+func TestTuple(t *testing.T) {
+	tp := Tuple{"a", "b"}
+	c := tp.Clone()
+	c[0] = "z"
+	if tp[0] != "a" {
+		t.Error("Clone aliases storage")
+	}
+	if !tp.Equal(Tuple{"a", "b"}) || tp.Equal(Tuple{"a"}) || tp.Equal(Tuple{"a", "c"}) {
+		t.Error("Equal misbehaves")
+	}
+	if (Tuple{"a", "b"}).Key() == (Tuple{"ab", ""}).Key() {
+		t.Error("Key collides on shifted boundaries")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Property: distinct tuples (without the separator char) have distinct keys.
+	f := func(a, b []string) bool {
+		ta := sanitize(a)
+		tb := sanitize(b)
+		if ta.Equal(tb) {
+			return ta.Key() == tb.Key()
+		}
+		return ta.Key() != tb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(vs []string) Tuple {
+	out := make(Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = strings.ReplaceAll(v, "\x1f", "_")
+	}
+	return out
+}
+
+func TestRelation(t *testing.T) {
+	s := travel()
+	r := NewRelation(s)
+	r.Append(Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	r.Append(Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	if r.Len() != 2 || r.Schema() != s {
+		t.Fatal("relation basics")
+	}
+	if r.Get(1, "capital") != "Shanghai" {
+		t.Error("Get")
+	}
+	r.Set(1, "capital", "Beijing")
+	if r.Row(1)[2] != "Beijing" {
+		t.Error("Set")
+	}
+	ad := r.ActiveDomain("capital")
+	if len(ad) != 1 || ad[0] != "Beijing" {
+		t.Errorf("ActiveDomain = %v", ad)
+	}
+	c := r.Clone()
+	c.Set(0, "name", "X")
+	if r.Get(0, "name") != "George" {
+		t.Error("Clone aliases rows")
+	}
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	NewRelation(travel()).Append(Tuple{"too", "short"})
+}
+
+func TestDiff(t *testing.T) {
+	s := travel()
+	a := NewRelation(s)
+	a.Append(Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	a.Append(Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"})
+	b := a.Clone()
+	if len(Diff(a, b)) != 0 {
+		t.Error("identical relations must not differ")
+	}
+	b.Set(1, "capital", "Beijing")
+	b.Set(1, "city", "Shanghai")
+	cells := Diff(a, b)
+	if len(cells) != 2 {
+		t.Fatalf("Diff = %v", cells)
+	}
+	if cells[0] != (Cell{Row: 1, Attr: "capital"}) || cells[1] != (Cell{Row: 1, Attr: "city"}) {
+		t.Errorf("Diff cells = %v", cells)
+	}
+	if cells[0].String() != "1[capital]" {
+		t.Errorf("Cell.String = %q", cells[0].String())
+	}
+}
+
+func TestDiffPanics(t *testing.T) {
+	s := travel()
+	a := NewRelation(s)
+	b := NewRelation(New("Other", "x"))
+	t.Run("schema", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		Diff(a, b)
+	})
+	t.Run("length", func(t *testing.T) {
+		c := NewRelation(s)
+		c.Append(Tuple{"a", "b", "c", "d", "e"})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		Diff(a, c)
+	})
+}

@@ -1,0 +1,261 @@
+// Package server exposes a fixing-rule repairer over HTTP, the deployment
+// shape the paper's data-monitoring scenario calls for: incoming tuples are
+// repaired on the wire, with no user in the loop. Standard library only.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /rules        the ruleset, as DSL (default) or JSON (?format=json)
+//	GET  /rules/stats  rule-count / size / per-target statistics
+//	POST /repair       JSON {"tuples": [[...], ...]} → repaired tuples + steps
+//	POST /repair/csv   CSV stream in (header must match schema), CSV out
+//	POST /explain      JSON {"tuple": [...]} → repair provenance
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"fixrule/internal/core"
+	"fixrule/internal/repair"
+	"fixrule/internal/ruleio"
+	"fixrule/internal/schema"
+)
+
+// Server handles repair requests against one fixed, consistent ruleset.
+type Server struct {
+	rep *repair.Repairer
+	mux *http.ServeMux
+}
+
+// New builds the HTTP handler for a repairer.
+func New(rep *repair.Repairer) *Server {
+	s := &Server{rep: rep, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/rules", s.handleRules)
+	s.mux.HandleFunc("/rules/stats", s.handleStats)
+	s.mux.HandleFunc("/repair", s.handleRepair)
+	s.mux.HandleFunc("/repair/csv", s.handleRepairCSV)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "dsl":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, ruleio.Format(s.rep.Ruleset()))
+	case "json":
+		data, err := ruleio.MarshalJSON(s.rep.Ruleset())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		http.Error(w, "unknown format (want dsl or json)", http.StatusBadRequest)
+	}
+}
+
+// statsResponse is the /rules/stats payload.
+type statsResponse struct {
+	Schema    string         `json:"schema"`
+	Rules     int            `json:"rules"`
+	Size      int            `json:"size"`
+	PerTarget map[string]int `json:"per_target"`
+	Negatives int            `json:"negative_patterns"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rs := s.rep.Ruleset()
+	resp := statsResponse{
+		Schema:    rs.Schema().String(),
+		Rules:     rs.Len(),
+		Size:      rs.Size(),
+		PerTarget: make(map[string]int),
+	}
+	for _, rule := range rs.Rules() {
+		resp.PerTarget[rule.Target()]++
+		resp.Negatives += rule.NegativeSize()
+	}
+	writeJSON(w, resp)
+}
+
+// repairRequest is the /repair request body.
+type repairRequest struct {
+	Tuples [][]string `json:"tuples"`
+	// Algorithm selects "linear" (default) or "chase".
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// repairedTuple is one row of the /repair response.
+type repairedTuple struct {
+	Tuple []string     `json:"tuple"`
+	Steps []stepRecord `json:"steps,omitempty"`
+}
+
+type stepRecord struct {
+	Rule string `json:"rule"`
+	Attr string `json:"attr"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+type repairResponse struct {
+	Repaired []repairedTuple `json:"repaired"`
+	Changed  int             `json:"changed"`
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req repairRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	arity := s.rep.Ruleset().Schema().Arity()
+	resp := repairResponse{Repaired: make([]repairedTuple, 0, len(req.Tuples))}
+	for i, vals := range req.Tuples {
+		if len(vals) != arity {
+			http.Error(w, fmt.Sprintf("tuple %d has %d values, schema needs %d", i, len(vals), arity),
+				http.StatusBadRequest)
+			return
+		}
+		fixed, steps := s.rep.RepairTuple(schema.Tuple(vals), alg)
+		rt := repairedTuple{Tuple: fixed}
+		for _, st := range steps {
+			rt.Steps = append(rt.Steps, stepRecord{
+				Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
+			})
+		}
+		if len(steps) > 0 {
+			resp.Changed++
+		}
+		resp.Repaired = append(resp.Repaired, rt)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	alg, err := parseAlgorithm(r.URL.Query().Get("algorithm"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if _, err := s.rep.StreamCSV(r.Body, w, alg); err != nil {
+		// The response may be partially written; the error text still
+		// reaches the client as the final body content.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+}
+
+// explainRequest is the /explain request body.
+type explainRequest struct {
+	Tuple     []string `json:"tuple"`
+	Algorithm string   `json:"algorithm,omitempty"`
+}
+
+type explainResponse struct {
+	Input   []string     `json:"input"`
+	Output  []string     `json:"output"`
+	Steps   []stepRecord `json:"steps,omitempty"`
+	Assured []string     `json:"assured,omitempty"`
+	Text    string       `json:"text"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Tuple) != s.rep.Ruleset().Schema().Arity() {
+		http.Error(w, "tuple arity mismatch", http.StatusBadRequest)
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e := s.rep.Explain(schema.Tuple(req.Tuple), alg)
+	resp := explainResponse{
+		Input: e.Input, Output: e.Output, Assured: e.Assured, Text: e.String(),
+	}
+	for _, st := range e.Steps {
+		resp.Steps = append(resp.Steps, stepRecord{
+			Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func parseAlgorithm(name string) (repair.Algorithm, error) {
+	switch name {
+	case "", "linear", "lrepair":
+		return repair.Linear, nil
+	case "chase", "crepair":
+		return repair.Chase, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want linear or chase)", name)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// SortedTargets returns the rule targets in deterministic order; exposed
+// for diagnostic tooling built on the server.
+func SortedTargets(rs *core.Ruleset) []string {
+	set := map[string]struct{}{}
+	for _, r := range rs.Rules() {
+		set[r.Target()] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+	rs := core.MustRuleset(
+		core.MustNew("phi1", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+		core.MustNew("phi2", sch, map[string]string{"country": "Canada"},
+			"capital", []string{"Toronto"}, "Ottawa"),
+		core.MustNew("phi4", sch,
+			map[string]string{"capital": "Beijing", "conf": "ICDE"},
+			"city", []string{"Hongkong"}, "Shanghai"),
+	)
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(rep))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRulesEndpoints(t *testing.T) {
+	srv := testServer(t)
+	// DSL.
+	resp, err := http.Get(srv.URL + "/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "RULE phi1") {
+		t.Errorf("DSL body:\n%s", body)
+	}
+	// JSON.
+	resp, err = http.Get(srv.URL + "/rules?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rules []struct{ Name string } `json:"rules"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(doc.Rules) != 3 {
+		t.Errorf("json rules = %d", len(doc.Rules))
+	}
+	// Bad format.
+	resp, _ = http.Get(srv.URL + "/rules?format=xml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("xml format status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Stats.
+	resp, err = http.Get(srv.URL + "/rules/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Rules != 3 || stats.PerTarget["capital"] != 2 || stats.Negatives != 4 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRepairEndpoint(t *testing.T) {
+	srv := testServer(t)
+	req := `{"tuples": [
+		["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+		["George", "China", "Beijing", "Beijing", "SIGMOD"]
+	]}`
+	resp, err := http.Post(srv.URL+"/repair", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out repairResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Changed != 1 || len(out.Repaired) != 2 {
+		t.Fatalf("response = %+v", out)
+	}
+	fixed := out.Repaired[0]
+	if fixed.Tuple[2] != "Beijing" || fixed.Tuple[3] != "Shanghai" {
+		t.Errorf("repaired tuple = %v", fixed.Tuple)
+	}
+	if len(fixed.Steps) != 2 || fixed.Steps[0].Rule != "phi1" || fixed.Steps[1].Rule != "phi4" {
+		t.Errorf("steps = %+v", fixed.Steps)
+	}
+	if len(out.Repaired[1].Steps) != 0 {
+		t.Error("clean tuple gained steps")
+	}
+}
+
+func TestRepairEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"tuples": [["too","short"]]}`, http.StatusBadRequest},
+		{`{"tuples": [], "algorithm": "quantum"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+"/repair", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("body %q: status = %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+	// Wrong method.
+	resp, _ := http.Get(srv.URL + "/repair")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /repair status = %d", resp.StatusCode)
+	}
+}
+
+func TestRepairCSVEndpoint(t *testing.T) {
+	srv := testServer(t)
+	csvIn := "name,country,capital,city,conf\nIan,China,Shanghai,Hongkong,ICDE\n"
+	resp, err := http.Post(srv.URL+"/repair/csv", "text/csv", strings.NewReader(csvIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Ian,China,Beijing,Shanghai,ICDE") {
+		t.Errorf("csv body:\n%s", body)
+	}
+	// Chase algorithm via query parameter.
+	resp, err = http.Post(srv.URL+"/repair/csv?algorithm=chase", "text/csv", strings.NewReader(csvIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("chase status = %d", resp.StatusCode)
+	}
+	// Bad header: the error text must reach the client body.
+	resp, _ = http.Post(srv.URL+"/repair/csv", "text/csv", strings.NewReader("a,b\n1,2\n"))
+	errBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(errBody), "header") {
+		t.Errorf("bad-header body = %q", errBody)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	req := `{"tuple": ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]}`
+	resp, err := http.Post(srv.URL+"/explain", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out explainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 2 || out.Output[2] != "Beijing" {
+		t.Errorf("explanation = %+v", out)
+	}
+	if !strings.Contains(out.Text, "phi1") {
+		t.Errorf("text = %q", out.Text)
+	}
+	// Arity mismatch.
+	resp, _ = http.Post(srv.URL+"/explain", "application/json", strings.NewReader(`{"tuple": ["x"]}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short tuple status = %d", resp.StatusCode)
+	}
+}
+
+func TestSortedTargets(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	rs := core.MustRuleset(
+		core.MustNew("x", sch, map[string]string{"a": "1"}, "c", []string{"2"}, "3"),
+		core.MustNew("y", sch, map[string]string{"a": "2"}, "b", []string{"9"}, "4"),
+	)
+	got := SortedTargets(rs)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("targets = %v", got)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{"/rules", "/rules/stats"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/repair/csv", "/explain"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestExplainBadInput(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := http.Post(srv.URL+"/explain", "application/json", strings.NewReader("garbage"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage explain = %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/explain", "application/json",
+		strings.NewReader(`{"tuple": ["a","b","c","d","e"], "algorithm": "quantum"}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad algorithm explain = %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/repair/csv?algorithm=quantum", "text/csv", strings.NewReader(""))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad algorithm csv = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,331 @@
+// Package store implements a compact binary on-disk format for relations
+// ("frel"), with streaming writers and scanners so the repairing pipeline
+// can process relations much larger than memory row by row.
+//
+// Layout (all integers are unsigned varints):
+//
+//	magic   "FRELv1\n"
+//	schema  name, attr count, attrs...   (each string: length + bytes)
+//	rows    repeated: tag 0x01, then one length-prefixed string per attribute
+//	end     tag 0x00, crc32 (IEEE, 4 bytes big-endian) of everything before it
+//
+// The trailing checksum detects truncation and corruption; the tag byte
+// makes the row stream self-terminating, so writers need not know the row
+// count in advance.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"fixrule/internal/schema"
+)
+
+const magic = "FRELv1\n"
+
+// maxValueLen guards scanners against corrupt length prefixes.
+const maxValueLen = 1 << 24
+
+const (
+	tagRow = 0x01
+	tagEnd = 0x00
+)
+
+// Writer streams a relation to an io.Writer. Append rows, then Close to
+// write the end marker and checksum. A Writer is not safe for concurrent
+// use.
+type Writer struct {
+	w      *bufio.Writer
+	crc    hash.Hash32
+	sch    *schema.Schema
+	rows   int
+	closed bool
+	err    error
+}
+
+// NewWriter writes the header for sch and returns a row writer.
+func NewWriter(w io.Writer, sch *schema.Schema) (*Writer, error) {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	out := &Writer{w: bw, crc: crc, sch: sch}
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	out.writeString(sch.Name())
+	out.writeUvarint(uint64(sch.Arity()))
+	for _, a := range sch.Attrs() {
+		out.writeString(a)
+	}
+	if out.err != nil {
+		return nil, out.err
+	}
+	return out, nil
+}
+
+func (w *Writer) writeUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *Writer) writeString(s string) {
+	w.writeUvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+// Append writes one row; the tuple must match the schema arity.
+func (w *Writer) Append(t schema.Tuple) error {
+	if w.closed {
+		return fmt.Errorf("store: Append after Close")
+	}
+	if len(t) != w.sch.Arity() {
+		return fmt.Errorf("store: row arity %d != schema arity %d", len(t), w.sch.Arity())
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.WriteByte(tagRow)
+	for _, v := range t {
+		w.writeString(v)
+	}
+	if w.err == nil {
+		w.rows++
+	}
+	return w.err
+}
+
+// Rows returns the number of rows appended so far.
+func (w *Writer) Rows() int { return w.rows }
+
+// Close writes the end marker and checksum and flushes. The underlying
+// writer is not closed.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.WriteByte(tagEnd); err != nil {
+		return err
+	}
+	// Flush so the CRC covers everything up to (and including) the end tag.
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], w.crc.Sum32())
+	if _, err := w.w.Write(sum[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// crcReader feeds the checksum with exactly the bytes handed to the
+// caller, unlike a TeeReader under bufio (whose read-ahead would pollute
+// the hash with unprocessed bytes).
+type crcReader struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+	one [1]byte // reusable buffer so per-byte reads do not allocate
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.one[0] = b
+		c.crc.Write(c.one[:])
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+// Scanner streams rows from an frel stream.
+type Scanner struct {
+	r    *crcReader
+	crc  hash.Hash32
+	sch  *schema.Schema
+	cur  schema.Tuple
+	err  error
+	done bool
+}
+
+// NewScanner reads and validates the header, returning a row scanner.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	crc := crc32.NewIEEE()
+	br := &crcReader{br: bufio.NewReader(r), crc: crc}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	s := &Scanner{r: br, crc: crc}
+	name, err := s.readString()
+	if err != nil {
+		return nil, fmt.Errorf("store: schema name: %w", err)
+	}
+	arity, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: arity: %w", err)
+	}
+	if arity == 0 || arity > 4096 {
+		return nil, fmt.Errorf("store: implausible arity %d", arity)
+	}
+	attrs := make([]string, arity)
+	for i := range attrs {
+		if attrs[i], err = s.readString(); err != nil {
+			return nil, fmt.Errorf("store: attr %d: %w", i, err)
+		}
+	}
+	if err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("store: invalid schema: %v", rec)
+			}
+		}()
+		s.sch = schema.New(name, attrs...)
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Scanner) readString() (string, error) {
+	n, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxValueLen {
+		return "", fmt.Errorf("value length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Schema returns the stream's schema.
+func (s *Scanner) Schema() *schema.Schema { return s.sch }
+
+// Next advances to the next row, returning false at end of stream or on
+// error (check Err).
+func (s *Scanner) Next() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	tag, err := s.r.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("store: row tag: %w", err)
+		return false
+	}
+	switch tag {
+	case tagRow:
+		row := make(schema.Tuple, s.sch.Arity())
+		for i := range row {
+			if row[i], err = s.readString(); err != nil {
+				s.err = fmt.Errorf("store: row value: %w", err)
+				return false
+			}
+		}
+		s.cur = row
+		return true
+	case tagEnd:
+		s.done = true
+		// The CRC covers everything up to and including the end tag; read
+		// the trailer from the raw reader so it stays out of the hash.
+		want := s.crc.Sum32()
+		var sum [4]byte
+		if _, err := io.ReadFull(s.r.br, sum[:]); err != nil {
+			s.err = fmt.Errorf("store: checksum: %w", err)
+			return false
+		}
+		if got := binary.BigEndian.Uint32(sum[:]); got != want {
+			s.err = fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
+		}
+		return false
+	default:
+		s.err = fmt.Errorf("store: unknown tag 0x%02x", tag)
+		return false
+	}
+}
+
+// Tuple returns the current row; valid until the next call to Next.
+func (s *Scanner) Tuple() schema.Tuple { return s.cur }
+
+// Err returns the first error encountered (nil on clean end of stream).
+func (s *Scanner) Err() error { return s.err }
+
+// Write streams an in-memory relation to w.
+func Write(w io.Writer, rel *schema.Relation) error {
+	sw, err := NewWriter(w, rel.Schema())
+	if err != nil {
+		return err
+	}
+	for _, t := range rel.Rows() {
+		if err := sw.Append(t); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// Read loads a whole frel stream into memory.
+func Read(r io.Reader) (*schema.Relation, error) {
+	s, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	rel := schema.NewRelation(s.Schema())
+	for s.Next() {
+		rel.Append(s.Tuple())
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// Save writes a relation to the named file.
+func Save(path string, rel *schema.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a relation from the named file.
+func Load(path string) (*schema.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

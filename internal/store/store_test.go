@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fixrule/internal/dataset"
+	"fixrule/internal/schema"
+)
+
+func sampleRelation() *schema.Relation {
+	sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+	rel := schema.NewRelation(sch)
+	rel.Append(schema.Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"})
+	rel.Append(schema.Tuple{"Ian", "China", "Shanghai", "Hong, kong", "ICDE"})
+	rel.Append(schema.Tuple{"", "", "", "", ""}) // empty values round-trip too
+	return rel
+}
+
+func TestRoundTrip(t *testing.T) {
+	rel := sampleRelation()
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema().Equal(rel.Schema()) {
+		t.Errorf("schema = %s", got.Schema())
+	}
+	if got.Len() != rel.Len() || len(schema.Diff(rel, got)) != 0 {
+		t.Errorf("rows differ: %v", got.Rows())
+	}
+}
+
+func TestRoundTripLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sch := schema.New("R", "a", "b", "c")
+	rel := schema.NewRelation(sch)
+	for i := 0; i < 5000; i++ {
+		row := make(schema.Tuple, 3)
+		for j := range row {
+			n := rng.Intn(40)
+			b := make([]byte, n)
+			rng.Read(b)
+			row[j] = string(b) // arbitrary bytes, including NUL and high bits
+		}
+		rel.Append(row)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Diff(rel, got)) != 0 {
+		t.Fatal("random round trip differs")
+	}
+}
+
+func TestScannerStreaming(t *testing.T) {
+	rel := sampleRelation()
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScanner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for s.Next() {
+		if !s.Tuple().Equal(rel.Row(n)) {
+			t.Errorf("row %d = %v", n, s.Tuple())
+		}
+		n++
+	}
+	if s.Err() != nil || n != rel.Len() {
+		t.Errorf("n=%d err=%v", n, s.Err())
+	}
+	// Next after end stays false.
+	if s.Next() {
+		t.Error("Next after end returned true")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema.New("R", "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(schema.Tuple{"only-one"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := w.Append(schema.Tuple{"1", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != 1 {
+		t.Errorf("rows = %d", w.Rows())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+	if err := w.Append(schema.Tuple{"1", "2"}); err == nil {
+		t.Error("Append after Close accepted")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	rel := sampleRelation()
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it (unless the flip makes
+	// the stream structurally invalid first, which is also an error).
+	for _, pos := range []int{len(magic) + 2, len(good) / 2, len(good) - 6} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x20
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		}
+	}
+
+	// Truncation.
+	for _, cut := range []int{len(good) - 1, len(good) - 5, len(good) / 2, 3} {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+
+	// Bad magic.
+	if _, err := Read(strings.NewReader("NOTAFREL")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	rel := sampleRelation()
+	path := filepath.Join(t.TempDir(), "travel.frel")
+	if err := Save(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Diff(rel, got)) != 0 {
+		t.Error("Save/Load round trip differs")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.frel")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCompactVsCSV(t *testing.T) {
+	// The binary format should not be larger than CSV for realistic data.
+	d := dataset.Hosp(2000, 1)
+	var frel, csv bytes.Buffer
+	if err := Write(&frel, d.Rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.WriteCSV(&csv, d.Rel); err != nil {
+		t.Fatal(err)
+	}
+	if frel.Len() > csv.Len()*11/10 {
+		t.Errorf("frel %d bytes vs csv %d bytes", frel.Len(), csv.Len())
+	}
+}
+
+// failingWriter errors after n bytes, exercising the error paths of the
+// writer stack.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errShort
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "disk full" }
+
+func TestWriteErrorPropagation(t *testing.T) {
+	rel := sampleRelation()
+	// Headers alone exceed a 4-byte budget: NewWriter or the first flush
+	// must fail.
+	for _, budget := range []int{4, 40, 120} {
+		fw := &failingWriter{n: budget}
+		err := Write(fw, rel)
+		if err == nil {
+			t.Errorf("budget %d: write succeeded", budget)
+		}
+	}
+}
+
+func TestSaveErrorOnBadPath(t *testing.T) {
+	if err := Save("/nonexistent-dir/sub/file.frel", sampleRelation()); err == nil {
+		t.Error("Save into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,106 @@
+// Package strutil provides the small string algorithms the cleaning stack
+// shares: edit distance (repair cost functions), similarity, and typo
+// synthesis (dirty-data generation).
+package strutil
+
+import "math/rand"
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-character insertions, deletions and substitutions transforming
+// one into the other. It runs in O(|a|·|b|) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns 1 - dist/maxLen in [0,1]; identical strings score 1.
+// Cost-based repair uses it to prefer candidate values close to the
+// original.
+func Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// typoAlphabet is the character pool for substitutions and insertions.
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// Typo returns a corrupted copy of s produced by one random edit:
+// substitution, insertion, deletion or adjacent transposition. The result is
+// guaranteed to differ from s (for non-degenerate inputs this takes a
+// couple of retries at most). The rng drives all choices so corruption is
+// reproducible.
+func Typo(rng *rand.Rand, s string) string {
+	if s == "" {
+		return string(typoAlphabet[rng.Intn(len(typoAlphabet))])
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		r := []rune(s)
+		switch op := rng.Intn(4); op {
+		case 0: // substitute
+			i := rng.Intn(len(r))
+			r[i] = rune(typoAlphabet[rng.Intn(len(typoAlphabet))])
+		case 1: // insert
+			i := rng.Intn(len(r) + 1)
+			c := rune(typoAlphabet[rng.Intn(len(typoAlphabet))])
+			r = append(r[:i], append([]rune{c}, r[i:]...)...)
+		case 2: // delete
+			if len(r) == 1 {
+				continue
+			}
+			i := rng.Intn(len(r))
+			r = append(r[:i], r[i+1:]...)
+		default: // transpose
+			if len(r) < 2 {
+				continue
+			}
+			i := rng.Intn(len(r) - 1)
+			r[i], r[i+1] = r[i+1], r[i]
+		}
+		if out := string(r); out != s {
+			return out
+		}
+	}
+	return s + "x"
+}

@@ -1,0 +1,98 @@
+package strutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Beijing", "Beijing", 0},
+		{"Beijing", "Bejing", 1},
+		{"Shanghai", "Shangai", 1},
+		{"Ottawa", "Ottawo", 1},
+		{"abc", "cba", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if Similarity("abc", "abc") != 1 {
+		t.Error("identical strings must score 1")
+	}
+	if Similarity("", "") != 1 {
+		t.Error("empty strings must score 1")
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint strings = %v, want 0", s)
+	}
+	if s := Similarity("abcd", "abcx"); s != 0.75 {
+		t.Errorf("Similarity(abcd, abcx) = %v, want 0.75", s)
+	}
+	if Similarity("a", "ab") <= Similarity("a", "abcdef") {
+		t.Error("closer strings must score higher")
+	}
+}
+
+func TestTypoAlwaysDiffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := []string{"", "a", "ab", "Beijing", "Shanghai", "115K", "x"}
+	for _, s := range inputs {
+		for i := 0; i < 200; i++ {
+			if got := Typo(rng, s); got == s {
+				t.Fatalf("Typo(%q) returned the input unchanged", s)
+			}
+		}
+	}
+}
+
+func TestTypoIsSmallEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		s := "Providence"
+		got := Typo(rng, s)
+		if d := Levenshtein(s, got); d == 0 || d > 2 {
+			t.Fatalf("Typo(%q) = %q, edit distance %d, want 1..2", s, got, d)
+		}
+	}
+}
+
+func TestTypoDeterministic(t *testing.T) {
+	a := Typo(rand.New(rand.NewSource(7)), "Beijing")
+	b := Typo(rand.New(rand.NewSource(7)), "Beijing")
+	if a != b {
+		t.Errorf("same seed produced %q and %q", a, b)
+	}
+}

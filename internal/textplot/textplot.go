@@ -1,0 +1,158 @@
+// Package textplot renders small dependency-free ASCII charts. The
+// experiment harness uses it to show each figure's *shape* (who wins, where
+// lines cross) directly in the terminal, next to the exact numbers it
+// prints as tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers distinguish series in a Line chart, assigned in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Line renders a multi-series line chart: xs are the shared x coordinates,
+// series the y values (each series must have len(xs) points). width and
+// height are the plot-area dimensions in characters; sensible minimums are
+// enforced. NaN values are skipped.
+func Line(title string, xs []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	for _, s := range series {
+		if len(s.Values) != len(xs) {
+			return title + fmt.Sprintf("\n(series %q has %d points, want %d)\n", s.Name, len(s.Values), len(xs))
+		}
+	}
+
+	xmin, xmax := minMax(xs)
+	var ys []float64
+	for _, s := range series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) {
+				ys = append(ys, v)
+			}
+		}
+	}
+	if len(ys) == 0 {
+		return title + "\n(no data)\n"
+	}
+	ymin, ymax := minMax(ys)
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			col := int((xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((v-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	yLabelW := 10
+	for r, rowBytes := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*.3g |", yLabelW-2, yVal)
+		b.Write(rowBytes)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW-1))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%*s%-*.3g%*.3g\n", yLabelW, "", width/2, xmin, width-width/2, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s%c = %s\n", yLabelW+2, "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart; one row per label. Negative values
+// are clamped to zero.
+func Bar(title string, labels []string, values []float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	if len(labels) != len(values) {
+		return title + "\n(label/value count mismatch)\n"
+	}
+	if len(values) == 0 {
+		return title + "\n(no data)\n"
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, l := range labels {
+		v := values[i]
+		if v < 0 {
+			v = 0
+		}
+		n := int(v / max * float64(width))
+		fmt.Fprintf(&b, "%-*s |%s %g\n", labelW, l, strings.Repeat("#", n), values[i])
+	}
+	return b.String()
+}
+
+func minMax(vs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,92 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasics(t *testing.T) {
+	out := Line("fig", []float64{1, 2, 3},
+		[]Series{
+			{Name: "up", Values: []float64{0, 0.5, 1}},
+			{Name: "down", Values: []float64{1, 0.5, 0}},
+		}, 30, 8)
+	if !strings.Contains(out, "fig") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* = up") || !strings.Contains(out, "o = down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plotted markers")
+	}
+	// 8 plot rows + axis + x labels + 2 legend lines + title.
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Errorf("only %d lines:\n%s", lines, out)
+	}
+}
+
+func TestLineDegenerateInputs(t *testing.T) {
+	if out := Line("t", nil, nil, 20, 5); !strings.Contains(out, "no data") {
+		t.Error("empty input not reported")
+	}
+	out := Line("t", []float64{1}, []Series{{Name: "a", Values: []float64{1, 2}}}, 20, 5)
+	if !strings.Contains(out, "points") {
+		t.Error("length mismatch not reported")
+	}
+	// Constant series and single x must not divide by zero.
+	out = Line("t", []float64{5}, []Series{{Name: "a", Values: []float64{2}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant chart lost its point:\n%s", out)
+	}
+	// All-NaN series.
+	out = Line("t", []float64{1, 2}, []Series{{Name: "a", Values: []float64{math.NaN(), math.NaN()}}}, 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Error("all-NaN not reported")
+	}
+}
+
+func TestLineSkipsNaN(t *testing.T) {
+	out := Line("t", []float64{1, 2, 3},
+		[]Series{{Name: "a", Values: []float64{0, math.NaN(), 1}}}, 20, 5)
+	plotArea := strings.SplitN(out, "+--", 2)[0] // cut axis and legend off
+	if strings.Count(plotArea, "*") != 2 {
+		t.Errorf("want 2 plotted markers, got:\n%s", out)
+	}
+}
+
+func TestLineMinimumDimensions(t *testing.T) {
+	out := Line("t", []float64{1, 2}, []Series{{Name: "a", Values: []float64{1, 2}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestBarBasics(t *testing.T) {
+	out := Bar("counts", []string{"alpha", "b"}, []float64{10, 5}, 20)
+	if !strings.Contains(out, "counts") || !strings.Contains(out, "alpha") {
+		t.Errorf("missing parts:\n%s", out)
+	}
+	// alpha's bar is twice b's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	a := strings.Count(lines[1], "#")
+	b := strings.Count(lines[2], "#")
+	if a != 20 || b != 10 {
+		t.Errorf("bar lengths a=%d b=%d:\n%s", a, b, out)
+	}
+}
+
+func TestBarDegenerate(t *testing.T) {
+	if out := Bar("t", []string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "mismatch") {
+		t.Error("mismatch not reported")
+	}
+	if out := Bar("t", nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Error("empty not reported")
+	}
+	// All-zero values must not divide by zero; negatives clamp.
+	out := Bar("t", []string{"a", "b"}, []float64{0, -1}, 10)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero/negative values drew bars:\n%s", out)
+	}
+}

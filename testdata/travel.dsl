@@ -1,0 +1,22 @@
+# The paper's running example: rules φ1-φ4 (Examples 3 and 8, Section 6.2).
+SCHEMA Travel(name, country, capital, city, conf)
+
+RULE phi1
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong")
+  THEN capital = "Beijing"
+
+RULE phi2
+  WHEN country = "Canada"
+  IF capital IN ("Toronto")
+  THEN capital = "Ottawa"
+
+RULE phi3
+  WHEN capital = "Tokyo", city = "Tokyo", conf = "ICDE"
+  IF country IN ("China")
+  THEN country = "Japan"
+
+RULE phi4
+  WHEN capital = "Beijing", conf = "ICDE"
+  IF city IN ("Hongkong")
+  THEN city = "Shanghai"
