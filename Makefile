@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments experiments-fast clean
+.PHONY: all build test vet race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast clean
+
+# Repair-engine benchmarks (the compiled hot path); -count for benchstat.
+BENCH_REPAIR = -run '^$$' -bench 'Fig13Repair|RepairSingleTuple|CodedRepairTuple' -benchmem -count 6 .
 
 all: build vet test
 
@@ -23,6 +26,28 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Save a repair-benchmark baseline (run before a performance change).
+bench-baseline:
+	$(GO) test $(BENCH_REPAIR) | tee bench_baseline.txt
+
+# Re-run the repair benchmarks and compare against bench_baseline.txt.
+# benchstat is optional; without it the raw results are left in
+# bench_new.txt for manual comparison (this repo adds no dependencies).
+bench-compare:
+	$(GO) test $(BENCH_REPAIR) | tee bench_new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench_baseline.txt bench_new.txt; \
+	else \
+		echo "benchstat not installed; compare bench_baseline.txt vs bench_new.txt by hand"; \
+		echo "(go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
+
+# Regenerate BENCH_repair.json (whole-relation repair throughput) at the
+# benchmark scale used by bench_test.go.
+bench-json:
+	$(GO) run ./cmd/experiments -bench-json BENCH_repair.json \
+		-hosp-rows 20000 -hosp-rules 500 -uis-rows 8000 -uis-rules 100
 
 # Short fuzzing pass over the hardened decoders.
 fuzz:

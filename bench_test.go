@@ -33,37 +33,37 @@ type benchWorkload struct {
 
 var benchCache = map[string]*benchWorkload{}
 
-func loadBench(b *testing.B, ds string, rows, ruleBudget int) *benchWorkload {
-	b.Helper()
+func loadBench(tb testing.TB, ds string, rows, ruleBudget int) *benchWorkload {
+	tb.Helper()
 	key := ds
 	if w, ok := benchCache[key]; ok {
 		return w
 	}
 	d, err := dataset.ByName(ds, rows, 1)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	dirty, _, err := noise.Inject(d.Rel, noise.Config{
 		Rate: 0.10, TypoFraction: 0.5, Attrs: d.NoiseAttrs, Seed: 2,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	raw, err := rulegen.Mine(d.Rel, dirty, d.FDs, rulegen.Config{MaxRules: ruleBudget, Seed: 3})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	rules, err := rulegen.MineConsistent(d.Rel, dirty, d.FDs, rulegen.Config{MaxRules: ruleBudget, Seed: 3})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	w := &benchWorkload{truth: d.Rel, dirty: dirty, fds: d.FDs, rules: rules, rawRules: raw}
 	benchCache[key] = w
 	return w
 }
 
-func loadHosp(b *testing.B) *benchWorkload { return loadBench(b, "hosp", 20000, 500) }
-func loadUIS(b *testing.B) *benchWorkload  { return loadBench(b, "uis", 8000, 100) }
+func loadHosp(tb testing.TB) *benchWorkload { return loadBench(tb, "hosp", 20000, 500) }
+func loadUIS(tb testing.TB) *benchWorkload  { return loadBench(tb, "uis", 8000, 100) }
 
 // BenchmarkFig9ConsistencyHosp regenerates Figure 9(a): consistency
 // checking on hosp rules, tuple enumeration vs rule characterisation,
@@ -226,6 +226,32 @@ func BenchmarkRepairSingleTuple(b *testing.B) {
 	b.Run("lRepair", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rep.RepairTuple(row, repair.Linear)
+		}
+	})
+}
+
+// BenchmarkCodedRepairTuple measures the allocation-free coded hot path —
+// EncodeTuple + RepairEncoded on caller-owned buffers, skipping the string
+// materialisation RepairTuple performs. This is the per-tuple cost a
+// streaming caller pays in steady state.
+func BenchmarkCodedRepairTuple(b *testing.B) {
+	w := loadHosp(b)
+	rep := repair.NewRepairer(w.rules)
+	row := make([]uint32, w.dirty.Schema().Arity())
+	applied := make([]int32, 0, w.rules.Len())
+	src := w.dirty.Row(0)
+	b.Run("cRepair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			row = rep.EncodeTuple(src, row)
+			applied = rep.RepairEncoded(row, repair.Chase, applied)
+		}
+	})
+	b.Run("lRepair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			row = rep.EncodeTuple(src, row)
+			applied = rep.RepairEncoded(row, repair.Linear, applied)
 		}
 	})
 }

@@ -7,6 +7,8 @@
 //	experiments -exp fig10ab,fig13a  # selected experiments
 //	experiments -fast                # scaled-down smoke run
 //	experiments -csv results/        # additionally write CSVs
+//	experiments -bench-json BENCH_repair.json   # repair throughput records
+//	experiments -cpuprofile cpu.out -exp fig13a # profile a run
 //
 // Paper scale (115K-row hosp) takes minutes; -fast finishes in seconds.
 package main
@@ -15,12 +17,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fixrule/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		list  = flag.Bool("list", false, "list the known experiment ids and exit")
 		exp   = flag.String("exp", "", "comma-separated experiment ids (empty = all); known: "+strings.Join(experiments.IDs(), ", "))
@@ -31,6 +42,10 @@ func main() {
 		uis   = flag.Int("uis-rows", 0, "override uis row count")
 		hospR = flag.Int("hosp-rules", 0, "override hosp rule budget")
 		uisR  = flag.Int("uis-rules", 0, "override uis rule budget")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "measure repair throughput on hosp and uis, write records to this file and exit")
 	)
 	flag.Parse()
 
@@ -38,7 +53,34 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, ferr := os.Create(*cpuprofile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, ferr := os.Create(*memprofile)
+			if ferr == nil {
+				runtime.GC()
+				ferr = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); ferr == nil {
+					ferr = cerr
+				}
+			}
+			if err == nil {
+				err = ferr
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -59,6 +101,10 @@ func main() {
 		cfg.UISRules = *uisR
 	}
 
+	if *benchJSON != "" {
+		return experiments.WriteBenchJSON(cfg, []string{"hosp", "uis"}, *benchJSON)
+	}
+
 	var ids []string
 	if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
@@ -69,12 +115,8 @@ func main() {
 	}
 	if *csv != "" {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	if err := experiments.Run(cfg, ids, os.Stdout, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	return experiments.Run(cfg, ids, os.Stdout, *csv)
 }

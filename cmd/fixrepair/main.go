@@ -110,8 +110,9 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		if err := out.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("streamed %d rows in %v: %d tuples repaired with %d rule applications\n",
-			stats.Rows, time.Since(start), stats.Repaired, stats.Steps)
+		elapsed := time.Since(start)
+		fmt.Printf("streamed %d rows in %v (%s): %d tuples repaired with %d rule applications\n",
+			stats.Rows, elapsed, tuplesPerSec(stats.Rows, elapsed), stats.Repaired, stats.Steps)
 		return nil
 	}
 
@@ -132,8 +133,8 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 	res := rep.RepairRelationParallel(rel, algorithm, workers)
 	elapsed := time.Since(start)
 
-	fmt.Printf("repaired %d rows with %d rules in %v (%s)\n",
-		rel.Len(), rs.Len(), elapsed, alg)
+	fmt.Printf("repaired %d rows with %d rules in %v (%s, %s)\n",
+		rel.Len(), rs.Len(), elapsed, alg, tuplesPerSec(rel.Len(), elapsed))
 	fmt.Printf("applied %d repairs across %d cells\n", res.Steps, len(res.Changed))
 	printTopRules(res)
 
@@ -150,6 +151,14 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		fmt.Println("wrote", logPath)
 	}
 	return nil
+}
+
+// tuplesPerSec formats a repair throughput for the summary lines.
+func tuplesPerSec(rows int, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "∞ tuples/sec"
+	}
+	return fmt.Sprintf("%.0f tuples/sec", float64(rows)/elapsed.Seconds())
 }
 
 // runRevert undoes a previous repair run: the -log file is applied in

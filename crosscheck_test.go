@@ -1,0 +1,65 @@
+package fixrule
+
+import (
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+// TestCompiledRepairMatchesReference cross-checks the compiled repair
+// engine against the string-level reference semantics in internal/core on
+// the two benchmark workloads (mined hosp and uis rulesets over dirtied
+// relations). For each dataset it fixes every tuple row-by-row with
+// core.Fix, then requires RepairRelation (both algorithms) and
+// RepairRelationParallel to produce byte-identical tuples and the same
+// total step count — the dictionary encoding, inverted lists, bitmask
+// assured set and copy-on-write output must be pure optimisations.
+func TestCompiledRepairMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		load func(testing.TB) *benchWorkload
+	}{
+		{"hosp", loadHosp},
+		{"uis", loadUIS},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.load(t)
+			rules := w.rules.Rules()
+			n := w.dirty.Len()
+
+			refRows := make([]schema.Tuple, n)
+			refSteps := 0
+			for i := 0; i < n; i++ {
+				fixed, steps, _ := core.Fix(rules, w.dirty.Row(i))
+				refRows[i] = fixed
+				refSteps += len(steps)
+			}
+			if refSteps == 0 {
+				t.Fatalf("%s: reference repair made no fixes; workload is not exercising the engine", tc.name)
+			}
+
+			rep := repair.NewRepairer(w.rules)
+			check := func(label string, res *repair.Result) {
+				t.Helper()
+				if res.Steps != refSteps {
+					t.Errorf("%s: %d steps, reference made %d", label, res.Steps, refSteps)
+				}
+				if res.Relation.Len() != n {
+					t.Fatalf("%s: %d rows out, %d in", label, res.Relation.Len(), n)
+				}
+				for i := 0; i < n; i++ {
+					if !res.Relation.Row(i).Equal(refRows[i]) {
+						t.Fatalf("%s: row %d = %v, reference %v (input %v)",
+							label, i, res.Relation.Row(i), refRows[i], w.dirty.Row(i))
+					}
+				}
+			}
+			check("cRepair", rep.RepairRelation(w.dirty, repair.Chase))
+			check("lRepair", rep.RepairRelation(w.dirty, repair.Linear))
+			check("lRepair/parallel", rep.RepairRelationParallel(w.dirty, repair.Linear, 4))
+			check("cRepair/parallel", rep.RepairRelationParallel(w.dirty, repair.Chase, 4))
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fixrule/internal/schema"
+)
+
+// wideSchema returns a schema with n attributes a0..a<n-1>.
+func wideSchema(n int) *schema.Schema {
+	attrs := make([]string, n)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	return schema.New("W", attrs...)
+}
+
+// TestAssuredBitmaskAndMapAgree drives the bitmask representation (schema
+// arity ≤ 64) and the name-keyed map representation through the same
+// sequence of operations and requires identical observable behaviour.
+func TestAssuredBitmaskAndMapAgree(t *testing.T) {
+	sch := wideSchema(8)
+	bm := NewAssuredFor(sch) // bitmask mode
+	mp := NewAssured()       // map mode
+
+	if bm.Len() != 0 || mp.Len() != 0 {
+		t.Fatalf("fresh sets not empty: bitmask %d, map %d", bm.Len(), mp.Len())
+	}
+	for _, a := range []string{"a1", "a3", "a3", "a7"} {
+		bm.Add(a)
+		mp.Add(a)
+	}
+	if bm.Len() != 3 || mp.Len() != 3 {
+		t.Fatalf("Len after adds: bitmask %d, map %d, want 3", bm.Len(), mp.Len())
+	}
+	for i := 0; i < sch.Arity(); i++ {
+		name := sch.Attrs()[i]
+		want := name == "a1" || name == "a3" || name == "a7"
+		if bm.Has(name) != want || mp.Has(name) != want {
+			t.Errorf("Has(%s): bitmask %v, map %v, want %v", name, bm.Has(name), mp.Has(name), want)
+		}
+		if bm.HasIndex(i) != want {
+			t.Errorf("HasIndex(%d) = %v, want %v", i, bm.HasIndex(i), want)
+		}
+	}
+	if !reflect.DeepEqual(bm.Attrs(), mp.Attrs()) {
+		t.Fatalf("Attrs disagree: bitmask %v, map %v", bm.Attrs(), mp.Attrs())
+	}
+
+	bm.AddIndex(0)
+	if !bm.Has("a0") {
+		t.Fatal("AddIndex(0) did not add a0")
+	}
+}
+
+// TestAssuredWideSchemaFallsBackToMap: beyond 64 attributes the bitmask no
+// longer fits a word and the set must fall back to the map representation,
+// preserving semantics.
+func TestAssuredWideSchemaFallsBackToMap(t *testing.T) {
+	sch := wideSchema(70)
+	a := NewAssuredFor(sch)
+	a.Add("a0", "a65", "a69")
+	a.AddIndex(67)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	for i, want := range map[int]bool{0: true, 1: false, 65: true, 66: false, 67: true, 69: true} {
+		if a.HasIndex(i) != want {
+			t.Errorf("HasIndex(%d) = %v, want %v", i, a.HasIndex(i), want)
+		}
+	}
+	want := []string{"a0", "a65", "a67", "a69"}
+	if !reflect.DeepEqual(a.Attrs(), want) {
+		t.Fatalf("Attrs = %v, want %v", a.Attrs(), want)
+	}
+}
+
+// TestAssuredCloneIndependent: mutating a clone must not affect the
+// original, in either representation.
+func TestAssuredCloneIndependent(t *testing.T) {
+	for _, arity := range []int{8, 70} {
+		sch := wideSchema(arity)
+		a := NewAssuredFor(sch)
+		a.Add("a1")
+		c := a.Clone()
+		c.Add("a2")
+		if a.Has("a2") {
+			t.Errorf("arity %d: clone mutation leaked into original", arity)
+		}
+		if !c.Has("a1") || !c.Has("a2") {
+			t.Errorf("arity %d: clone lost members", arity)
+		}
+	}
+}
+
+// TestAssuredIndexOpsPanicWithoutSchema: the positional fast path is only
+// defined for schema-backed sets.
+func TestAssuredIndexOpsPanicWithoutSchema(t *testing.T) {
+	for name, op := range map[string]func(*Assured){
+		"HasIndex": func(a *Assured) { a.HasIndex(0) },
+		"AddIndex": func(a *Assured) { a.AddIndex(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a name-keyed set did not panic", name)
+				}
+			}()
+			op(NewAssured())
+		}()
+	}
+}
+
+// TestFixWorklistMatchesAllFixpoints: Fix's worklist must not change the
+// first-rule-in-Σ-order chase semantics — on consistent rulesets its result
+// must coincide with every maximal application order's fixpoint.
+func TestFixWorklistMatchesAllFixpoints(t *testing.T) {
+	sch := schema.New("R", "a", "b", "c")
+	r1 := MustNew("r1", sch, map[string]string{"a": "1"}, "b", []string{"x"}, "2")
+	r2 := MustNew("r2", sch, map[string]string{"b": "2"}, "c", []string{"y"}, "3")
+	rules := []*Rule{r1, r2}
+
+	tup := schema.Tuple{"1", "x", "y"}
+	fixed, steps, assured := Fix(rules, tup)
+	if !fixed.Equal(schema.Tuple{"1", "2", "3"}) {
+		t.Fatalf("Fix = %v, want [1 2 3]", fixed)
+	}
+	if len(steps) != 2 || steps[0].Rule != r1 || steps[1].Rule != r2 {
+		t.Fatalf("steps = %v, want r1 then r2", steps)
+	}
+	for _, attr := range []string{"a", "b", "c"} {
+		if !assured.Has(attr) {
+			t.Errorf("assured set missing %s", attr)
+		}
+	}
+	fps := AllFixes(rules, tup)
+	if len(fps) != 1 || !fps[0].Equal(fixed) {
+		t.Fatalf("AllFixes = %v, want unique %v", fps, fixed)
+	}
+}

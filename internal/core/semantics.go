@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"fixrule/internal/schema"
@@ -8,35 +9,109 @@ import (
 
 // Assured is the set A of assured attributes relative to a tuple
 // (Section 3.2): attributes validated correct by earlier rule applications,
-// which later rules may not change. The zero value (nil map inside) is NOT
-// usable; create with NewAssured.
+// which later rules may not change. The zero value is NOT part of the API;
+// create with NewAssured or NewAssuredFor.
+//
+// Two representations back the set. When constructed with NewAssuredFor over
+// a schema of arity ≤ 64, membership is a single uint64 bitmask keyed by
+// attribute position — no per-tuple map allocation, which matters on the
+// repair hot path where one Assured is created per tuple. Otherwise (no
+// schema, or arity > 64) a lazily allocated name-keyed map is used; a clean
+// tuple then allocates nothing at all.
 type Assured struct {
-	set map[string]struct{}
+	sch  *schema.Schema      // non-nil iff constructed with NewAssuredFor
+	bits uint64              // bitmask mode: sch != nil && arity <= 64
+	set  map[string]struct{} // map mode; nil until the first Add
 }
 
-// NewAssured returns an empty assured set (A = ∅).
+// NewAssured returns an empty assured set (A = ∅) keyed by attribute name.
 func NewAssured() *Assured {
-	return &Assured{set: make(map[string]struct{})}
+	return &Assured{}
 }
+
+// NewAssuredFor returns an empty assured set over sch. For arity ≤ 64 the
+// set is a position-indexed bitmask; beyond that it falls back to the map
+// representation. All attributes later added must belong to sch.
+func NewAssuredFor(sch *schema.Schema) *Assured {
+	return &Assured{sch: sch}
+}
+
+// bitmask reports whether the uint64 fast path is active.
+func (a *Assured) bitmask() bool { return a.sch != nil && a.sch.Arity() <= 64 }
 
 // Has reports whether attribute a ∈ A.
 func (a *Assured) Has(attr string) bool {
+	if a.bitmask() {
+		i := a.sch.Index(attr)
+		return i >= 0 && a.bits&(1<<uint(i)) != 0
+	}
 	_, ok := a.set[attr]
 	return ok
 }
 
-// Add inserts attributes into A.
+// HasIndex reports whether the attribute at schema position i is in A.
+// It requires a schema-backed set (NewAssuredFor).
+func (a *Assured) HasIndex(i int) bool {
+	if a.bitmask() {
+		return a.bits&(1<<uint(i)) != 0
+	}
+	if a.sch == nil {
+		panic("core: Assured.HasIndex on a name-keyed set")
+	}
+	_, ok := a.set[a.sch.Attrs()[i]]
+	return ok
+}
+
+// Add inserts attributes into A. On a schema-backed set every attribute must
+// belong to the schema.
 func (a *Assured) Add(attrs ...string) {
+	if a.bitmask() {
+		for _, x := range attrs {
+			a.bits |= 1 << uint(a.sch.MustIndex(x))
+		}
+		return
+	}
+	if a.set == nil {
+		a.set = make(map[string]struct{}, len(attrs))
+	}
 	for _, x := range attrs {
 		a.set[x] = struct{}{}
 	}
 }
 
+// AddIndex inserts the attribute at schema position i. It requires a
+// schema-backed set (NewAssuredFor).
+func (a *Assured) AddIndex(i int) {
+	if a.bitmask() {
+		a.bits |= 1 << uint(i)
+		return
+	}
+	if a.sch == nil {
+		panic("core: Assured.AddIndex on a name-keyed set")
+	}
+	a.Add(a.sch.Attrs()[i])
+}
+
 // Len returns |A|.
-func (a *Assured) Len() int { return len(a.set) }
+func (a *Assured) Len() int {
+	if a.bitmask() {
+		return bits.OnesCount64(a.bits)
+	}
+	return len(a.set)
+}
 
 // Attrs returns the assured attributes, sorted.
 func (a *Assured) Attrs() []string {
+	if a.bitmask() {
+		out := make([]string, 0, bits.OnesCount64(a.bits))
+		for i, name := range a.sch.Attrs() {
+			if a.bits&(1<<uint(i)) != 0 {
+				out = append(out, name)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
 	out := make([]string, 0, len(a.set))
 	for x := range a.set {
 		out = append(out, x)
@@ -47,9 +122,12 @@ func (a *Assured) Attrs() []string {
 
 // Clone returns an independent copy of A.
 func (a *Assured) Clone() *Assured {
-	c := NewAssured()
-	for x := range a.set {
-		c.set[x] = struct{}{}
+	c := &Assured{sch: a.sch, bits: a.bits}
+	if a.set != nil {
+		c.set = make(map[string]struct{}, len(a.set))
+		for x := range a.set {
+			c.set[x] = struct{}{}
+		}
 	}
 	return c
 }
@@ -57,6 +135,9 @@ func (a *Assured) Clone() *Assured {
 // ProperlyApplies reports whether φ can be properly applied to t w.r.t. A
 // (written t →(A,φ) t′ in the paper): t ⊢ φ and B ∉ A.
 func ProperlyApplies(r *Rule, t schema.Tuple, a *Assured) bool {
+	if a.sch != nil {
+		return !a.HasIndex(r.targetIdx) && r.Matches(t)
+	}
 	return !a.Has(r.target) && r.Matches(t)
 }
 
@@ -69,6 +150,13 @@ func Apply(r *Rule, t schema.Tuple, a *Assured) {
 		panic("core: Apply on a rule that does not properly apply")
 	}
 	t[r.targetIdx] = r.fact
+	if a.sch != nil {
+		for _, i := range r.evidenceIdx {
+			a.AddIndex(i)
+		}
+		a.AddIndex(r.targetIdx)
+		return
+	}
 	a.Add(r.evidenceAttrs...)
 	a.Add(r.target)
 }
@@ -89,25 +177,57 @@ type Step struct {
 // Termination is guaranteed because every proper application strictly grows
 // A, bounded by |R| (Section 4.1). When Σ is consistent the result is the
 // unique fix regardless of application order (Church–Rosser).
+//
+// A worklist of still-live rules cuts the rescans: a rule that has applied,
+// or whose target attribute is assured, can never properly apply again
+// (A only grows), so it is dropped. The application sequence is unchanged —
+// after each application the scan still restarts from the earliest live
+// rule in Σ order.
 func Fix(rules []*Rule, t schema.Tuple) (schema.Tuple, []Step, *Assured) {
 	cur := t.Clone()
-	a := NewAssured()
+	var a *Assured
+	if len(rules) > 0 {
+		a = NewAssuredFor(rules[0].Schema())
+	} else {
+		a = NewAssured()
+	}
 	var steps []Step
+	live := make([]*Rule, len(rules))
+	copy(live, rules)
 	for {
 		applied := false
-		for _, r := range rules {
-			if ProperlyApplies(r, cur, a) {
-				from := cur[r.targetIdx]
-				Apply(r, cur, a)
-				steps = append(steps, Step{Rule: r, Attr: r.target, From: from, To: r.fact})
-				applied = true
-				break
+		kept := live[:0]
+		for i, r := range live {
+			if a.targetAssured(r) {
+				continue // target assured: drop, it can never apply again
 			}
+			if !r.Matches(cur) {
+				kept = append(kept, r)
+				continue
+			}
+			from := cur[r.targetIdx]
+			Apply(r, cur, a)
+			steps = append(steps, Step{Rule: r, Attr: r.target, From: from, To: r.fact})
+			// Restart from the earliest live rule, as the paper's chase does:
+			// keep the not-yet-scanned suffix (minus this rule) live.
+			kept = append(kept, live[i+1:]...)
+			applied = true
+			break
 		}
+		live = kept
 		if !applied {
 			return cur, steps, a
 		}
 	}
+}
+
+// targetAssured reports whether r's target attribute is assured, using the
+// index fast path when the set is schema-backed.
+func (a *Assured) targetAssured(r *Rule) bool {
+	if a.sch != nil {
+		return a.HasIndex(r.targetIdx)
+	}
+	return a.Has(r.target)
 }
 
 // Fixpoint is one terminal state of the chase: the fixed tuple together
@@ -154,6 +274,11 @@ func AllFixpoints(rules []*Rule, t schema.Tuple) []Fixpoint {
 	// visited memoizes (tuple, assured) states to avoid re-exploring
 	// permutations that converge to the same intermediate state.
 	visited := make(map[string]struct{})
+	newAssured := NewAssured
+	if len(rules) > 0 {
+		sch := rules[0].Schema()
+		newAssured = func() *Assured { return NewAssuredFor(sch) }
+	}
 	var rec func(cur schema.Tuple, a *Assured)
 	rec = func(cur schema.Tuple, a *Assured) {
 		stateKey := cur.Key() + "|" + keyOf(a)
@@ -176,7 +301,7 @@ func AllFixpoints(rules []*Rule, t schema.Tuple) []Fixpoint {
 			seen[stateKey] = Fixpoint{Tuple: cur, Assured: a}
 		}
 	}
-	rec(t.Clone(), NewAssured())
+	rec(t.Clone(), newAssured())
 
 	keys := make([]string, 0, len(seen))
 	for k := range seen {

@@ -1,0 +1,7 @@
+//go:build race
+
+package repair
+
+// raceEnabled reports that this test binary was built with -race, which
+// adds allocations inside sync.Pool; allocation-count tests skip then.
+const raceEnabled = true

@@ -10,6 +10,12 @@
 //
 // Both algorithms require a consistent ruleset; by the Church–Rosser
 // property they then compute the same unique fix for every tuple.
+//
+// The implementation is a compiled engine (see compile.go): Σ's constants
+// are interned into per-attribute dictionaries at construction, and both
+// algorithms run on integer-coded tuples. The string-level semantics live
+// in internal/core (Fix, ProperlyApplies, Apply) as the reference
+// implementation the tests cross-check against.
 package repair
 
 import (
@@ -44,56 +50,55 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Repairer repairs tuples and relations with a fixed ruleset. The inverted
-// lists are built once at construction (they depend only on Σ, Section 6.2)
-// and shared by all repairs; a Repairer is safe for concurrent use.
+// Repairer repairs tuples and relations with a fixed ruleset. The compiled
+// form — dictionaries, integer rules, flat inverted lists — is built once
+// at construction (it depends only on Σ, Section 6.2) and shared by all
+// repairs; a Repairer is safe for concurrent use.
 type Repairer struct {
-	rs    *core.Ruleset
-	rules []*core.Rule
-	// inverted holds one inverted list per attribute position: value → rule
-	// positions whose evidence carries that (attribute, value) pair.
-	inverted []map[string][]int
-	needed   []int // |Xφ| per rule position
-	scratch  sync.Pool
+	rs      *core.Ruleset
+	rules   []*core.Rule
+	c       *compiled
+	needed  []int32 // |Xφ| per rule position
+	scratch sync.Pool
+	codes   sync.Pool // *schema.Codes matrices for batch repairs
 }
 
-// lScratch is the reusable per-repair working set of lRepair; pooling it
-// keeps the per-tuple cost allocation-free for the hot path.
-type lScratch struct {
-	counters   []int32
-	checked    []bool
-	touched    []int
-	candidates []int
+// getCodes returns a pooled n-row code matrix. Its contents are stale;
+// encodeRows overwrites every cell the chase reads.
+func (r *Repairer) getCodes(n int) *schema.Codes {
+	if m, ok := r.codes.Get().(*schema.Codes); ok {
+		m.Reset(n, r.c.arity)
+		return m
+	}
+	return schema.NewCodes(n, r.c.arity)
 }
 
-// NewRepairer builds a Repairer over Σ, constructing the inverted lists.
-// It does not verify consistency; use NewRepairerChecked when the ruleset
-// comes from an untrusted source.
+func (r *Repairer) putCodes(m *schema.Codes) { r.codes.Put(m) }
+
+// NewRepairer builds a Repairer over Σ, compiling the ruleset to integer
+// form. It does not verify consistency; use NewRepairerChecked when the
+// ruleset comes from an untrusted source.
 func NewRepairer(rs *core.Ruleset) *Repairer {
 	rules := rs.Rules()
-	sch := rs.Schema()
 	r := &Repairer{
-		rs:       rs,
-		rules:    rules,
-		inverted: make([]map[string][]int, sch.Arity()),
-		needed:   make([]int, len(rules)),
-	}
-	for i := range r.inverted {
-		r.inverted[i] = make(map[string][]int)
+		rs:     rs,
+		rules:  rules,
+		c:      compileRules(rs),
+		needed: make([]int32, len(rules)),
 	}
 	for pos, rule := range rules {
-		r.needed[pos] = len(rule.EvidenceAttrs())
-		for _, a := range rule.EvidenceAttrs() {
-			v, _ := rule.EvidenceValue(a)
-			idx := sch.Index(a)
-			r.inverted[idx][v] = append(r.inverted[idx][v], pos)
-		}
+		r.needed[pos] = int32(len(rule.EvidenceAttrs()))
 	}
 	n := len(rules)
+	arity, words, nRel := r.c.arity, r.c.words, len(r.c.relevant)
 	r.scratch.New = func() any {
-		return &lScratch{
+		return &codedScratch{
+			row:      make([]uint32, arity),
+			assured:  make([]uint64, words),
 			counters: make([]int32, n),
 			checked:  make([]bool, n),
+			encKeys:  make([]string, nRel<<encPageBits),
+			encCodes: make([]uint32, nRel<<encPageBits),
 		}
 	}
 	return r
@@ -114,107 +119,37 @@ func (r *Repairer) Ruleset() *core.Ruleset { return r.rs }
 
 // RepairTuple repairs one tuple with the chosen algorithm. The input is not
 // modified; the repaired tuple and the applied steps are returned.
+//
+// The tuple is dictionary-encoded into pooled scratch, repaired on codes,
+// and materialised by writing each applied rule's fact over a clone of the
+// input — decoding never needs a reverse dictionary because every changed
+// cell holds a fact of Σ and every unchanged cell keeps its input string.
 func (r *Repairer) RepairTuple(t schema.Tuple, alg Algorithm) (schema.Tuple, []core.Step) {
-	if alg == Linear {
-		return r.linear(t)
-	}
-	return r.chase(t)
-}
-
-// chase is cRepair (Figure 6): while some unused rule properly applies,
-// apply it; each rule is used at most once.
-func (r *Repairer) chase(t schema.Tuple) (schema.Tuple, []core.Step) {
-	cur := t.Clone()
-	a := core.NewAssured()
-	used := make([]bool, len(r.rules))
+	sc := r.getScratch()
+	r.c.encodeInto(t, sc.row)
+	applied := r.repairEncoded(sc.row, sc, alg)
+	fixed := t.Clone()
 	var steps []core.Step
-	for updated := true; updated; {
-		updated = false
-		for pos, rule := range r.rules {
-			if used[pos] || !core.ProperlyApplies(rule, cur, a) {
-				continue
-			}
-			from := cur[rule.TargetIndex()]
-			core.Apply(rule, cur, a)
-			steps = append(steps, core.Step{Rule: rule, Attr: rule.Target(), From: from, To: rule.Fact()})
-			used[pos] = true
-			updated = true
+	if len(applied) > 0 {
+		steps = make([]core.Step, len(applied))
+		for i, pos := range applied {
+			rule := r.rules[pos]
+			idx := rule.TargetIndex()
+			steps[i] = core.Step{Rule: rule, Attr: rule.Target(), From: fixed[idx], To: rule.Fact()}
+			fixed[idx] = rule.Fact()
 		}
 	}
-	return cur, steps
-}
-
-// linear is lRepair (Figure 7). Counters track how many evidence attributes
-// of each rule the current tuple agrees with; a rule becomes a candidate
-// when its counter reaches |Xφ|. After each update t[B] := fact, only the
-// inverted list of (B, fact) is consulted, so each rule's counter is touched
-// at most |Xφ| times overall and the total work is O(size(Σ)).
-func (r *Repairer) linear(t schema.Tuple) (schema.Tuple, []core.Step) {
-	cur := t.Clone()
-	a := core.NewAssured()
-
-	// Reuse pooled flat counters: the hot path allocates nothing beyond the
-	// repaired tuple itself.
-	sc := r.scratch.Get().(*lScratch)
-	counters, checked := sc.counters, sc.checked
-	touched := sc.touched[:0]
-	candidates := sc.candidates[:0]
-
-	bump := func(pos int) {
-		if counters[pos] == 0 {
-			touched = append(touched, pos)
-		}
-		counters[pos]++
-		if int(counters[pos]) == r.needed[pos] && !checked[pos] {
-			candidates = append(candidates, pos)
-		}
-	}
-	// Initialise counters from the dirty tuple (lines 2-7).
-	for attr, v := range cur {
-		if pos, ok := r.inverted[attr][v]; ok {
-			for _, p := range pos {
-				bump(p)
-			}
-		}
-	}
-
-	var steps []core.Step
-	for len(candidates) > 0 {
-		pos := candidates[len(candidates)-1]
-		candidates = candidates[:len(candidates)-1]
-		if checked[pos] {
-			continue
-		}
-		checked[pos] = true // once checked, a rule is never revisited (§6.2)
-		rule := r.rules[pos]
-		if !core.ProperlyApplies(rule, cur, a) {
-			continue
-		}
-		from := cur[rule.TargetIndex()]
-		core.Apply(rule, cur, a)
-		steps = append(steps, core.Step{Rule: rule, Attr: rule.Target(), From: from, To: rule.Fact()})
-		// The update may complete other rules' evidence (lines 13-15).
-		for _, p := range r.inverted[rule.TargetIndex()][rule.Fact()] {
-			if !checked[p] {
-				bump(p)
-			}
-		}
-	}
-
-	// Reset only the entries this repair dirtied, then recycle the scratch.
-	for _, pos := range touched {
-		counters[pos] = 0
-		checked[pos] = false
-	}
-	sc.touched = touched
-	sc.candidates = candidates
-	r.scratch.Put(sc)
-	return cur, steps
+	r.putScratch(sc)
+	return fixed, steps
 }
 
 // Result summarises a relation-level repair.
 type Result struct {
-	// Relation is the repaired copy; the input relation is untouched.
+	// Relation is the repaired relation. It is copy-on-write: rows no rule
+	// changed are shared with the input relation, and only repaired rows are
+	// fresh tuples. The input is never modified, but both relations must be
+	// treated as frozen afterwards — writing through either one's tuples
+	// would show through the other.
 	Relation *schema.Relation
 	// Changed lists every modified cell.
 	Changed []schema.Cell
@@ -225,63 +160,107 @@ type Result struct {
 	PerRule map[string]int
 }
 
+// record accounts one rule application at row i of the output rows,
+// cloning the shared input tuple on first write.
+func (res *Result) record(rows []schema.Tuple, src *schema.Relation, i int, rule *core.Rule) {
+	if len(res.Changed) == 0 || res.Changed[len(res.Changed)-1].Row != i {
+		rows[i] = src.Row(i).Clone()
+	}
+	rows[i][rule.TargetIndex()] = rule.Fact()
+	res.Steps++
+	res.PerRule[rule.Name()]++
+	res.Changed = append(res.Changed, schema.Cell{Row: i, Attr: rule.Target()})
+}
+
 // RepairRelation repairs every tuple of rel with the chosen algorithm.
+// The whole relation is encoded into one code matrix up front and the output
+// shares every unchanged row with the input (see Result.Relation), so the
+// per-tuple cost is the integer chase alone.
 func (r *Repairer) RepairRelation(rel *schema.Relation, alg Algorithm) *Result {
-	out := schema.NewRelation(rel.Schema())
+	n := rel.Len()
 	res := &Result{PerRule: make(map[string]int)}
-	for i := 0; i < rel.Len(); i++ {
-		fixed, steps := r.RepairTuple(rel.Row(i), alg)
-		out.Append(fixed)
-		for _, s := range steps {
-			res.Steps++
-			res.PerRule[s.Rule.Name()]++
-			res.Changed = append(res.Changed, schema.Cell{Row: i, Attr: s.Attr})
+	rows := make([]schema.Tuple, n)
+	copy(rows, rel.Rows())
+	codes := r.getCodes(n)
+	sc := r.getScratch()
+	r.c.encodeRows(rel, codes, 0, n, sc)
+	for i := 0; i < n; i++ {
+		for _, pos := range r.repairEncoded(codes.Row(i), sc, alg) {
+			res.record(rows, rel, i, r.rules[pos])
 		}
 	}
-	res.Relation = out
+	r.putScratch(sc)
+	r.putCodes(codes)
+	res.Relation = schema.FromRows(rel.Schema(), rows)
 	return res
+}
+
+// rowStep is one rule application collected by a parallel worker.
+type rowStep struct {
+	row int32
+	pos int32 // rule position in Σ
 }
 
 // RepairRelationParallel is RepairRelation with a worker pool; tuples are
 // independent, so the result is identical. workers <= 0 selects GOMAXPROCS.
+// Each worker encodes, repairs and materialises its own contiguous stripe
+// of rows; the sequential tail only merges step accounting, so Changed,
+// Steps and PerRule match the sequential result exactly.
 func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := rel.Len()
-	fixedRows := make([]schema.Tuple, n)
-	stepsPer := make([][]core.Step, n)
+	res := &Result{PerRule: make(map[string]int)}
+	rows := make([]schema.Tuple, n)
+	copy(rows, rel.Rows())
+	codes := r.getCodes(n)
 
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	if chunk == 0 {
 		chunk = 1
 	}
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
+	nChunks := (n + chunk - 1) / chunk
+	perChunk := make([][]rowStep, nChunks)
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < nChunks; ci++ {
+		lo, hi := ci*chunk, (ci+1)*chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(ci, lo, hi int) {
 			defer wg.Done()
+			sc := r.getScratch()
+			r.c.encodeRows(rel, codes, lo, hi, sc)
+			var steps []rowStep
 			for i := lo; i < hi; i++ {
-				fixedRows[i], stepsPer[i] = r.RepairTuple(rel.Row(i), alg)
+				cloned := false
+				for _, pos := range r.repairEncoded(codes.Row(i), sc, alg) {
+					if !cloned {
+						rows[i] = rel.Row(i).Clone()
+						cloned = true
+					}
+					rows[i][r.rules[pos].TargetIndex()] = r.rules[pos].Fact()
+					steps = append(steps, rowStep{row: int32(i), pos: pos})
+				}
 			}
-		}(lo, hi)
+			r.putScratch(sc)
+			perChunk[ci] = steps
+		}(ci, lo, hi)
 	}
 	wg.Wait()
+	r.putCodes(codes)
 
-	out := schema.NewRelation(rel.Schema())
-	res := &Result{PerRule: make(map[string]int)}
-	for i, row := range fixedRows {
-		out.Append(row)
-		for _, s := range stepsPer[i] {
+	for _, steps := range perChunk {
+		for _, s := range steps {
+			rule := r.rules[s.pos]
 			res.Steps++
-			res.PerRule[s.Rule.Name()]++
-			res.Changed = append(res.Changed, schema.Cell{Row: i, Attr: s.Attr})
+			res.PerRule[rule.Name()]++
+			res.Changed = append(res.Changed, schema.Cell{Row: int(s.row), Attr: rule.Target()})
 		}
 	}
-	res.Relation = out
+	res.Relation = schema.FromRows(rel.Schema(), rows)
 	return res
 }

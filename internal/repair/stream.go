@@ -21,6 +21,25 @@ type StreamStats struct {
 	PerRule map[string]int
 }
 
+// repairInPlace encodes t into the scratch row, repairs the codes, and
+// writes the applied facts back into t itself — the streaming hot path,
+// which owns its row buffer and needs no defensive clone.
+func (rp *Repairer) repairInPlace(t schema.Tuple, alg Algorithm, sc *codedScratch, stats *StreamStats) {
+	rp.c.encodeInto(t, sc.row)
+	applied := rp.repairEncoded(sc.row, sc, alg)
+	stats.Rows++
+	if len(applied) == 0 {
+		return
+	}
+	stats.Repaired++
+	stats.Steps += len(applied)
+	for _, pos := range applied {
+		rule := rp.rules[pos]
+		t[rule.TargetIndex()] = rule.Fact()
+		stats.PerRule[rule.Name()]++
+	}
+}
+
 // StreamCSV repairs a CSV stream tuple by tuple: it reads rows from r
 // (whose header must match the repairer's schema), repairs each with the
 // chosen algorithm, and writes the repaired rows (with header) to w.
@@ -46,6 +65,8 @@ func (rp *Repairer) StreamCSV(r io.Reader, w io.Writer, alg Algorithm) (*StreamS
 	}
 
 	stats := &StreamStats{PerRule: make(map[string]int)}
+	sc := rp.getScratch()
+	defer rp.putScratch(sc)
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -54,16 +75,8 @@ func (rp *Repairer) StreamCSV(r io.Reader, w io.Writer, alg Algorithm) (*StreamS
 		if err != nil {
 			return nil, fmt.Errorf("repair: stream row %d: %w", stats.Rows+1, err)
 		}
-		fixed, steps := rp.RepairTuple(schema.Tuple(rec), alg)
-		stats.Rows++
-		if len(steps) > 0 {
-			stats.Repaired++
-			stats.Steps += len(steps)
-			for _, s := range steps {
-				stats.PerRule[s.Rule.Name()]++
-			}
-		}
-		if err := cw.Write(fixed); err != nil {
+		rp.repairInPlace(schema.Tuple(rec), alg, sc, stats)
+		if err := cw.Write(rec); err != nil {
 			return nil, err
 		}
 	}
@@ -91,17 +104,12 @@ func (rp *Repairer) StreamFrel(r io.Reader, w io.Writer, alg Algorithm) (*Stream
 		return nil, err
 	}
 	stats := &StreamStats{PerRule: make(map[string]int)}
+	scr := rp.getScratch()
+	defer rp.putScratch(scr)
 	for sc.Next() {
-		fixed, steps := rp.RepairTuple(sc.Tuple(), alg)
-		stats.Rows++
-		if len(steps) > 0 {
-			stats.Repaired++
-			stats.Steps += len(steps)
-			for _, s := range steps {
-				stats.PerRule[s.Rule.Name()]++
-			}
-		}
-		if err := sw.Append(fixed); err != nil {
+		tup := sc.Tuple()
+		rp.repairInPlace(tup, alg, scr, stats)
+		if err := sw.Append(tup); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,75 @@
+package schema
+
+// Codes is a dictionary-encoded relation body: a dense matrix of uint32
+// codes, one row per tuple and one column per attribute, stored row-major
+// in a single backing slice. It carries no dictionary itself — producers
+// (the compiled repair engine) own the value↔code mapping; Codes is only
+// the storage so that encoding a whole relation costs two allocations
+// regardless of row count.
+//
+// Code 0 is conventionally reserved by producers for "not in vocabulary";
+// a fresh Codes matrix is all zeros.
+type Codes struct {
+	arity int
+	buf   []uint32
+}
+
+// NewCodes allocates an n × arity code matrix, zero-filled.
+func NewCodes(n, arity int) *Codes {
+	return &Codes{arity: arity, buf: make([]uint32, n*arity)}
+}
+
+// Reset re-shapes c to n × arity, reusing the backing slice when it has
+// capacity. The contents are NOT cleared — callers that pool matrices must
+// overwrite every cell they later read.
+func (c *Codes) Reset(n, arity int) {
+	c.arity = arity
+	want := n * arity
+	if cap(c.buf) < want {
+		c.buf = make([]uint32, want)
+		return
+	}
+	c.buf = c.buf[:want]
+}
+
+// Data returns the row-major backing slice: cell (i, a) is at i*Arity()+a.
+func (c *Codes) Data() []uint32 { return c.buf }
+
+// Len returns the number of rows.
+func (c *Codes) Len() int {
+	if c.arity == 0 {
+		return 0
+	}
+	return len(c.buf) / c.arity
+}
+
+// Arity returns the number of columns.
+func (c *Codes) Arity() int { return c.arity }
+
+// Row returns the i-th coded row as a slice aliasing the backing store;
+// writes through it update the matrix.
+func (c *Codes) Row(i int) []uint32 {
+	return c.buf[i*c.arity : (i+1)*c.arity : (i+1)*c.arity]
+}
+
+// FromRows returns a relation over s that adopts rows as its backing slice
+// without copying; the caller hands over ownership. Builders that assemble
+// rows themselves (e.g. copy-on-write repair output, where unchanged tuples
+// are shared with the source relation) use this to skip the per-row append.
+func FromRows(s *Schema, rows []Tuple) *Relation {
+	return &Relation{schema: s, rows: rows}
+}
+
+// NewDenseRelation returns a relation over s with n pre-carved rows backed
+// by one contiguous []string — two allocations for the whole relation,
+// versus one per row when appending cloned tuples. The rows are zero-valued;
+// callers fill them in place via Row.
+func NewDenseRelation(s *Schema, n int) *Relation {
+	arity := s.Arity()
+	backing := make([]string, n*arity)
+	rows := make([]Tuple, n)
+	for i := range rows {
+		rows[i] = Tuple(backing[i*arity : (i+1)*arity : (i+1)*arity])
+	}
+	return &Relation{schema: s, rows: rows}
+}
