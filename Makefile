@@ -49,11 +49,13 @@ bench-json:
 	$(GO) run ./cmd/experiments -bench-json BENCH_repair.json \
 		-hosp-rows 20000 -hosp-rules 500 -uis-rows 8000 -uis-rules 100
 
-# Short fuzzing pass over the hardened decoders.
+# Short fuzzing pass over the hardened decoders and the HTTP surface.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ruleio/
 	$(GO) test -fuzz=FuzzUnmarshalJSON -fuzztime=30s ./internal/ruleio/
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/store/
+	$(GO) test -run '^$$' -fuzz=FuzzHandleRepairCSV -fuzztime=30s ./internal/server/
+	$(GO) test -run '^$$' -fuzz=FuzzHandleRepairJSON -fuzztime=30s ./internal/server/
 
 # Regenerate every figure/table of the paper's Section 7 at paper scale
 # (minutes); results land in results/.

@@ -1,11 +1,18 @@
 package fixrule_test
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCLIPipeline builds every command and drives the full workflow through
@@ -106,5 +113,166 @@ RULE phi3
 	}
 	if string(got2) != string(got) {
 		t.Error("streamed output differs from batch output")
+	}
+}
+
+// TestFixserveLifecycle drives the real fixserve binary end to end:
+// startup on a free port, /healthz, /repair, /metrics, a hot /reload that
+// changes repair behaviour, and a SIGTERM graceful shutdown that lets an
+// in-flight streaming request complete before the process exits 0.
+// Skipped with -short (it shells out to the Go toolchain).
+func TestFixserveLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short: skipping fixserve integration test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fixserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fixserve")
+	build.Env = os.Environ()
+	if msg, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building fixserve: %v\n%s", err, msg)
+	}
+
+	ruleFile := func(fact string) string {
+		return fmt.Sprintf(`SCHEMA Travel(name, country, capital, city, conf)
+RULE phi1
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong")
+  THEN capital = %q
+`, fact)
+	}
+	rules := filepath.Join(dir, "serve.dsl")
+	if err := os.WriteFile(rules, []byte(ruleFile("Beijing")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-rules", rules, "-addr", "127.0.0.1:0", "-drain-timeout", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the resolved listen address.
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatalf("fixserve produced no output")
+	}
+	first := scanner.Text()
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	i := strings.LastIndex(first, "listening on ")
+	if i < 0 {
+		t.Fatalf("startup line %q has no address", first)
+	}
+	base := "http://" + strings.TrimSpace(first[i+len("listening on "):])
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	resp, err := http.Post(base+"/repair", "application/json",
+		strings.NewReader(`{"tuples": [["Ian","China","Shanghai","Hongkong","ICDE"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(repairBody), "Beijing") {
+		t.Fatalf("/repair = %d %q", resp.StatusCode, repairBody)
+	}
+	if v := resp.Header.Get("X-Fixserve-Ruleset-Version"); v != "1" {
+		t.Errorf("ruleset version header = %q, want 1", v)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, `fixserve_requests_total{endpoint="/repair"} 1`) ||
+		!strings.Contains(body, "fixserve_ruleset_version 1") {
+		t.Fatalf("/metrics = %d\n%s", code, body)
+	}
+
+	// Hot reload: rewrite the rule file with a different fact and ask the
+	// server to swap; repairs must change behaviour, version must bump.
+	if err := os.WriteFile(rules, []byte(ruleFile("Peking")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloadBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(reloadBody), `"ruleset_version": 2`) {
+		t.Fatalf("/reload = %d %q", resp.StatusCode, reloadBody)
+	}
+	resp, err = http.Post(base+"/repair", "application/json",
+		strings.NewReader(`{"tuples": [["Ian","China","Shanghai","Hongkong","ICDE"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairBody, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(repairBody), "Peking") {
+		t.Fatalf("post-reload /repair did not use new ruleset: %q", repairBody)
+	}
+
+	// Graceful shutdown: start a streaming repair whose body arrives
+	// slowly, SIGTERM mid-flight, then finish the upload. The response
+	// must complete and the process must exit 0.
+	pr, pw := io.Pipe()
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/repair/csv", "text/csv", pr)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{code: resp.StatusCode, body: body}
+	}()
+	io.WriteString(pw, "name,country,capital,city,conf\nIan,China,Shanghai,Hongkong,ICDE\n")
+	time.Sleep(200 * time.Millisecond) // let the request reach the handler
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // listener closes while we're in flight
+	io.WriteString(pw, "Amy,China,Hongkong,Paris,VLDB\n")
+	pw.Close()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across SIGTERM: %v", r.err)
+	}
+	if r.code != 200 || !bytes.Contains(r.body, []byte("Ian,China,Peking")) ||
+		!bytes.Contains(r.body, []byte("Amy,China,Peking")) {
+		t.Fatalf("in-flight response = %d %q", r.code, r.body)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fixserve exit: %v", err)
+	}
+	// The listener is gone: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after graceful shutdown")
 	}
 }

@@ -1,5 +1,5 @@
 // Command fixserve runs the fixing-rule repair service over HTTP: load a
-// consistent ruleset once, then repair tuples on the wire — the
+// consistent ruleset, then repair tuples on the wire — the
 // no-user-in-the-loop data-monitoring deployment the paper contrasts with
 // editing rules.
 //
@@ -7,23 +7,41 @@
 //
 //	fixserve -rules rules.dsl -addr :8080
 //
+// Operations:
+//
+//   - SIGHUP (or POST /reload) re-reads the rule file, verifies its
+//     consistency, and swaps the compiled ruleset atomically; in-flight
+//     requests finish on the old version.
+//   - SIGTERM / SIGINT drain gracefully: the listener closes, in-flight
+//     requests complete (up to -drain-timeout), then the process exits 0.
+//   - GET /metrics serves Prometheus text; GET /stats the same counters
+//     as JSON with latency quantiles.
+//
 // Endpoints (see internal/server):
 //
 //	GET  /healthz            liveness
+//	GET  /metrics            Prometheus exposition
+//	GET  /stats              service counters and ruleset version
 //	GET  /rules[?format=json] the loaded ruleset
 //	GET  /rules/stats        rule statistics
 //	POST /repair             JSON tuples in, repaired tuples + steps out
 //	POST /repair/csv         CSV stream in, repaired CSV out
 //	POST /explain            one tuple in, repair provenance out
+//	POST /reload             hot-swap the ruleset from the rule file
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"fixrule/internal/core"
 	"fixrule/internal/repair"
 	"fixrule/internal/ruleio"
 	"fixrule/internal/server"
@@ -31,8 +49,12 @@ import (
 
 func main() {
 	var (
-		rulesPath = flag.String("rules", "", "rule file (DSL, or JSON when *.json)")
-		addr      = flag.String("addr", ":8080", "listen address")
+		rulesPath    = flag.String("rules", "", "rule file (DSL, or JSON when *.json); re-read on reload")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxBody      = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+		maxInFlight  = flag.Int("max-inflight", 64, "concurrent repair requests before shedding with 503")
+		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request repair deadline")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -40,13 +62,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*rulesPath, *addr); err != nil {
+	cfg := server.Config{
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		Loader:         func() (*core.Ruleset, error) { return ruleio.LoadFile(*rulesPath) },
+	}
+	if err := run(*rulesPath, *addr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "fixserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesPath, addr string) error {
+func run(rulesPath, addr string, cfg server.Config, drainTimeout time.Duration) error {
 	rs, err := ruleio.LoadFile(rulesPath)
 	if err != nil {
 		return err
@@ -55,11 +83,56 @@ func run(rulesPath, addr string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fixserve: %d rules over %s, listening on %s\n", rs.Len(), rs.Schema(), addr)
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(rep),
-		ReadHeaderTimeout: 10 * time.Second,
+	srv := server.NewWithConfig(rep, cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
-	return srv.ListenAndServe()
+	// Print the resolved address (":0" picks a free port) so operators and
+	// the integration test can find the listener.
+	fmt.Printf("fixserve: %d rules over %s (version 1, hash %s), listening on %s\n",
+		rs.Len(), rs.Schema(), server.RulesetHash(rs), ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Read/write generously outlast the per-request repair deadline so
+		// slow-but-legitimate streams are cut by the context (408), not by
+		// an opaque connection reset.
+		ReadTimeout:  cfg.RequestTimeout + 30*time.Second,
+		WriteTimeout: cfg.RequestTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case sig := <-sigs:
+			switch sig {
+			case syscall.SIGHUP:
+				if info, err := srv.Reload(); err != nil {
+					fmt.Fprintln(os.Stderr, "fixserve: SIGHUP reload rejected:", err)
+				} else {
+					fmt.Printf("fixserve: SIGHUP reload ok: version %d, hash %s, %d rules\n",
+						info.Version, info.Hash, info.Rules)
+				}
+			case syscall.SIGTERM, syscall.SIGINT:
+				fmt.Printf("fixserve: %v received, draining for up to %v\n", sig, drainTimeout)
+				ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+				err := hs.Shutdown(ctx)
+				cancel()
+				if err != nil {
+					return fmt.Errorf("shutdown: %w", err)
+				}
+				<-errc // Serve has returned http.ErrServerClosed
+				fmt.Println("fixserve: drained, bye")
+				return nil
+			}
+		}
+	}
 }

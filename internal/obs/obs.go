@@ -1,0 +1,303 @@
+// Package obs is a dependency-free observability layer for the repair
+// service: atomic counters and gauges, a fixed-bucket latency histogram,
+// and a registry that renders everything in the Prometheus text exposition
+// format.
+//
+// The package is deliberately tiny — the repair engine's coded hot path is
+// lock-free and zero-alloc, and nothing here may compromise that. All
+// instruments are updated with single atomic operations and are registered
+// up front (at server construction), so the request path never takes a
+// lock or allocates: handlers hold *Counter / *Histogram pointers and call
+// Add/Observe on aggregate results, never per tuple.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down (e.g. in-flight
+// requests, ruleset version).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add increments the gauge by n (use a negative n to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: bounds
+// are upper limits, counts are per-bucket (not cumulative internally), and
+// an implicit +Inf bucket catches the tail. Observe is wait-free: one
+// atomic add for the bucket, one for the count, and a CAS loop for the
+// float sum.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits
+}
+
+// DefaultLatencyBuckets spans 0.5ms to 10s, suitable for request
+// latencies of an in-memory repair service.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must
+// be sorted ascending. An implicit +Inf bucket is appended.
+func NewHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) → +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket that holds the target rank, the same estimate
+// Prometheus's histogram_quantile gives. It returns 0 with no
+// observations; ranks landing in the +Inf bucket clamp to the largest
+// finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			if i == len(h.bounds) { // +Inf bucket
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// kind discriminates the instrument held by a series.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels string // pre-rendered, e.g. `endpoint="/repair"`, or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+	byLab  map[string]*series
+}
+
+// Registry holds named metric families and renders them as Prometheus
+// text. Registration takes a lock; reading an instrument's pointer does
+// not — register once, then hold the pointer.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Labels renders label pairs in a fixed order for series identity; pass
+// the result as the labels argument of Counter/Gauge/Histogram. Keys and
+// values must not need escaping (the callers here use static ASCII).
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: Labels wants key/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(name, help string, k kind, labels string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byLab: make(map[string]*series)}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s re-registered with a different type", name))
+	}
+	s := f.byLab[labels]
+	if s == nil {
+		s = &series{labels: labels}
+		f.byLab[labels] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on first
+// use. labels is a pre-rendered pair list from Labels, or "" for none.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for (name, labels), registering it on
+// first use with the given bucket bounds (ignored on later lookups).
+func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = NewHistogram(bounds)
+	}
+	return s.h
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format (version 0.0.4): # HELP and # TYPE once per family, then one line
+// per series, histograms as cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		typ := map[kind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(w, f.name, s.labels, "", float64(s.c.Load()))
+			case kindGauge:
+				writeSample(w, f.name, s.labels, "", float64(s.g.Load()))
+			case kindHistogram:
+				var cum int64
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					writeSample(w, f.name+"_bucket", s.labels, fmt.Sprintf("le=%q", formatBound(bound)), float64(cum))
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				writeSample(w, f.name+"_bucket", s.labels, `le="+Inf"`, float64(cum))
+				fmt.Fprintf(w, "%s_sum%s %v\n", f.name, renderLabels(s.labels, ""), s.h.Sum())
+				fmt.Fprintf(w, "%s_count%s %v\n", f.name, renderLabels(s.labels, ""), s.h.Count())
+			}
+		}
+	}
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+func renderLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+func writeSample(w io.Writer, name, labels, extra string, v float64) {
+	fmt.Fprintf(w, "%s%s %v\n", name, renderLabels(labels, extra), v)
+}

@@ -272,6 +272,21 @@ func (c *compiled) encodeInto(t schema.Tuple, row []uint32) {
 	}
 }
 
+// countOOV reports how many Σ-relevant cells of an encoded row hold the
+// out-of-vocabulary code — cells no rule can read as evidence or repair.
+// It only inspects relevant attributes (the rest of the row is stale pool
+// memory) and must run before the chase, which overwrites repaired cells
+// with in-vocabulary fact codes.
+func (c *compiled) countOOV(row []uint32) int {
+	n := 0
+	for _, a := range c.relevant {
+		if row[a] == oov {
+			n++
+		}
+	}
+	return n
+}
+
 // The batch encoder short-circuits repeated cell values with a pointer memo:
 // relations share string backing heavily (a dimension value is typically one
 // string object referenced by many rows), so a cell whose string object was
@@ -508,3 +523,15 @@ func (r *Repairer) RepairEncoded(row []uint32, alg Algorithm, applied []int32) [
 // RuleAt returns the rule at position pos in Σ's order, resolving the
 // positions reported by RepairEncoded.
 func (r *Repairer) RuleAt(pos int) *core.Rule { return r.rules[pos] }
+
+// OOVCells reports how many of t's Σ-relevant cells hold values outside
+// the ruleset's vocabulary. Such cells carry no evidence and can never be
+// repaired; a rising OOV rate in production means the ruleset has drifted
+// from the data.
+func (r *Repairer) OOVCells(t schema.Tuple) int {
+	sc := r.getScratch()
+	r.c.encodeInto(t, sc.row)
+	n := r.c.countOOV(sc.row)
+	r.putScratch(sc)
+	return n
+}

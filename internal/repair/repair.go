@@ -155,6 +155,9 @@ type Result struct {
 	Changed []schema.Cell
 	// Steps is the total number of rule applications.
 	Steps int
+	// OOV is the number of Σ-relevant cells whose input values were outside
+	// the ruleset's vocabulary (counted before repair; see Repairer.OOVCells).
+	OOV int
 	// PerRule counts, for each rule name, how many errors it corrected —
 	// the quantity plotted in Figure 12(a).
 	PerRule map[string]int
@@ -185,7 +188,9 @@ func (r *Repairer) RepairRelation(rel *schema.Relation, alg Algorithm) *Result {
 	sc := r.getScratch()
 	r.c.encodeRows(rel, codes, 0, n, sc)
 	for i := 0; i < n; i++ {
-		for _, pos := range r.repairEncoded(codes.Row(i), sc, alg) {
+		row := codes.Row(i)
+		res.OOV += r.c.countOOV(row)
+		for _, pos := range r.repairEncoded(row, sc, alg) {
 			res.record(rows, rel, i, r.rules[pos])
 		}
 	}
@@ -222,6 +227,7 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 	}
 	nChunks := (n + chunk - 1) / chunk
 	perChunk := make([][]rowStep, nChunks)
+	oovChunk := make([]int, nChunks)
 
 	var wg sync.WaitGroup
 	for ci := 0; ci < nChunks; ci++ {
@@ -236,8 +242,10 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 			r.c.encodeRows(rel, codes, lo, hi, sc)
 			var steps []rowStep
 			for i := lo; i < hi; i++ {
+				row := codes.Row(i)
+				oovChunk[ci] += r.c.countOOV(row)
 				cloned := false
-				for _, pos := range r.repairEncoded(codes.Row(i), sc, alg) {
+				for _, pos := range r.repairEncoded(row, sc, alg) {
 					if !cloned {
 						rows[i] = rel.Row(i).Clone()
 						cloned = true
@@ -253,6 +261,9 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 	wg.Wait()
 	r.putCodes(codes)
 
+	for _, o := range oovChunk {
+		res.OOV += o
+	}
 	for _, steps := range perChunk {
 		for _, s := range steps {
 			rule := r.rules[s.pos]

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,6 +18,9 @@ type StreamStats struct {
 	Repaired int
 	// Steps is the total number of rule applications.
 	Steps int
+	// OOV is the number of Σ-relevant cells whose input values were outside
+	// the ruleset's vocabulary (counted before repair).
+	OOV int
 	// PerRule counts corrections per rule name.
 	PerRule map[string]int
 }
@@ -26,6 +30,7 @@ type StreamStats struct {
 // which owns its row buffer and needs no defensive clone.
 func (rp *Repairer) repairInPlace(t schema.Tuple, alg Algorithm, sc *codedScratch, stats *StreamStats) {
 	rp.c.encodeInto(t, sc.row)
+	stats.OOV += rp.c.countOOV(sc.row)
 	applied := rp.repairEncoded(sc.row, sc, alg)
 	stats.Rows++
 	if len(applied) == 0 {
@@ -47,6 +52,21 @@ func (rp *Repairer) repairInPlace(t schema.Tuple, alg Algorithm, sc *codedScratc
 // deployment the paper contrasts with editing rules: fixing rules repair a
 // stream of incoming tuples with no user in the loop.
 func (rp *Repairer) StreamCSV(r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	return rp.StreamCSVContext(context.Background(), r, w, alg)
+}
+
+// ctxCheckMask throttles context polls on the streaming paths: the
+// deadline is checked every 64 rows, cheap enough to be invisible next to
+// the CSV parse while still bounding overrun to a few microseconds of
+// extra work.
+const ctxCheckMask = 63
+
+// StreamCSVContext is StreamCSV bounded by a context: when ctx is
+// cancelled or its deadline passes, the stream stops between rows and the
+// cause is returned (errors.Is-compatible with context.DeadlineExceeded /
+// context.Canceled). The server uses this to propagate per-request
+// deadlines into long uploads.
+func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
 	sch := rp.rs.Schema()
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = sch.Arity()
@@ -68,6 +88,11 @@ func (rp *Repairer) StreamCSV(r io.Reader, w io.Writer, alg Algorithm) (*StreamS
 	sc := rp.getScratch()
 	defer rp.putScratch(sc)
 	for {
+		if stats.Rows&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("repair: stream cancelled at row %d: %w", stats.Rows, err)
+			}
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Stable machine-readable error codes. Clients and dashboards key on
+// these; the human-readable message may change, the codes must not.
+const (
+	codeBadJSON          = "bad_json"
+	codeBadStream        = "bad_stream"
+	codeBadFormat        = "bad_format"
+	codeBadAlgorithm     = "bad_algorithm"
+	codeArityMismatch    = "arity_mismatch"
+	codeBodyTooLarge     = "body_too_large"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeOverloaded       = "overloaded"
+	codeTimeout          = "request_timeout"
+	codeCanceled         = "request_cancelled"
+	codeReloadDisabled   = "reload_disabled"
+	codeReloadFailed     = "reload_failed"
+	codeInconsistent     = "ruleset_inconsistent"
+	codeInternal         = "internal_error"
+)
+
+// errorEnvelope is the JSON error body every non-2xx response carries:
+//
+//	{"error": {"code": "arity_mismatch", "message": "..."}}
+//
+// The message never contains server-internal detail (file paths, stack
+// text); failures whose cause is server-side are logged and reported to
+// the client as the code alone with a generic message.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the envelope with the given status. If the response
+// has already started streaming (the /repair/csv partial-write case), the
+// status line is gone, but the envelope still lands in the body where a
+// client can detect the truncated stream.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, _ := json.Marshal(errorEnvelope{Error: errorDetail{Code: code, Message: message}})
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	s.writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		"method not allowed (want "+strings.ToUpper(allow)+")")
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+// fuzzServer is shared across fuzz iterations: a Server is stateful but
+// concurrency-safe, and rebuilding the compiled ruleset per input would
+// dominate the fuzzing loop.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzServer() *Server {
+	fuzzOnce.Do(func() {
+		sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+		rs := core.MustRuleset(
+			core.MustNew("phi1", sch, map[string]string{"country": "China"},
+				"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+			core.MustNew("phi4", sch,
+				map[string]string{"capital": "Beijing", "conf": "ICDE"},
+				"city", []string{"Hongkong"}, "Shanghai"),
+		)
+		rep, err := repair.NewRepairerChecked(rs)
+		if err != nil {
+			panic(err)
+		}
+		// A small body cap keeps huge generated inputs cheap while still
+		// exercising the 413 path.
+		fuzzSrv = NewWithConfig(rep, Config{MaxBodyBytes: 1 << 20, Logf: discardLogf})
+	})
+	return fuzzSrv
+}
+
+// post drives one request through the full middleware + handler stack.
+func post(s *Server, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// FuzzHandleRepairCSV hardens the CSV repair surface: malformed quoting,
+// wrong arity, huge fields and invalid UTF-8 must answer 2xx/4xx — never
+// panic, never 5xx.
+func FuzzHandleRepairCSV(f *testing.F) {
+	if data, err := os.ReadFile("../../testdata/travel.csv"); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte("name,country,capital,city,conf\nIan,China,Shanghai,Hongkong,ICDE\n"))
+	f.Add([]byte("name,country,capital,city,conf\n\"unclosed,quote\n"))
+	f.Add([]byte("a,b\n1,2\n"))                   // wrong header
+	f.Add([]byte("name,country,capital\nx,y,z\n")) // wrong arity
+	f.Add([]byte("name,country,capital,city,conf\n" + strings.Repeat("x", 1<<16) + ",a,b,c,d\n"))
+	f.Add([]byte("name,country,capital,city,conf\n\xff\xfe,\x80,b,c,d\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := post(fuzzServer(), "/repair/csv", data)
+		if rec.Code >= 500 {
+			t.Fatalf("status %d for input %q", rec.Code, data)
+		}
+	})
+}
+
+// FuzzHandleRepairJSON hardens the JSON repair surface the same way, and
+// additionally requires every 200 to carry well-formed JSON.
+func FuzzHandleRepairJSON(f *testing.F) {
+	f.Add([]byte(`{"tuples": [["Ian","China","Shanghai","Hongkong","ICDE"]]}`))
+	f.Add([]byte(`{"tuples": [["too","short"]]}`))
+	f.Add([]byte(`{"tuples": [], "algorithm": "quantum"}`))
+	f.Add([]byte(`{"tuples": [[1,2,3,4,5]]}`))
+	f.Add([]byte(`{"tuples": "nope"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{\"tuples\": [[\"\xff\xfe\",\"\",\"\",\"\",\"\"]]}"))
+	f.Add([]byte(`{"tuples": [["` + strings.Repeat("x", 1<<12) + `","a","b","c","d"]]}`))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := post(fuzzServer(), "/repair", data)
+		if rec.Code >= 500 {
+			t.Fatalf("status %d for input %q", rec.Code, data)
+		}
+		if rec.Code == http.StatusOK {
+			var out repairResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("200 with non-JSON body %q: %v", rec.Body.Bytes(), err)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics serves the Prometheus text exposition: the registry's
+// counters, gauges and the latency histogram, plus a ruleset info series
+// whose labels carry the current version and hash.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, eng *engine) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	fmt.Fprintf(w, "# HELP fixserve_ruleset_info Served ruleset identity; value is always 1.\n"+
+		"# TYPE fixserve_ruleset_info gauge\n"+
+		"fixserve_ruleset_info{version=%q,hash=%q} 1\n",
+		fmt.Sprint(eng.version), eng.hash)
+}
+
+// serverStatsResponse is the /stats payload: the operational counters in
+// JSON form, with latency quantiles derived from the histogram.
+type serverStatsResponse struct {
+	RulesetVersion int64            `json:"ruleset_version"`
+	RulesetHash    string           `json:"ruleset_hash"`
+	Rules          int              `json:"rules"`
+	LoadedAt       time.Time        `json:"loaded_at"`
+	Requests       map[string]int64 `json:"requests"`
+	Shed           int64            `json:"shed"`
+	InFlight       int64            `json:"in_flight"`
+	Tuples         int64            `json:"tuples"`
+	TuplesRepaired int64            `json:"tuples_repaired"`
+	RulesFired     int64            `json:"rules_fired"`
+	OOVCells       int64            `json:"oov_cells"`
+	Reloads        int64            `json:"reloads"`
+	ReloadFailures int64            `json:"reload_failures"`
+	LatencyP50Ms   float64          `json:"latency_p50_ms"`
+	LatencyP95Ms   float64          `json:"latency_p95_ms"`
+	LatencyP99Ms   float64          `json:"latency_p99_ms"`
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request, eng *engine) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	resp := serverStatsResponse{
+		RulesetVersion: eng.version,
+		RulesetHash:    eng.hash,
+		Rules:          eng.rep.Ruleset().Len(),
+		LoadedAt:       eng.loadedAt,
+		Requests:       make(map[string]int64, len(s.m.requests)),
+		Shed:           s.m.shed.Load(),
+		InFlight:       s.m.inflight.Load(),
+		Tuples:         s.m.tuples.Load(),
+		TuplesRepaired: s.m.repaired.Load(),
+		RulesFired:     s.m.rulesFired.Load(),
+		OOVCells:       s.m.oovCells.Load(),
+		Reloads:        s.m.reloads.Load(),
+		ReloadFailures: s.m.reloadFail.Load(),
+		LatencyP50Ms:   s.m.latency.Quantile(0.50) * 1000,
+		LatencyP95Ms:   s.m.latency.Quantile(0.95) * 1000,
+		LatencyP99Ms:   s.m.latency.Quantile(0.99) * 1000,
+	}
+	for ep, c := range s.m.requests {
+		resp.Requests[ep] = c.Load()
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fixrule/internal/obs"
+)
+
+// metrics holds the pre-registered instruments the request path touches.
+// Everything is resolved to a pointer at construction, so serving a
+// request performs only atomic adds — no registry lookups, no locks.
+type metrics struct {
+	requests   map[string]*obs.Counter // per endpoint
+	errors4xx  map[string]*obs.Counter // per endpoint
+	errors5xx  map[string]*obs.Counter // per endpoint
+	shed       *obs.Counter
+	tuples     *obs.Counter
+	repaired   *obs.Counter
+	rulesFired *obs.Counter
+	oovCells   *obs.Counter
+	reloads    *obs.Counter
+	reloadFail *obs.Counter
+	inflight   *obs.Gauge
+	version    *obs.Gauge
+	latency    *obs.Histogram
+}
+
+// endpoints is the full routing surface; every metric family carrying an
+// endpoint label is pre-registered over this list.
+var endpoints = []string{
+	"/healthz", "/metrics", "/stats", "/rules", "/rules/stats",
+	"/repair", "/repair/csv", "/explain", "/reload",
+}
+
+func (s *Server) initMetrics() {
+	r := s.reg
+	s.m.requests = make(map[string]*obs.Counter, len(endpoints))
+	s.m.errors4xx = make(map[string]*obs.Counter, len(endpoints))
+	s.m.errors5xx = make(map[string]*obs.Counter, len(endpoints))
+	for _, ep := range endpoints {
+		s.m.requests[ep] = r.Counter("fixserve_requests_total",
+			"HTTP requests served, by endpoint.", obs.Labels("endpoint", ep))
+		s.m.errors4xx[ep] = r.Counter("fixserve_errors_total",
+			"Error responses, by endpoint and status class.", obs.Labels("endpoint", ep, "class", "4xx"))
+		s.m.errors5xx[ep] = r.Counter("fixserve_errors_total",
+			"Error responses, by endpoint and status class.", obs.Labels("endpoint", ep, "class", "5xx"))
+	}
+	s.m.shed = r.Counter("fixserve_shed_total",
+		"Requests shed with 503 because MaxInFlight was reached.", "")
+	s.m.tuples = r.Counter("fixserve_tuples_total",
+		"Tuples processed by the repair endpoints.", "")
+	s.m.repaired = r.Counter("fixserve_tuples_repaired_total",
+		"Tuples changed by at least one rule.", "")
+	s.m.rulesFired = r.Counter("fixserve_rules_fired_total",
+		"Total rule applications (repair steps).", "")
+	s.m.oovCells = r.Counter("fixserve_oov_cells_total",
+		"Input cells outside the ruleset vocabulary (unrepairable).", "")
+	s.m.reloads = r.Counter("fixserve_reloads_total",
+		"Successful ruleset reloads.", "")
+	s.m.reloadFail = r.Counter("fixserve_reload_failures_total",
+		"Ruleset reloads rejected (load error or inconsistent rules).", "")
+	s.m.inflight = r.Gauge("fixserve_inflight_requests",
+		"Requests currently being served.", "")
+	s.m.version = r.Gauge("fixserve_ruleset_version",
+		"Monotonic version of the served ruleset; bumps on every reload.", "")
+	s.m.latency = r.Histogram("fixserve_request_duration_seconds",
+		"Request latency.", "", obs.DefaultLatencyBuckets())
+}
+
+// statusWriter records the response status so the middleware can classify
+// the outcome after the handler returns. Flush passes through so the CSV
+// streaming path keeps working behind the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// the CSV streaming handler needs for EnableFullDuplex.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// handlerFunc is a request handler bound to one engine snapshot: the
+// middleware loads the engine exactly once per request, so a concurrent
+// reload can never mix two ruleset versions inside one response.
+type handlerFunc func(http.ResponseWriter, *http.Request, *engine)
+
+// wrap is the middleware every route passes through: request counting and
+// latency, the ruleset-version response headers, the concurrency limiter
+// with load shedding (limited endpoints only), the request deadline, and
+// the body-size cap.
+func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.HandlerFunc {
+	reqs := s.m.requests[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			s.m.latency.Observe(time.Since(start).Seconds())
+			switch st := sw.status(); {
+			case st >= 500:
+				s.m.errors5xx[endpoint].Inc()
+			case st >= 400:
+				s.m.errors4xx[endpoint].Inc()
+			}
+		}()
+
+		eng := s.eng.Load()
+		sw.Header().Set(VersionHeader, strconv.FormatInt(eng.version, 10))
+		sw.Header().Set(HashHeader, eng.hash)
+
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.m.shed.Inc()
+				sw.Header().Set("Retry-After", "1")
+				s.writeError(sw, http.StatusServiceUnavailable, codeOverloaded,
+					"server at capacity, retry shortly")
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if r.Method == http.MethodPost {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(sw, r, eng)
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"fixrule/internal/repair"
+)
+
+// ErrNoLoader is returned by Reload when the server was built without a
+// Config.Loader.
+var ErrNoLoader = errors.New("server: no ruleset loader configured")
+
+// ReloadError wraps a reload failure with the stage it failed at, so the
+// HTTP layer (and fixserve's SIGHUP handler) can map it to a status
+// without parsing error text.
+type ReloadError struct {
+	// Stage is "load" (the loader failed; cause may reference server-side
+	// paths) or "consistency" (the new ruleset has conflicts).
+	Stage string
+	Err   error
+}
+
+func (e *ReloadError) Error() string { return "server: reload " + e.Stage + ": " + e.Err.Error() }
+func (e *ReloadError) Unwrap() error { return e.Err }
+
+// RulesetInfo describes the engine installed by a reload.
+type RulesetInfo struct {
+	Version int64  `json:"ruleset_version"`
+	Hash    string `json:"ruleset_hash"`
+	Rules   int    `json:"rules"`
+}
+
+// Reload fetches a fresh ruleset through the configured loader, verifies
+// its consistency (the precondition both repair algorithms need for
+// deterministic fixes), compiles a new repairer, and swaps it in
+// atomically. In-flight requests keep the engine they snapshotted and
+// finish on the old ruleset; the next request sees the new one. A failed
+// reload leaves the served ruleset untouched.
+func (s *Server) Reload() (RulesetInfo, error) {
+	if s.cfg.Loader == nil {
+		return RulesetInfo{}, ErrNoLoader
+	}
+	// Serialising reloads keeps version numbers 1:1 with loader calls.
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	rs, err := s.cfg.Loader()
+	if err != nil {
+		s.m.reloadFail.Inc()
+		return RulesetInfo{}, &ReloadError{Stage: "load", Err: err}
+	}
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		s.m.reloadFail.Inc()
+		return RulesetInfo{}, &ReloadError{Stage: "consistency", Err: err}
+	}
+	eng := newEngine(rep, s.eng.Load().version+1)
+	s.eng.Store(eng)
+	s.m.reloads.Inc()
+	s.m.version.Set(eng.version)
+	s.cfg.Logf("fixserve: reloaded ruleset: version %d, hash %s, %d rules",
+		eng.version, eng.hash, rs.Len())
+	return RulesetInfo{Version: eng.version, Hash: eng.hash, Rules: rs.Len()}, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *engine) {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	info, err := s.Reload()
+	if err != nil {
+		var re *ReloadError
+		switch {
+		case errors.Is(err, ErrNoLoader):
+			s.writeError(w, http.StatusNotImplemented, codeReloadDisabled,
+				"this server was started without a reloadable rule source")
+		case errors.As(err, &re) && re.Stage == "consistency":
+			// The conflict description names rules, never paths — the
+			// operator posting /reload needs it to fix the ruleset.
+			s.writeError(w, http.StatusUnprocessableEntity, codeInconsistent,
+				fmt.Sprintf("new ruleset rejected: %v", re.Err))
+		default:
+			// Loader errors may carry file paths; log the detail, return
+			// the code alone.
+			s.cfg.Logf("fixserve: reload failed: %v", err)
+			s.writeError(w, http.StatusInternalServerError, codeReloadFailed,
+				"reloading the ruleset failed; see server log")
+		}
+		return
+	}
+	writeJSON(w, info)
+}

@@ -2,93 +2,219 @@
 // shape the paper's data-monitoring scenario calls for: incoming tuples are
 // repaired on the wire, with no user in the loop. Standard library only.
 //
+// The server is built to be operated, not just run: every request passes
+// through a middleware that records metrics into an internal/obs registry,
+// repair endpoints sit behind a semaphore that sheds load with 503 +
+// Retry-After, request bodies are capped, per-request deadlines propagate
+// into streaming repairs, and the whole ruleset can be swapped atomically
+// while traffic flows (POST /reload, or SIGHUP via fixserve). Errors reach
+// clients as a JSON envelope with stable codes, never raw internal error
+// strings.
+//
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition
+//	GET  /stats        service counters, latency quantiles, ruleset version
 //	GET  /rules        the ruleset, as DSL (default) or JSON (?format=json)
 //	GET  /rules/stats  rule-count / size / per-target statistics
 //	POST /repair       JSON {"tuples": [[...], ...]} → repaired tuples + steps
 //	POST /repair/csv   CSV stream in (header must match schema), CSV out
 //	POST /explain      JSON {"tuple": [...]} → repair provenance
+//	POST /reload       reload the ruleset through the configured loader
 package server
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"fixrule/internal/core"
+	"fixrule/internal/obs"
 	"fixrule/internal/repair"
 	"fixrule/internal/ruleio"
 	"fixrule/internal/schema"
 )
 
-// Server handles repair requests against one fixed, consistent ruleset.
-type Server struct {
-	rep *repair.Repairer
-	mux *http.ServeMux
+// Response headers naming the ruleset a request was served with; under hot
+// reload they let a client attribute every response to exactly one ruleset
+// version.
+const (
+	VersionHeader = "X-Fixserve-Ruleset-Version"
+	HashHeader    = "X-Fixserve-Ruleset-Hash"
+)
+
+// Config tunes the service's operational limits. The zero value selects
+// production-safe defaults.
+type Config struct {
+	// MaxBodyBytes caps POST bodies (http.MaxBytesReader); <= 0 selects
+	// 32 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently served repair requests; excess
+	// requests are shed with 503 + Retry-After. <= 0 selects 64.
+	MaxInFlight int
+	// RequestTimeout bounds each repair request, propagated via context
+	// into streaming repair; <= 0 selects 60s.
+	RequestTimeout time.Duration
+	// Loader supplies a fresh ruleset for POST /reload (and SIGHUP in
+	// fixserve). nil disables reloading.
+	Loader func() (*core.Ruleset, error)
+	// Registry receives the service metrics; nil allocates a private one.
+	Registry *obs.Registry
+	// Logf logs operational events (reload outcomes); nil selects
+	// log.Printf.
+	Logf func(format string, args ...any)
 }
 
-// New builds the HTTP handler for a repairer.
-func New(rep *repair.Repairer) *Server {
-	s := &Server{rep: rep, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/rules", s.handleRules)
-	s.mux.HandleFunc("/rules/stats", s.handleStats)
-	s.mux.HandleFunc("/repair", s.handleRepair)
-	s.mux.HandleFunc("/repair/csv", s.handleRepairCSV)
-	s.mux.HandleFunc("/explain", s.handleExplain)
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// engine is one immutable (repairer, version) pair. Handlers snapshot the
+// engine once per request, so a concurrent reload never mixes rulesets
+// within a response.
+type engine struct {
+	rep      *repair.Repairer
+	version  int64
+	hash     string
+	loadedAt time.Time
+}
+
+func newEngine(rep *repair.Repairer, version int64) *engine {
+	return &engine{rep: rep, version: version, hash: RulesetHash(rep.Ruleset()), loadedAt: time.Now()}
+}
+
+// RulesetHash fingerprints a ruleset: the first 12 hex digits of the
+// SHA-256 of its canonical DSL form. Stable across processes, so two
+// replicas serving the same rules report the same hash.
+func RulesetHash(rs *core.Ruleset) string {
+	sum := sha256.Sum256([]byte(ruleio.Format(rs)))
+	return hex.EncodeToString(sum[:6])
+}
+
+// Server handles repair requests against an atomically swappable ruleset.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	eng      atomic.Pointer[engine]
+	sem      chan struct{}
+	reloadMu sync.Mutex // serialises reloads; version increments 1:1 with loader calls
+	reg      *obs.Registry
+	m        metrics
+}
+
+// New builds the HTTP handler for a repairer with default limits and no
+// reload loader.
+func New(rep *repair.Repairer) *Server { return NewWithConfig(rep, Config{}) }
+
+// NewWithConfig builds the HTTP handler with explicit operational limits.
+func NewWithConfig(rep *repair.Repairer, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.MaxInFlight),
+		reg: cfg.Registry,
+	}
+	s.eng.Store(newEngine(rep, 1))
+	s.initMetrics()
+	s.m.version.Set(1)
+	s.mux.HandleFunc("/healthz", s.wrap("/healthz", false, s.handleHealth))
+	s.mux.HandleFunc("/metrics", s.wrap("/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("/stats", s.wrap("/stats", false, s.handleServerStats))
+	s.mux.HandleFunc("/rules", s.wrap("/rules", false, s.handleRules))
+	s.mux.HandleFunc("/rules/stats", s.wrap("/rules/stats", false, s.handleStats))
+	s.mux.HandleFunc("/repair", s.wrap("/repair", true, s.handleRepair))
+	s.mux.HandleFunc("/repair/csv", s.wrap("/repair/csv", true, s.handleRepairCSV))
+	s.mux.HandleFunc("/explain", s.wrap("/explain", true, s.handleExplain))
+	s.mux.HandleFunc("/reload", s.wrap("/reload", false, s.handleReload))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+// Registry returns the metrics registry the server records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Ruleset returns the currently served ruleset.
+func (s *Server) Ruleset() *core.Ruleset { return s.eng.Load().rep.Ruleset() }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request, _ *engine) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request, eng *engine) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	switch r.URL.Query().Get("format") {
 	case "", "dsl":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, ruleio.Format(s.rep.Ruleset()))
+		fmt.Fprint(w, ruleio.Format(eng.rep.Ruleset()))
 	case "json":
-		data, err := ruleio.MarshalJSON(s.rep.Ruleset())
+		data, err := ruleio.MarshalJSON(eng.rep.Ruleset())
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			// Marshalling a checked in-memory ruleset failing is a server
+			// bug; the detail belongs in the log, not the response.
+			s.cfg.Logf("fixserve: /rules marshal: %v", err)
+			s.writeError(w, http.StatusInternalServerError, codeInternal, "failed to encode ruleset")
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	default:
-		http.Error(w, "unknown format (want dsl or json)", http.StatusBadRequest)
+		s.writeError(w, http.StatusBadRequest, codeBadFormat, "unknown format (want dsl or json)")
 	}
 }
 
 // statsResponse is the /rules/stats payload.
 type statsResponse struct {
 	Schema    string         `json:"schema"`
+	Version   int64          `json:"ruleset_version"`
+	Hash      string         `json:"ruleset_hash"`
 	Rules     int            `json:"rules"`
 	Size      int            `json:"size"`
 	PerTarget map[string]int `json:"per_target"`
 	Negatives int            `json:"negative_patterns"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, eng *engine) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	rs := s.rep.Ruleset()
+	rs := eng.rep.Ruleset()
 	resp := statsResponse{
 		Schema:    rs.Schema().String(),
+		Version:   eng.version,
+		Hash:      eng.hash,
 		Rules:     rs.Len(),
 		Size:      rs.Size(),
 		PerTarget: make(map[string]int),
@@ -125,61 +251,86 @@ type repairResponse struct {
 	Changed  int             `json:"changed"`
 }
 
-func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engine) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req repairRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.badBody(w, err)
 		return
 	}
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
-	arity := s.rep.Ruleset().Schema().Arity()
+	arity := eng.rep.Ruleset().Schema().Arity()
+	ctx := r.Context()
+	var steps, oov int
 	resp := repairResponse{Repaired: make([]repairedTuple, 0, len(req.Tuples))}
 	for i, vals := range req.Tuples {
-		if len(vals) != arity {
-			http.Error(w, fmt.Sprintf("tuple %d has %d values, schema needs %d", i, len(vals), arity),
-				http.StatusBadRequest)
+		if i&63 == 0 && ctx.Err() != nil {
+			s.writeError(w, http.StatusRequestTimeout, codeTimeout,
+				fmt.Sprintf("deadline exceeded after %d tuples", i))
 			return
 		}
-		fixed, steps := s.rep.RepairTuple(schema.Tuple(vals), alg)
+		if len(vals) != arity {
+			s.writeError(w, http.StatusBadRequest, codeArityMismatch,
+				fmt.Sprintf("tuple %d has %d values, schema needs %d", i, len(vals), arity))
+			return
+		}
+		oov += eng.rep.OOVCells(schema.Tuple(vals))
+		fixed, applied := eng.rep.RepairTuple(schema.Tuple(vals), alg)
 		rt := repairedTuple{Tuple: fixed}
-		for _, st := range steps {
+		for _, st := range applied {
 			rt.Steps = append(rt.Steps, stepRecord{
 				Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
 			})
 		}
-		if len(steps) > 0 {
+		if len(applied) > 0 {
 			resp.Changed++
 		}
+		steps += len(applied)
 		resp.Repaired = append(resp.Repaired, rt)
 	}
+	s.m.tuples.Add(int64(len(req.Tuples)))
+	s.m.repaired.Add(int64(resp.Changed))
+	s.m.rulesFired.Add(int64(steps))
+	s.m.oovCells.Add(int64(oov))
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *engine) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	alg, err := parseAlgorithm(r.URL.Query().Get("algorithm"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
+	// The handler interleaves reads of the request body with writes of the
+	// response; without full duplex, HTTP/1.1 closes the body once the
+	// response buffer first flushes (~4 KiB out) and every larger stream
+	// dies with "invalid Read on closed Body". Recorders and HTTP/2 may
+	// not support the control; both already allow concurrent read/write.
+	_ = http.NewResponseController(w).EnableFullDuplex()
 	w.Header().Set("Content-Type", "text/csv")
-	if _, err := s.rep.StreamCSV(r.Body, w, alg); err != nil {
-		// The response may be partially written; the error text still
-		// reaches the client as the final body content.
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	stats, err := eng.rep.StreamCSVContext(r.Context(), r.Body, w, alg)
+	if err != nil {
+		// The stream may be partially flushed; in that case the envelope
+		// still reaches the client as trailing body content, which is the
+		// best HTTP can do mid-stream.
+		s.streamError(w, err)
 		return
 	}
+	s.m.tuples.Add(int64(stats.Rows))
+	s.m.repaired.Add(int64(stats.Repaired))
+	s.m.rulesFired.Add(int64(stats.Steps))
+	s.m.oovCells.Add(int64(stats.OOV))
 }
 
 // explainRequest is the /explain request body.
@@ -196,26 +347,26 @@ type explainResponse struct {
 	Text    string       `json:"text"`
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, eng *engine) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.badBody(w, err)
 		return
 	}
-	if len(req.Tuple) != s.rep.Ruleset().Schema().Arity() {
-		http.Error(w, "tuple arity mismatch", http.StatusBadRequest)
+	if len(req.Tuple) != eng.rep.Ruleset().Schema().Arity() {
+		s.writeError(w, http.StatusBadRequest, codeArityMismatch, "tuple arity mismatch")
 		return
 	}
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
-	e := s.rep.Explain(schema.Tuple(req.Tuple), alg)
+	e := eng.rep.Explain(schema.Tuple(req.Tuple), alg)
 	resp := explainResponse{
 		Input: e.Input, Output: e.Output, Assured: e.Assured, Text: e.String(),
 	}
@@ -224,7 +375,45 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
 		})
 	}
+	s.m.tuples.Add(1)
+	if len(e.Steps) > 0 {
+		s.m.repaired.Add(1)
+	}
+	s.m.rulesFired.Add(int64(len(e.Steps)))
+	s.m.oovCells.Add(int64(eng.rep.OOVCells(schema.Tuple(req.Tuple))))
 	writeJSON(w, resp)
+}
+
+// badBody maps a request-body decode failure to the envelope: an
+// over-limit body is 413, anything else is the client's own malformed
+// JSON, safe to echo.
+func (s *Server) badBody(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, codeBadJSON, "bad request: "+err.Error())
+}
+
+// streamError maps a StreamCSVContext failure to the envelope.
+func (s *Server) streamError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		s.writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusRequestTimeout, codeTimeout, "repair deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client went away; status is moot but record a 4xx, not a 5xx.
+		s.writeError(w, 499, codeCanceled, "request cancelled")
+	default:
+		// Stream errors describe the client's own CSV (bad header, quoting,
+		// arity); no internal state to leak.
+		s.writeError(w, http.StatusBadRequest, codeBadStream, err.Error())
+	}
 }
 
 func parseAlgorithm(name string) (repair.Algorithm, error) {
