@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build test vet race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast clean
 
 # Repair-engine benchmarks (the compiled hot path); -count for benchstat.
-BENCH_REPAIR = -run '^$$' -bench 'Fig13Repair|RepairSingleTuple|CodedRepairTuple' -benchmem -count 6 .
+BENCH_REPAIR = -run '^$$' -bench 'Fig13Repair|RepairSingleTuple|CodedRepairTuple|StreamRepair' -benchmem -count 6 .
 
 all: build vet test
 

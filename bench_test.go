@@ -7,6 +7,8 @@ package fixrule
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"testing"
 
 	"fixrule/internal/consistency"
@@ -252,6 +254,34 @@ func BenchmarkCodedRepairTuple(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			row = rep.EncodeTuple(src, row)
 			applied = rep.RepairEncoded(row, repair.Linear, applied)
+		}
+	})
+}
+
+// BenchmarkStreamRepairHosp measures the streaming repair paths over the
+// dirty hosp relation rendered as CSV: the sequential loop and the
+// pipelined parallel engine (workers = GOMAXPROCS). On a multi-core host
+// the parallel rows should track core count; on one core they should tie.
+func BenchmarkStreamRepairHosp(b *testing.B) {
+	w := loadHosp(b)
+	rep := repair.NewRepairer(w.rules)
+	var csvIn bytes.Buffer
+	if err := schema.WriteCSV(&csvIn, w.dirty); err != nil {
+		b.Fatal(err)
+	}
+	in := csvIn.Bytes()
+	b.Run("lRepair/stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.StreamCSV(bytes.NewReader(in), io.Discard, repair.Linear); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lRepair/stream-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.StreamCSVParallel(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

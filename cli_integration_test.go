@@ -114,6 +114,29 @@ RULE phi3
 	if string(got2) != string(got) {
 		t.Error("streamed output differs from batch output")
 	}
+
+	// 6. Parallel stream mode (-workers routes into the pipelined engine)
+	// produces byte-identical output again.
+	streamedPar := filepath.Join(dir, "travel.streamed-par.csv")
+	out = run("fixrepair", "-rules", fixed, "-data", data, "-stream", "-workers", "2", "-out", streamedPar)
+	if !strings.Contains(out, "streamed 3 rows") {
+		t.Fatalf("parallel stream output:\n%s", out)
+	}
+	got3, err := os.ReadFile(streamedPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got3) != string(got) {
+		t.Error("parallel streamed output differs from batch output")
+	}
+
+	// 7. -workers is rejected in modes that cannot use it.
+	if out, err := exec.Command(bin["fixrepair"], "-rules", fixed, "-data", data,
+		"-explain", "2", "-workers", "4").CombinedOutput(); err == nil {
+		t.Fatalf("-explain -workers 4 should fail, got:\n%s", out)
+	} else if !strings.Contains(string(out), "-workers") {
+		t.Fatalf("-explain -workers error should mention -workers:\n%s", out)
+	}
 }
 
 // TestFixserveLifecycle drives the real fixserve binary end to end:

@@ -8,6 +8,7 @@
 //	fixrepair -rules rules.dsl -data dirty.csv -alg chase
 //	fixrepair -rules rules.dsl -data dirty.csv -explain 2       # provenance of row 2
 //	fixrepair -rules rules.dsl -data big.csv -stream -out fixed.csv
+//	fixrepair -rules rules.dsl -data big.csv -stream -workers 8 -out fixed.csv
 //	fixrepair -revert repairs.csv -data repaired.csv -out restored.csv
 //
 // The data file's header (or frel schema) must match the rule schema.
@@ -17,10 +18,12 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,6 +54,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *revert != "" {
+		if *workers > 1 {
+			fmt.Fprintln(os.Stderr, "fixrepair: -workers does not apply to -revert (log replay is inherently ordered)")
+			os.Exit(2)
+		}
 		if err := runRevert(*revert, *dataPath, *outPath); err != nil {
 			fmt.Fprintln(os.Stderr, "fixrepair:", err)
 			os.Exit(1)
@@ -96,11 +103,24 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		if err != nil {
 			return err
 		}
+		// Resolve the worker count the same way the repair engine would, so
+		// the summary line can report what actually ran; exactly one worker
+		// takes the sequential loop (no pipeline overhead to pay).
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
 		start := time.Now()
 		var stats *fixrule.StreamStats
-		if strings.HasSuffix(dataPath, ".frel") && strings.HasSuffix(outPath, ".frel") {
+		frel := strings.HasSuffix(dataPath, ".frel") && strings.HasSuffix(outPath, ".frel")
+		switch {
+		case frel && w > 1:
+			stats, err = rep.StreamFrelParallel(context.Background(), in, out, algorithm, w)
+		case frel:
 			stats, err = rep.StreamFrel(in, out, algorithm)
-		} else {
+		case w > 1:
+			stats, err = rep.StreamCSVParallel(context.Background(), in, out, algorithm, w)
+		default:
 			stats, err = rep.StreamCSV(in, out, algorithm)
 		}
 		if err != nil {
@@ -122,6 +142,9 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 	}
 
 	if explain >= 0 {
+		if workers > 1 {
+			return fmt.Errorf("-workers does not apply to -explain (provenance traces one row)")
+		}
 		if explain >= rel.Len() {
 			return fmt.Errorf("-explain row %d out of range (%d rows)", explain, rel.Len())
 		}

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,12 +50,13 @@ import (
 
 func main() {
 	var (
-		rulesPath    = flag.String("rules", "", "rule file (DSL, or JSON when *.json); re-read on reload")
-		addr         = flag.String("addr", ":8080", "listen address")
-		maxBody      = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
-		maxInFlight  = flag.Int("max-inflight", 64, "concurrent repair requests before shedding with 503")
-		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request repair deadline")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
+		rulesPath     = flag.String("rules", "", "rule file (DSL, or JSON when *.json); re-read on reload")
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxBody       = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+		maxInFlight   = flag.Int("max-inflight", 64, "concurrent repair requests before shedding with 503")
+		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request repair deadline")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
+		streamWorkers = flag.Int("stream-workers", 1, "workers for /repair/csv streaming (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -62,10 +64,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	workers := *streamWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	cfg := server.Config{
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
+		StreamWorkers:  workers,
 		Loader:         func() (*core.Ruleset, error) { return ruleio.LoadFile(*rulesPath) },
 	}
 	if err := run(*rulesPath, *addr, cfg, *drainTimeout); err != nil {

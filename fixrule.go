@@ -207,6 +207,13 @@ type Explanation = repair.Explanation
 // StreamStats summarises a Repairer.StreamCSV run.
 type StreamStats = repair.StreamStats
 
+// StreamOptions tunes the parallel streaming repairs
+// (Repairer.StreamCSVParallelOpts / StreamFrelParallelOpts): worker count,
+// rows per pipeline chunk, and optional occupancy gauges. The parallel
+// streams produce byte-identical output and identical StreamStats to their
+// sequential counterparts at any worker count.
+type StreamOptions = repair.ParallelOptions
+
 // ParseFD reads an FD in the notation "A, B -> C, D".
 func ParseFD(sch *Schema, s string) (*FD, error) { return fd.Parse(sch, s) }
 

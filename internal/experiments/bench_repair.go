@@ -1,13 +1,18 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"fixrule/internal/repair"
 	"fixrule/internal/rulegen"
+	"fixrule/internal/schema"
 )
 
 // RepairBench records one measured repair configuration for
@@ -21,6 +26,10 @@ type RepairBench struct {
 	TuplesPerSec float64 `json:"tuples_per_sec"`
 	NsPerTuple   float64 `json:"ns_per_tuple"`
 	Steps        int     `json:"steps"`
+	// Procs records GOMAXPROCS at measurement time: the parallel rows are
+	// only meaningful relative to it (on a single-core host parallel ≈
+	// sequential by design).
+	Procs int `json:"gomaxprocs"`
 }
 
 // benchReps times enough whole-relation repairs to exceed a fixed wall
@@ -42,8 +51,9 @@ func benchReps(budget time.Duration, run func()) time.Duration {
 }
 
 // BenchRepair measures whole-relation repair throughput on the named
-// dataset with its default workload and returns one record per algorithm
-// (cRepair, lRepair, and lRepair with the parallel driver).
+// dataset with its default workload and returns one record per
+// configuration: cRepair, lRepair, lRepair with the parallel driver, and
+// the sequential and parallel CSV streaming paths.
 func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 	w, err := makeWorkload(cfg, ds, 0.5)
 	if err != nil {
@@ -58,8 +68,17 @@ func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 	n := w.dirty.Len()
 	steps := rep.RepairRelation(w.dirty, repair.Linear).Steps
 
+	// The streaming rows repair the same relation through the CSV codecs,
+	// so they carry parse + format cost on top of repair; rendered once,
+	// replayed from memory.
+	var csvIn bytes.Buffer
+	if err := schema.WriteCSV(&csvIn, w.dirty); err != nil {
+		return nil, err
+	}
+	in := csvIn.Bytes()
+
 	const budget = 2 * time.Second
-	out := make([]RepairBench, 0, 3)
+	out := make([]RepairBench, 0, 5)
 	for _, m := range []struct {
 		name string
 		run  func()
@@ -67,6 +86,16 @@ func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 		{"cRepair", func() { rep.RepairRelation(w.dirty, repair.Chase) }},
 		{"lRepair", func() { rep.RepairRelation(w.dirty, repair.Linear) }},
 		{"lRepair/parallel", func() { rep.RepairRelationParallel(w.dirty, repair.Linear, 0) }},
+		{"lRepair/stream", func() {
+			if _, err := rep.StreamCSV(bytes.NewReader(in), io.Discard, repair.Linear); err != nil {
+				panic(err)
+			}
+		}},
+		{"lRepair/stream-parallel", func() {
+			if _, err := rep.StreamCSVParallel(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear, 0); err != nil {
+				panic(err)
+			}
+		}},
 	} {
 		d := benchReps(budget, m.run)
 		out = append(out, RepairBench{
@@ -77,6 +106,7 @@ func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 			TuplesPerSec: float64(n) / d.Seconds(),
 			NsPerTuple:   float64(d.Nanoseconds()) / float64(n),
 			Steps:        steps,
+			Procs:        runtime.GOMAXPROCS(0),
 		})
 	}
 	return out, nil

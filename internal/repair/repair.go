@@ -21,7 +21,10 @@ package repair
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"fixrule/internal/consistency"
 	"fixrule/internal/core"
@@ -206,71 +209,136 @@ type rowStep struct {
 	pos int32 // rule position in Σ
 }
 
+// parallelChunk is the number of rows in one parallel work unit. Small
+// enough that skewed rows (a run of heavily-repaired tuples) spread over
+// many units instead of landing in one worker's stripe, large enough that
+// the atomic claim and the chunk-boundary cache-line sharing on the shared
+// rows/codes arrays are noise.
+const parallelChunk = 256
+
+// tupleArena batch-allocates the cloned rows a worker materialises: one
+// []string block per page instead of one allocation per repaired row.
+// Carved tuples are full-capacity slices, so appends can never bleed into a
+// neighbour.
+type tupleArena struct {
+	free []string
+}
+
+const arenaPageStrings = 4096
+
+func (a *tupleArena) clone(t schema.Tuple) schema.Tuple {
+	n := len(t)
+	if len(a.free) < n {
+		size := arenaPageStrings
+		if n > size {
+			size = n
+		}
+		a.free = make([]string, size)
+	}
+	out := schema.Tuple(a.free[:n:n])
+	a.free = a.free[n:]
+	copy(out, t)
+	return out
+}
+
+// parAccData is one worker's private accounting: OOV total, collected rule
+// applications, and the clone arena. Merged once after the pool drains.
+type parAccData struct {
+	oov   int
+	steps []rowStep
+	arena tupleArena
+}
+
+// parAcc pads the accumulator to a cache-line multiple so adjacent workers
+// indexing a shared accumulator slice never write the same line.
+type parAcc struct {
+	parAccData
+	_ [(128 - unsafe.Sizeof(parAccData{})%128) % 128]byte
+}
+
 // RepairRelationParallel is RepairRelation with a worker pool; tuples are
 // independent, so the result is identical. workers <= 0 selects GOMAXPROCS.
-// Each worker encodes, repairs and materialises its own contiguous stripe
-// of rows; the sequential tail only merges step accounting, so Changed,
-// Steps and PerRule match the sequential result exactly.
+//
+// Scheduling is work-stealing in spirit: rows are split into fixed
+// parallelChunk-sized units and workers claim the next unit with one atomic
+// add, so a skewed region (many repairs concentrated in few rows) is spread
+// across the pool instead of serialising one worker. Each worker encodes,
+// repairs and materialises the rows of its claimed units, accumulating OOV
+// counts and applied steps in a private padded accumulator and carving
+// changed-row clones from a private arena. The merge sorts the collected
+// steps by row (stable, so within-row application order survives), which
+// reproduces the sequential Changed / Steps / PerRule accounting exactly.
 func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := rel.Len()
+	nChunks := (n + parallelChunk - 1) / parallelChunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		// One worker (or a sub-chunk relation): the pool would only add
+		// goroutine and atomic overhead to the identical result.
+		return r.RepairRelation(rel, alg)
+	}
 	res := &Result{PerRule: make(map[string]int)}
 	rows := make([]schema.Tuple, n)
 	copy(rows, rel.Rows())
 	codes := r.getCodes(n)
 
-	chunk := (n + workers - 1) / workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	nChunks := (n + chunk - 1) / chunk
-	perChunk := make([][]rowStep, nChunks)
-	oovChunk := make([]int, nChunks)
-
+	accs := make([]parAcc, workers)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for ci := 0; ci < nChunks; ci++ {
-		lo, hi := ci*chunk, (ci+1)*chunk
-		if hi > n {
-			hi = n
-		}
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func(ci, lo, hi int) {
+		go func(acc *parAccData) {
 			defer wg.Done()
 			sc := r.getScratch()
-			r.c.encodeRows(rel, codes, lo, hi, sc)
-			var steps []rowStep
-			for i := lo; i < hi; i++ {
-				row := codes.Row(i)
-				oovChunk[ci] += r.c.countOOV(row)
-				cloned := false
-				for _, pos := range r.repairEncoded(row, sc, alg) {
-					if !cloned {
-						rows[i] = rel.Row(i).Clone()
-						cloned = true
+			for {
+				lo := int(cursor.Add(parallelChunk)) - parallelChunk
+				if lo >= n {
+					break
+				}
+				hi := lo + parallelChunk
+				if hi > n {
+					hi = n
+				}
+				r.c.encodeRows(rel, codes, lo, hi, sc)
+				for i := lo; i < hi; i++ {
+					row := codes.Row(i)
+					acc.oov += r.c.countOOV(row)
+					cloned := false
+					for _, pos := range r.repairEncoded(row, sc, alg) {
+						if !cloned {
+							rows[i] = acc.arena.clone(rel.Row(i))
+							cloned = true
+						}
+						rows[i][r.rules[pos].TargetIndex()] = r.rules[pos].Fact()
+						acc.steps = append(acc.steps, rowStep{row: int32(i), pos: pos})
 					}
-					rows[i][r.rules[pos].TargetIndex()] = r.rules[pos].Fact()
-					steps = append(steps, rowStep{row: int32(i), pos: pos})
 				}
 			}
 			r.putScratch(sc)
-			perChunk[ci] = steps
-		}(ci, lo, hi)
+		}(&accs[wi].parAccData)
 	}
 	wg.Wait()
 	r.putCodes(codes)
 
-	for _, o := range oovChunk {
-		res.OOV += o
+	var all []rowStep
+	for wi := range accs {
+		res.OOV += accs[wi].oov
+		all = append(all, accs[wi].steps...)
 	}
-	for _, steps := range perChunk {
-		for _, s := range steps {
-			rule := r.rules[s.pos]
-			res.Steps++
-			res.PerRule[rule.Name()]++
-			res.Changed = append(res.Changed, schema.Cell{Row: int(s.row), Attr: rule.Target()})
-		}
+	// Each worker's steps are already row-ordered (chunks are claimed in
+	// ascending order); the stable sort interleaves the workers back into
+	// global row order while preserving within-row application order.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].row < all[j].row })
+	for _, s := range all {
+		rule := r.rules[s.pos]
+		res.Steps++
+		res.PerRule[rule.Name()]++
+		res.Changed = append(res.Changed, schema.Cell{Row: int(s.row), Attr: rule.Target()})
 	}
 	res.Relation = schema.FromRows(rel.Schema(), rows)
 	return res

@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/csv"
 	"fmt"
@@ -61,24 +63,50 @@ func (rp *Repairer) StreamCSV(r io.Reader, w io.Writer, alg Algorithm) (*StreamS
 // extra work.
 const ctxCheckMask = 63
 
+// utf8BOM is the UTF-8 byte-order mark many spreadsheet exports prepend.
+// Left in place it glues onto the first header field and fails the header
+// check with a confusing "field 0" error, so the CSV stream openers strip
+// it before validation.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// openCSVStream strips an optional leading UTF-8 BOM, builds the CSV
+// reader, and validates the header against the repairer's schema. Both the
+// sequential and the parallel CSV streams start here so they reject (and
+// accept) exactly the same inputs.
+func (rp *Repairer) openCSVStream(r io.Reader) (*csv.Reader, []string, error) {
+	sch := rp.rs.Schema()
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(len(utf8BOM)); err == nil && bytes.Equal(lead, utf8BOM) {
+		br.Discard(len(utf8BOM))
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = sch.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("repair: stream header: %w", err)
+	}
+	for i, a := range sch.Attrs() {
+		if header[i] != a {
+			return nil, nil, fmt.Errorf("repair: stream header field %d is %q, want %q", i, header[i], a)
+		}
+	}
+	return cr, header, nil
+}
+
 // StreamCSVContext is StreamCSV bounded by a context: when ctx is
 // cancelled or its deadline passes, the stream stops between rows and the
 // cause is returned (errors.Is-compatible with context.DeadlineExceeded /
 // context.Canceled). The server uses this to propagate per-request
 // deadlines into long uploads.
 func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
-	sch := rp.rs.Schema()
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = sch.Arity()
-	header, err := cr.Read()
+	cr, header, err := rp.openCSVStream(r)
 	if err != nil {
-		return nil, fmt.Errorf("repair: stream header: %w", err)
+		return nil, err
 	}
-	for i, a := range sch.Attrs() {
-		if header[i] != a {
-			return nil, fmt.Errorf("repair: stream header field %d is %q, want %q", i, header[i], a)
-		}
-	}
+	// Each record is fully consumed — repaired in place and written — before
+	// the next Read, so the reader can safely reuse its record slice and the
+	// loop allocates only the per-record field backing.
+	cr.ReuseRecord = true
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
 		return nil, err
@@ -116,15 +144,33 @@ func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writ
 // rows are scanned from r, repaired, and written to w, in constant memory.
 // The stream's schema must match the repairer's.
 func (rp *Repairer) StreamFrel(r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	return rp.StreamFrelContext(context.Background(), r, w, alg)
+}
+
+// openFrelStream validates an frel stream's schema against the repairer's
+// and opens the matching writer; shared by the sequential and parallel
+// frel streams.
+func (rp *Repairer) openFrelStream(r io.Reader, w io.Writer) (*store.Scanner, *store.Writer, error) {
 	sc, err := store.NewScanner(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !sc.Schema().Equal(rp.rs.Schema()) {
-		return nil, fmt.Errorf("repair: frel schema %s does not match rule schema %s",
+		return nil, nil, fmt.Errorf("repair: frel schema %s does not match rule schema %s",
 			sc.Schema(), rp.rs.Schema())
 	}
 	sw, err := store.NewWriter(w, sc.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc, sw, nil
+}
+
+// StreamFrelContext is StreamFrel bounded by a context, polled every
+// ctxCheckMask+1 rows exactly like StreamCSVContext — server deadlines
+// protect binary uploads the same way they protect CSV ones.
+func (rp *Repairer) StreamFrelContext(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	sc, sw, err := rp.openFrelStream(r, w)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +178,11 @@ func (rp *Repairer) StreamFrel(r io.Reader, w io.Writer, alg Algorithm) (*Stream
 	scr := rp.getScratch()
 	defer rp.putScratch(scr)
 	for sc.Next() {
+		if stats.Rows&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("repair: stream cancelled at row %d: %w", stats.Rows, err)
+			}
+		}
 		tup := sc.Tuple()
 		rp.repairInPlace(tup, alg, scr, stats)
 		if err := sw.Append(tup); err != nil {

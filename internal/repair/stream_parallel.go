@@ -1,0 +1,309 @@
+package repair
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"fixrule/internal/schema"
+)
+
+// This file is the pipelined parallel streaming engine: a reader goroutine
+// batches incoming rows into bounded chunks, a worker pool repairs each
+// chunk with per-worker scratch and statistics, and a re-sequencing writer
+// emits chunks in input order. The output bytes and the StreamStats are
+// identical to the sequential stream — ordering is restored before any row
+// is written, and every statistic is an order-independent sum — while
+// memory stays constant: the chunk buffers form a fixed-size pool, so at
+// most poolSize chunks of rows exist at any moment regardless of input
+// length.
+
+// defaultStreamChunkRows is the pipeline work unit: large enough that
+// channel handoffs amortise to nothing against the per-row repair cost,
+// small enough that the re-sequencing window holds only a few MB even with
+// wide rows.
+const defaultStreamChunkRows = 512
+
+// gaugeAdd is the hook the pipeline reports occupancy through; *obs.Gauge
+// satisfies it without this package importing the metrics layer.
+type gaugeAdd interface{ Add(int64) }
+
+// ParallelOptions tunes a parallel streaming repair.
+type ParallelOptions struct {
+	// Workers is the repair worker count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ChunkRows is the number of rows per pipeline work unit; <= 0 selects
+	// defaultStreamChunkRows.
+	ChunkRows int
+	// QueueDepth, when non-nil, receives +1 when a chunk is queued for
+	// repair and -1 when a worker picks it up (e.g. an *obs.Gauge).
+	QueueDepth gaugeAdd
+	// BusyWorkers, when non-nil, receives +1 when a worker starts repairing
+	// a chunk and -1 when it finishes.
+	BusyWorkers gaugeAdd
+}
+
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkRows <= 0 {
+		o.ChunkRows = defaultStreamChunkRows
+	}
+	return o
+}
+
+// streamChunk is one pipeline work unit. The rows slice is reused across
+// refills; the tuples it holds are owned by the chunk from read to write.
+type streamChunk struct {
+	seq  int64
+	rows []schema.Tuple
+}
+
+// streamAccData is one worker's private share of the final StreamStats.
+// perRule is indexed by rule position and folded into the name-keyed map
+// once at the end, so workers never touch a map or a lock.
+type streamAccData struct {
+	repaired int
+	steps    int
+	oov      int
+	perRule  []int32
+}
+
+// streamAcc pads the accumulator so workers writing adjacent slice entries
+// never share a cache line.
+type streamAcc struct {
+	streamAccData
+	_ [64]byte
+}
+
+// streamParallel runs the pipeline over an abstract row source and sink.
+// read returns io.EOF at end of input; write must tolerate being called
+// only from the single re-sequencing goroutine (the caller's).
+func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tuple, error), write func(schema.Tuple) error, alg Algorithm, opts ParallelOptions) (*StreamStats, error) {
+	opts = opts.withDefaults()
+	workers, chunkRows := opts.Workers, opts.ChunkRows
+
+	// The fixed chunk pool bounds memory: every chunk is always in exactly
+	// one place (recycle, work, a worker, done, or the writer's pending
+	// window), so poolSize chunks of chunkRows rows is the high-water mark.
+	poolSize := 2*workers + 2
+	recycle := make(chan *streamChunk, poolSize)
+	for i := 0; i < poolSize; i++ {
+		recycle <- &streamChunk{rows: make([]schema.Tuple, 0, chunkRows)}
+	}
+	work := make(chan *streamChunk, poolSize)
+	done := make(chan *streamChunk, poolSize)
+
+	// readErr and rowsRead are written by the reader goroutine only; the
+	// close(work) → workers drain → close(done) → writer-loop-exit chain
+	// orders those writes before the caller reads them below.
+	var readErr error
+	rowsRead := 0
+	go func() {
+		defer close(work)
+		seq := int64(0)
+		for readErr == nil {
+			cb := <-recycle
+			cb.rows = cb.rows[:0]
+			for len(cb.rows) < chunkRows {
+				if rowsRead&ctxCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						readErr = fmt.Errorf("repair: stream cancelled at row %d: %w", rowsRead, err)
+						break
+					}
+				}
+				t, err := read()
+				if err == io.EOF {
+					readErr = io.EOF
+					break
+				}
+				if err != nil {
+					readErr = fmt.Errorf("repair: stream row %d: %w", rowsRead+1, err)
+					break
+				}
+				cb.rows = append(cb.rows, t)
+				rowsRead++
+			}
+			if len(cb.rows) == 0 {
+				recycle <- cb
+				break
+			}
+			if opts.QueueDepth != nil {
+				opts.QueueDepth.Add(1)
+			}
+			cb.seq = seq
+			seq++
+			work <- cb
+		}
+	}()
+
+	accs := make([]streamAcc, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(acc *streamAccData) {
+			defer wg.Done()
+			acc.perRule = make([]int32, len(rp.rules))
+			sc := rp.getScratch()
+			for cb := range work {
+				if opts.QueueDepth != nil {
+					opts.QueueDepth.Add(-1)
+				}
+				if opts.BusyWorkers != nil {
+					opts.BusyWorkers.Add(1)
+				}
+				for _, t := range cb.rows {
+					rp.c.encodeInto(t, sc.row)
+					acc.oov += rp.c.countOOV(sc.row)
+					applied := rp.repairEncoded(sc.row, sc, alg)
+					if len(applied) > 0 {
+						acc.repaired++
+						acc.steps += len(applied)
+						for _, pos := range applied {
+							rule := rp.rules[pos]
+							t[rule.TargetIndex()] = rule.Fact()
+							acc.perRule[pos]++
+						}
+					}
+				}
+				if opts.BusyWorkers != nil {
+					opts.BusyWorkers.Add(-1)
+				}
+				done <- cb
+			}
+			rp.putScratch(sc)
+		}(&accs[wi].streamAccData)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Re-sequencing writer, on the caller's goroutine: chunks complete out
+	// of order, but nothing is emitted until every earlier chunk has been.
+	// After the first write error the loop keeps draining (workers must
+	// never block on a full done channel) but discards rows.
+	var writeErr error
+	pending := make(map[int64]*streamChunk, poolSize)
+	next := int64(0)
+	for cb := range done {
+		pending[cb.seq] = cb
+		for {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if writeErr == nil {
+				for _, t := range c.rows {
+					if err := write(t); err != nil {
+						writeErr = err
+						break
+					}
+				}
+			}
+			for i := range c.rows {
+				c.rows[i] = nil // release tuple backing to the collector
+			}
+			recycle <- c // cap(recycle) == poolSize: never blocks
+		}
+	}
+
+	if readErr != nil && readErr != io.EOF {
+		return nil, readErr
+	}
+	if writeErr != nil {
+		return nil, writeErr
+	}
+	stats := &StreamStats{Rows: rowsRead, PerRule: make(map[string]int)}
+	total := make([]int64, len(rp.rules))
+	for wi := range accs {
+		stats.Repaired += accs[wi].repaired
+		stats.Steps += accs[wi].steps
+		stats.OOV += accs[wi].oov
+		for pos, n := range accs[wi].perRule {
+			total[pos] += int64(n)
+		}
+	}
+	for pos, n := range total {
+		if n > 0 {
+			stats.PerRule[rp.rules[pos].Name()] = int(n)
+		}
+	}
+	return stats, nil
+}
+
+// StreamCSVParallel is StreamCSVContext with the pipelined worker pool:
+// byte-for-byte the same output and the same StreamStats, at multi-core
+// throughput. workers <= 0 selects GOMAXPROCS.
+func (rp *Repairer) StreamCSVParallel(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm, workers int) (*StreamStats, error) {
+	return rp.StreamCSVParallelOpts(ctx, r, w, alg, ParallelOptions{Workers: workers})
+}
+
+// StreamCSVParallelOpts is StreamCSVParallel with full pipeline options
+// (chunk size, occupancy gauges).
+func (rp *Repairer) StreamCSVParallelOpts(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm, opts ParallelOptions) (*StreamStats, error) {
+	cr, header, err := rp.openCSVStream(r)
+	if err != nil {
+		return nil, err
+	}
+	// No ReuseRecord here: chunks own their rows until the writer emits
+	// them, so each record must keep its own slice.
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	read := func() (schema.Tuple, error) {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, err
+		}
+		return schema.Tuple(rec), nil
+	}
+	write := func(t schema.Tuple) error { return cw.Write(t) }
+	stats, err := rp.streamParallel(ctx, read, write, alg, opts)
+	if err != nil {
+		return nil, err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// StreamFrelParallel is StreamFrelContext with the pipelined worker pool.
+// workers <= 0 selects GOMAXPROCS.
+func (rp *Repairer) StreamFrelParallel(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm, workers int) (*StreamStats, error) {
+	return rp.StreamFrelParallelOpts(ctx, r, w, alg, ParallelOptions{Workers: workers})
+}
+
+// StreamFrelParallelOpts is StreamFrelParallel with full pipeline options.
+func (rp *Repairer) StreamFrelParallelOpts(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm, opts ParallelOptions) (*StreamStats, error) {
+	sc, sw, err := rp.openFrelStream(r, w)
+	if err != nil {
+		return nil, err
+	}
+	read := func() (schema.Tuple, error) {
+		if !sc.Next() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		return sc.Tuple(), nil
+	}
+	stats, err := rp.streamParallel(ctx, read, sw.Append, alg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}

@@ -13,19 +13,21 @@ import (
 // Everything is resolved to a pointer at construction, so serving a
 // request performs only atomic adds — no registry lookups, no locks.
 type metrics struct {
-	requests   map[string]*obs.Counter // per endpoint
-	errors4xx  map[string]*obs.Counter // per endpoint
-	errors5xx  map[string]*obs.Counter // per endpoint
-	shed       *obs.Counter
-	tuples     *obs.Counter
-	repaired   *obs.Counter
-	rulesFired *obs.Counter
-	oovCells   *obs.Counter
-	reloads    *obs.Counter
-	reloadFail *obs.Counter
-	inflight   *obs.Gauge
-	version    *obs.Gauge
-	latency    *obs.Histogram
+	requests    map[string]*obs.Counter // per endpoint
+	errors4xx   map[string]*obs.Counter // per endpoint
+	errors5xx   map[string]*obs.Counter // per endpoint
+	shed        *obs.Counter
+	tuples      *obs.Counter
+	repaired    *obs.Counter
+	rulesFired  *obs.Counter
+	oovCells    *obs.Counter
+	reloads     *obs.Counter
+	reloadFail  *obs.Counter
+	inflight    *obs.Gauge
+	version     *obs.Gauge
+	streamQueue *obs.Gauge
+	streamBusy  *obs.Gauge
+	latency     *obs.Histogram
 }
 
 // endpoints is the full routing surface; every metric family carrying an
@@ -66,6 +68,10 @@ func (s *Server) initMetrics() {
 		"Requests currently being served.", "")
 	s.m.version = r.Gauge("fixserve_ruleset_version",
 		"Monotonic version of the served ruleset; bumps on every reload.", "")
+	s.m.streamQueue = r.Gauge("fixserve_stream_queue_depth",
+		"Chunks read but not yet claimed by a parallel stream worker.", "")
+	s.m.streamBusy = r.Gauge("fixserve_stream_busy_workers",
+		"Parallel stream workers currently repairing a chunk.", "")
 	s.m.latency = r.Histogram("fixserve_request_duration_seconds",
 		"Request latency.", "", obs.DefaultLatencyBuckets())
 }

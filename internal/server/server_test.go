@@ -191,6 +191,74 @@ func TestRepairCSVEndpoint(t *testing.T) {
 	}
 }
 
+// TestRepairCSVEndpointParallel configures the handler with a parallel
+// stream worker pool and checks the response bytes and gauges: output must
+// be byte-identical to the sequential configuration, and the occupancy
+// gauges must read zero once the request completes.
+func TestRepairCSVEndpointParallel(t *testing.T) {
+	sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+	rs := core.MustRuleset(
+		core.MustNew("phi1", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+		core.MustNew("phi4", sch,
+			map[string]string{"capital": "Beijing", "conf": "ICDE"},
+			"city", []string{"Hongkong"}, "Shanghai"),
+	)
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvIn strings.Builder
+	csvIn.WriteString("name,country,capital,city,conf\n")
+	for i := 0; i < 2000; i++ {
+		csvIn.WriteString("Ian,China,Shanghai,Hongkong,ICDE\n")
+	}
+
+	seqSrv := httptest.NewServer(New(rep))
+	defer seqSrv.Close()
+	parSrv := httptest.NewServer(NewWithConfig(rep, Config{StreamWorkers: 3}))
+	defer parSrv.Close()
+
+	fetch := func(url string) string {
+		resp, err := http.Post(url+"/repair/csv", "text/csv", strings.NewReader(csvIn.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	seqBody, parBody := fetch(seqSrv.URL), fetch(parSrv.URL)
+	if seqBody != parBody {
+		t.Error("parallel /repair/csv body differs from sequential")
+	}
+	if !strings.Contains(parBody, "Ian,China,Beijing,Shanghai,ICDE") {
+		t.Errorf("parallel body lacks repaired row:\n%.200s", parBody)
+	}
+
+	// The stream gauges must exist in the exposition and be back to zero.
+	resp, err := http.Get(parSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"fixserve_stream_queue_depth 0",
+		"fixserve_stream_busy_workers 0",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
 func TestExplainEndpoint(t *testing.T) {
 	srv := testServer(t)
 	req := `{"tuple": ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]}`

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fixrule
+
+// raceEnabled reports whether this test binary was built with -race; see
+// race_guard_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fixrule
+
+// raceEnabled reports whether this test binary was built with -race, whose
+// instrumentation skews timing comparisons and allocation counts; tests
+// asserting either skip themselves when it is set.
+const raceEnabled = true
