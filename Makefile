@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast clean
+.PHONY: all build test vet lint race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast clean
 
 # Repair-engine benchmarks (the compiled hot path); -count for benchstat.
 BENCH_REPAIR = -run '^$$' -bench 'Fig13Repair|RepairSingleTuple|CodedRepairTuple|StreamRepair' -benchmem -count 6 .
@@ -14,6 +14,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (docs/ANALYSIS.md) plus formatting. fixvet
+# enforces the engine's hot-path, padding, cancellation, error-surface and
+# determinism invariants; gofmt must be a no-op outside the analyzer
+# fixtures (which deliberately hold unformatted want-comments).
+lint:
+	$(GO) run ./cmd/fixvet ./...
+	@fmt_out=$$(gofmt -l . | grep -v testdata || true); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

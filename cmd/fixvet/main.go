@@ -1,0 +1,134 @@
+// Command fixvet is the repo's static-analysis driver: it runs the five
+// engine-invariant analyzers (internal/analysis/...) over the given
+// packages and reports findings, the compile-time counterpart of the
+// paper's static Σ checks in cmd/rulecheck.
+//
+// Usage:
+//
+//	fixvet [-json] [packages...]
+//
+// With no packages, ./... is analysed. The exit status is 0 when every
+// check passes, 1 when any finding survives (findings can be acknowledged
+// in source with `//fix:allow <analyzer>: <reason>`), 2 on usage or load
+// errors.
+//
+// Analyzers:
+//
+//	hotpathalloc  //fix:hotpath functions (and intra-package callees) must not allocate
+//	atomicpad     //fix:padded structs must be cache-line padded and 32-bit atomic-safe
+//	ctxpoll       unbounded loops in context-carrying functions must poll the context
+//	errcode       HTTP responses carry registered error codes, never raw error text
+//	detrange      bare map iteration must not feed user-visible ordered output
+//
+// -json emits the shared diagnostic schema of internal/analysis/diag —
+// the same shape cmd/rulecheck -format json produces — so rule-level and
+// Go-level findings flow into one consumer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fixrule/internal/analysis"
+	"fixrule/internal/analysis/atomicpad"
+	"fixrule/internal/analysis/ctxpoll"
+	"fixrule/internal/analysis/detrange"
+	"fixrule/internal/analysis/diag"
+	"fixrule/internal/analysis/errcode"
+	"fixrule/internal/analysis/hotpathalloc"
+)
+
+var analyzers = []*analysis.Analyzer{
+	hotpathalloc.Analyzer,
+	atomicpad.Analyzer,
+	ctxpoll.Analyzer,
+	errcode.Analyzer,
+	detrange.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (internal/analysis/diag schema)")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fixvet [-json] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	code, err := run(patterns, *jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(patterns []string, jsonOut bool) (int, error) {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	cwd, _ := os.Getwd()
+	var found []diag.Diagnostic
+	for _, pkg := range pkgs {
+		results, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		for _, res := range results {
+			for _, d := range res.Diags {
+				pos := pkg.Fset.Position(d.Pos)
+				file := pos.Filename
+				if cwd != "" {
+					if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+						file = rel
+					}
+				}
+				found = append(found, diag.Diagnostic{
+					File:     file,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Severity: diag.SeverityError,
+					Analyzer: res.Analyzer.Name,
+					Code:     d.Code,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+
+	if jsonOut {
+		if err := diag.Write(os.Stdout, found); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range found {
+			fmt.Printf("%s:%d:%d: %s[%s]: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Code, d.Message)
+		}
+	}
+	if len(found) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "fixvet: %d finding(s)\n", len(found))
+		}
+		return 1, nil
+	}
+	return 0, nil
+}

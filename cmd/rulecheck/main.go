@@ -9,19 +9,28 @@
 //	rulecheck -rules rules.dsl -resolve trim     # trim negatives, print fixed set
 //	rulecheck -rules rules.dsl -resolve remove -out fixed.dsl
 //	rulecheck -rules rules.dsl -minimize         # also drop implied rules
+//	rulecheck -rules rules.dsl -format json      # machine-readable findings
 //
 // Rule files use the DSL (see README); files ending in .json use the JSON
 // encoding.
+//
+// -format json emits the shared diagnostic schema of
+// internal/analysis/diag — the same shape `fixvet -json` produces — so
+// rule-level findings (Σ inconsistency as errors, implied rules as
+// warnings) and Go-level static analysis flow into one consumer. In JSON
+// mode the exit status is 1 when unresolved conflicts remain, 0 otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"fixrule"
+	"fixrule/internal/analysis/diag"
 	"fixrule/internal/consistency"
 	"fixrule/internal/ruleio"
 )
@@ -33,6 +42,7 @@ func main() {
 		minimize  = flag.Bool("minimize", false, "drop implied (redundant) rules")
 		stats     = flag.Bool("stats", false, "print per-target and negative-pattern statistics")
 		out       = flag.String("out", "", "write the resulting ruleset to this file")
+		format    = flag.String("format", "text", "output format: text or json (internal/analysis/diag schema)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -40,36 +50,58 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*rulesPath, *resolve, *minimize, *stats, *out); err != nil {
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "rulecheck: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	code, err := run(*rulesPath, *resolve, *minimize, *stats, *out, *format == "json")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rulecheck:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(rulesPath, resolve string, minimize, stats bool, out string) error {
+func run(rulesPath, resolve string, minimize, stats bool, out string, jsonOut bool) (int, error) {
+	// In JSON mode stdout carries exactly one diag.Report; the usual
+	// narration goes to stderr.
+	msg := io.Writer(os.Stdout)
+	if jsonOut {
+		msg = os.Stderr
+	}
+	var findings []diag.Diagnostic
+
 	rs, err := ruleio.LoadFile(rulesPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	fmt.Printf("loaded %d rules over %s (size(Σ) = %d)\n", rs.Len(), rs.Schema(), rs.Size())
+	fmt.Fprintf(msg, "loaded %d rules over %s (size(Σ) = %d)\n", rs.Len(), rs.Schema(), rs.Size())
 	if stats {
-		printStats(rs)
+		printStats(msg, rs)
 	}
 
 	conflicts := fixrule.AllConflicts(rs)
 	if len(conflicts) == 0 {
-		fmt.Println("consistent: every tuple has a unique fix")
+		fmt.Fprintln(msg, "consistent: every tuple has a unique fix")
 	} else {
-		fmt.Printf("INCONSISTENT: %d conflicting pair(s)\n", len(conflicts))
+		fmt.Fprintf(msg, "INCONSISTENT: %d conflicting pair(s)\n", len(conflicts))
 		for _, c := range conflicts {
-			fmt.Println("  " + c.Error())
+			fmt.Fprintln(msg, "  "+c.Error())
+			findings = append(findings, diag.Diagnostic{
+				File:     rulesPath,
+				Severity: diag.SeverityError,
+				Analyzer: "rulecheck",
+				Code:     "inconsistent-pair",
+				Message:  c.Error(),
+			})
 		}
 	}
 
+	resolved := false
 	switch resolve {
 	case "":
 		if len(conflicts) > 0 && out != "" {
-			return fmt.Errorf("refusing to write an inconsistent ruleset; pass -resolve")
+			return 0, fmt.Errorf("refusing to write an inconsistent ruleset; pass -resolve")
 		}
 	case "trim", "remove", "mincover":
 		strategy := fixrule.TrimNegatives
@@ -81,50 +113,72 @@ func run(rulesPath, resolve string, minimize, stats bool, out string) error {
 		}
 		fixed, edited, err := fixrule.Resolve(rs, strategy)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if len(edited) > 0 {
-			fmt.Printf("resolved by editing/removing %d rule(s): %s\n",
+			fmt.Fprintf(msg, "resolved by editing/removing %d rule(s): %s\n",
 				len(edited), strings.Join(edited, ", "))
 		}
 		rs = fixed
+		resolved = true
 	case "interactive":
 		// The Section 5.1 workflow with the expert at the keyboard.
-		expert := &consistency.InteractiveResolver{In: os.Stdin, Out: os.Stdout}
+		expert := &consistency.InteractiveResolver{In: os.Stdin, Out: msg}
 		fixed, edits, err := consistency.Resolve(rs, expert, consistency.ByRule)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		fmt.Printf("resolved interactively with %d edit(s)\n", len(edits))
+		fmt.Fprintf(msg, "resolved interactively with %d edit(s)\n", len(edits))
 		rs = fixed
+		resolved = true
 	default:
-		return fmt.Errorf("unknown -resolve strategy %q (want trim, remove, mincover or interactive)", resolve)
+		return 0, fmt.Errorf("unknown -resolve strategy %q (want trim, remove, mincover or interactive)", resolve)
 	}
 
 	if minimize {
 		min, dropped, err := fixrule.Minimize(rs)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if len(dropped) > 0 {
-			fmt.Printf("minimised: dropped %d implied rule(s): %s\n",
+			fmt.Fprintf(msg, "minimised: dropped %d implied rule(s): %s\n",
 				len(dropped), strings.Join(dropped, ", "))
+			for _, name := range dropped {
+				findings = append(findings, diag.Diagnostic{
+					File:     rulesPath,
+					Severity: diag.SeverityWarning,
+					Analyzer: "rulecheck",
+					Code:     "implied-rule",
+					Message:  fmt.Sprintf("rule %s is implied by the rest of Σ and can be dropped (Section 4.3)", name),
+				})
+			}
 		} else {
-			fmt.Println("minimised: no implied rules")
+			fmt.Fprintln(msg, "minimised: no implied rules")
 		}
 		rs = min
 	}
 
 	if out != "" {
 		if err := ruleio.SaveFile(out, rs); err != nil {
-			return err
+			return 0, err
 		}
-		fmt.Printf("wrote %d rules to %s\n", rs.Len(), out)
+		fmt.Fprintf(msg, "wrote %d rules to %s\n", rs.Len(), out)
 	}
-	return nil
+
+	if jsonOut {
+		if err := diag.Write(os.Stdout, findings); err != nil {
+			return 0, err
+		}
+		// Unresolved conflicts fail the check, mirroring fixvet; implied
+		// rules are advisory and resolved conflicts were repaired above.
+		if len(conflicts) > 0 && !resolved {
+			return 1, nil
+		}
+	}
+	return 0, nil
 }
 
-func printStats(rs *fixrule.Ruleset) {
+func printStats(w io.Writer, rs *fixrule.Ruleset) {
 	perTarget := map[string]int{}
 	negTotal := 0
 	histogram := map[int]int{}
@@ -133,23 +187,23 @@ func printStats(rs *fixrule.Ruleset) {
 		negTotal += r.NegativeSize()
 		histogram[r.NegativeSize()]++
 	}
-	fmt.Printf("negative patterns: %d total across %d rules\n", negTotal, rs.Len())
+	fmt.Fprintf(w, "negative patterns: %d total across %d rules\n", negTotal, rs.Len())
 	targets := make([]string, 0, len(perTarget))
 	for a := range perTarget {
 		targets = append(targets, a)
 	}
 	sort.Strings(targets)
-	fmt.Println("rules per target attribute:")
+	fmt.Fprintln(w, "rules per target attribute:")
 	for _, a := range targets {
-		fmt.Printf("  %-16s %d\n", a, perTarget[a])
+		fmt.Fprintf(w, "  %-16s %d\n", a, perTarget[a])
 	}
 	sizes := make([]int, 0, len(histogram))
 	for n := range histogram {
 		sizes = append(sizes, n)
 	}
 	sort.Ints(sizes)
-	fmt.Println("rules by negative-pattern count:")
+	fmt.Fprintln(w, "rules by negative-pattern count:")
 	for _, n := range sizes {
-		fmt.Printf("  %3d negative(s): %d rule(s)\n", n, histogram[n])
+		fmt.Fprintf(w, "  %3d negative(s): %d rule(s)\n", n, histogram[n])
 	}
 }

@@ -1,0 +1,204 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// API surface (Analyzer, Pass, Diagnostic) on top of the standard
+// library's go/ast and go/types.
+//
+// The paper checks Σ's dependability properties — consistency, unique
+// fixes — statically, before any repair runs (Section 5, Theorem 1). This
+// package extends the same discipline to the Go engine itself: the
+// invariants the engine's speed and determinism rest on (the 0-alloc coded
+// hot path, cache-line padding of per-worker accumulators, bounded context
+// polling in row loops, stable HTTP error codes, deterministic ordered
+// output) are enforced at vet time by the analyzers in the subpackages,
+// driven by cmd/fixvet.
+//
+// Why not golang.org/x/tools? The root module is deliberately
+// dependency-free (see README), so the framework reproduces exactly the
+// slice of the x/tools API the five analyzers need, backed by a package
+// loader built on `go list -deps -json` and the standard type checker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Mirrors the x/tools type of the same
+// name so the analyzers could be ported to a multichecker built on
+// x/tools without modification.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //fix:allow
+	// suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is the analyzer's one-paragraph description.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for every file of the load.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and objects for every expression in Files.
+	TypesInfo *types.Info
+	// TypesSizes gives sizes/offsets under the build platform (gc/amd64).
+	TypesSizes types.Sizes
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos carrying the stable short
+// code (e.g. "fmt-call"), which clients key on like the server's error
+// codes: the message may change, the code must not.
+func (p *Pass) Reportf(pos token.Pos, code, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the load's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Code    string // stable machine-readable finding class
+	Message string
+}
+
+// allowDirective is the audited suppression marker: a finding on line N is
+// dropped when line N or N-1 carries a comment of the form
+//
+//	//fix:allow <analyzer>: <reason>
+//
+// The reason is mandatory — a suppression without one is itself reported —
+// so every silenced finding records why it is safe, in the source, where
+// review sees it.
+const allowDirective = "fix:allow"
+
+// suppression is one parsed //fix:allow directive.
+type suppression struct {
+	analyzer string
+	reason   string
+	line     int
+	file     string
+	pos      token.Pos
+}
+
+// collectSuppressions parses every //fix:allow directive in the files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var sups []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				name, reason, _ := strings.Cut(rest, ":")
+				pos := fset.Position(c.Pos())
+				sups = append(sups, suppression{
+					analyzer: strings.TrimSpace(name),
+					reason:   strings.TrimSpace(reason),
+					line:     pos.Line,
+					file:     pos.Filename,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// RunResult is one analyzer's findings for one package, after suppression
+// filtering.
+type RunResult struct {
+	Analyzer *Analyzer
+	Diags    []Diagnostic
+}
+
+// Run applies the analyzers to a loaded package and returns their
+// surviving diagnostics, sorted by position. //fix:allow directives are
+// honoured here; a directive missing its reason, or naming an unknown
+// analyzer, produces a framework diagnostic of its own so suppressions
+// cannot rot silently.
+func Run(pkg *Package, analyzers []*Analyzer) ([]RunResult, error) {
+	sups := collectSuppressions(pkg.Fset, pkg.Syntax)
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var results []RunResult
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypesSizes,
+			Report:     func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if !suppressed(pkg.Fset, d, a.Name, sups) {
+				kept = append(kept, d)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+		results = append(results, RunResult{Analyzer: a, Diags: kept})
+	}
+
+	// Malformed suppressions are findings too, attributed to a synthetic
+	// "framework" analyzer appended after the real ones.
+	var bad []Diagnostic
+	for _, s := range sups {
+		switch {
+		case s.analyzer == "" || s.reason == "":
+			bad = append(bad, Diagnostic{Pos: s.pos, Code: "bad-suppression",
+				Message: "malformed //fix:allow: want //fix:allow <analyzer>: <reason>"})
+		case !known[s.analyzer]:
+			bad = append(bad, Diagnostic{Pos: s.pos, Code: "unknown-analyzer",
+				Message: fmt.Sprintf("//fix:allow names unknown analyzer %q", s.analyzer)})
+		}
+	}
+	if len(bad) > 0 {
+		results = append(results, RunResult{Analyzer: Framework, Diags: bad})
+	}
+	return results, nil
+}
+
+// Framework attributes diagnostics about the analysis machinery itself
+// (malformed suppressions); it has no Run of its own.
+var Framework = &Analyzer{
+	Name: "fixvet",
+	Doc:  "diagnostics about the //fix: directives themselves",
+}
+
+// suppressed reports whether diagnostic d of the named analyzer is covered
+// by a //fix:allow on its line or the line above, in the same file.
+func suppressed(fset *token.FileSet, d Diagnostic, analyzer string, sups []suppression) bool {
+	if len(sups) == 0 {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, s := range sups {
+		if s.analyzer == analyzer && s.reason != "" && s.file == pos.Filename &&
+			(s.line == pos.Line || s.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// checks its diagnostics against `// want` expectations — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on the
+// repo's dependency-free framework.
+//
+// A fixture lives under internal/analysis/testdata/src/<name>/ and is a
+// compilable Go package (stdlib imports only). Every line expected to
+// produce a diagnostic carries a trailing comment:
+//
+//	stats.PerRule[r.Name()]++ // want `map-order-to-writer`
+//
+// The backquoted pattern is a regular expression matched against
+// "code: message" of each diagnostic reported on that line. Multiple
+// patterns on one line expect multiple diagnostics. Lines without a want
+// comment must produce none.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"fixrule/internal/analysis"
+)
+
+// Run loads the fixture package at dir (relative to the caller's working
+// directory, e.g. "testdata/src/hotpathalloc") and applies the analyzer,
+// comparing diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	results, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	got := map[string][]*finding{} // "file:line" -> findings
+	var total int
+	for _, res := range results {
+		for _, d := range res.Diags {
+			pos := pkg.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			got[key] = append(got[key], &finding{text: d.Code + ": " + d.Message})
+			total++
+		}
+	}
+
+	matched := 0
+	for _, want := range collectWants(t, pkg) {
+		key := fmt.Sprintf("%s:%d", want.file, want.line)
+		var hit *finding
+		for _, f := range got[key] {
+			if !f.used && want.re.MatchString(f.text) {
+				hit = f
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: no diagnostic matching %q (got %s)", key, want.re, findingTexts(got[key]))
+			continue
+		}
+		hit.used = true
+		matched++
+	}
+
+	for key, fs := range got {
+		for _, f := range fs {
+			if !f.used {
+				t.Errorf("%s: unexpected diagnostic: %s", key, f.text)
+			}
+		}
+	}
+	if t.Failed() {
+		t.Logf("%s on %s: %d diagnostics, %d matched", a.Name, dir, total, matched)
+	}
+}
+
+type wantExpect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantPattern = regexp.MustCompile("`([^`]+)`")
+
+// collectWants parses the `// want` comments of every fixture file.
+func collectWants(t *testing.T, pkg *analysis.Package) []wantExpect {
+	t.Helper()
+	var wants []wantExpect
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := wantPattern.FindAllStringSubmatch(text, -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (need backquoted patterns): %s",
+						pos.Filename, pos.Line, text)
+				}
+				for _, m := range pats {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, wantExpect{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+func findingTexts(fs []*finding) string {
+	if len(fs) == 0 {
+		return "none"
+	}
+	texts := make([]string, len(fs))
+	for i, f := range fs {
+		texts[i] = f.text
+	}
+	return strings.Join(texts, "; ")
+}
+
+// finding is one reported diagnostic, marked used once matched by a want.
+type finding struct {
+	text string
+	used bool
+}

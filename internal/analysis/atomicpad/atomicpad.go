@@ -1,0 +1,182 @@
+// Package atomicpad checks the layout of structs annotated //fix:padded:
+// the per-worker accumulators whose false sharing caused the parallel
+// repair path to run at 0.94× sequential before the PR-3 rewrite.
+//
+// A //fix:padded struct is one used as adjacent elements of a shared
+// slice, each element written by a different worker. The analyzer
+// enforces:
+//
+//  1. The struct's last field is a blank cache-line pad — `_ [N]byte` —
+//     and the pad is effective: N ≥ 64, or the padded size is a multiple
+//     of 64 so array elements tile cache lines exactly. Either form keeps
+//     two workers' payloads out of one line.
+//  2. Under 32-bit layout (gc/386), every 64-bit numeric field sits at an
+//     8-byte-aligned offset. Raw int64/uint64/float64 fields reached by
+//     sync/atomic functions fault on 386 when misaligned; the
+//     sync/atomic.Int64-style types are exempt (the runtime aligns them).
+//  3. No field follows the pad — payload after the pad would share a
+//     line with the next element's payload.
+package atomicpad
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fixrule/internal/analysis"
+)
+
+// Analyzer is the atomicpad check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpad",
+	Doc:  "check cache-line padding and 64-bit alignment of //fix:padded structs",
+	Run:  run,
+}
+
+const (
+	directive = "fix:padded"
+	cacheLine = 64
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declDoc := gd.Doc
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = declDoc
+				}
+				if !analysis.HasDirective(doc, directive) {
+					continue
+				}
+				checkStruct(pass, ts)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "not-a-struct",
+			"//fix:padded on %s, which is not a struct type", ts.Name.Name)
+		return
+	}
+	if st.NumFields() == 0 {
+		return
+	}
+
+	checkPadding(pass, ts, st)
+	check32BitAlignment(pass, ts, st)
+}
+
+// checkPadding enforces the trailing blank cache-line pad.
+func checkPadding(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct) {
+	last := st.Field(st.NumFields() - 1)
+	padLen, isPad := blankBytePad(last)
+	if !isPad {
+		pass.Reportf(ts.Pos(), "missing-pad",
+			"//fix:padded struct %s must end with a blank pad field `_ [N]byte` (last field is %s)",
+			ts.Name.Name, last.Name())
+		return
+	}
+	total := pass.TypesSizes.Sizeof(st)
+	if padLen < cacheLine && total%cacheLine != 0 {
+		pass.Reportf(ts.Pos(), "pad-too-small",
+			"//fix:padded struct %s: pad is %d bytes and total size %d is not a multiple of %d; adjacent elements can false-share a cache line",
+			ts.Name.Name, padLen, total, cacheLine)
+	}
+}
+
+// blankBytePad reports whether the field is `_ [N]byte`, returning N.
+func blankBytePad(f *types.Var) (int64, bool) {
+	if f.Name() != "_" {
+		return 0, false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return 0, false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uint8 {
+		return 0, false
+	}
+	return arr.Len(), true
+}
+
+// check32BitAlignment walks the struct's (possibly embedded) fields under
+// gc/386 sizes and flags 64-bit numerics at offsets not divisible by 8 —
+// the layouts that fault under sync/atomic on 32-bit platforms. The CI
+// GOARCH=386 build catches the compile-time subset; this catches the
+// layout itself, before any atomic call site exists.
+func check32BitAlignment(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct) {
+	sizes := types.SizesFor("gc", "386")
+	walkFields(sizes, st, 0, "", func(path string, f *types.Var, off int64) {
+		if !is64BitNumeric(f.Type()) || off%8 == 0 {
+			return
+		}
+		pass.Reportf(ts.Pos(), "misaligned-64bit",
+			"//fix:padded struct %s: 64-bit field %s is at offset %d under 32-bit layout (not 8-aligned); atomic access would fault on GOARCH=386 — reorder it first or use a sync/atomic type",
+			ts.Name.Name, path+f.Name(), off)
+	})
+}
+
+// walkFields visits every field of st (recursing into struct-typed
+// fields) with its offset from the outermost struct under the given
+// sizes.
+func walkFields(sizes types.Sizes, st *types.Struct, base int64, path string, visit func(string, *types.Var, int64)) {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offs := sizes.Offsetsof(fields)
+	for i, f := range fields {
+		off := base + offs[i]
+		visit(path, f, off)
+		if inner, ok := f.Type().Underlying().(*types.Struct); ok {
+			p := path + f.Name() + "."
+			if f.Embedded() {
+				p = path
+			}
+			// sync/atomic's 64-bit types carry their own align64 marker and
+			// are aligned by the runtime; don't descend into them.
+			if !isSyncAtomic(f.Type()) {
+				walkFields(sizes, inner, off, p, visit)
+			}
+		}
+	}
+}
+
+func isSyncAtomic(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func is64BitNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64, types.Float64:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+// Package detrange enforces the engine's byte-identical-output invariant:
+// Go map iteration order is deliberately randomised, so a bare range over
+// a map must never feed user-visible ordered output — Result.Steps,
+// PerRule renderings, the Prometheus exposition — or the sequential and
+// parallel paths stop agreeing byte-for-byte.
+//
+// The analyzer flags a range-over-map loop when its body reaches an
+// order-dependent sink:
+//
+//   - writing to an io.Writer (fmt.Fprint*, io.WriteString, or any
+//     Write/WriteString/WriteByte/WriteRune method call) — the bytes land
+//     in iteration order;
+//   - sending on a channel — the receiver observes iteration order;
+//   - appending to a slice that is never passed to a sort function later
+//     in the same function — collect-then-sort is the sanctioned pattern
+//     (see SortedTargets in internal/server).
+//
+// Loops that only aggregate (sums, counters, building another map) are
+// order-independent and pass.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fixrule/internal/analysis"
+)
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "bare map iteration must not construct user-visible ordered output",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "map-order-to-channel",
+				"channel send inside a map range publishes randomised iteration order")
+		case *ast.CallExpr:
+			if isWriterSink(pass, n) {
+				pass.Reportf(n.Pos(), "map-order-to-writer",
+					"write to an io.Writer inside a map range emits randomised iteration order; collect and sort first")
+			}
+			if target, ok := appendTarget(info, n); ok {
+				// A slice declared inside the loop body cannot accumulate
+				// across iterations, so this range's order cannot leak
+				// through it (any inner map range is checked separately).
+				if rng.Body.Pos() <= target.Pos() && target.Pos() < rng.Body.End() {
+					return true
+				}
+				if !sortedLater(info, fd, rng, target) {
+					pass.Reportf(n.Pos(), "map-order-to-slice",
+						"append inside a map range builds a slice in randomised order and %s is never sorted afterwards; sort it or iterate a sorted key slice",
+						target.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isWriterSink reports whether the call writes bytes somewhere ordered:
+// fmt.Fprint* / io.WriteString with an io.Writer first argument, or a
+// Write/WriteString/WriteByte/WriteRune method on an io.Writer-ish
+// receiver.
+func isWriterSink(pass *analysis.Pass, call *ast.CallExpr) bool {
+	info := pass.TypesInfo
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	if f.Pkg() != nil {
+		switch f.Pkg().Path() {
+		case "fmt":
+			switch f.Name() {
+			case "Fprintf", "Fprint", "Fprintln":
+				return true
+			}
+		case "io":
+			if f.Name() == "WriteString" {
+				return true
+			}
+		}
+	}
+	switch f.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		t := info.TypeOf(sel.X)
+		return t != nil && implementsWriter(pass, t)
+	}
+	return false
+}
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(pass *analysis.Pass, t types.Type) bool {
+	iface := writerIface(pass.Pkg)
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// writerIface digs io.Writer out of the package's import graph (io is in
+// every relevant closure via fmt; if it is genuinely absent there is
+// nothing to write to either).
+func writerIface(pkg *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "io" {
+			if obj := p.Scope().Lookup("Writer"); obj != nil {
+				iface, _ := obj.Type().Underlying().(*types.Interface)
+				return iface
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// appendTarget returns the variable receiving an append inside the loop,
+// when the call is `x = append(x, ...)` or `x := append(...)` shaped with
+// an identifiable base variable.
+func appendTarget(info *types.Info, call *ast.CallExpr) (*types.Var, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	base := analysis.RootIdent(call.Args[0])
+	if base == nil {
+		return nil, false
+	}
+	obj := info.Uses[base]
+	if obj == nil {
+		obj = info.Defs[base]
+	}
+	v, ok := obj.(*types.Var)
+	return v, ok
+}
+
+// sortedLater reports whether the appended-to variable is handed to a
+// sorting function after the range loop, anywhere in the enclosing
+// function: sort.Strings / sort.Ints / sort.Float64s / sort.Sort /
+// sort.Slice / sort.SliceStable / sort.Stable, or slices.Sort*.
+func sortedLater(info *types.Info, fd *ast.FuncDecl, rng *ast.RangeStmt, target *types.Var) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := analysis.CalleeFunc(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if f.Pkg().Path() != "sort" && f.Pkg().Path() != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			base := analysis.RootIdent(arg)
+			if base == nil {
+				continue
+			}
+			if obj := info.Uses[base]; obj == target {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,77 @@
+// Package diag defines the machine-readable diagnostic schema shared by
+// the repo's static-analysis tools: cmd/fixvet -json (Go-level invariants)
+// and cmd/rulecheck -format json (rule-level Σ properties) emit the same
+// shape, so one dashboard or CI annotator consumes both.
+//
+// The schema is deliberately flat and stable:
+//
+//	{
+//	  "file":     "internal/server/server.go",
+//	  "line":     272,
+//	  "col":      51,
+//	  "severity": "error",
+//	  "analyzer": "errcode",
+//	  "code":     "error-text-in-response",
+//	  "message":  "..."
+//	}
+//
+// file may be empty for diagnostics with no source position (a ruleset
+// conflict names rules, not lines). severity is "error" or "warning";
+// analyzer names the producing check; code is the stable finding class.
+package diag
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Severity levels. Errors fail the producing tool's exit status; warnings
+// do not.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
+// Diagnostic is one finding in the shared schema.
+type Diagnostic struct {
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Severity string `json:"severity"`
+	Analyzer string `json:"analyzer"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+}
+
+// Report is the top-level JSON document: the findings plus a summary the
+// consumer can key on without counting.
+type Report struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+}
+
+// NewReport wraps diagnostics with their severity tallies. A nil slice
+// renders as an empty (not null) diagnostics array.
+func NewReport(diags []Diagnostic) Report {
+	r := Report{Diagnostics: diags}
+	if r.Diagnostics == nil {
+		r.Diagnostics = []Diagnostic{}
+	}
+	for _, d := range diags {
+		switch d.Severity {
+		case SeverityWarning:
+			r.Warnings++
+		default:
+			r.Errors++
+		}
+	}
+	return r
+}
+
+// Write renders the report as indented JSON.
+func Write(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewReport(diags))
+}

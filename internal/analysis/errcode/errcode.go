@@ -1,0 +1,248 @@
+// Package errcode guards the HTTP error surface: clients must only ever
+// see registered stable error codes and reviewed messages, never raw
+// error text that could leak server-internal detail (file paths, stack
+// fragments, wrapped driver errors).
+//
+// In any package that imports net/http, the analyzer enforces:
+//
+//  1. Calls to a writeError-style helper (any function or method named
+//     writeError whose last two parameters are code and message strings)
+//     must pass a package-level string constant as the code — the
+//     registered-code table of errors.go — not a literal or a computed
+//     value.
+//  2. The message argument must not carry error text: no (error).Error()
+//     call, no error-typed operand formatted via fmt.Sprintf/Sprint, no
+//     fmt.Errorf result. Sites where the error text is provably the
+//     client's own input may acknowledge the audit with
+//     `//fix:allow errcode: <reason>`.
+//  3. http.Error and direct response-body writes (fmt.Fprint* or
+//     io.WriteString to an http.ResponseWriter, w.Write) must not carry
+//     error text either.
+package errcode
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fixrule/internal/analysis"
+)
+
+// Analyzer is the errcode check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc:  "HTTP responses carry registered error codes only; raw error text must not reach a response body",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !importsNetHTTP(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkWriteError(pass, call)
+			checkHTTPError(pass, call)
+			checkResponseWrite(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func importsNetHTTP(pkg *types.Package) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeNamed reports whether the call statically invokes a function or
+// method with the given name.
+func calleeNamed(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	return f != nil && f.Name() == name
+}
+
+// checkWriteError audits writeError(w, status, code, message) call sites.
+func checkWriteError(pass *analysis.Pass, call *ast.CallExpr) {
+	if !calleeNamed(pass, call, "writeError") || len(call.Args) < 4 {
+		return
+	}
+	codeArg := call.Args[len(call.Args)-2]
+	msgArg := call.Args[len(call.Args)-1]
+
+	if !isRegisteredCode(pass, codeArg) {
+		pass.Reportf(codeArg.Pos(), "unregistered-code",
+			"error code must be a registered package-level constant (see errors.go), not an ad-hoc value")
+	}
+	if pos, ok := containsErrorText(pass.TypesInfo, msgArg); ok {
+		pass.Reportf(pos, "error-text-in-response",
+			"raw error text reaches the response body; map the failure to a registered code and a reviewed message")
+	}
+}
+
+// checkHTTPError flags http.Error(w, err.Error(), ...) and any other
+// error-derived message handed to the stdlib helper.
+func checkHTTPError(pass *analysis.Pass, call *ast.CallExpr) {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Name() != "Error" || f.Pkg() == nil || f.Pkg().Path() != "net/http" {
+		return
+	}
+	if len(call.Args) >= 2 {
+		if pos, ok := containsErrorText(pass.TypesInfo, call.Args[1]); ok {
+			pass.Reportf(pos, "error-text-in-response",
+				"raw error text reaches the response body via http.Error")
+		}
+	}
+}
+
+// checkResponseWrite flags error text written straight to an
+// http.ResponseWriter: fmt.Fprint*(w, ... err ...), io.WriteString(w,
+// err.Error()), w.Write([]byte(err.Error())).
+func checkResponseWrite(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return
+	}
+	writerFirstArg := false
+	switch {
+	case f.Pkg() != nil && f.Pkg().Path() == "fmt" &&
+		(f.Name() == "Fprintf" || f.Name() == "Fprint" || f.Name() == "Fprintln"):
+		writerFirstArg = true
+	case f.Pkg() != nil && f.Pkg().Path() == "io" && f.Name() == "WriteString":
+		writerFirstArg = true
+	case f.Name() == "Write" || f.Name() == "WriteString":
+		// Method on a ResponseWriter-implementing receiver.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := info.TypeOf(sel.X); t != nil && isResponseWriter(pass, t) {
+				for _, arg := range call.Args {
+					if pos, ok := containsErrorText(info, arg); ok {
+						pass.Reportf(pos, "error-text-in-response",
+							"raw error text written to the HTTP response")
+					}
+				}
+			}
+		}
+		return
+	default:
+		return
+	}
+	if !writerFirstArg || len(call.Args) < 2 {
+		return
+	}
+	if t := info.TypeOf(call.Args[0]); t == nil || !isResponseWriter(pass, t) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := info.TypeOf(arg); t != nil && analysis.IsErrorType(t) {
+			pass.Reportf(arg.Pos(), "error-text-in-response",
+				"error value formatted into the HTTP response")
+			continue
+		}
+		if pos, ok := containsErrorText(info, arg); ok {
+			pass.Reportf(pos, "error-text-in-response",
+				"raw error text written to the HTTP response")
+		}
+	}
+}
+
+// isResponseWriter reports whether t is or implements
+// net/http.ResponseWriter.
+func isResponseWriter(pass *analysis.Pass, t types.Type) bool {
+	if analysis.IsNamed(t, "net/http", "ResponseWriter") {
+		return true
+	}
+	iface := responseWriterIface(pass.Pkg)
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) ||
+		types.Implements(types.NewPointer(t), iface)
+}
+
+func responseWriterIface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup("ResponseWriter")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+// isRegisteredCode reports whether the expression is an identifier (or
+// selector) resolving to a package-level string constant — the registered
+// code table.
+func isRegisteredCode(pass *analysis.Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	// Package-level: parent scope is the package scope.
+	return c.Parent() == c.Pkg().Scope() && analysis.IsString(c.Type())
+}
+
+// containsErrorText scans an expression tree for error text escaping into
+// a string: an Error() call on an error value, fmt.Errorf, or an
+// error-typed operand handed to a fmt formatter.
+func containsErrorText(info *types.Info, e ast.Expr) (pos token.Pos, okFound bool) {
+	var found ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// err.Error()
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" && len(call.Args) == 0 {
+			if t := info.TypeOf(sel.X); t != nil && analysis.IsErrorType(t) {
+				found = call
+				return false
+			}
+		}
+		f := analysis.CalleeFunc(info, call)
+		if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			if f.Name() == "Errorf" {
+				found = call
+				return false
+			}
+			if f.Name() == "Sprintf" || f.Name() == "Sprint" || f.Name() == "Sprintln" {
+				for _, arg := range call.Args {
+					if t := info.TypeOf(arg); t != nil && analysis.IsErrorType(t) {
+						found = arg
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return token.NoPos, false
+	}
+	return found.Pos(), true
+}

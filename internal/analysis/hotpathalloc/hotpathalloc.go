@@ -1,0 +1,333 @@
+// Package hotpathalloc statically pins the engine's 0 allocs/op
+// guarantee: functions annotated //fix:hotpath — and every function in
+// the same package they statically call — must not contain allocating
+// constructs. bench_test.go asserts 0 allocs/op at runtime, after a
+// regression ships; this analyzer rejects the regression at vet time.
+//
+// Flagged constructs:
+//
+//   - string ↔ []byte / []rune conversions (copy + allocate)
+//   - string concatenation with +
+//   - any call into package fmt (formatting allocates by design)
+//   - calls passing a non-pointer concrete value to an interface
+//     parameter (boxing escapes to the heap)
+//   - make and new (fresh heap objects)
+//   - taking the address of a composite literal
+//   - append to a slice declared in the hot function without capacity
+//     (appending to pooled scratch — a parameter, a struct field, or a
+//     re-slice like buf[:0] — is the engine's amortised-zero idiom and
+//     is allowed)
+//   - function literals that capture enclosing variables (the closure
+//     header allocates)
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fixrule/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //fix:hotpath functions and their intra-package callees",
+	Run:  run,
+}
+
+const directive = "fix:hotpath"
+
+// funcInfo pairs a package function's object with its syntax.
+type funcInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+func run(pass *analysis.Pass) error {
+	// Index every declared function in the package.
+	funcs := map[*types.Func]*funcInfo{}
+	var annotated []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[obj] = &funcInfo{decl: fd, obj: obj}
+			if analysis.HasDirective(fd.Doc, directive) {
+				annotated = append(annotated, obj)
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	// Propagate hotness over the intra-package static call graph: a
+	// //fix:hotpath function's callees inherit the constraint, because an
+	// allocation moved into a helper is still on the hot path.
+	hot := map[*types.Func]string{} // callee -> annotation root name
+	var mark func(obj *types.Func, root string)
+	mark = func(obj *types.Func, root string) {
+		if _, seen := hot[obj]; seen {
+			return
+		}
+		hot[obj] = root
+		fi := funcs[obj]
+		if fi == nil {
+			return
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, declared := funcs[callee]; declared {
+				mark(callee, root)
+			}
+			return true
+		})
+	}
+	for _, obj := range annotated {
+		mark(obj, obj.Name())
+	}
+
+	for obj, root := range hot {
+		fi := funcs[obj]
+		if fi == nil {
+			continue
+		}
+		checkFunc(pass, fi, root)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fi *funcInfo, root string) {
+	info := pass.TypesInfo
+	body := fi.decl.Body
+	where := "" // suffix naming the annotation root for propagated callees
+	if fi.obj.Name() != root {
+		where = " (on the hot path of " + root + ")"
+	}
+
+	// Slices provably backed by pre-existing or pre-sized storage:
+	// parameters, fields, and locals initialised from a re-slice or a
+	// 3-arg make. Everything else appended to is flagged.
+	prealloc := preallocatedSlices(info, fi.decl)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, where, prealloc)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n.X); t != nil && analysis.IsString(t) {
+					pass.Reportf(n.OpPos, "string-concat",
+						"string concatenation allocates on a //fix:hotpath function%s", where)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "composite-lit-addr",
+						"&composite literal allocates on a //fix:hotpath function%s", where)
+				}
+			}
+		case *ast.FuncLit:
+			if captures(info, n, fi.decl) {
+				pass.Reportf(n.Pos(), "closure-capture",
+					"capturing closure allocates on a //fix:hotpath function%s", where)
+			}
+			return false // the literal runs elsewhere; don't double-report its body
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, where string, prealloc map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// Type conversions: string <-> []byte/[]rune copy their operand.
+	if target, ok := analysis.IsConversion(info, call); ok {
+		src := info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		switch {
+		case analysis.IsString(target) && analysis.IsByteOrRuneSlice(src),
+			analysis.IsByteOrRuneSlice(target) && analysis.IsString(src):
+			pass.Reportf(call.Pos(), "string-conversion",
+				"string/[]byte conversion allocates on a //fix:hotpath function%s", where)
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make",
+					"make allocates on a //fix:hotpath function%s", where)
+			case "new":
+				pass.Reportf(call.Pos(), "new",
+					"new allocates on a //fix:hotpath function%s", where)
+			case "append":
+				if !appendTargetPreallocated(info, call, prealloc) {
+					pass.Reportf(call.Pos(), "append-no-prealloc",
+						"append to a slice with no preallocated capacity on a //fix:hotpath function%s", where)
+				}
+			}
+			return
+		}
+	}
+
+	callee := analysis.CalleeFunc(info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt-call",
+			"fmt.%s allocates on a //fix:hotpath function%s", callee.Name(), where)
+		return
+	}
+
+	// Interface boxing: a non-pointer concrete argument bound to an
+	// interface parameter escapes. Pointers and interfaces fit the
+	// interface word without allocating.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "interface-boxing",
+			"non-pointer value boxed into interface argument allocates on a //fix:hotpath function%s", where)
+	}
+}
+
+// captures reports whether the function literal references a variable
+// declared in the enclosing function but outside the literal — the case
+// where the compiler materialises a closure header on the heap.
+func captures(info *types.Info, lit *ast.FuncLit, encl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		declaredInEncl := v.Pos() >= encl.Pos() && v.Pos() < encl.End()
+		declaredInLit := v.Pos() >= lit.Pos() && v.Pos() < lit.End()
+		if declaredInEncl && !declaredInLit {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// preallocatedSlices collects slice-typed objects whose backing provably
+// pre-exists the function: parameters, and locals whose initialiser is a
+// re-slice expression (x[:0]) or a capacity-carrying make.
+func preallocatedSlices(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	ok := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					ok[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.SliceExpr:
+				ok[obj] = true
+			case *ast.CallExpr:
+				if bid, isB := ast.Unparen(rhs.Fun).(*ast.Ident); isB {
+					if b, isBuiltin := info.Uses[bid].(*types.Builtin); isBuiltin &&
+						b.Name() == "make" && len(rhs.Args) == 3 {
+						ok[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// appendTargetPreallocated reports whether the first append argument is
+// backed by pre-existing storage: a field or element of a longer-lived
+// value (selector/index base), or a local known to be preallocated.
+func appendTargetPreallocated(info *types.Info, call *ast.CallExpr, prealloc map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	switch target := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj := info.Uses[target]
+		if obj == nil {
+			obj = info.Defs[target]
+		}
+		return obj != nil && prealloc[obj]
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+		// Scratch fields (sc.touched), pooled rows (chunk.rows[:0]) — the
+		// engine's reuse idiom: backing pre-exists, growth amortises to
+		// zero in steady state.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the package loader: the slice of golang.org/x/tools/go/packages
+// the analyzers need, built from `go list -deps -json` plus the standard
+// parser and type checker. `go list` resolves build constraints, module
+// paths and the stdlib's vendored packages; everything downstream is plain
+// go/parser + go/types, so the loader works offline and adds no module
+// requirements.
+
+// A Package is one type-checked root package presented to the analyzers.
+type Package struct {
+	PkgPath    string
+	Name       string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// loader caches type-checked dependency packages across Load calls: the
+// stdlib closure of net/http is ~200 packages and every fixture load would
+// otherwise re-check it from source. One process-wide FileSet keeps all
+// positions coherent.
+type loader struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	checked map[string]*types.Package
+}
+
+var sharedLoader = &loader{
+	fset:    token.NewFileSet(),
+	checked: map[string]*types.Package{"unsafe": types.Unsafe},
+}
+
+// Import resolves an import path against the already-checked set, falling
+// back to the stdlib's vendor directory the way the gc toolchain does
+// (net imports golang.org/x/net/dns/dnsmessage, which `go list` reports
+// as vendor/golang.org/x/net/dns/dnsmessage).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if p, ok := l.checked["vendor/"+path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded", path)
+}
+
+// goList runs `go list -json` in dir over the given package patterns.
+// With deps set it returns the dependency closure in topological order
+// (dependencies before dependents — the order `go list -deps` guarantees);
+// without it, just the packages the patterns match. CGO is disabled so
+// every listed package has a complete pure-Go file set the type checker
+// can load from source.
+func goList(dir string, deps bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-e"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,Error", "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// check type-checks one listed package from the given parsed files,
+// recording full type information only when info is non-nil (root
+// packages; dependencies skip it to bound memory).
+func (l *loader) check(p *listPkg, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    buildSizes(),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tp, _ := conf.Check(p.ImportPath, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, firstErr)
+	}
+	return tp, nil
+}
+
+// parseDir parses the listed package's files. Roots keep comments (the
+// analyzers read //fix: annotations); dependencies drop them.
+func (l *loader) parseDir(p *listPkg, withComments bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if withComments {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		af, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	return files, nil
+}
+
+// loadClosure checks every package of a `go list -deps` closure that is
+// not already cached, in the given (topological) order. Returns the last
+// error only if the named roots themselves fail; a dependency failure is
+// fatal immediately.
+func (l *loader) loadClosure(pkgs []*listPkg, roots map[string]bool) (map[string]*Package, error) {
+	out := make(map[string]*Package)
+	for _, p := range pkgs {
+		if p.ImportPath == "unsafe" {
+			continue
+		}
+		isRoot := roots[p.ImportPath]
+		if _, done := l.checked[p.ImportPath]; done && !isRoot {
+			continue
+		}
+		files, err := l.parseDir(p, isRoot)
+		if err != nil {
+			return nil, err
+		}
+		var info *types.Info
+		if isRoot {
+			info = newInfo()
+		}
+		tp, err := l.check(p, files, info)
+		if err != nil {
+			return nil, err
+		}
+		l.checked[p.ImportPath] = tp
+		if isRoot {
+			out[p.ImportPath] = &Package{
+				PkgPath:    p.ImportPath,
+				Name:       p.Name,
+				Fset:       l.fset,
+				Syntax:     files,
+				Types:      tp,
+				TypesInfo:  info,
+				TypesSizes: buildSizes(),
+			}
+		}
+	}
+	return out, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// buildSizes returns the gc sizes for the host build platform — the
+// platform whose allocation and layout behaviour the analyzers reason
+// about. atomicpad additionally consults 32-bit sizes of its own.
+func buildSizes() types.Sizes {
+	return types.SizesFor("gc", buildArch())
+}
+
+func buildArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return "amd64"
+}
+
+// Load lists, parses and type-checks the packages matching the patterns
+// (relative to dir) together with their full dependency closure, and
+// returns the matched root packages sorted by import path. Results for
+// dependency packages are cached process-wide, so repeated loads — the
+// analysistest harness, or fixvet over many roots — pay for the stdlib
+// only once.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	sharedLoader.mu.Lock()
+	defer sharedLoader.mu.Unlock()
+
+	closure, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// A second, non-deps listing identifies which packages the patterns
+	// actually matched (the closure carries no root marker of its own).
+	rootList, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	roots := make(map[string]bool, len(rootList))
+	for _, p := range rootList {
+		roots[p.ImportPath] = true
+	}
+	loaded, err := sharedLoader.loadClosure(closure, roots)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*Package, 0, len(loaded))
+	for _, p := range loaded {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}

@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fixrule/internal/analysis/analysistest"
+	"fixrule/internal/analysis/atomicpad"
+	"fixrule/internal/analysis/ctxpoll"
+	"fixrule/internal/analysis/detrange"
+	"fixrule/internal/analysis/errcode"
+	"fixrule/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotpath", hotpathalloc.Analyzer)
+}
+
+func TestAtomicpad(t *testing.T) {
+	analysistest.Run(t, "testdata/src/padded", atomicpad.Analyzer)
+}
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxpollfix", ctxpoll.Analyzer)
+}
+
+func TestErrcode(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errcodefix", errcode.Analyzer)
+}
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detrangefix", detrange.Analyzer)
+}

@@ -1,0 +1,71 @@
+// Package detrangefix is the detrange golden fixture: map ranges feeding
+// ordered sinks versus the sanctioned aggregate / collect-then-sort
+// patterns.
+package detrangefix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// exposition writes metric lines straight out of a map: randomised order
+// on the wire, the exact bug class the Prometheus exposition must avoid.
+func exposition(w io.Writer, perRule map[string]int) {
+	for name, n := range perRule {
+		fmt.Fprintf(w, "%s %d\n", name, n) // want `map-order-to-writer`
+	}
+}
+
+// unsortedKeys builds user-visible output in iteration order.
+func unsortedKeys(perRule map[string]int) []string {
+	var names []string
+	for name := range perRule {
+		names = append(names, name) // want `map-order-to-slice`
+	}
+	return names
+}
+
+// sortedKeys is the sanctioned collect-then-sort pattern.
+func sortedKeys(perRule map[string]int) []string {
+	names := make([]string, 0, len(perRule))
+	for name := range perRule {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// publish leaks order through a channel.
+func publish(ch chan string, perRule map[string]int) {
+	for name := range perRule {
+		ch <- name // want `map-order-to-channel`
+	}
+}
+
+// nestedLocal declares the slice inside the outer loop body: the outer
+// map's order cannot accumulate through it, and the inner map range is
+// collect-then-sort, so neither loop draws a diagnostic.
+func nestedLocal(groups map[string]map[string]int) map[string][]string {
+	out := make(map[string][]string, len(groups))
+	for key, set := range groups {
+		var vals []string
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		out[key] = vals
+	}
+	return out
+}
+
+// aggregate is order-independent: sums and map building are fine.
+func aggregate(perRule map[string]int) (int, map[string]bool) {
+	total := 0
+	seen := make(map[string]bool)
+	for name, n := range perRule {
+		total += n
+		seen[name] = true
+	}
+	return total, seen
+}

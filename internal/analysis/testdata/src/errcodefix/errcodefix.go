@@ -1,0 +1,48 @@
+// Package errcodefix is the errcode golden fixture: a miniature HTTP
+// error surface with registered codes, seeded with each leak class.
+package errcodefix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Registered stable codes, the errors.go convention.
+const (
+	codeBadInput = "bad_input"
+	codeInternal = "internal_error"
+)
+
+type srv struct{}
+
+func (s *srv) writeError(w http.ResponseWriter, status int, code, message string) {
+	w.WriteHeader(status)
+	_, _ = io.WriteString(w, code+": "+message)
+}
+
+func (s *srv) handler(w http.ResponseWriter, r *http.Request) {
+	err := errors.New("open /etc/fixserve/rules.dsl: permission denied")
+
+	s.writeError(w, 400, codeBadInput, "tuple arity mismatch")
+	s.writeError(w, 400, "oops", "ad-hoc code")                      // want `unregistered-code`
+	s.writeError(w, 500, codeInternal, err.Error())                  // want `error-text-in-response`
+	s.writeError(w, 500, codeInternal, fmt.Sprintf("boom: %v", err)) // want `error-text-in-response`
+
+	http.Error(w, err.Error(), 500) // want `error-text-in-response`
+	http.Error(w, "bad input", 400)
+
+	fmt.Fprintf(w, "failed: %v", err) // want `error-text-in-response`
+	fmt.Fprintln(w, "done")
+	_, _ = io.WriteString(w, err.Error()) // want `error-text-in-response`
+	_, _ = w.Write([]byte(err.Error()))   // want `error-text-in-response`
+	_, _ = w.Write([]byte("ok"))
+}
+
+// audited demonstrates the //fix:allow escape hatch: the message is the
+// client's own input, acknowledged in place. No diagnostic.
+func (s *srv) audited(w http.ResponseWriter, err error) {
+	//fix:allow errcode: message echoes the client's own malformed input, no server state
+	s.writeError(w, 400, codeBadInput, "bad request: "+err.Error())
+}

@@ -1,0 +1,63 @@
+// Package hotpath is the hotpathalloc golden fixture: annotated functions
+// seeded with each allocating construct the analyzer must flag, plus the
+// pooled-scratch idioms it must accept.
+package hotpath
+
+import "fmt"
+
+// scratch mimics the engine's pooled per-goroutine working set.
+type scratch struct {
+	applied []int32
+	row     []uint32
+}
+
+//fix:hotpath
+func seededViolations(s string, sc *scratch) int {
+	b := []byte(s)      // want `string-conversion`
+	t := string(b)      // want `string-conversion`
+	u := s + t          // want `string-concat`
+	m := make([]int, 0) // want `make`
+	p := new(int)       // want `new`
+	q := &scratch{}     // want `composite-lit-addr`
+	var grow []int
+	grow = append(grow, len(m))   // want `append-no-prealloc`
+	f := func() int { return *p } // want `closure-capture`
+	return len(u) + grow[0] + f() + len(q.row)
+}
+
+// box's parameter is an interface: concrete non-pointer arguments box.
+func box(v any) { _ = v }
+
+//fix:hotpath
+func boxing(n int, sc *scratch) {
+	box(n) // want `interface-boxing`
+	box(sc)
+}
+
+//fix:hotpath
+func pooledIdioms(row []uint32, sc *scratch) []int32 {
+	applied := sc.applied[:0]
+	for i, v := range row {
+		if v == 0 {
+			applied = append(applied, int32(i))
+			sc.applied = append(sc.applied, int32(i))
+		}
+	}
+	return applied
+}
+
+//fix:hotpath
+func caller(sc *scratch) {
+	helper(sc)
+}
+
+// helper is not annotated itself but is on caller's hot path.
+func helper(sc *scratch) {
+	_ = fmt.Sprint(len(sc.row)) // want `fmt-call`
+}
+
+// cold is unannotated: the same constructs draw no diagnostics.
+func cold(s string) []byte {
+	fmt.Println(s)
+	return []byte(s)
+}

@@ -1,0 +1,76 @@
+// Package padded is the atomicpad golden fixture. unpaddedAcc reproduces
+// the exact pre-PR-3 false-sharing layout: adjacent per-worker
+// accumulator slots in one shared slice with no cache-line padding, which
+// ran the parallel repair path at 0.94x sequential.
+package padded
+
+import "unsafe"
+
+// accData is a worker's payload, written on every processed row.
+type accData struct {
+	repaired int
+	steps    int
+	oov      int
+	perRule  []int32
+}
+
+// unpaddedAcc is the PR-3 regression layout: workers indexing
+// adjacent elements write the same cache line.
+//
+//fix:padded
+type unpaddedAcc struct { // want `missing-pad`
+	accData
+}
+
+// shortPadAcc pads, but not enough to separate adjacent payloads.
+//
+//fix:padded
+type shortPadAcc struct { // want `pad-too-small`
+	accData
+	_ [8]byte
+}
+
+// paddedAcc is the fixed layout: a full trailing cache line.
+//
+//fix:padded
+type paddedAcc struct {
+	accData
+	_ [64]byte
+}
+
+// tiledAcc pads to a multiple of the cache line instead; also accepted.
+//
+//fix:padded
+type tiledAcc struct {
+	accData
+	_ [(128 - unsafe.Sizeof(accData{})%128) % 128]byte
+}
+
+// misaligned64 holds a 64-bit counter that lands on a 4-byte boundary
+// under GOARCH=386 layout: sync/atomic access would fault there.
+//
+//fix:padded
+type misaligned64 struct { // want `misaligned-64bit`
+	ready uint32
+	hits  uint64
+	_     [64]byte
+}
+
+// aligned64 keeps the 64-bit counter first, the 32-bit documented fix.
+//
+//fix:padded
+type aligned64 struct {
+	hits  uint64
+	ready uint32
+	_     [64]byte
+}
+
+// notAStruct draws the misuse diagnostic.
+//
+//fix:padded
+type notAStruct int // want `not-a-struct`
+
+var _ = []any{
+	unpaddedAcc{}, shortPadAcc{}, paddedAcc{}, tiledAcc{},
+	misaligned64{}, aligned64{}, notAStruct(0),
+}

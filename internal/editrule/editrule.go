@@ -21,6 +21,7 @@ package editrule
 
 import (
 	"fmt"
+	"sort"
 
 	"fixrule/internal/core"
 	"fixrule/internal/schema"
@@ -134,11 +135,7 @@ func matchedDataAttrs(r *Rule) []string {
 	for da := range r.match {
 		out = append(out, da)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

@@ -20,6 +20,7 @@ package implication
 
 import (
 	"fmt"
+	"sort"
 
 	"fixrule/internal/consistency"
 	"fixrule/internal/core"
@@ -149,17 +150,9 @@ func smallModelValues(rs *core.Ruleset, phi *core.Rule) [][]string {
 			out[i] = append(out[i], v)
 		}
 		// Deterministic order for reproducible witnesses.
-		sortStrings(out[i])
+		sort.Strings(out[i])
 	}
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Minimize removes implied (redundant) rules from Σ greedily: it repeatedly

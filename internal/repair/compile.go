@@ -155,6 +155,8 @@ func newValueTable(m map[string]uint32) *valueTable {
 
 // code returns the interned code of s, or oov when s is outside the
 // vocabulary.
+//
+//fix:hotpath
 func (t *valueTable) code(s string) uint32 {
 	if len(s) == 0 {
 		return t.emptyCode
@@ -266,6 +268,8 @@ func compileRules(rs *core.Ruleset) *compiled {
 // encodeInto writes t's codes for the attributes Σ mentions into row.
 // Positions Σ never mentions are left untouched: the chase never reads
 // them (every evidence and target attribute has a dictionary).
+//
+//fix:hotpath
 func (c *compiled) encodeInto(t schema.Tuple, row []uint32) {
 	for _, a := range c.relevant {
 		row[a] = c.tables[a].code(t[a]) // missing → oov
@@ -277,6 +281,8 @@ func (c *compiled) encodeInto(t schema.Tuple, row []uint32) {
 // It only inspects relevant attributes (the rest of the row is stale pool
 // memory) and must run before the chase, which overwrites repaired cells
 // with in-vocabulary fact codes.
+//
+//fix:hotpath
 func (c *compiled) countOOV(row []uint32) int {
 	n := 0
 	for _, a := range c.relevant {
@@ -309,6 +315,8 @@ const (
 // whole sweep, while each tuple's string backing is touched at most once, in
 // heap-allocation order. Only attributes Σ mentions are written; the chase
 // never reads the rest, so a pooled, uncleared matrix is safe.
+//
+//fix:hotpath
 func (c *compiled) encodeRows(rel *schema.Relation, m *schema.Codes, lo, hi int, sc *codedScratch) {
 	rows := rel.Rows()
 	buf := m.Data()
@@ -380,6 +388,8 @@ func (sc *codedScratch) bump(pos int32, needed []int32) {
 // repairEncoded repairs a coded tuple in place and returns the positions of
 // the applied rules in application order. The returned slice aliases
 // sc.applied and is valid until the scratch is reused.
+//
+//fix:hotpath
 func (r *Repairer) repairEncoded(row []uint32, sc *codedScratch, alg Algorithm) []int32 {
 	if alg == Linear {
 		return r.linearCoded(row, sc)

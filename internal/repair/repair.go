@@ -251,6 +251,8 @@ type parAccData struct {
 
 // parAcc pads the accumulator to a cache-line multiple so adjacent workers
 // indexing a shared accumulator slice never write the same line.
+//
+//fix:padded
 type parAcc struct {
 	parAccData
 	_ [(128 - unsafe.Sizeof(parAccData{})%128) % 128]byte

@@ -75,6 +75,8 @@ type streamAccData struct {
 
 // streamAcc pads the accumulator so workers writing adjacent slice entries
 // never share a cache line.
+//
+//fix:padded
 type streamAcc struct {
 	streamAccData
 	_ [64]byte
@@ -192,6 +194,7 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 	next := int64(0)
 	for cb := range done {
 		pending[cb.seq] = cb
+		//fix:allow ctxpoll: drains the bounded pending map and exits when the next chunk is absent; workers already poll ctx per chunk
 		for {
 			c, ok := pending[next]
 			if !ok {

@@ -133,6 +133,7 @@ func FromMaster(dirty, master *schema.Relation, spec MasterSpec, cfg Config) (*c
 			nn = append(nn, v)
 		}
 		sort.Strings(nn)
+		//fix:allow detrange: buildRuleset sorts candidates by key before any are used
 		cands = append(cands, candidateRule{
 			key: key, evidence: evidence, target: spec.Target,
 			fact: facts[key], negs: nn,

@@ -106,6 +106,7 @@ func Mine(truth, dirty *schema.Relation, fds []*fd.FD, cfg Config) (*core.Rulese
 				}
 				for _, row := range rows {
 					if truth.Row(row)[attrIdx] == fact {
+						//fix:allow detrange: drained into the c.negs set below and sorted at rule emission
 						confirmed = append(confirmed, val)
 						break
 					}

@@ -61,7 +61,7 @@ func FuzzHandleRepairCSV(f *testing.F) {
 	}
 	f.Add([]byte("name,country,capital,city,conf\nIan,China,Shanghai,Hongkong,ICDE\n"))
 	f.Add([]byte("name,country,capital,city,conf\n\"unclosed,quote\n"))
-	f.Add([]byte("a,b\n1,2\n"))                   // wrong header
+	f.Add([]byte("a,b\n1,2\n"))                    // wrong header
 	f.Add([]byte("name,country,capital\nx,y,z\n")) // wrong arity
 	f.Add([]byte("name,country,capital,city,conf\n" + strings.Repeat("x", 1<<16) + ",a,b,c,d\n"))
 	f.Add([]byte("name,country,capital,city,conf\n\xff\xfe,\x80,b,c,d\n"))

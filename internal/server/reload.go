@@ -80,6 +80,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *engine)
 			// The conflict description names rules, never paths — the
 			// operator posting /reload needs it to fix the ruleset.
 			s.writeError(w, http.StatusUnprocessableEntity, codeInconsistent,
+				//fix:allow errcode: the conflict text names rules from the operator's own posted ruleset, never paths
 				fmt.Sprintf("new ruleset rejected: %v", re.Err))
 		default:
 			// Loader errors may carry file paths; log the detail, return

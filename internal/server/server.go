@@ -269,6 +269,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 	}
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
+		//fix:allow errcode: parseAlgorithm's message quotes only the client's own algorithm parameter
 		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
@@ -315,6 +316,7 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 	}
 	alg, err := parseAlgorithm(r.URL.Query().Get("algorithm"))
 	if err != nil {
+		//fix:allow errcode: parseAlgorithm's message quotes only the client's own algorithm parameter
 		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
@@ -378,6 +380,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, eng *engi
 	}
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
+		//fix:allow errcode: parseAlgorithm's message quotes only the client's own algorithm parameter
 		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
@@ -409,6 +412,7 @@ func (s *Server) badBody(w http.ResponseWriter, err error) {
 			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 		return
 	}
+	//fix:allow errcode: the JSON decode error describes the client's own request body, no server state
 	s.writeError(w, http.StatusBadRequest, codeBadJSON, "bad request: "+err.Error())
 }
 
@@ -427,6 +431,7 @@ func (s *Server) streamError(w http.ResponseWriter, err error) {
 	default:
 		// Stream errors describe the client's own CSV (bad header, quoting,
 		// arity); no internal state to leak.
+		//fix:allow errcode: stream errors describe the client's own CSV, no server state
 		s.writeError(w, http.StatusBadRequest, codeBadStream, err.Error())
 	}
 }
