@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast clean
+.PHONY: all build test vet lint race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast trace-demo clean
 
 # Repair-engine benchmarks (the compiled hot path); -count for benchstat.
 BENCH_REPAIR = -run '^$$' -bench 'Fig13Repair|RepairSingleTuple|CodedRepairTuple|StreamRepair' -benchmem -count 6 .
@@ -76,6 +76,12 @@ experiments:
 
 experiments-fast:
 	$(GO) run ./cmd/experiments -fast
+
+# Worked tracing example: chase-repair the hospital fixture and print each
+# repaired tuple's rule applications (docs/OBSERVABILITY.md).
+trace-demo:
+	$(GO) run ./cmd/fixrepair -rules testdata/hosp/rules.dsl \
+		-data testdata/hosp/dirty.csv -alg chase -trace
 
 clean:
 	$(GO) clean ./...

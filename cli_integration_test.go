@@ -130,7 +130,40 @@ RULE phi3
 		t.Error("parallel streamed output differs from batch output")
 	}
 
-	// 7. -workers is rejected in modes that cannot use it.
+	// 7. Streaming with -log captures the same repair log batch mode
+	// writes, and -revert applies it in reverse: the restored file is
+	// byte-identical to the dirty original, at any worker count.
+	logged := filepath.Join(dir, "travel.logged.csv")
+	logFile := filepath.Join(dir, "repairs.csv")
+	out = run("fixrepair", "-rules", fixed, "-data", data,
+		"-stream", "-workers", "2", "-out", logged, "-log", logFile)
+	if !strings.Contains(out, "wrote "+logFile) {
+		t.Fatalf("stream -log output:\n%s", out)
+	}
+	restored := filepath.Join(dir, "travel.restored.csv")
+	run("fixrepair", "-revert", logFile, "-data", logged, "-out", restored)
+	original, err := os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(original) {
+		t.Errorf("revert of streamed log is not byte-identical:\n got %q\nwant %q", back, original)
+	}
+
+	// 8. -trace prints the chase of each repaired tuple: rule, rewrite,
+	// and evidence, in the Explain vocabulary.
+	out = run("fixrepair", "-rules", fixed, "-data", data, "-alg", "chase", "-trace")
+	if !strings.Contains(out, "trace row 1") ||
+		!strings.Contains(out, `"Shanghai" -> "Beijing"`) ||
+		!strings.Contains(out, "assured [") {
+		t.Fatalf("-trace output:\n%s", out)
+	}
+
+	// 9. -workers is rejected in modes that cannot use it.
 	if out, err := exec.Command(bin["fixrepair"], "-rules", fixed, "-data", data,
 		"-explain", "2", "-workers", "4").CombinedOutput(); err == nil {
 		t.Fatalf("-explain -workers 4 should fail, got:\n%s", out)
@@ -169,7 +202,8 @@ RULE phi1
 		t.Fatal(err)
 	}
 
-	cmd := exec.Command(bin, "-rules", rules, "-addr", "127.0.0.1:0", "-drain-timeout", "10s")
+	cmd := exec.Command(bin, "-rules", rules, "-addr", "127.0.0.1:0", "-drain-timeout", "10s",
+		"-trace-sample", "1", "-log-level", "warn")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -220,6 +254,21 @@ RULE phi1
 	}
 	if v := resp.Header.Get("X-Fixserve-Ruleset-Version"); v != "1" {
 		t.Errorf("ruleset version header = %q, want 1", v)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Error("/repair response missing X-Request-Id")
+	}
+	tp := resp.Header.Get("traceparent")
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") {
+		t.Errorf("/repair traceparent = %q", tp)
+	}
+
+	// At -trace-sample 1 the repair request's trace is in the ring, and
+	// the drill-down view carries its request ID and chase steps.
+	if code, body := get("/debug/traces/" + tp[3:35]); code != 200 ||
+		!strings.Contains(body, reqID) || !strings.Contains(body, "chase.step") {
+		t.Fatalf("/debug/traces/<id> = %d\n%s", code, body)
 	}
 
 	if code, body := get("/metrics"); code != 200 ||

@@ -7,14 +7,18 @@
 //	fixrepair -rules rules.dsl -data dirty.csv -out repaired.csv -log repairs.csv
 //	fixrepair -rules rules.dsl -data dirty.csv -alg chase
 //	fixrepair -rules rules.dsl -data dirty.csv -explain 2       # provenance of row 2
+//	fixrepair -rules rules.dsl -data dirty.csv -trace           # chase trace of each repair
 //	fixrepair -rules rules.dsl -data big.csv -stream -out fixed.csv
-//	fixrepair -rules rules.dsl -data big.csv -stream -workers 8 -out fixed.csv
+//	fixrepair -rules rules.dsl -data big.csv -stream -workers 8 -out fixed.csv -log repairs.csv
 //	fixrepair -revert repairs.csv -data repaired.csv -out restored.csv
 //
 // The data file's header (or frel schema) must match the rule schema.
-// -log writes one changed cell per line (row, attribute, old, new);
-// -revert applies such a log in reverse, restoring the exact pre-repair
-// state.
+// -log writes one changed cell per line (row, attribute, old, new), in
+// batch and streaming mode alike; -revert applies such a log in reverse,
+// restoring the exact pre-repair state. -trace prints each repaired
+// tuple's chase: which rules fired, on what evidence, what they rewrote,
+// and the assured set after each step (-trace-sample and -trace-max bound
+// the output on large runs).
 package main
 
 import (
@@ -37,15 +41,18 @@ import (
 
 func main() {
 	var (
-		rulesPath = flag.String("rules", "", "rule file (DSL, or JSON when *.json)")
-		dataPath  = flag.String("data", "", "input CSV (header must match the rule schema)")
-		outPath   = flag.String("out", "", "output CSV for the repaired relation")
-		logPath   = flag.String("log", "", "optional CSV log of applied repairs")
-		alg       = flag.String("alg", "linear", "repair algorithm: linear (lRepair) or chase (cRepair)")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		explain   = flag.Int("explain", -1, "print the repair provenance of this row and exit")
-		stream    = flag.Bool("stream", false, "stream rows through the repairer (constant memory); requires -out")
-		revert    = flag.String("revert", "", "undo a previous repair: apply this -log file in reverse to -data; requires -out")
+		rulesPath   = flag.String("rules", "", "rule file (DSL, or JSON when *.json)")
+		dataPath    = flag.String("data", "", "input CSV (header must match the rule schema)")
+		outPath     = flag.String("out", "", "output CSV for the repaired relation")
+		logPath     = flag.String("log", "", "optional CSV log of applied repairs")
+		alg         = flag.String("alg", "linear", "repair algorithm: linear (lRepair) or chase (cRepair)")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		explain     = flag.Int("explain", -1, "print the repair provenance of this row and exit")
+		stream      = flag.Bool("stream", false, "stream rows through the repairer (constant memory); requires -out")
+		revert      = flag.String("revert", "", "undo a previous repair: apply this -log file in reverse to -data; requires -out")
+		doTrace     = flag.Bool("trace", false, "print a chase trace of each repaired tuple (rule, evidence, old -> new, assured set)")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of rows eligible for -trace, sampled deterministically")
+		traceMax    = flag.Int("trace-max", 0, "max tuples traced by -trace (0 = 256, negative = unlimited)")
 	)
 	flag.Parse()
 	if (*rulesPath == "" && *revert == "") || *dataPath == "" {
@@ -64,13 +71,34 @@ func main() {
 		}
 		return
 	}
-	if err := run(*rulesPath, *dataPath, *outPath, *logPath, *alg, *workers, *explain, *stream); err != nil {
+	tc := traceConfig{enabled: *doTrace, sample: *traceSample, max: *traceMax}
+	if err := run(*rulesPath, *dataPath, *outPath, *logPath, *alg, *workers, *explain, *stream, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "fixrepair:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int, stream bool) error {
+// traceConfig carries the -trace flags.
+type traceConfig struct {
+	enabled bool
+	sample  float64
+	max     int
+}
+
+// newRecorder builds the run's chase recorder, or nil when nothing needs
+// one. A streaming -log needs every change (rate 1, unlimited), which
+// subsumes whatever -trace asked for; -trace alone gets its own sampling.
+func (tc traceConfig) newRecorder(needLog bool) *fixrule.ChaseRecorder {
+	if needLog {
+		return fixrule.NewChaseRecorder(-1, 1, 0)
+	}
+	if tc.enabled {
+		return fixrule.NewChaseRecorder(tc.max, tc.sample, 0)
+	}
+	return nil
+}
+
+func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int, stream bool, tc traceConfig) error {
 	rs, err := ruleio.LoadFile(rulesPath)
 	if err != nil {
 		return err
@@ -110,18 +138,25 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
+		// The recorder gives streaming the -log support batch mode has: it
+		// captures every change (global row numbers, any worker count), and
+		// rec.Log() is exactly the entries a batch repair would write.
+		rec := tc.newRecorder(logPath != "")
 		start := time.Now()
 		var stats *fixrule.StreamStats
+		ctx := context.Background()
 		frel := strings.HasSuffix(dataPath, ".frel") && strings.HasSuffix(outPath, ".frel")
 		switch {
 		case frel && w > 1:
-			stats, err = rep.StreamFrelParallel(context.Background(), in, out, algorithm, w)
+			stats, err = rep.StreamFrelParallelOpts(ctx, in, out, algorithm,
+				fixrule.StreamOptions{Workers: w, Recorder: rec})
 		case frel:
-			stats, err = rep.StreamFrel(in, out, algorithm)
+			stats, err = rep.StreamFrelTraced(ctx, in, out, algorithm, rec)
 		case w > 1:
-			stats, err = rep.StreamCSVParallel(context.Background(), in, out, algorithm, w)
+			stats, err = rep.StreamCSVParallelOpts(ctx, in, out, algorithm,
+				fixrule.StreamOptions{Workers: w, Recorder: rec})
 		default:
-			stats, err = rep.StreamCSV(in, out, algorithm)
+			stats, err = rep.StreamCSVTraced(ctx, in, out, algorithm, rec)
 		}
 		if err != nil {
 			out.Close()
@@ -133,6 +168,15 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		elapsed := time.Since(start)
 		fmt.Printf("streamed %d rows in %v (%s): %d tuples repaired with %d rule applications\n",
 			stats.Rows, elapsed, tuplesPerSec(stats.Rows, elapsed), stats.Repaired, stats.Steps)
+		if logPath != "" {
+			if err := writeStreamLog(logPath, rec); err != nil {
+				return err
+			}
+			fmt.Println("wrote", logPath)
+		}
+		if tc.enabled {
+			printTraces(rec, tc)
+		}
 		return nil
 	}
 
@@ -152,8 +196,9 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		return nil
 	}
 
+	rec := tc.newRecorder(false)
 	start := time.Now()
-	res := rep.RepairRelationParallel(rel, algorithm, workers)
+	res := rep.RepairRelationParallelRecorded(rel, algorithm, workers, rec)
 	elapsed := time.Since(start)
 
 	fmt.Printf("repaired %d rows with %d rules in %v (%s, %s)\n",
@@ -173,7 +218,47 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		}
 		fmt.Println("wrote", logPath)
 	}
+	if tc.enabled {
+		printTraces(rec, tc)
+	}
 	return nil
+}
+
+// printTraces renders the recorder's chase traces in the Explain
+// vocabulary: one block per repaired tuple, one line per rule application.
+func printTraces(rec *fixrule.ChaseRecorder, tc traceConfig) {
+	tuples := rec.Tuples()
+	if len(tuples) == 0 {
+		fmt.Println("trace: no repaired tuples among the sampled rows")
+		return
+	}
+	for _, tt := range tuples {
+		fmt.Printf("trace row %d (%d step(s)):\n", tt.Row, len(tt.Steps))
+		for _, st := range tt.Steps {
+			fmt.Printf("  %s: %s %q -> %q", st.Rule, st.Attr, st.From, st.To)
+			if len(st.Evidence) > 0 {
+				fmt.Printf("  because %s", strings.Join(st.Evidence, ", "))
+			}
+			fmt.Printf("  assured [%s]\n", strings.Join(st.Assured, " "))
+		}
+	}
+	if d := rec.DroppedTuples(); d > 0 {
+		fmt.Printf("trace: %d more repaired tuple(s) not shown (-trace-max %d reached)\n", d, tc.max)
+	}
+}
+
+// writeStreamLog writes the recorder's captured changes as a repair log,
+// byte-compatible with the batch -log output and with -revert.
+func writeStreamLog(path string, rec *fixrule.ChaseRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := repairlog.Write(f, rec.Log()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // tuplesPerSec formats a repair throughput for the summary lines.

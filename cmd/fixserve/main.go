@@ -16,14 +16,20 @@
 //     requests complete (up to -drain-timeout), then the process exits 0.
 //   - GET /metrics serves Prometheus text; GET /stats the same counters
 //     as JSON with latency quantiles.
+//   - Every response carries X-Request-Id and a W3C traceparent header;
+//     -trace-sample of requests (and every 5xx) retain a full trace —
+//     including per-tuple chase steps — browsable at /debug/traces.
+//     Logs are structured (log/slog, -log-level) and carry the same IDs.
+//   - -pprof exposes net/http/pprof under /debug/pprof/ (off by default).
 //
-// Endpoints (see internal/server):
+// Endpoints (see internal/server and docs/OBSERVABILITY.md):
 //
 //	GET  /healthz            liveness
-//	GET  /metrics            Prometheus exposition
+//	GET  /metrics            Prometheus exposition (with trace exemplars)
 //	GET  /stats              service counters and ruleset version
 //	GET  /rules[?format=json] the loaded ruleset
 //	GET  /rules/stats        rule statistics
+//	GET  /debug/traces       recent request traces; /debug/traces/<id> drills in
 //	POST /repair             JSON tuples in, repaired tuples + steps out
 //	POST /repair/csv         CSV stream in, repaired CSV out
 //	POST /explain            one tuple in, repair provenance out
@@ -34,11 +40,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +54,7 @@ import (
 	"fixrule/internal/repair"
 	"fixrule/internal/ruleio"
 	"fixrule/internal/server"
+	"fixrule/internal/trace"
 )
 
 func main() {
@@ -57,11 +66,20 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request repair deadline")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 		streamWorkers = flag.Int("stream-workers", 1, "workers for /repair/csv streaming (0 = GOMAXPROCS, 1 = sequential)")
+		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		traceSample   = flag.Float64("trace-sample", 0.01, "fraction of requests recording full traces for /debug/traces (errors always recorded)")
+		traceRing     = flag.Int("trace-ring", 64, "completed traces retained for /debug/traces")
+		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "fixserve: -rules is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixserve:", err)
 		os.Exit(2)
 	}
 	workers := *streamWorkers
@@ -74,10 +92,28 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		StreamWorkers:  workers,
 		Loader:         func() (*core.Ruleset, error) { return ruleio.LoadFile(*rulesPath) },
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		Tracer:         trace.New(trace.Options{SampleRate: *traceSample, RingSize: *traceRing}),
+		EnablePprof:    *pprofOn,
 	}
 	if err := run(*rulesPath, *addr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "fixserve:", err)
 		os.Exit(1)
+	}
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
 	}
 }
 

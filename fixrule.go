@@ -209,10 +209,32 @@ type StreamStats = repair.StreamStats
 
 // StreamOptions tunes the parallel streaming repairs
 // (Repairer.StreamCSVParallelOpts / StreamFrelParallelOpts): worker count,
-// rows per pipeline chunk, and optional occupancy gauges. The parallel
-// streams produce byte-identical output and identical StreamStats to their
-// sequential counterparts at any worker count.
+// rows per pipeline chunk, optional occupancy gauges, and an optional
+// ChaseRecorder. The parallel streams produce byte-identical output and
+// identical StreamStats to their sequential counterparts at any worker
+// count.
 type StreamOptions = repair.ParallelOptions
+
+// ChaseRecorder captures per-tuple chase traces — which rules fired on
+// which rows, in what order, with the assured-set evolution — from the
+// Recorded repair variants and the Traced/Opts streaming entry points. A
+// nil recorder is free; the recorded rows are deterministic in (seed,
+// sample rate), identical at any worker count.
+type ChaseRecorder = repair.ChaseRecorder
+
+// TupleTrace is one recorded tuple's ordered rule-application sequence.
+type TupleTrace = repair.TupleTrace
+
+// TraceStep is one rule application inside a TupleTrace, in the Explain
+// vocabulary (rule, evidence, attribute, old → new, assured set).
+type TraceStep = repair.TraceStep
+
+// NewChaseRecorder builds a recorder: maxTuples caps distinct recorded
+// tuples (0 = a 256 default, negative = unlimited), sampleRate in [0, 1]
+// picks rows deterministically from seed.
+func NewChaseRecorder(maxTuples int, sampleRate float64, seed uint64) *ChaseRecorder {
+	return repair.NewChaseRecorder(maxTuples, sampleRate, seed)
+}
 
 // ParseFD reads an FD in the notation "A, B -> C, D".
 func ParseFD(sch *Schema, s string) (*FD, error) { return fd.Parse(sch, s) }

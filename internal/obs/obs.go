@@ -60,6 +60,20 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // math.Float64bits
+	// exemplars holds the most recent exemplar per bucket (len(bounds)+1),
+	// written only by ObserveExemplar — i.e. only for sampled requests, so
+	// the pointer store never touches the unsampled fast path.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// An Exemplar ties one observed value to the trace that produced it, in
+// the OpenMetrics sense: scraping a slow bucket yields a trace ID to pull
+// up in /debug/traces.
+type Exemplar struct {
+	// TraceID is the hex trace ID of the sampled request.
+	TraceID string
+	// Value is the observed value (seconds for latency histograms).
+	Value float64
 }
 
 // DefaultLatencyBuckets spans 0.5ms to 10s, suitable for request
@@ -76,7 +90,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -91,6 +109,39 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches the trace that produced
+// it as the bucket's exemplar (latest wins). Callers use it only for
+// sampled requests; unsampled traffic goes through Observe and pays
+// nothing for the exemplar machinery.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// BucketExemplar returns bucket i's current exemplar (i indexes bounds;
+// len(bounds) is the +Inf bucket), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar { return h.exemplars[i].Load() }
+
+// SlowestExemplar returns the exemplar of the highest non-empty bucket
+// that has one — the trace to look at when the tail is slow.
+func (h *Histogram) SlowestExemplar() *Exemplar {
+	for i := len(h.exemplars) - 1; i >= 0; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Count returns the number of observations.
@@ -270,10 +321,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				var cum int64
 				for i, bound := range s.h.bounds {
 					cum += s.h.counts[i].Load()
-					writeSample(w, f.name+"_bucket", s.labels, fmt.Sprintf("le=%q", formatBound(bound)), float64(cum))
+					writeBucket(w, f.name, s.labels, fmt.Sprintf("le=%q", formatBound(bound)), float64(cum), s.h.BucketExemplar(i))
 				}
 				cum += s.h.counts[len(s.h.bounds)].Load()
-				writeSample(w, f.name+"_bucket", s.labels, `le="+Inf"`, float64(cum))
+				writeBucket(w, f.name, s.labels, `le="+Inf"`, float64(cum), s.h.BucketExemplar(len(s.h.bounds)))
 				fmt.Fprintf(w, "%s_sum%s %v\n", f.name, renderLabels(s.labels, ""), s.h.Sum())
 				fmt.Fprintf(w, "%s_count%s %v\n", f.name, renderLabels(s.labels, ""), s.h.Count())
 			}
@@ -300,4 +351,16 @@ func renderLabels(labels, extra string) string {
 
 func writeSample(w io.Writer, name, labels, extra string, v float64) {
 	fmt.Fprintf(w, "%s%s %v\n", name, renderLabels(labels, extra), v)
+}
+
+// writeBucket renders one cumulative histogram bucket line, appending the
+// bucket's exemplar in OpenMetrics syntax when one is present. The comment
+// form (`# {...}`) keeps the line valid for plain 0.0.4 scrapers.
+func writeBucket(w io.Writer, name, labels, le string, cum float64, e *Exemplar) {
+	if e == nil {
+		writeSample(w, name+"_bucket", labels, le, cum)
+		return
+	}
+	fmt.Fprintf(w, "%s_bucket%s %v # {trace_id=%q} %v\n",
+		name, renderLabels(labels, le), cum, e.TraceID, e.Value)
 }

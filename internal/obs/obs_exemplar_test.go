@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarAttachesToBucket(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05) // no exemplar on the plain path
+	h.ObserveExemplar(0.5, "abc123")
+	h.ObserveExemplar(5, "deadbeef") // +Inf bucket
+	if e := h.BucketExemplar(0); e != nil {
+		t.Fatalf("bucket 0 exemplar = %+v, want nil", e)
+	}
+	if e := h.BucketExemplar(1); e == nil || e.TraceID != "abc123" || e.Value != 0.5 {
+		t.Fatalf("bucket 1 exemplar = %+v", e)
+	}
+	if e := h.SlowestExemplar(); e == nil || e.TraceID != "deadbeef" {
+		t.Fatalf("slowest exemplar = %+v", e)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (exemplar observes still count)", h.Count())
+	}
+}
+
+func TestExemplarLatestWins(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveExemplar(0.5, "first")
+	h.ObserveExemplar(0.6, "second")
+	if e := h.BucketExemplar(0); e.TraceID != "second" {
+		t.Fatalf("exemplar = %+v, want latest", e)
+	}
+}
+
+func TestWritePrometheusRendersExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "Request latency.", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "cafe01")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `req_seconds_bucket{le="1"} 2 # {trace_id="cafe01"} 0.5`) {
+		t.Fatalf("exemplar line missing:\n%s", out)
+	}
+	// Buckets without exemplars stay plain 0.0.4 lines.
+	if !strings.Contains(out, `req_seconds_bucket{le="0.1"} 1`+"\n") {
+		t.Fatalf("plain bucket line mangled:\n%s", out)
+	}
+	if strings.Contains(out, `le="0.1"} 1 #`) {
+		t.Fatalf("unexpected exemplar on empty bucket:\n%s", out)
+	}
+}

@@ -545,3 +545,46 @@ func (r *Repairer) OOVCells(t schema.Tuple) int {
 	r.putScratch(sc)
 	return n
 }
+
+// countOOVInto is countOOV with per-attribute accounting: acc, indexed by
+// attribute position, is incremented for each relevant OOV cell. It is not
+// part of the annotated hot path — the accounting-enabled batch and
+// streaming loops call it, and the extra write happens only for OOV cells.
+func (c *compiled) countOOVInto(row []uint32, acc []int64) int {
+	n := 0
+	for _, a := range c.relevant {
+		if row[a] == oov {
+			n++
+			acc[a]++
+		}
+	}
+	return n
+}
+
+// OOVCellsByAttr is OOVCells with per-attribute accounting: acc must have
+// one slot per schema attribute and accumulates counts across calls. The
+// tuple's total is returned.
+func (r *Repairer) OOVCellsByAttr(t schema.Tuple, acc []int64) int {
+	sc := r.getScratch()
+	r.c.encodeInto(t, sc.row)
+	n := r.c.countOOVInto(sc.row, acc)
+	r.putScratch(sc)
+	return n
+}
+
+// oovByAttr folds a per-position accumulator into the attribute-keyed map
+// the results expose, skipping attributes with no OOV cells. nil when no
+// cell was OOV.
+func (r *Repairer) oovByAttr(acc []int64) map[string]int {
+	var m map[string]int
+	attrs := r.rs.Schema().Attrs()
+	for i, n := range acc {
+		if n > 0 {
+			if m == nil {
+				m = make(map[string]int)
+			}
+			m[attrs[i]] = int(n)
+		}
+	}
+	return m
+}

@@ -161,6 +161,8 @@ type Result struct {
 	// OOV is the number of Σ-relevant cells whose input values were outside
 	// the ruleset's vocabulary (counted before repair; see Repairer.OOVCells).
 	OOV int
+	// OOVByAttr breaks OOV down by attribute name (nil when OOV is 0).
+	OOVByAttr map[string]int
 	// PerRule counts, for each rule name, how many errors it corrected —
 	// the quantity plotted in Figure 12(a).
 	PerRule map[string]int
@@ -183,6 +185,14 @@ func (res *Result) record(rows []schema.Tuple, src *schema.Relation, i int, rule
 // shares every unchanged row with the input (see Result.Relation), so the
 // per-tuple cost is the integer chase alone.
 func (r *Repairer) RepairRelation(rel *schema.Relation, alg Algorithm) *Result {
+	return r.RepairRelationRecorded(rel, alg, nil)
+}
+
+// RepairRelationRecorded is RepairRelation with an optional chase recorder
+// capturing per-tuple provenance (a nil recorder is free). The recording
+// hook sits on the string write-back, not the coded chase, so the repair
+// itself is unchanged.
+func (r *Repairer) RepairRelationRecorded(rel *schema.Relation, alg Algorithm, rec *ChaseRecorder) *Result {
 	n := rel.Len()
 	res := &Result{PerRule: make(map[string]int)}
 	rows := make([]schema.Tuple, n)
@@ -190,15 +200,24 @@ func (r *Repairer) RepairRelation(rel *schema.Relation, alg Algorithm) *Result {
 	codes := r.getCodes(n)
 	sc := r.getScratch()
 	r.c.encodeRows(rel, codes, 0, n, sc)
+	oovAcc := make([]int64, r.c.arity)
 	for i := 0; i < n; i++ {
 		row := codes.Row(i)
-		res.OOV += r.c.countOOV(row)
+		res.OOV += r.c.countOOVInto(row, oovAcc)
 		for _, pos := range r.repairEncoded(row, sc, alg) {
-			res.record(rows, rel, i, r.rules[pos])
+			rule := r.rules[pos]
+			if rec != nil {
+				// rows[i] aliases the input row until record's first-write
+				// clone, then the clone: either way it holds the current
+				// pre-write value of the target cell.
+				rec.record(i, pos, rule, rows[i][rule.TargetIndex()])
+			}
+			res.record(rows, rel, i, rule)
 		}
 	}
 	r.putScratch(sc)
 	r.putCodes(codes)
+	res.OOVByAttr = r.oovByAttr(oovAcc)
 	res.Relation = schema.FromRows(rel.Schema(), rows)
 	return res
 }
@@ -245,6 +264,7 @@ func (a *tupleArena) clone(t schema.Tuple) schema.Tuple {
 // applications, and the clone arena. Merged once after the pool drains.
 type parAccData struct {
 	oov   int
+	oovBy []int64
 	steps []rowStep
 	arena tupleArena
 }
@@ -271,6 +291,14 @@ type parAcc struct {
 // steps by row (stable, so within-row application order survives), which
 // reproduces the sequential Changed / Steps / PerRule accounting exactly.
 func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, workers int) *Result {
+	return r.RepairRelationParallelRecorded(rel, alg, workers, nil)
+}
+
+// RepairRelationParallelRecorded is RepairRelationParallel with an
+// optional chase recorder. Recording is keyed by global row number, so the
+// captured traces are identical to the sequential ones at any worker
+// count.
+func (r *Repairer) RepairRelationParallelRecorded(rel *schema.Relation, alg Algorithm, workers int, rec *ChaseRecorder) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -282,7 +310,7 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 	if workers <= 1 {
 		// One worker (or a sub-chunk relation): the pool would only add
 		// goroutine and atomic overhead to the identical result.
-		return r.RepairRelation(rel, alg)
+		return r.RepairRelationRecorded(rel, alg, rec)
 	}
 	res := &Result{PerRule: make(map[string]int)}
 	rows := make([]schema.Tuple, n)
@@ -296,6 +324,7 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 		wg.Add(1)
 		go func(acc *parAccData) {
 			defer wg.Done()
+			acc.oovBy = make([]int64, r.c.arity)
 			sc := r.getScratch()
 			for {
 				lo := int(cursor.Add(parallelChunk)) - parallelChunk
@@ -309,14 +338,18 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 				r.c.encodeRows(rel, codes, lo, hi, sc)
 				for i := lo; i < hi; i++ {
 					row := codes.Row(i)
-					acc.oov += r.c.countOOV(row)
+					acc.oov += r.c.countOOVInto(row, acc.oovBy)
 					cloned := false
 					for _, pos := range r.repairEncoded(row, sc, alg) {
+						rule := r.rules[pos]
 						if !cloned {
 							rows[i] = acc.arena.clone(rel.Row(i))
 							cloned = true
 						}
-						rows[i][r.rules[pos].TargetIndex()] = r.rules[pos].Fact()
+						if rec != nil {
+							rec.record(i, pos, rule, rows[i][rule.TargetIndex()])
+						}
+						rows[i][rule.TargetIndex()] = rule.Fact()
 						acc.steps = append(acc.steps, rowStep{row: int32(i), pos: pos})
 					}
 				}
@@ -328,8 +361,12 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 	r.putCodes(codes)
 
 	var all []rowStep
+	oovAcc := make([]int64, r.c.arity)
 	for wi := range accs {
 		res.OOV += accs[wi].oov
+		for a, v := range accs[wi].oovBy {
+			oovAcc[a] += v
+		}
 		all = append(all, accs[wi].steps...)
 	}
 	// Each worker's steps are already row-ordered (chunks are claimed in
@@ -342,6 +379,7 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 		res.PerRule[rule.Name()]++
 		res.Changed = append(res.Changed, schema.Cell{Row: int(s.row), Attr: rule.Target()})
 	}
+	res.OOVByAttr = r.oovByAttr(oovAcc)
 	res.Relation = schema.FromRows(rel.Schema(), rows)
 	return res
 }

@@ -10,6 +10,7 @@ import (
 
 	"fixrule/internal/schema"
 	"fixrule/internal/store"
+	"fixrule/internal/trace"
 )
 
 // StreamStats summarises a streaming repair run.
@@ -23,17 +24,43 @@ type StreamStats struct {
 	// OOV is the number of Σ-relevant cells whose input values were outside
 	// the ruleset's vocabulary (counted before repair).
 	OOV int
+	// OOVByAttr breaks OOV down by attribute name (nil when OOV is 0).
+	OOVByAttr map[string]int
 	// PerRule counts corrections per rule name.
 	PerRule map[string]int
+
+	// oovBy is the per-attribute-position accumulator behind OOVByAttr;
+	// increments happen only for OOV cells, so it costs nothing on clean
+	// rows.
+	oovBy []int64
+}
+
+// newStreamStats builds the stats a streaming loop accumulates into.
+func (rp *Repairer) newStreamStats() *StreamStats {
+	return &StreamStats{PerRule: make(map[string]int), oovBy: make([]int64, rp.c.arity)}
+}
+
+// finishStreamStats folds the positional OOV accumulator into the
+// attribute-keyed map.
+func (rp *Repairer) finishStreamStats(stats *StreamStats) {
+	stats.OOVByAttr = rp.oovByAttr(stats.oovBy)
 }
 
 // repairInPlace encodes t into the scratch row, repairs the codes, and
 // writes the applied facts back into t itself — the streaming hot path,
-// which owns its row buffer and needs no defensive clone.
-func (rp *Repairer) repairInPlace(t schema.Tuple, alg Algorithm, sc *codedScratch, stats *StreamStats) {
+// which owns its row buffer and needs no defensive clone. rec, when
+// non-nil, captures the applied steps (with the pre-write string in hand,
+// the recorder never needs a reverse dictionary); the nil path costs one
+// predictable branch per applied rule.
+func (rp *Repairer) repairInPlace(t schema.Tuple, alg Algorithm, sc *codedScratch, stats *StreamStats, rec *ChaseRecorder) {
 	rp.c.encodeInto(t, sc.row)
-	stats.OOV += rp.c.countOOV(sc.row)
+	if stats.oovBy != nil {
+		stats.OOV += rp.c.countOOVInto(sc.row, stats.oovBy)
+	} else {
+		stats.OOV += rp.c.countOOV(sc.row)
+	}
 	applied := rp.repairEncoded(sc.row, sc, alg)
+	row := stats.Rows
 	stats.Rows++
 	if len(applied) == 0 {
 		return
@@ -42,6 +69,9 @@ func (rp *Repairer) repairInPlace(t schema.Tuple, alg Algorithm, sc *codedScratc
 	stats.Steps += len(applied)
 	for _, pos := range applied {
 		rule := rp.rules[pos]
+		if rec != nil {
+			rec.record(row, pos, rule, t[rule.TargetIndex()])
+		}
 		t[rule.TargetIndex()] = rule.Fact()
 		stats.PerRule[rule.Name()]++
 	}
@@ -99,6 +129,35 @@ func (rp *Repairer) openCSVStream(r io.Reader) (*csv.Reader, []string, error) {
 // context.Canceled). The server uses this to propagate per-request
 // deadlines into long uploads.
 func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	return rp.StreamCSVTraced(ctx, r, w, alg, nil)
+}
+
+// streamSpan opens a child span under the context's active span (nil — and
+// free — when the request is untraced or unsampled) and returns the
+// closer that stamps outcome attributes.
+func streamSpan(ctx context.Context, name string) (*trace.Span, func(stats *StreamStats, err error)) {
+	sp := trace.SpanFromContext(ctx).StartChild(name)
+	return sp, func(stats *StreamStats, err error) {
+		if err != nil {
+			sp.SetError(err.Error())
+		} else if stats != nil {
+			sp.SetAttr(
+				trace.Int("rows", stats.Rows),
+				trace.Int("repaired", stats.Repaired),
+				trace.Int("steps", stats.Steps),
+				trace.Int("oov", stats.OOV),
+			)
+		}
+		sp.End()
+	}
+}
+
+// StreamCSVTraced is StreamCSVContext with an optional chase recorder (nil
+// is free); it also emits a child span when ctx carries a sampled trace
+// span.
+func (rp *Repairer) StreamCSVTraced(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm, chase *ChaseRecorder) (stats *StreamStats, err error) {
+	_, end := streamSpan(ctx, "repair.stream.csv")
+	defer func() { end(stats, err) }()
 	cr, header, err := rp.openCSVStream(r)
 	if err != nil {
 		return nil, err
@@ -112,7 +171,7 @@ func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writ
 		return nil, err
 	}
 
-	stats := &StreamStats{PerRule: make(map[string]int)}
+	stats = rp.newStreamStats()
 	sc := rp.getScratch()
 	defer rp.putScratch(sc)
 	for {
@@ -128,7 +187,7 @@ func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writ
 		if err != nil {
 			return nil, fmt.Errorf("repair: stream row %d: %w", stats.Rows+1, err)
 		}
-		rp.repairInPlace(schema.Tuple(rec), alg, sc, stats)
+		rp.repairInPlace(schema.Tuple(rec), alg, sc, stats, chase)
 		if err := cw.Write(rec); err != nil {
 			return nil, err
 		}
@@ -137,6 +196,7 @@ func (rp *Repairer) StreamCSVContext(ctx context.Context, r io.Reader, w io.Writ
 	if err := cw.Error(); err != nil {
 		return nil, err
 	}
+	rp.finishStreamStats(stats)
 	return stats, nil
 }
 
@@ -170,11 +230,19 @@ func (rp *Repairer) openFrelStream(r io.Reader, w io.Writer) (*store.Scanner, *s
 // ctxCheckMask+1 rows exactly like StreamCSVContext — server deadlines
 // protect binary uploads the same way they protect CSV ones.
 func (rp *Repairer) StreamFrelContext(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm) (*StreamStats, error) {
+	return rp.StreamFrelTraced(ctx, r, w, alg, nil)
+}
+
+// StreamFrelTraced is StreamFrelContext with an optional chase recorder
+// and a child span when ctx carries a sampled trace span.
+func (rp *Repairer) StreamFrelTraced(ctx context.Context, r io.Reader, w io.Writer, alg Algorithm, chase *ChaseRecorder) (stats *StreamStats, err error) {
+	_, end := streamSpan(ctx, "repair.stream.frel")
+	defer func() { end(stats, err) }()
 	sc, sw, err := rp.openFrelStream(r, w)
 	if err != nil {
 		return nil, err
 	}
-	stats := &StreamStats{PerRule: make(map[string]int)}
+	stats = rp.newStreamStats()
 	scr := rp.getScratch()
 	defer rp.putScratch(scr)
 	for sc.Next() {
@@ -184,7 +252,7 @@ func (rp *Repairer) StreamFrelContext(ctx context.Context, r io.Reader, w io.Wri
 			}
 		}
 		tup := sc.Tuple()
-		rp.repairInPlace(tup, alg, scr, stats)
+		rp.repairInPlace(tup, alg, scr, stats, chase)
 		if err := sw.Append(tup); err != nil {
 			return nil, err
 		}
@@ -195,5 +263,6 @@ func (rp *Repairer) StreamFrelContext(ctx context.Context, r io.Reader, w io.Wri
 	if err := sw.Close(); err != nil {
 		return nil, err
 	}
+	rp.finishStreamStats(stats)
 	return stats, nil
 }

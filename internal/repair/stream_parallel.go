@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"fixrule/internal/schema"
+	"fixrule/internal/trace"
 )
 
 // This file is the pipelined parallel streaming engine: a reader goroutine
@@ -44,6 +45,10 @@ type ParallelOptions struct {
 	// BusyWorkers, when non-nil, receives +1 when a worker starts repairing
 	// a chunk and -1 when it finishes.
 	BusyWorkers gaugeAdd
+	// Recorder, when non-nil, captures per-tuple chase traces of repaired
+	// rows. Row numbers are global input positions, so the recorded traces
+	// are identical at any worker count.
+	Recorder *ChaseRecorder
 }
 
 func (o ParallelOptions) withDefaults() ParallelOptions {
@@ -67,9 +72,12 @@ type streamChunk struct {
 // perRule is indexed by rule position and folded into the name-keyed map
 // once at the end, so workers never touch a map or a lock.
 type streamAccData struct {
+	rows     int
+	chunks   int
 	repaired int
 	steps    int
 	oov      int
+	oovBy    []int64
 	perRule  []int32
 }
 
@@ -88,6 +96,12 @@ type streamAcc struct {
 func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tuple, error), write func(schema.Tuple) error, alg Algorithm, opts ParallelOptions) (*StreamStats, error) {
 	opts = opts.withDefaults()
 	workers, chunkRows := opts.Workers, opts.ChunkRows
+
+	// One child span for the pipeline, one per worker — a bounded span
+	// count regardless of input size. All nil (and free) when the request
+	// is untraced or unsampled.
+	psp := trace.SpanFromContext(ctx).StartChild("repair.stream.parallel")
+	psp.SetAttr(trace.Int("workers", workers), trace.Int("chunk_rows", chunkRows))
 
 	// The fixed chunk pool bounds memory: every chunk is always in exactly
 	// one place (recycle, work, a worker, done, or the writer's pending
@@ -150,6 +164,8 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 		go func(acc *streamAccData) {
 			defer wg.Done()
 			acc.perRule = make([]int32, len(rp.rules))
+			acc.oovBy = make([]int64, rp.c.arity)
+			wsp := psp.StartChild("repair.worker")
 			sc := rp.getScratch()
 			for cb := range work {
 				if opts.QueueDepth != nil {
@@ -158,15 +174,23 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 				if opts.BusyWorkers != nil {
 					opts.BusyWorkers.Add(1)
 				}
-				for _, t := range cb.rows {
+				acc.chunks++
+				acc.rows += len(cb.rows)
+				rowBase := int(cb.seq) * chunkRows
+				for idx, t := range cb.rows {
 					rp.c.encodeInto(t, sc.row)
-					acc.oov += rp.c.countOOV(sc.row)
+					acc.oov += rp.c.countOOVInto(sc.row, acc.oovBy)
 					applied := rp.repairEncoded(sc.row, sc, alg)
 					if len(applied) > 0 {
 						acc.repaired++
 						acc.steps += len(applied)
 						for _, pos := range applied {
 							rule := rp.rules[pos]
+							if opts.Recorder != nil {
+								// Only the last chunk can be short, so the
+								// global row is seq*chunkRows + idx.
+								opts.Recorder.record(rowBase+idx, pos, rule, t[rule.TargetIndex()])
+							}
 							t[rule.TargetIndex()] = rule.Fact()
 							acc.perRule[pos]++
 						}
@@ -178,6 +202,13 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 				done <- cb
 			}
 			rp.putScratch(sc)
+			wsp.SetAttr(
+				trace.Int("chunks", acc.chunks),
+				trace.Int("rows", acc.rows),
+				trace.Int("repaired", acc.repaired),
+				trace.Int("steps", acc.steps),
+			)
+			wsp.End()
 		}(&accs[wi].streamAccData)
 	}
 	go func() {
@@ -218,17 +249,25 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 	}
 
 	if readErr != nil && readErr != io.EOF {
+		psp.SetError(readErr.Error())
+		psp.End()
 		return nil, readErr
 	}
 	if writeErr != nil {
+		psp.SetError(writeErr.Error())
+		psp.End()
 		return nil, writeErr
 	}
-	stats := &StreamStats{Rows: rowsRead, PerRule: make(map[string]int)}
+	stats := rp.newStreamStats()
+	stats.Rows = rowsRead
 	total := make([]int64, len(rp.rules))
 	for wi := range accs {
 		stats.Repaired += accs[wi].repaired
 		stats.Steps += accs[wi].steps
 		stats.OOV += accs[wi].oov
+		for a, v := range accs[wi].oovBy {
+			stats.oovBy[a] += v
+		}
 		for pos, n := range accs[wi].perRule {
 			total[pos] += int64(n)
 		}
@@ -238,6 +277,14 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 			stats.PerRule[rp.rules[pos].Name()] = int(n)
 		}
 	}
+	rp.finishStreamStats(stats)
+	psp.SetAttr(
+		trace.Int("rows", stats.Rows),
+		trace.Int("repaired", stats.Repaired),
+		trace.Int("steps", stats.Steps),
+		trace.Int("oov", stats.OOV),
+	)
+	psp.End()
 	return stats, nil
 }
 

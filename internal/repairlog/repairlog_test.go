@@ -1,4 +1,4 @@
-package repairlog
+package repairlog_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 
 	"fixrule/internal/core"
 	"fixrule/internal/repair"
+	"fixrule/internal/repairlog"
 	"fixrule/internal/schema"
 )
 
@@ -33,17 +34,17 @@ func travelFixture(t *testing.T) (*schema.Relation, *repair.Repairer) {
 func TestRoundTripAndRevert(t *testing.T) {
 	dirty, rep := travelFixture(t)
 	res := rep.RepairRelation(dirty, repair.Linear)
-	entries := FromResult(dirty, res.Relation, res.Changed)
+	entries := repairlog.FromResult(dirty, res.Relation, res.Changed)
 	if len(entries) != 2 {
 		t.Fatalf("entries = %+v", entries)
 	}
 
 	// Serialise and parse back.
 	var buf bytes.Buffer
-	if err := Write(&buf, entries); err != nil {
+	if err := repairlog.Write(&buf, entries); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(&buf)
+	back, err := repairlog.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRoundTripAndRevert(t *testing.T) {
 
 	// Apply the log to a fresh dirty copy: reproduces the repair exactly.
 	copy1 := dirty.Clone()
-	if err := Apply(copy1, back); err != nil {
+	if err := repairlog.Apply(copy1, back); err != nil {
 		t.Fatal(err)
 	}
 	if len(schema.Diff(copy1, res.Relation)) != 0 {
@@ -62,7 +63,7 @@ func TestRoundTripAndRevert(t *testing.T) {
 
 	// Revert the repaired relation: restores the dirty original exactly.
 	restored := res.Relation.Clone()
-	if err := Revert(restored, back); err != nil {
+	if err := repairlog.Revert(restored, back); err != nil {
 		t.Fatal(err)
 	}
 	if len(schema.Diff(restored, dirty)) != 0 {
@@ -73,16 +74,16 @@ func TestRoundTripAndRevert(t *testing.T) {
 func TestApplyMismatchDetected(t *testing.T) {
 	dirty, rep := travelFixture(t)
 	res := rep.RepairRelation(dirty, repair.Linear)
-	entries := FromResult(dirty, res.Relation, res.Changed)
+	entries := repairlog.FromResult(dirty, res.Relation, res.Changed)
 
 	tampered := dirty.Clone()
 	tampered.Set(1, "capital", "SOMETHING-ELSE")
-	if err := Apply(tampered, entries); err == nil ||
+	if err := repairlog.Apply(tampered, entries); err == nil ||
 		!strings.Contains(err.Error(), "log expects") {
 		t.Errorf("tampered apply err = %v", err)
 	}
 	// Reverting a relation that was never repaired fails the same way.
-	if err := Revert(dirty.Clone(), entries); err == nil {
+	if err := repairlog.Revert(dirty.Clone(), entries); err == nil {
 		t.Error("revert of unrepaired relation accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestReadValidation(t *testing.T) {
 		"row,attr,old,new\n1,capital,a\n",
 	}
 	for i, src := range cases {
-		if _, err := Read(strings.NewReader(src)); err == nil {
+		if _, err := repairlog.Read(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
@@ -104,10 +105,10 @@ func TestReadValidation(t *testing.T) {
 
 func TestTransformValidation(t *testing.T) {
 	dirty, _ := travelFixture(t)
-	if err := Apply(dirty.Clone(), []Entry{{Row: 0, Attr: "zzz"}}); err == nil {
+	if err := repairlog.Apply(dirty.Clone(), []repairlog.Entry{{Row: 0, Attr: "zzz"}}); err == nil {
 		t.Error("unknown attribute accepted")
 	}
-	if err := Apply(dirty.Clone(), []Entry{{Row: 99, Attr: "capital"}}); err == nil {
+	if err := repairlog.Apply(dirty.Clone(), []repairlog.Entry{{Row: 99, Attr: "capital"}}); err == nil {
 		t.Error("out-of-range row accepted")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+
+	"fixrule/internal/trace"
 )
 
 // Stable machine-readable error codes. Clients and dashboards key on
@@ -19,6 +21,7 @@ const (
 	codeOverloaded       = "overloaded"
 	codeTimeout          = "request_timeout"
 	codeCanceled         = "request_cancelled"
+	codeTraceNotFound    = "trace_not_found"
 	codeReloadDisabled   = "reload_disabled"
 	codeReloadFailed     = "reload_failed"
 	codeInconsistent     = "ruleset_inconsistent"
@@ -27,28 +30,41 @@ const (
 
 // errorEnvelope is the JSON error body every non-2xx response carries:
 //
-//	{"error": {"code": "arity_mismatch", "message": "..."}}
+//	{"error": {"code": "arity_mismatch", "message": "...",
+//	           "request_id": "...", "trace_id": "..."}}
 //
 // The message never contains server-internal detail (file paths, stack
 // text); failures whose cause is server-side are logged and reported to
-// the client as the code alone with a generic message.
+// the client as the code alone with a generic message. request_id and
+// trace_id match the request's log line and response headers, so a client
+// reporting a 503 or 413 hands the operator exactly the correlation keys
+// the log is indexed by.
 type errorEnvelope struct {
 	Error errorDetail `json:"error"`
 }
 
 type errorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
 // writeError emits the envelope with the given status. If the response
 // has already started streaming (the /repair/csv partial-write case), the
 // status line is gone, but the envelope still lands in the body where a
-// client can detect the truncated stream.
+// client can detect the truncated stream. The correlation IDs are read
+// back from the response headers the middleware set, so every call site
+// gets them for free.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	detail := errorDetail{Code: code, Message: message,
+		RequestID: w.Header().Get(RequestIDHeader)}
+	if sc, ok := trace.ParseTraceparent(w.Header().Get("traceparent")); ok {
+		detail.TraceID = sc.TraceID.String()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	data, _ := json.Marshal(errorEnvelope{Error: errorDetail{Code: code, Message: message}})
+	data, _ := json.Marshal(errorEnvelope{Error: detail})
 	w.Write(append(data, '\n'))
 }
 

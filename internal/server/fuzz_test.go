@@ -39,7 +39,7 @@ func fuzzServer() *Server {
 		}
 		// A small body cap keeps huge generated inputs cheap while still
 		// exercising the 413 path.
-		fuzzSrv = NewWithConfig(rep, Config{MaxBodyBytes: 1 << 20, Logf: discardLogf})
+		fuzzSrv = NewWithConfig(rep, Config{MaxBodyBytes: 1 << 20, Logger: discardLogger})
 	})
 	return fuzzSrv
 }

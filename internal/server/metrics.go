@@ -23,8 +23,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, eng *engi
 }
 
 // serverStatsResponse is the /stats payload: the operational counters in
-// JSON form, with latency quantiles derived from the histogram.
+// JSON form, with latency quantiles derived from the histogram. RequestID
+// identifies this /stats request itself, so a scraped snapshot can be
+// matched to the server log that surrounds it.
 type serverStatsResponse struct {
+	RequestID      string           `json:"request_id,omitempty"`
 	RulesetVersion int64            `json:"ruleset_version"`
 	RulesetHash    string           `json:"ruleset_hash"`
 	Rules          int              `json:"rules"`
@@ -49,6 +52,7 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request, eng *
 		return
 	}
 	resp := serverStatsResponse{
+		RequestID:      w.Header().Get(RequestIDHeader),
 		RulesetVersion: eng.version,
 		RulesetHash:    eng.hash,
 		Rules:          eng.rep.Ruleset().Len(),

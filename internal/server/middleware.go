@@ -2,16 +2,24 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 
 	"fixrule/internal/obs"
+	"fixrule/internal/trace"
 )
 
 // metrics holds the pre-registered instruments the request path touches.
 // Everything is resolved to a pointer at construction, so serving a
-// request performs only atomic adds — no registry lookups, no locks.
+// request performs only atomic adds — no registry lookups, no locks. The
+// per-attribute series are the one exception: attributes can change on
+// reload, so their counters resolve through a small mutex-guarded cache,
+// once per (request, attribute) — never per tuple.
 type metrics struct {
 	requests    map[string]*obs.Counter // per endpoint
 	errors4xx   map[string]*obs.Counter // per endpoint
@@ -28,13 +36,17 @@ type metrics struct {
 	streamQueue *obs.Gauge
 	streamBusy  *obs.Gauge
 	latency     *obs.Histogram
+
+	attrMu        sync.Mutex
+	changedByAttr map[string]*obs.Counter
+	oovByAttr     map[string]*obs.Counter
 }
 
 // endpoints is the full routing surface; every metric family carrying an
 // endpoint label is pre-registered over this list.
 var endpoints = []string{
 	"/healthz", "/metrics", "/stats", "/rules", "/rules/stats",
-	"/repair", "/repair/csv", "/explain", "/reload",
+	"/repair", "/repair/csv", "/explain", "/reload", "/debug/traces",
 }
 
 func (s *Server) initMetrics() {
@@ -74,6 +86,84 @@ func (s *Server) initMetrics() {
 		"Parallel stream workers currently repairing a chunk.", "")
 	s.m.latency = r.Histogram("fixserve_request_duration_seconds",
 		"Request latency.", "", obs.DefaultLatencyBuckets())
+	r.Gauge("fixserve_build_info",
+		"Build identity; value is always 1.",
+		obs.Labels("version", buildVersion(), "go", runtime.Version())).Set(1)
+	s.m.changedByAttr = make(map[string]*obs.Counter)
+	s.m.oovByAttr = make(map[string]*obs.Counter)
+	// Pre-register the per-attribute series for the initial schema so they
+	// show up at 0 before the first repair.
+	for _, a := range s.eng.Load().rep.Ruleset().Schema().Attrs() {
+		s.changedCounter(a)
+		s.oovCounter(a)
+	}
+}
+
+// buildVersion reports the module version stamped into the binary, or
+// "unknown" for unstamped builds (go test, plain go build of a dirty tree).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// changedCounter resolves the fixserve_cells_changed_total series for one
+// attribute, caching the pointer.
+func (s *Server) changedCounter(attr string) *obs.Counter {
+	s.m.attrMu.Lock()
+	defer s.m.attrMu.Unlock()
+	c := s.m.changedByAttr[attr]
+	if c == nil {
+		c = s.reg.Counter("fixserve_cells_changed_total",
+			"Cell writes by repairs (rule applications), by target attribute.",
+			obs.Labels("attr", attr))
+		s.m.changedByAttr[attr] = c
+	}
+	return c
+}
+
+// oovCounter resolves the fixserve_cells_oov_total series for one
+// attribute, caching the pointer.
+func (s *Server) oovCounter(attr string) *obs.Counter {
+	s.m.attrMu.Lock()
+	defer s.m.attrMu.Unlock()
+	c := s.m.oovByAttr[attr]
+	if c == nil {
+		c = s.reg.Counter("fixserve_cells_oov_total",
+			"Input cells outside the ruleset vocabulary, by attribute.",
+			obs.Labels("attr", attr))
+		s.m.oovByAttr[attr] = c
+	}
+	return c
+}
+
+// addAttrMetrics folds per-request aggregates into the per-attribute
+// series: changed counts keyed by attribute name, OOV counts indexed by
+// attribute position. Iterates the schema's attribute slice, so the order
+// (and the set of series touched) is deterministic.
+func (s *Server) addAttrMetrics(eng *engine, changed map[string]int, oovAcc []int64) {
+	for i, a := range eng.rep.Ruleset().Schema().Attrs() {
+		if n := changed[a]; n > 0 {
+			s.changedCounter(a).Add(int64(n))
+		}
+		if i < len(oovAcc) && oovAcc[i] > 0 {
+			s.oovCounter(a).Add(oovAcc[i])
+		}
+	}
+}
+
+// addAttrMetricsByName is addAttrMetrics with the OOV side already keyed by
+// attribute name (the streaming paths hand back StreamStats.OOVByAttr).
+func (s *Server) addAttrMetricsByName(eng *engine, changed, oov map[string]int) {
+	for _, a := range eng.rep.Ruleset().Schema().Attrs() {
+		if n := changed[a]; n > 0 {
+			s.changedCounter(a).Add(int64(n))
+		}
+		if n := oov[a]; n > 0 {
+			s.oovCounter(a).Add(int64(n))
+		}
+	}
 }
 
 // statusWriter records the response status so the middleware can classify
@@ -120,10 +210,11 @@ func (sw *statusWriter) status() int {
 // reload can never mix two ruleset versions inside one response.
 type handlerFunc func(http.ResponseWriter, *http.Request, *engine)
 
-// wrap is the middleware every route passes through: request counting and
-// latency, the ruleset-version response headers, the concurrency limiter
-// with load shedding (limited endpoints only), the request deadline, and
-// the body-size cap.
+// wrap is the middleware every route passes through: request ID issuance,
+// trace extraction/injection (W3C traceparent), request counting and
+// latency, the structured request log line, the ruleset-version response
+// headers, the concurrency limiter with load shedding (limited endpoints
+// only), the request deadline, and the body-size cap.
 func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.HandlerFunc {
 	reqs := s.m.requests[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -131,21 +222,53 @@ func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.Handler
 		reqs.Inc()
 		s.m.inflight.Add(1)
 		defer s.m.inflight.Add(-1)
+
+		// Every request gets a trace — joined to the caller's when a valid
+		// traceparent arrived, fresh otherwise — so logs and error envelopes
+		// always carry a trace ID; whether child spans are recorded is the
+		// sampling decision inside StartRequest.
+		reqID := s.nextRequestID()
+		parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		tr := s.tracer.StartRequest(endpoint, parent)
+		root := tr.Root()
+		root.SetAttr(
+			trace.String("request_id", reqID),
+			trace.String("method", r.Method),
+			trace.String("endpoint", endpoint),
+		)
+
 		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(RequestIDHeader, reqID)
+		sw.Header().Set("traceparent", root.Context().Traceparent())
 		defer func() {
-			s.m.latency.Observe(time.Since(start).Seconds())
-			switch st := sw.status(); {
+			dur := time.Since(start)
+			st := sw.status()
+			root.SetAttr(trace.Int("status", st))
+			if st >= 500 {
+				// Server-side failures always keep their trace, sampled or
+				// not, so /debug/traces has the evidence when it matters.
+				root.SetError(http.StatusText(st))
+			}
+			tr.Finish()
+			if tr.Sampled() {
+				s.m.latency.ObserveExemplar(dur.Seconds(), tr.ID().String())
+			} else {
+				s.m.latency.Observe(dur.Seconds())
+			}
+			switch {
 			case st >= 500:
 				s.m.errors5xx[endpoint].Inc()
 			case st >= 400:
 				s.m.errors4xx[endpoint].Inc()
 			}
+			s.logRequest(r.Method, endpoint, st, dur, reqID, tr)
 		}()
 
 		eng := s.eng.Load()
 		sw.Header().Set(VersionHeader, strconv.FormatInt(eng.version, 10))
 		sw.Header().Set(HashHeader, eng.hash)
 
+		ctx := r.Context()
 		if limited {
 			select {
 			case s.sem <- struct{}{}:
@@ -157,13 +280,38 @@ func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.Handler
 					"server at capacity, retry shortly")
 				return
 			}
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
-			r = r.WithContext(ctx)
 		}
+		r = r.WithContext(trace.ContextWithSpan(ctx, root))
 		if r.Method == http.MethodPost {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}
 		h(sw, r, eng)
 	}
+}
+
+// logRequest emits the per-request structured log line. Probe endpoints
+// stay at Debug so a scraped, health-checked server does not fill its log
+// with noise; error statuses escalate the level.
+func (s *Server) logRequest(method, endpoint string, status int, dur time.Duration, reqID string, tr *trace.Trace) {
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case status >= 400:
+		level = slog.LevelWarn
+	case endpoint == "/healthz" || endpoint == "/metrics":
+		level = slog.LevelDebug
+	}
+	s.cfg.Logger.Log(context.Background(), level, "request",
+		"method", method,
+		"endpoint", endpoint,
+		"status", status,
+		"duration_ms", float64(dur.Microseconds())/1000,
+		"request_id", reqID,
+		"trace_id", tr.ID().String(),
+		"sampled", tr.Sampled(),
+	)
 }

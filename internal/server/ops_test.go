@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,7 +15,7 @@ import (
 	"fixrule/internal/schema"
 )
 
-func discardLogf(string, ...any) {}
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // newOpsServer builds a *Server (not just an httptest wrapper) so tests
 // can reach the semaphore and registry.
@@ -32,8 +33,8 @@ func newOpsServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = discardLogf
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger
 	}
 	s := NewWithConfig(rep, cfg)
 	srv := httptest.NewServer(s)
@@ -321,7 +322,7 @@ func TestReloadEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Logf = discardLogf
+	cfg.Logger = discardLogger
 	s := NewWithConfig(repA, cfg)
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -380,7 +381,7 @@ func TestReloadRejectsBadRuleset(t *testing.T) {
 			return nil, io.ErrUnexpectedEOF
 		}
 		return inconsistent, nil
-	}, Logf: discardLogf}
+	}, Logger: discardLogger}
 	repA, err := repair.NewRepairerChecked(rsA)
 	if err != nil {
 		t.Fatal(err)

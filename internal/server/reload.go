@@ -59,8 +59,8 @@ func (s *Server) Reload() (RulesetInfo, error) {
 	s.eng.Store(eng)
 	s.m.reloads.Inc()
 	s.m.version.Set(eng.version)
-	s.cfg.Logf("fixserve: reloaded ruleset: version %d, hash %s, %d rules",
-		eng.version, eng.hash, rs.Len())
+	s.cfg.Logger.Info("ruleset reloaded",
+		"version", eng.version, "hash", eng.hash, "rules", rs.Len())
 	return RulesetInfo{Version: eng.version, Hash: eng.hash, Rules: rs.Len()}, nil
 }
 
@@ -85,7 +85,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *engine)
 		default:
 			// Loader errors may carry file paths; log the detail, return
 			// the code alone.
-			s.cfg.Logf("fixserve: reload failed: %v", err)
+			s.cfg.Logger.Error("reload failed",
+				"request_id", w.Header().Get(RequestIDHeader), "err", err)
 			s.writeError(w, http.StatusInternalServerError, codeReloadFailed,
 				"reloading the ruleset failed; see server log")
 		}

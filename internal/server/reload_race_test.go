@@ -36,7 +36,7 @@ func TestReloadRepairRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewWithConfig(repA, Config{Loader: loader, Logf: discardLogf, MaxInFlight: 128})
+	s := NewWithConfig(repA, Config{Loader: loader, Logger: discardLogger, MaxInFlight: 128})
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	client := srv.Client()

@@ -26,13 +26,15 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +45,7 @@ import (
 	"fixrule/internal/repair"
 	"fixrule/internal/ruleio"
 	"fixrule/internal/schema"
+	"fixrule/internal/trace"
 )
 
 // Response headers naming the ruleset a request was served with; under hot
@@ -51,6 +54,11 @@ import (
 const (
 	VersionHeader = "X-Fixserve-Ruleset-Version"
 	HashHeader    = "X-Fixserve-Ruleset-Hash"
+	// RequestIDHeader carries the server-assigned request ID back to the
+	// client; the same ID appears on the request's log line and inside any
+	// error envelope, so a 503 or 413 can be matched to the log that
+	// explains it.
+	RequestIDHeader = "X-Request-Id"
 )
 
 // Config tunes the service's operational limits. The zero value selects
@@ -76,9 +84,17 @@ type Config struct {
 	Loader func() (*core.Ruleset, error)
 	// Registry receives the service metrics; nil allocates a private one.
 	Registry *obs.Registry
-	// Logf logs operational events (reload outcomes); nil selects
-	// log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives structured request and operational logs; nil selects
+	// a text handler on stderr at Info level.
+	Logger *slog.Logger
+	// Tracer records request traces for /debug/traces and log correlation;
+	// nil builds a private tracer with sampling disabled (request IDs and
+	// trace IDs are still issued, and errored requests are still retained).
+	Tracer *trace.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU, so the operator must
+	// opt in (fixserve -pprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,8 +110,11 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.New(trace.Options{})
 	}
 	return c
 }
@@ -131,6 +150,13 @@ type Server struct {
 	reloadMu sync.Mutex // serialises reloads; version increments 1:1 with loader calls
 	reg      *obs.Registry
 	m        metrics
+	tracer   *trace.Tracer
+
+	// Request IDs are a random per-process prefix plus an atomic counter:
+	// unique across restarts and replicas, orderable within one process, and
+	// cheaper than a fresh random ID per request.
+	reqPrefix  string
+	reqCounter atomic.Uint64
 }
 
 // New builds the HTTP handler for a repairer with default limits and no
@@ -141,10 +167,12 @@ func New(rep *repair.Repairer) *Server { return NewWithConfig(rep, Config{}) }
 func NewWithConfig(rep *repair.Repairer, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		mux: http.NewServeMux(),
-		sem: make(chan struct{}, cfg.MaxInFlight),
-		reg: cfg.Registry,
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		reg:       cfg.Registry,
+		tracer:    cfg.Tracer,
+		reqPrefix: newRequestPrefix(),
 	}
 	s.eng.Store(newEngine(rep, 1))
 	s.initMetrics()
@@ -158,8 +186,31 @@ func NewWithConfig(rep *repair.Repairer, cfg Config) *Server {
 	s.mux.HandleFunc("/repair/csv", s.wrap("/repair/csv", true, s.handleRepairCSV))
 	s.mux.HandleFunc("/explain", s.wrap("/explain", true, s.handleExplain))
 	s.mux.HandleFunc("/reload", s.wrap("/reload", false, s.handleReload))
+	s.mux.HandleFunc("/debug/traces", s.wrap("/debug/traces", false, s.handleTraces))
+	s.mux.HandleFunc("/debug/traces/", s.wrap("/debug/traces", false, s.handleTraceByID))
+	if cfg.EnablePprof {
+		s.mountPprof()
+	}
 	return s
 }
+
+// newRequestPrefix draws the per-process request-ID prefix.
+func newRequestPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binaryFallback := time.Now().UnixNano()
+		return fmt.Sprintf("%08x", uint32(binaryFallback))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// nextRequestID issues the next request ID.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.reqPrefix, s.reqCounter.Add(1))
+}
+
+// Tracer returns the tracer the server records request traces into.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -189,7 +240,8 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request, eng *engine
 		if err != nil {
 			// Marshalling a checked in-memory ruleset failing is a server
 			// bug; the detail belongs in the log, not the response.
-			s.cfg.Logf("fixserve: /rules marshal: %v", err)
+			s.cfg.Logger.Error("rules marshal failed",
+				"request_id", w.Header().Get(RequestIDHeader), "err", err)
 			s.writeError(w, http.StatusInternalServerError, codeInternal, "failed to encode ruleset")
 			return
 		}
@@ -275,26 +327,41 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 	}
 	arity := eng.rep.Ruleset().Schema().Arity()
 	ctx := r.Context()
+	sp := trace.SpanFromContext(ctx).StartChild("repair.tuples")
 	var steps, oov int
+	oovAcc := make([]int64, arity)
+	changedBy := make(map[string]int)
 	resp := repairResponse{Repaired: make([]repairedTuple, 0, len(req.Tuples))}
 	for i, vals := range req.Tuples {
 		if i&63 == 0 && ctx.Err() != nil {
+			sp.SetError("deadline exceeded")
+			sp.End()
 			s.writeError(w, http.StatusRequestTimeout, codeTimeout,
 				fmt.Sprintf("deadline exceeded after %d tuples", i))
 			return
 		}
 		if len(vals) != arity {
+			sp.SetError("arity mismatch")
+			sp.End()
 			s.writeError(w, http.StatusBadRequest, codeArityMismatch,
 				fmt.Sprintf("tuple %d has %d values, schema needs %d", i, len(vals), arity))
 			return
 		}
-		oov += eng.rep.OOVCells(schema.Tuple(vals))
+		oov += eng.rep.OOVCellsByAttr(schema.Tuple(vals), oovAcc)
 		fixed, applied := eng.rep.RepairTuple(schema.Tuple(vals), alg)
 		rt := repairedTuple{Tuple: fixed}
 		for _, st := range applied {
 			rt.Steps = append(rt.Steps, stepRecord{
 				Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
 			})
+			changedBy[st.Attr]++
+			sp.AddEvent("chase.step",
+				trace.Int("row", i),
+				trace.String("rule", st.Rule.Name()),
+				trace.String("attr", st.Attr),
+				trace.String("from", st.From),
+				trace.String("to", st.To),
+			)
 		}
 		if len(applied) > 0 {
 			resp.Changed++
@@ -302,10 +369,18 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 		steps += len(applied)
 		resp.Repaired = append(resp.Repaired, rt)
 	}
+	sp.SetAttr(
+		trace.Int("tuples", len(req.Tuples)),
+		trace.Int("changed", resp.Changed),
+		trace.Int("steps", steps),
+		trace.Int("oov", oov),
+	)
+	sp.End()
 	s.m.tuples.Add(int64(len(req.Tuples)))
 	s.m.repaired.Add(int64(resp.Changed))
 	s.m.rulesFired.Add(int64(steps))
 	s.m.oovCells.Add(int64(oov))
+	s.addAttrMetrics(eng, changedBy, oovAcc)
 	writeJSON(w, resp)
 }
 
@@ -327,15 +402,25 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 	// not support the control; both already allow concurrent read/write.
 	_ = http.NewResponseController(w).EnableFullDuplex()
 	w.Header().Set("Content-Type", "text/csv")
+	// On a sampled request, a chase recorder captures which rules fired on
+	// which rows (up to its tuple cap); the steps land on the span as events
+	// so /debug/traces can show the request's actual repairs. Unsampled
+	// requests pass a nil recorder, which the stream treats as free.
+	sp := trace.SpanFromContext(r.Context())
+	var rec *repair.ChaseRecorder
+	if sp.Sampled() {
+		rec = repair.NewChaseRecorder(0, 1, 0)
+	}
 	var stats *repair.StreamStats
 	if s.cfg.StreamWorkers > 1 {
 		stats, err = eng.rep.StreamCSVParallelOpts(r.Context(), r.Body, w, alg, repair.ParallelOptions{
 			Workers:     s.cfg.StreamWorkers,
 			QueueDepth:  s.m.streamQueue,
 			BusyWorkers: s.m.streamBusy,
+			Recorder:    rec,
 		})
 	} else {
-		stats, err = eng.rep.StreamCSVContext(r.Context(), r.Body, w, alg)
+		stats, err = eng.rep.StreamCSVTraced(r.Context(), r.Body, w, alg, rec)
 	}
 	if err != nil {
 		// The stream may be partially flushed; in that case the envelope
@@ -344,10 +429,43 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 		s.streamError(w, err)
 		return
 	}
+	if rec != nil {
+		addChaseEvents(sp, rec)
+	}
 	s.m.tuples.Add(int64(stats.Rows))
 	s.m.repaired.Add(int64(stats.Repaired))
 	s.m.rulesFired.Add(int64(stats.Steps))
 	s.m.oovCells.Add(int64(stats.OOV))
+	// Per-attribute fold: rule applications by target, iterating the rules
+	// slice (not the PerRule map) for deterministic order.
+	changedBy := make(map[string]int)
+	for _, rule := range eng.rep.Ruleset().Rules() {
+		if n := stats.PerRule[rule.Name()]; n > 0 {
+			changedBy[rule.Target()] += n
+		}
+	}
+	s.addAttrMetricsByName(eng, changedBy, stats.OOVByAttr)
+}
+
+// addChaseEvents surfaces a recorder's captured rule applications as span
+// events, one per step, in row-then-application order — the same order
+// (and the same strings) a repairlog of the request would hold.
+func addChaseEvents(sp *trace.Span, rec *repair.ChaseRecorder) {
+	for _, tt := range rec.Tuples() {
+		for _, st := range tt.Steps {
+			sp.AddEvent("chase.step",
+				trace.Int("row", tt.Row),
+				trace.Int("rule_index", st.RuleIndex),
+				trace.String("rule", st.Rule),
+				trace.String("attr", st.Attr),
+				trace.String("from", st.From),
+				trace.String("to", st.To),
+			)
+		}
+	}
+	if d := rec.DroppedTuples(); d > 0 {
+		sp.SetAttr(trace.Int("chase_tuples_dropped", d))
+	}
 }
 
 // explainRequest is the /explain request body.
@@ -388,17 +506,31 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, eng *engi
 	resp := explainResponse{
 		Input: e.Input, Output: e.Output, Assured: e.Assured, Text: e.String(),
 	}
+	sp := trace.SpanFromContext(r.Context()).StartChild("repair.explain")
+	changedBy := make(map[string]int)
 	for _, st := range e.Steps {
 		resp.Steps = append(resp.Steps, stepRecord{
 			Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
 		})
+		changedBy[st.Attr]++
+		sp.AddEvent("chase.step",
+			trace.String("rule", st.Rule.Name()),
+			trace.String("attr", st.Attr),
+			trace.String("from", st.From),
+			trace.String("to", st.To),
+		)
 	}
+	oovAcc := make([]int64, eng.rep.Ruleset().Schema().Arity())
+	oov := eng.rep.OOVCellsByAttr(schema.Tuple(req.Tuple), oovAcc)
+	sp.SetAttr(trace.Int("steps", len(e.Steps)), trace.Int("oov", oov))
+	sp.End()
 	s.m.tuples.Add(1)
 	if len(e.Steps) > 0 {
 		s.m.repaired.Add(1)
 	}
 	s.m.rulesFired.Add(int64(len(e.Steps)))
-	s.m.oovCells.Add(int64(eng.rep.OOVCells(schema.Tuple(req.Tuple))))
+	s.m.oovCells.Add(int64(oov))
+	s.addAttrMetrics(eng, changedBy, oovAcc)
 	writeJSON(w, resp)
 }
 

@@ -1,0 +1,444 @@
+// Package trace is a dependency-free request-tracing library for the
+// fixrule stack. It records trees of spans — one root span per request,
+// child spans for pipeline stages and workers, and events for chase-level
+// rule applications — into a bounded in-memory ring of recently completed
+// traces that /debug/traces serves for live diagnostics.
+//
+// The design goals, in order:
+//
+//   - Zero cost when disabled: every Span method is nil-safe, so
+//     instrumented code holds a possibly-nil *Span and pays only a nil
+//     check (or a context lookup per request, never per row).
+//   - Bounded memory: spans and events per trace are capped, and the ring
+//     holds a fixed number of completed traces, overwriting the oldest.
+//   - Correlation over collection: every request gets a trace ID for log
+//     and error-envelope correlation even when unsampled; only sampled
+//     traces (plus traces that ended in error) record child spans and are
+//     admitted to the ring.
+//
+// Timestamps come from time.Now, whose monotonic-clock reading makes all
+// recorded durations immune to wall-clock steps.
+package trace
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// An Attr is one key/value annotation on a span or event. Values are
+// strings; use Int for numeric convenience.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer-valued attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// An Event is a point-in-time annotation inside a span — the chase recorder
+// surfaces each rule application as one event.
+type Event struct {
+	Name  string `json:"name"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// A Span is one timed operation inside a trace. All methods are safe on a
+// nil receiver (no-ops), so instrumented code never branches on "is tracing
+// on" — it just calls through a possibly-nil pointer.
+//
+// A span's fields are written under its trace's lock and must only be read
+// directly once the trace is finished (as ring consumers do); concurrent
+// instrumentation must go through the methods.
+type Span struct {
+	tr *Trace
+
+	Name     string
+	ID       SpanID
+	Parent   SpanID // zero for the root span
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Events   []Event
+	// Error holds the failure annotation set by SetError, empty otherwise.
+	Error string
+
+	ended bool
+}
+
+// StartChild opens a child span. On an unsampled trace (or nil receiver)
+// it returns nil, which is itself a valid no-op span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || !s.tr.sampled {
+		return nil
+	}
+	return s.tr.newSpan(name, s.ID)
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, attrs...)
+	s.tr.mu.Unlock()
+}
+
+// AddEvent appends an event, subject to the trace's event cap.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.tr.events >= s.tr.tracer.opts.MaxEvents {
+		s.tr.droppedEvents++
+	} else {
+		s.tr.events++
+		s.Events = append(s.Events, Event{Name: name, Attrs: attrs})
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetError marks the span (and its trace) failed. A failed trace is always
+// admitted to the ring, sampled or not.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Error = msg
+	s.tr.err = true
+	s.tr.mu.Unlock()
+}
+
+// End stamps the span's duration. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.Duration = now.Sub(s.Start)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Sampled reports whether the span belongs to a sampled trace. It is the
+// gate instrumentation checks before doing work that only matters when
+// recorded (e.g. building chase events).
+func (s *Span) Sampled() bool { return s != nil && s.tr.sampled }
+
+// Trace returns the owning trace, or nil.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Context returns the span's W3C propagation context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.tr.id, SpanID: s.ID, Sampled: s.tr.sampled}
+}
+
+// A Trace is one request's span tree. It is created by Tracer.StartRequest
+// and becomes immutable after Finish.
+type Trace struct {
+	tracer  *Tracer
+	id      TraceID
+	sampled bool
+	start   time.Time
+
+	mu            sync.Mutex
+	spans         []*Span
+	events        int
+	droppedSpans  int
+	droppedEvents int
+	err           bool
+	duration      time.Duration
+	finished      bool
+}
+
+// ID returns the trace ID (inherited from an incoming traceparent header
+// when one was present).
+func (t *Trace) ID() TraceID { return t.id }
+
+// Sampled reports whether child spans and events are being recorded.
+func (t *Trace) Sampled() bool { return t.sampled }
+
+// Start returns the trace's start time.
+func (t *Trace) Start() time.Time { return t.start }
+
+// Root returns the request span.
+func (t *Trace) Root() *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return t.spans[0]
+}
+
+// newSpan appends a span under the trace's caps. Returns nil when the span
+// budget is exhausted, which callers treat as a no-op span.
+func (t *Trace) newSpan(name string, parent SpanID) *Span {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished || len(t.spans) >= t.tracer.opts.MaxSpans {
+		t.droppedSpans++
+		return nil
+	}
+	s := &Span{tr: t, Name: name, ID: t.tracer.newSpanID(), Parent: parent, Start: now}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Finish seals the trace: open spans are ended, the total duration is
+// stamped, and the trace is admitted to the tracer's ring when it was
+// sampled or errored. Finishing twice is a no-op.
+func (t *Trace) Finish() {
+	now := time.Now()
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.duration = now.Sub(t.start)
+	for _, s := range t.spans {
+		if !s.ended {
+			s.ended = true
+			s.Duration = now.Sub(s.Start)
+		}
+	}
+	admit := t.sampled || t.err
+	t.mu.Unlock()
+	if admit {
+		t.tracer.ring.add(t)
+	}
+}
+
+// Duration returns the request duration (valid after Finish).
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.duration
+}
+
+// Err reports whether any span recorded an error.
+func (t *Trace) Err() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Spans returns the span list (root first, then creation order). The
+// returned slice is a copy; the spans themselves are shared and must be
+// treated as read-only.
+func (t *Trace) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans and events the per-trace caps discarded.
+func (t *Trace) Dropped() (spans, events int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedSpans, t.droppedEvents
+}
+
+// Options configures a Tracer. Zero values select the documented defaults.
+type Options struct {
+	// SampleRate is the probability in [0, 1] that a request without an
+	// upstream sampling decision records full spans. 0 disables sampling
+	// (request IDs are still issued; errored traces are still kept).
+	SampleRate float64
+	// RingSize is the number of completed traces retained for
+	// /debug/traces. Default 64.
+	RingSize int
+	// MaxSpans caps spans per trace. Default 128.
+	MaxSpans int
+	// MaxEvents caps events per trace (chase steps dominate). Default 1024.
+	MaxEvents int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RingSize <= 0 {
+		o.RingSize = 64
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 128
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 1024
+	}
+	if o.SampleRate < 0 {
+		o.SampleRate = 0
+	}
+	if o.SampleRate > 1 {
+		o.SampleRate = 1
+	}
+	return o
+}
+
+// A Tracer creates traces and retains completed ones in a bounded ring.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	opts     Options
+	rateBits atomic.Uint64 // float64 bits of the live sample rate
+	rngState atomic.Uint64 // splitmix64 state, seeded from crypto/rand
+	ring     traceRing
+}
+
+// New builds a Tracer.
+func New(opts Options) *Tracer {
+	opts = opts.withDefaults()
+	t := &Tracer{opts: opts}
+	t.rateBits.Store(math.Float64bits(opts.SampleRate))
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err == nil {
+		t.rngState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		t.rngState.Store(uint64(time.Now().UnixNano()))
+	}
+	t.ring.buf = make([]*Trace, opts.RingSize)
+	return t
+}
+
+// SampleRate returns the live sample rate.
+func (t *Tracer) SampleRate() float64 { return math.Float64frombits(t.rateBits.Load()) }
+
+// SetSampleRate updates the live sample rate (clamped to [0, 1]).
+func (t *Tracer) SetSampleRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	t.rateBits.Store(math.Float64bits(r))
+}
+
+// rand64 steps the splitmix64 generator. Atomic add + local mix keeps it
+// lock-free and race-safe.
+func (t *Tracer) rand64() uint64 {
+	z := t.rngState.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], t.rand64())
+	binary.BigEndian.PutUint64(id[8:], t.rand64())
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], t.rand64())
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// StartRequest opens a new trace with its root span. Every request gets a
+// trace (for ID correlation); the sampling decision — inherited from the
+// parent context when one arrived on the wire, drawn from SampleRate
+// otherwise — controls whether child spans and events are recorded and
+// whether the finished trace enters the ring (errors always do).
+func (t *Tracer) StartRequest(name string, parent SpanContext) *Trace {
+	tr := &Trace{tracer: t, start: time.Now()}
+	if parent.Valid() {
+		tr.id = parent.TraceID
+		tr.sampled = parent.Sampled
+	} else {
+		tr.id = t.newTraceID()
+		r := t.SampleRate()
+		tr.sampled = r > 0 && float64(t.rand64()>>11)/(1<<53) < r
+	}
+	root := &Span{tr: tr, Name: name, ID: t.newSpanID(), Parent: parent.SpanID, Start: tr.start}
+	tr.spans = append(tr.spans, root)
+	return tr
+}
+
+// Traces returns the retained completed traces, newest first.
+func (t *Tracer) Traces() []*Trace { return t.ring.snapshot() }
+
+// Lookup finds a retained trace by its hex ID.
+func (t *Tracer) Lookup(idHex string) *Trace {
+	for _, tr := range t.ring.snapshot() {
+		if tr.ID().String() == idHex {
+			return tr
+		}
+	}
+	return nil
+}
+
+// traceRing is the bounded buffer of completed traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	n    int
+}
+
+func (r *traceRing) add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained traces newest-first.
+func (r *traceRing) snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil — and nil is a valid
+// no-op span, so callers never need to check.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

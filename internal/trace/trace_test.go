@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	if sp.StartChild("x") != nil {
+		t.Fatal("nil span StartChild should return nil")
+	}
+	sp.SetAttr(String("k", "v"))
+	sp.AddEvent("e")
+	sp.SetError("boom")
+	sp.End()
+	if sp.Sampled() {
+		t.Fatal("nil span must not be sampled")
+	}
+	if sp.Trace() != nil {
+		t.Fatal("nil span has no trace")
+	}
+	if sp.Context().Valid() {
+		t.Fatal("nil span context must be invalid")
+	}
+}
+
+func TestSampledTraceRecordsSpanTree(t *testing.T) {
+	tr := New(Options{SampleRate: 1, RingSize: 4})
+	req := tr.StartRequest("/repair/csv", SpanContext{})
+	if !req.Sampled() {
+		t.Fatal("rate 1 must sample")
+	}
+	root := req.Root()
+	root.SetAttr(String("method", "POST"))
+	child := root.StartChild("repair.stream")
+	if child == nil {
+		t.Fatal("sampled trace must create child spans")
+	}
+	child.AddEvent("chase", Int("row", 3), String("attr", "capital"))
+	child.SetAttr(Int("rows", 10))
+	child.End()
+	req.Finish()
+
+	got := tr.Traces()
+	if len(got) != 1 || got[0] != req {
+		t.Fatalf("ring should hold the finished trace, got %d", len(got))
+	}
+	spans := req.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Fatal("child must link to root")
+	}
+	if len(spans[1].Events) != 1 || spans[1].Events[0].Name != "chase" {
+		t.Fatalf("child events = %+v", spans[1].Events)
+	}
+	if spans[0].Duration <= 0 || spans[1].Duration <= 0 {
+		t.Fatal("durations must be stamped")
+	}
+	if tr.Lookup(req.ID().String()) != req {
+		t.Fatal("Lookup by hex ID failed")
+	}
+	if tr.Lookup(strings.Repeat("0", 32)) != nil {
+		t.Fatal("Lookup of unknown ID must return nil")
+	}
+}
+
+func TestUnsampledTraceKeepsIDButNotSpans(t *testing.T) {
+	tr := New(Options{SampleRate: 0})
+	req := tr.StartRequest("/repair", SpanContext{})
+	if req.Sampled() {
+		t.Fatal("rate 0 must not sample")
+	}
+	if req.ID().IsZero() {
+		t.Fatal("unsampled request still needs a trace ID for correlation")
+	}
+	if req.Root().StartChild("x") != nil {
+		t.Fatal("unsampled trace must not create child spans")
+	}
+	req.Finish()
+	if len(tr.Traces()) != 0 {
+		t.Fatal("unsampled, non-errored trace must not enter the ring")
+	}
+}
+
+func TestErroredTraceAlwaysAdmitted(t *testing.T) {
+	tr := New(Options{SampleRate: 0})
+	req := tr.StartRequest("/repair", SpanContext{})
+	req.Root().SetError("http 503")
+	req.Finish()
+	got := tr.Traces()
+	if len(got) != 1 {
+		t.Fatalf("errored trace must be retained, got %d", len(got))
+	}
+	if !got[0].Err() {
+		t.Fatal("Err() must report the failure")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Options{SampleRate: 1, RingSize: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		req := tr.StartRequest("r", SpanContext{})
+		ids = append(ids, req.ID().String())
+		req.Finish()
+	}
+	got := tr.Traces()
+	if len(got) != 2 {
+		t.Fatalf("ring size 2 must retain 2, got %d", len(got))
+	}
+	// Newest first.
+	if got[0].ID().String() != ids[2] || got[1].ID().String() != ids[1] {
+		t.Fatal("ring must retain the newest traces, newest first")
+	}
+	if tr.Lookup(ids[0]) != nil {
+		t.Fatal("oldest trace must have been evicted")
+	}
+}
+
+func TestSpanAndEventCaps(t *testing.T) {
+	tr := New(Options{SampleRate: 1, MaxSpans: 3, MaxEvents: 2})
+	req := tr.StartRequest("r", SpanContext{})
+	root := req.Root()
+	var kept int
+	for i := 0; i < 5; i++ {
+		if root.StartChild("c") != nil {
+			kept++
+		}
+	}
+	if kept != 2 { // root + 2 children = MaxSpans 3
+		t.Fatalf("want 2 children kept under MaxSpans=3, got %d", kept)
+	}
+	for i := 0; i < 5; i++ {
+		root.AddEvent("e")
+	}
+	req.Finish()
+	ds, de := req.Dropped()
+	if ds != 3 || de != 3 {
+		t.Fatalf("dropped = (%d spans, %d events), want (3, 3)", ds, de)
+	}
+	if len(root.Events) != 2 {
+		t.Fatalf("root events = %d, want 2", len(root.Events))
+	}
+}
+
+func TestParentContextPropagation(t *testing.T) {
+	tr := New(Options{SampleRate: 0}) // local rate 0: decision must come from the parent
+	parent := SpanContext{Sampled: true}
+	parent.TraceID[0] = 0xab
+	parent.SpanID[0] = 0xcd
+	req := tr.StartRequest("r", parent)
+	if req.ID() != parent.TraceID {
+		t.Fatal("must inherit upstream trace ID")
+	}
+	if !req.Sampled() {
+		t.Fatal("must inherit upstream sampling decision")
+	}
+	if req.Root().Parent != parent.SpanID {
+		t.Fatal("root span must link to the upstream span")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{SampleRate: 1})
+	req := tr.StartRequest("r", SpanContext{})
+	h := req.Root().Context().Traceparent()
+	sc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", h)
+	}
+	if sc.TraceID != req.ID() || sc.SpanID != req.Root().ID || !sc.Sampled {
+		t.Fatalf("round-trip mismatch: %q -> %+v", h, sc)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero span ID
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // reserved version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 forbids extras
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4xyz-00f067aa0ba902b7-01",
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// A future version with trailing fields is accepted.
+	sc, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00-future")
+	if !ok || sc.Sampled {
+		t.Fatalf("future-version header should parse unsampled, got ok=%v sc=%+v", ok, sc)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil span")
+	}
+	tr := New(Options{SampleRate: 1})
+	req := tr.StartRequest("r", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), req.Root())
+	if SpanFromContext(ctx) != req.Root() {
+		t.Fatal("span must round-trip through context")
+	}
+}
+
+func TestConcurrentSpansRaceFree(t *testing.T) {
+	tr := New(Options{SampleRate: 1, MaxSpans: 256, MaxEvents: 4096})
+	req := tr.StartRequest("r", SpanContext{})
+	root := req.Root()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := root.StartChild("worker")
+			for i := 0; i < 50; i++ {
+				sp.AddEvent("chase", Int("row", i))
+			}
+			sp.SetAttr(Int("worker", w))
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	req.Finish()
+	if got := len(req.Spans()); got != 9 {
+		t.Fatalf("want 9 spans, got %d", got)
+	}
+}
+
+func TestSampleRateIsLive(t *testing.T) {
+	tr := New(Options{SampleRate: 0})
+	tr.SetSampleRate(1)
+	if tr.SampleRate() != 1 {
+		t.Fatal("SetSampleRate must be visible")
+	}
+	if !tr.StartRequest("r", SpanContext{}).Sampled() {
+		t.Fatal("live rate must drive sampling")
+	}
+	tr.SetSampleRate(2) // clamped
+	if tr.SampleRate() != 1 {
+		t.Fatal("rate must clamp to 1")
+	}
+}
+
+func TestSamplingProbabilityRoughlyHonoured(t *testing.T) {
+	tr := New(Options{SampleRate: 0.2})
+	n, hits := 5000, 0
+	for i := 0; i < n; i++ {
+		if tr.StartRequest("r", SpanContext{}).Sampled() {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("sample fraction %.3f far from 0.2", frac)
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// This file implements the W3C Trace Context `traceparent` header
+// (https://www.w3.org/TR/trace-context/): extraction of an upstream
+// trace/span/sampling triple and injection of ours, so fixserve joins
+// distributed traces started by callers and propagates IDs downstream.
+
+// A TraceID is the 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is all zeroes (invalid per the spec).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// A SpanID is the 8-byte W3C parent/span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is all zeroes (invalid per the spec).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// A SpanContext is the propagated triple: which trace, which parent span,
+// and whether the caller sampled it.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a trace (both IDs non-zero,
+// as the spec requires).
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a version-00 traceparent value.
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version except the reserved ff (forward compatibility: later versions
+// may append fields after the flags), and rejects malformed or all-zero
+// IDs. ok is false when the header is absent or invalid, in which case the
+// caller starts a fresh trace.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return SpanContext{}, false
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || strings.EqualFold(version, "ff") {
+		return SpanContext{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	if len(traceID) != 32 || len(spanID) != 16 || len(flags) != 2 || !isHex(flags) {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(traceID)); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(spanID)); err != nil {
+		return SpanContext{}, false
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(flags)); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = fb[0]&0x01 != 0
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

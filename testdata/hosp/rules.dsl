@@ -1,0 +1,24 @@
+# Hospital (HOSP) demo ruleset for `make trace-demo`: the ZIP code
+# determines the city and the state, so a trusted zip corrects typo'd or
+# mislabeled city/state cells — the shape of the paper's HOSP rules.
+SCHEMA Hosp(provider, hospital, city, state, zip, phone)
+
+RULE zip_city_36545
+  WHEN zip = "36545"
+  IF city IN ("JACKSO", "JCKSON", "BIRMINGHAM")
+  THEN city = "JACKSON"
+
+RULE zip_state_36545
+  WHEN zip = "36545"
+  IF state IN ("AK", "ALA")
+  THEN state = "AL"
+
+RULE zip_city_35233
+  WHEN zip = "35233"
+  IF city IN ("BRMINGHAM", "BIRMINGHM")
+  THEN city = "BIRMINGHAM"
+
+RULE zip_state_35233
+  WHEN zip = "35233"
+  IF state IN ("AI", "ALA")
+  THEN state = "AL"
