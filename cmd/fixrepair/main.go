@@ -226,13 +226,34 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 
 // printTraces renders the recorder's chase traces in the Explain
 // vocabulary: one block per repaired tuple, one line per rule application.
+//
+// The recorder may be the unlimited rate-1 one a streaming -log run needs
+// (it subsumes whatever -trace asked for), so the -trace-sample / -trace-max
+// bounds are re-applied here: the same deterministic per-row decision the
+// recorder itself would have made, and the cap over the row-sorted tuples.
+// For a recorder that already sampled and capped, the filter is a no-op.
 func printTraces(rec *fixrule.ChaseRecorder, tc traceConfig) {
-	tuples := rec.Tuples()
-	if len(tuples) == 0 {
+	max := tc.max
+	if max == 0 {
+		max = fixrule.DefaultRecorderTuples
+	}
+	dropped := rec.DroppedTuples()
+	var shown []fixrule.TupleTrace
+	for _, tt := range rec.Tuples() {
+		if !fixrule.SampleRow(tt.Row, tc.sample, 0) {
+			continue
+		}
+		if max >= 0 && len(shown) >= max {
+			dropped++
+			continue
+		}
+		shown = append(shown, tt)
+	}
+	if len(shown) == 0 {
 		fmt.Println("trace: no repaired tuples among the sampled rows")
 		return
 	}
-	for _, tt := range tuples {
+	for _, tt := range shown {
 		fmt.Printf("trace row %d (%d step(s)):\n", tt.Row, len(tt.Steps))
 		for _, st := range tt.Steps {
 			fmt.Printf("  %s: %s %q -> %q", st.Rule, st.Attr, st.From, st.To)
@@ -242,8 +263,8 @@ func printTraces(rec *fixrule.ChaseRecorder, tc traceConfig) {
 			fmt.Printf("  assured [%s]\n", strings.Join(st.Assured, " "))
 		}
 	}
-	if d := rec.DroppedTuples(); d > 0 {
-		fmt.Printf("trace: %d more repaired tuple(s) not shown (-trace-max %d reached)\n", d, tc.max)
+	if dropped > 0 {
+		fmt.Printf("trace: %d more repaired tuple(s) not shown (-trace-max %d reached)\n", dropped, max)
 	}
 }
 

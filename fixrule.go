@@ -218,9 +218,22 @@ type StreamOptions = repair.ParallelOptions
 // ChaseRecorder captures per-tuple chase traces — which rules fired on
 // which rows, in what order, with the assured-set evolution — from the
 // Recorded repair variants and the Traced/Opts streaming entry points. A
-// nil recorder is free; the recorded rows are deterministic in (seed,
-// sample rate), identical at any worker count.
+// nil recorder is free. With an unlimited tuple cap the recorded rows are
+// deterministic in (seed, sample rate), identical at any worker count;
+// with a finite cap, which sampled rows land under the cap follows worker
+// arrival order.
 type ChaseRecorder = repair.ChaseRecorder
+
+// DefaultRecorderTuples is the tuple cap NewChaseRecorder applies when
+// maxTuples is 0.
+const DefaultRecorderTuples = repair.DefaultRecorderTuples
+
+// SampleRow reports whether a recorder built with (sampleRate, seed)
+// would record the given row — the deterministic per-row decision behind
+// ChaseRecorder sampling, exposed for callers that need to re-apply it.
+func SampleRow(row int, sampleRate float64, seed uint64) bool {
+	return repair.SampleRow(row, sampleRate, seed)
+}
 
 // TupleTrace is one recorded tuple's ordered rule-application sequence.
 type TupleTrace = repair.TupleTrace

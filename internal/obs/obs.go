@@ -300,17 +300,35 @@ func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histo
 	return s.h
 }
 
-// WritePrometheus renders every registered family in the text exposition
-// format (version 0.0.4): # HELP and # TYPE once per family, then one line
-// per series, histograms as cumulative _bucket/_sum/_count.
-func (r *Registry) WritePrometheus(w io.Writer) {
+// WritePrometheus renders every registered family in the classic text
+// exposition format (version 0.0.4): # HELP and # TYPE once per family,
+// then one line per series, histograms as cumulative _bucket/_sum/_count.
+// Exemplars are never emitted here — the 0.0.4 parser rejects anything
+// after the sample value — use WriteOpenMetrics for scrapers that
+// negotiate application/openmetrics-text.
+func (r *Registry) WritePrometheus(w io.Writer) { r.write(w, false) }
+
+// WriteOpenMetrics renders every registered family in the OpenMetrics
+// text format: counter metadata drops the _total suffix, and histogram
+// buckets carry their trace-ID exemplars. The caller owns the `# EOF`
+// terminator (it must be the exposition's last line, and callers may
+// append series of their own first).
+func (r *Registry) WriteOpenMetrics(w io.Writer) { r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, om bool) {
 	r.mu.Lock()
 	fams := make([]*family, len(r.fams))
 	copy(fams, r.fams)
 	r.mu.Unlock()
 	for _, f := range fams {
 		typ := map[kind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+		meta := f.name
+		if om && f.kind == kindCounter {
+			// OpenMetrics names the counter family without _total; the
+			// sample lines keep the full name.
+			meta = strings.TrimSuffix(meta, "_total")
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", meta, f.help, meta, typ)
 		for _, s := range f.series {
 			switch f.kind {
 			case kindCounter:
@@ -321,15 +339,24 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				var cum int64
 				for i, bound := range s.h.bounds {
 					cum += s.h.counts[i].Load()
-					writeBucket(w, f.name, s.labels, fmt.Sprintf("le=%q", formatBound(bound)), float64(cum), s.h.BucketExemplar(i))
+					writeBucket(w, f.name, s.labels, fmt.Sprintf("le=%q", formatBound(bound)), float64(cum), exemplarIf(om, s.h, i))
 				}
 				cum += s.h.counts[len(s.h.bounds)].Load()
-				writeBucket(w, f.name, s.labels, `le="+Inf"`, float64(cum), s.h.BucketExemplar(len(s.h.bounds)))
+				writeBucket(w, f.name, s.labels, `le="+Inf"`, float64(cum), exemplarIf(om, s.h, len(s.h.bounds)))
 				fmt.Fprintf(w, "%s_sum%s %v\n", f.name, renderLabels(s.labels, ""), s.h.Sum())
 				fmt.Fprintf(w, "%s_count%s %v\n", f.name, renderLabels(s.labels, ""), s.h.Count())
 			}
 		}
 	}
+}
+
+// exemplarIf returns bucket i's exemplar only for OpenMetrics output;
+// the classic format cannot carry exemplars.
+func exemplarIf(om bool, h *Histogram, i int) *Exemplar {
+	if !om {
+		return nil
+	}
+	return h.BucketExemplar(i)
 }
 
 func formatBound(b float64) string {
@@ -354,8 +381,9 @@ func writeSample(w io.Writer, name, labels, extra string, v float64) {
 }
 
 // writeBucket renders one cumulative histogram bucket line, appending the
-// bucket's exemplar in OpenMetrics syntax when one is present. The comment
-// form (`# {...}`) keeps the line valid for plain 0.0.4 scrapers.
+// bucket's exemplar in OpenMetrics syntax when one is given. Exemplars are
+// only legal in application/openmetrics-text — pass nil when rendering the
+// classic 0.0.4 format, whose parser rejects `#` after the sample value.
 func writeBucket(w io.Writer, name, labels, le string, cum float64, e *Exemplar) {
 	if e == nil {
 		writeSample(w, name+"_bucket", labels, le, cum)

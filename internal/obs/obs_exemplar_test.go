@@ -33,22 +33,60 @@ func TestExemplarLatestWins(t *testing.T) {
 	}
 }
 
-func TestWritePrometheusRendersExemplars(t *testing.T) {
+func TestWriteOpenMetricsRendersExemplars(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("req_seconds", "Request latency.", "", []float64{0.1, 1})
 	h.Observe(0.05)
 	h.ObserveExemplar(0.5, "cafe01")
 	var b strings.Builder
-	r.WritePrometheus(&b)
+	r.WriteOpenMetrics(&b)
 	out := b.String()
 	if !strings.Contains(out, `req_seconds_bucket{le="1"} 2 # {trace_id="cafe01"} 0.5`) {
 		t.Fatalf("exemplar line missing:\n%s", out)
 	}
-	// Buckets without exemplars stay plain 0.0.4 lines.
 	if !strings.Contains(out, `req_seconds_bucket{le="0.1"} 1`+"\n") {
 		t.Fatalf("plain bucket line mangled:\n%s", out)
 	}
 	if strings.Contains(out, `le="0.1"} 1 #`) {
 		t.Fatalf("unexpected exemplar on empty bucket:\n%s", out)
+	}
+}
+
+// TestWritePrometheusOmitsExemplars: the classic 0.0.4 text format cannot
+// carry exemplars — a `#` after the sample value fails the scrape — so the
+// plain rendering must drop them even when buckets have one.
+func TestWritePrometheusOmitsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "Request latency.", "", []float64{0.1, 1})
+	h.ObserveExemplar(0.5, "cafe01")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, "#  {") || strings.Contains(out, `} 1 #`) || strings.Contains(out, "trace_id") {
+		t.Fatalf("exemplar leaked into 0.0.4 exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `req_seconds_bucket{le="1"} 1`+"\n") {
+		t.Fatalf("bucket line missing or mangled:\n%s", out)
+	}
+}
+
+// TestWriteOpenMetricsCounterMetadata: OpenMetrics names a counter family
+// without the _total suffix in HELP/TYPE while sample lines keep it.
+func TestWriteOpenMetricsCounterMetadata(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Requests.", "").Add(3)
+	var b strings.Builder
+	r.WriteOpenMetrics(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE req counter\n") {
+		t.Fatalf("OpenMetrics TYPE must drop _total:\n%s", out)
+	}
+	if !strings.Contains(out, "req_total 3\n") {
+		t.Fatalf("sample line must keep _total:\n%s", out)
+	}
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "# TYPE req_total counter\n") {
+		t.Fatalf("0.0.4 TYPE must keep the full name:\n%s", b.String())
 	}
 }

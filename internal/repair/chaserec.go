@@ -51,10 +51,17 @@ type TupleTrace struct {
 	Steps []TraceStep `json:"steps"`
 }
 
-// defaultRecorderTuples caps recorded tuples when the caller does not
+// DefaultRecorderTuples caps recorded tuples when the caller does not
 // choose: enough to diagnose a request, small enough that a sampled
 // million-row stream cannot hold the whole chase history in memory.
-const defaultRecorderTuples = 256
+const DefaultRecorderTuples = 256
+
+// droppedSetMax bounds the exact distinct-dropped-row set. The cap exists
+// so a capped recorder's memory is O(cap), not O(changed rows) — tracking
+// every dropped row in a set would reintroduce exactly the unbounded
+// growth the tuple cap prevents. Past this bound, drops are counted once
+// per recorded step instead (an overcount for multi-step tuples).
+const droppedSetMax = 4 * DefaultRecorderTuples
 
 // A ChaseRecorder collects TupleTraces from a repair run. It is handed to
 // the Recorded repair variants (and ParallelOptions.Recorder); a nil
@@ -66,10 +73,14 @@ type ChaseRecorder struct {
 	rate float64
 	seed uint64
 
-	mu      sync.Mutex
-	rows    map[int]*TupleTrace
-	order   []int
-	dropped map[int]struct{}
+	mu    sync.Mutex
+	rows  map[int]*TupleTrace
+	order []int
+	// dropped tracks distinct rows the tuple cap rejected, exact up to
+	// droppedSetMax entries; droppedOverflow counts the steps rejected
+	// after the set filled, so memory stays bounded on any input.
+	dropped         map[int]struct{}
+	droppedOverflow int
 }
 
 // NewChaseRecorder builds a recorder. maxTuples caps how many distinct
@@ -79,7 +90,7 @@ type ChaseRecorder struct {
 // seed, so reruns over the same data record the same tuples.
 func NewChaseRecorder(maxTuples int, sampleRate float64, seed uint64) *ChaseRecorder {
 	if maxTuples == 0 {
-		maxTuples = defaultRecorderTuples
+		maxTuples = DefaultRecorderTuples
 	}
 	if sampleRate > 1 {
 		sampleRate = 1
@@ -101,16 +112,24 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// sampledRow decides whether a row is recorded. Deterministic in
-// (seed, row), so parallel and sequential runs record identical sets.
-func (cr *ChaseRecorder) sampledRow(row int) bool {
-	if cr.rate >= 1 {
+// SampleRow reports whether a recorder built with (sampleRate, seed)
+// records the given row. Deterministic in (seed, row), so parallel and
+// sequential runs record identical sets; exported so callers holding a
+// rate-1 recorder (fixrepair's streaming -log path) can re-apply a
+// stricter trace sampling to the captured tuples at print time.
+func SampleRow(row int, sampleRate float64, seed uint64) bool {
+	if sampleRate >= 1 {
 		return true
 	}
-	if cr.rate <= 0 {
+	if sampleRate <= 0 {
 		return false
 	}
-	return float64(splitmix64(cr.seed^uint64(row))>>11)/(1<<53) < cr.rate
+	return float64(splitmix64(seed^uint64(row))>>11)/(1<<53) < sampleRate
+}
+
+// sampledRow decides whether a row is recorded.
+func (cr *ChaseRecorder) sampledRow(row int) bool {
+	return SampleRow(row, cr.rate, cr.seed)
 }
 
 // record captures one rule application. old must be the target cell's
@@ -126,7 +145,13 @@ func (cr *ChaseRecorder) record(row int, pos int32, rule *core.Rule, old string)
 	tt := cr.rows[row]
 	if tt == nil {
 		if cr.max >= 0 && len(cr.order) >= cr.max {
-			cr.dropped[row] = struct{}{}
+			if _, seen := cr.dropped[row]; !seen {
+				if len(cr.dropped) < droppedSetMax {
+					cr.dropped[row] = struct{}{}
+				} else {
+					cr.droppedOverflow++
+				}
+			}
 			return
 		}
 		tt = &TupleTrace{Row: row}
@@ -177,12 +202,14 @@ func (cr *ChaseRecorder) Tuples() []TupleTrace {
 	return out
 }
 
-// DroppedTuples reports how many distinct changed tuples the cap
-// discarded.
+// DroppedTuples reports how many changed tuples the cap discarded. The
+// count is exact (distinct rows) until droppedSetMax distinct rows have
+// been dropped; beyond that it is an upper bound, since further drops are
+// counted once per rejected step rather than deduplicated by row.
 func (cr *ChaseRecorder) DroppedTuples() int {
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
-	return len(cr.dropped)
+	return len(cr.dropped) + cr.droppedOverflow
 }
 
 // Len reports how many tuples have been recorded.

@@ -265,6 +265,32 @@ func TestChaseRecorderCap(t *testing.T) {
 	}
 }
 
+// TestChaseRecorderDroppedBounded: once the tuple cap is hit, the drop
+// accounting itself must stay bounded — the exact distinct-row set stops
+// growing at droppedSetMax and later drops fall into an overflow counter,
+// so a capped recorder on a huge stream is O(cap), not O(changed rows).
+func TestChaseRecorderDroppedBounded(t *testing.T) {
+	rule := NewRepairer(paperRuleset()).rules[0]
+	rec := NewChaseRecorder(1, 1, 0)
+	rec.record(0, 0, rule, "x") // fills the cap
+	const extra = 100
+	for row := 1; row <= droppedSetMax+extra; row++ {
+		// Two steps per row: inside the set duplicates are deduplicated;
+		// past it each step counts, so the total is an upper bound.
+		rec.record(row, 0, rule, "x")
+		rec.record(row, 0, rule, "x")
+	}
+	if got := len(rec.dropped); got != droppedSetMax {
+		t.Fatalf("dropped set grew to %d, want bound %d", got, droppedSetMax)
+	}
+	if got := rec.DroppedTuples(); got < droppedSetMax+extra {
+		t.Fatalf("DroppedTuples = %d, want >= %d distinct drops", got, droppedSetMax+extra)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("recorded %d tuples, want cap 1", rec.Len())
+	}
+}
+
 // TestRecorderDisabledZeroAlloc is the benchmark guard for the tentpole's
 // core constraint: with a nil recorder the streaming repair loop (encode +
 // per-attr OOV accounting + coded chase + write-back) allocates nothing.

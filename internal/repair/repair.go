@@ -295,9 +295,12 @@ func (r *Repairer) RepairRelationParallel(rel *schema.Relation, alg Algorithm, w
 }
 
 // RepairRelationParallelRecorded is RepairRelationParallel with an
-// optional chase recorder. Recording is keyed by global row number, so the
-// captured traces are identical to the sequential ones at any worker
-// count.
+// optional chase recorder. Recording is keyed by global row number, so
+// with an unlimited tuple cap (maxTuples < 0) the captured traces are
+// identical to the sequential ones at any worker count. With a finite cap
+// the sampled rows are still the same, but which of them are admitted
+// before the cap fills depends on worker arrival order — a capped
+// parallel run may retain a different subset than a sequential one.
 func (r *Repairer) RepairRelationParallelRecorded(rel *schema.Relation, alg Algorithm, workers int, rec *ChaseRecorder) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

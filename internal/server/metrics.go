@@ -2,24 +2,47 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
 )
 
-// handleMetrics serves the Prometheus text exposition: the registry's
-// counters, gauges and the latency histogram, plus a ruleset info series
-// whose labels carry the current version and hash.
+// handleMetrics serves the metrics exposition: the registry's counters,
+// gauges and the latency histogram, plus a ruleset info series whose
+// labels carry the current version and hash. Scrapers that negotiate
+// application/openmetrics-text (Prometheus does by default) get the
+// OpenMetrics rendering — trace-ID exemplars on the latency buckets,
+// `# EOF` terminator; everyone else gets the classic 0.0.4 text format,
+// which cannot legally carry exemplars.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, eng *engine) {
 	if r.Method != http.MethodGet {
 		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.WritePrometheus(w)
+	om := acceptsOpenMetrics(r.Header.Get("Accept"))
+	if om {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.reg.WriteOpenMetrics(w)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	}
 	fmt.Fprintf(w, "# HELP fixserve_ruleset_info Served ruleset identity; value is always 1.\n"+
 		"# TYPE fixserve_ruleset_info gauge\n"+
 		"fixserve_ruleset_info{version=%q,hash=%q} 1\n",
 		fmt.Sprint(eng.version), eng.hash)
+	if om {
+		io.WriteString(w, "# EOF\n")
+	}
+}
+
+// acceptsOpenMetrics reports whether the Accept header offers the
+// OpenMetrics media type. A plain membership test suffices: Prometheus
+// sends it with an explicit positive q-value, and a scraper listing the
+// type at all is prepared to parse it.
+func acceptsOpenMetrics(accept string) bool {
+	return strings.Contains(strings.ToLower(accept), "application/openmetrics-text")
 }
 
 // serverStatsResponse is the /stats payload: the operational counters in

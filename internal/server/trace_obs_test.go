@@ -367,7 +367,9 @@ func TestTraceparentPropagation(t *testing.T) {
 }
 
 // TestMetricsExemplars: a sampled request attaches its trace ID to the
-// latency bucket it landed in, rendered in OpenMetrics exemplar syntax.
+// latency bucket it landed in, but the exemplar is only rendered for
+// scrapers that negotiate application/openmetrics-text — a plain 0.0.4
+// scrape must stay parseable (no `#` after any sample value).
 func TestMetricsExemplars(t *testing.T) {
 	_, srv := newOpsServer(t, Config{Tracer: sampledTracer()})
 	resp, err := http.Post(srv.URL+"/repair", "application/json",
@@ -376,19 +378,47 @@ func TestMetricsExemplars(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	resp, err = http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+
+	scrape := func(accept string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body), resp.Header.Get("Content-Type")
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	out := string(body)
-	idx := strings.Index(out, "fixserve_request_duration_seconds_bucket")
+
+	// Prometheus's default Accept header negotiates OpenMetrics.
+	om, ct := scrape("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics scrape Content-Type = %q", ct)
+	}
+	idx := strings.Index(om, "fixserve_request_duration_seconds_bucket")
 	if idx < 0 {
 		t.Fatal("latency buckets missing from exposition")
 	}
-	if !strings.Contains(out[idx:], `# {trace_id="`) {
+	if !strings.Contains(om[idx:], `# {trace_id="`) {
 		t.Error("no exemplar on any latency bucket after a sampled request")
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("OpenMetrics exposition must terminate with # EOF")
+	}
+
+	// A plain scrape gets the classic format with no exemplars at all.
+	plain, ct := scrape("")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("plain scrape Content-Type = %q", ct)
+	}
+	if strings.Contains(plain, "trace_id") {
+		t.Error("exemplar leaked into the 0.0.4 exposition")
+	}
+	if strings.Contains(plain, "# EOF") {
+		t.Error("# EOF is OpenMetrics-only")
 	}
 }
 
