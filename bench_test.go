@@ -284,6 +284,41 @@ func BenchmarkStreamRepairHosp(b *testing.B) {
 			}
 		}
 	})
+	// The columnar batch engine over the same CSV bytes: single-core
+	// (Workers: 1, the apples-to-apples comparison against lRepair/stream)
+	// and pipelined.
+	b.Run("lRepair/stream-columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.StreamCSVColumnar(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear,
+				repair.ParallelOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lRepair/stream-columnar-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.StreamCSVColumnar(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear,
+				repair.ParallelOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The fcol binary chunk format end to end, no CSV parse at all.
+	var fcolIn bytes.Buffer
+	if err := store.WriteColumnar(&fcolIn, w.dirty, 0); err != nil {
+		b.Fatal(err)
+	}
+	fin := fcolIn.Bytes()
+	b.Run("lRepair/stream-fcol", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.StreamColumnar(context.Background(), bytes.NewReader(fin), io.Discard, repair.Linear,
+				repair.ParallelOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationViolationDetection compares the hash-partition FD

@@ -9,11 +9,18 @@
 //	experiments -csv results/        # additionally write CSVs
 //	experiments -bench-json BENCH_repair.json   # repair throughput records
 //	experiments -cpuprofile cpu.out -exp fig13a # profile a run
+//	experiments -convert dirty.csv -convert-out dirty.fcol   # CSV <-> fcol
+//
+// -convert translates a dataset file between CSV and the fcol columnar
+// chunk format (direction chosen by the extensions), producing fixtures
+// for fixrepair's *.fcol streaming and fixserve's application/x-fcol
+// content type.
 //
 // Paper scale (115K-row hosp) takes minutes; -fast finishes in seconds.
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,8 @@ import (
 	"strings"
 
 	"fixrule/internal/experiments"
+	"fixrule/internal/schema"
+	"fixrule/internal/store"
 )
 
 func main() {
@@ -46,6 +55,8 @@ func run() (err error) {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("bench-json", "", "measure repair throughput on hosp and uis, write records to this file and exit")
+		convert    = flag.String("convert", "", "convert this dataset file between CSV and fcol (by extension) and exit; requires -convert-out")
+		convertOut = flag.String("convert-out", "", "destination path for -convert")
 	)
 	flag.Parse()
 
@@ -54,6 +65,10 @@ func run() (err error) {
 			fmt.Println(id)
 		}
 		return nil
+	}
+
+	if *convert != "" {
+		return runConvert(*convert, *convertOut)
 	}
 
 	if *cpuprofile != "" {
@@ -119,4 +134,76 @@ func run() (err error) {
 		}
 	}
 	return experiments.Run(cfg, ids, os.Stdout, *csv)
+}
+
+// runConvert translates one dataset file between CSV and the fcol columnar
+// chunk format, direction chosen by the file extensions.
+func runConvert(src, dst string) error {
+	if dst == "" {
+		return fmt.Errorf("-convert requires -convert-out")
+	}
+	srcFcol := strings.HasSuffix(src, ".fcol")
+	dstFcol := strings.HasSuffix(dst, ".fcol")
+	if srcFcol == dstFcol {
+		return fmt.Errorf("-convert translates between CSV and .fcol; got %s -> %s", src, dst)
+	}
+	var (
+		rel *schema.Relation
+		err error
+	)
+	if srcFcol {
+		f, ferr := os.Open(src)
+		if ferr != nil {
+			return ferr
+		}
+		rel, err = store.ReadColumnar(f)
+		f.Close()
+	} else {
+		rel, err = loadCSVAnySchema(src)
+	}
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if dstFcol {
+		err = store.WriteColumnar(out, rel, 0)
+	} else {
+		err = schema.WriteCSV(out, rel)
+	}
+	if err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d rows: %s -> %s\n", rel.Len(), src, dst)
+	return nil
+}
+
+// loadCSVAnySchema reads a CSV file whose header defines an ad-hoc schema.
+func loadCSVAnySchema(path string) (*schema.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading CSV header: %w", err)
+	}
+	sch := schema.New("data", header...)
+	rel := schema.NewRelation(sch)
+	for {
+		rec, err := cr.Read()
+		if err != nil {
+			break
+		}
+		rel.Append(schema.Tuple(rec))
+	}
+	return rel, nil
 }

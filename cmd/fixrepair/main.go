@@ -10,7 +10,15 @@
 //	fixrepair -rules rules.dsl -data dirty.csv -trace           # chase trace of each repair
 //	fixrepair -rules rules.dsl -data big.csv -stream -out fixed.csv
 //	fixrepair -rules rules.dsl -data big.csv -stream -workers 8 -out fixed.csv -log repairs.csv
+//	fixrepair -rules rules.dsl -data big.csv -stream -columnar -out fixed.csv
+//	fixrepair -rules rules.dsl -data big.fcol -stream -out fixed.fcol
 //	fixrepair -revert repairs.csv -data repaired.csv -out restored.csv
+//
+// Streaming CSV-to-CSV with -columnar runs the columnar batch engine:
+// byte-identical output at substantially higher single-core throughput.
+// *.fcol paths stream the columnar chunk format directly (an .fcol input
+// needs an .fcol output; a CSV input with an .fcol output converts while
+// repairing).
 //
 // The data file's header (or frel schema) must match the rule schema.
 // -log writes one changed cell per line (row, attribute, old, new), in
@@ -49,6 +57,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		explain     = flag.Int("explain", -1, "print the repair provenance of this row and exit")
 		stream      = flag.Bool("stream", false, "stream rows through the repairer (constant memory); requires -out")
+		columnar    = flag.Bool("columnar", false, "with -stream: run the columnar batch engine for CSV (identical bytes, higher throughput)")
 		revert      = flag.String("revert", "", "undo a previous repair: apply this -log file in reverse to -data; requires -out")
 		doTrace     = flag.Bool("trace", false, "print a chase trace of each repaired tuple (rule, evidence, old -> new, assured set)")
 		traceSample = flag.Float64("trace-sample", 1, "fraction of rows eligible for -trace, sampled deterministically")
@@ -71,8 +80,12 @@ func main() {
 		}
 		return
 	}
+	if *columnar && !*stream {
+		fmt.Fprintln(os.Stderr, "fixrepair: -columnar requires -stream")
+		os.Exit(2)
+	}
 	tc := traceConfig{enabled: *doTrace, sample: *traceSample, max: *traceMax}
-	if err := run(*rulesPath, *dataPath, *outPath, *logPath, *alg, *workers, *explain, *stream, tc); err != nil {
+	if err := run(*rulesPath, *dataPath, *outPath, *logPath, *alg, *workers, *explain, *stream, *columnar, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "fixrepair:", err)
 		os.Exit(1)
 	}
@@ -98,7 +111,7 @@ func (tc traceConfig) newRecorder(needLog bool) *fixrule.ChaseRecorder {
 	return nil
 }
 
-func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int, stream bool, tc traceConfig) error {
+func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int, stream, columnar bool, tc traceConfig) error {
 	rs, err := ruleio.LoadFile(rulesPath)
 	if err != nil {
 		return err
@@ -146,12 +159,25 @@ func run(rulesPath, dataPath, outPath, logPath, alg string, workers, explain int
 		var stats *fixrule.StreamStats
 		ctx := context.Background()
 		frel := strings.HasSuffix(dataPath, ".frel") && strings.HasSuffix(outPath, ".frel")
+		fcolIn := strings.HasSuffix(dataPath, ".fcol")
+		fcolOut := strings.HasSuffix(outPath, ".fcol")
 		switch {
+		case fcolIn && !fcolOut:
+			err = fmt.Errorf(".fcol input requires a .fcol -out path")
+		case fcolIn:
+			stats, err = rep.StreamColumnar(ctx, in, out, algorithm,
+				fixrule.StreamOptions{Workers: w, Recorder: rec})
+		case fcolOut:
+			stats, err = rep.StreamCSVToColumnar(ctx, in, out, algorithm,
+				fixrule.StreamOptions{Workers: w, Recorder: rec})
 		case frel && w > 1:
 			stats, err = rep.StreamFrelParallelOpts(ctx, in, out, algorithm,
 				fixrule.StreamOptions{Workers: w, Recorder: rec})
 		case frel:
 			stats, err = rep.StreamFrelTraced(ctx, in, out, algorithm, rec)
+		case columnar:
+			stats, err = rep.StreamCSVColumnar(ctx, in, out, algorithm,
+				fixrule.StreamOptions{Workers: w, Recorder: rec})
 		case w > 1:
 			stats, err = rep.StreamCSVParallelOpts(ctx, in, out, algorithm,
 				fixrule.StreamOptions{Workers: w, Recorder: rec})

@@ -1,6 +1,9 @@
 package fixrule
 
 import (
+	"bytes"
+	"context"
+	"maps"
 	"testing"
 
 	"fixrule/internal/core"
@@ -60,6 +63,66 @@ func TestCompiledRepairMatchesReference(t *testing.T) {
 			check("lRepair", rep.RepairRelation(w.dirty, repair.Linear))
 			check("lRepair/parallel", rep.RepairRelationParallel(w.dirty, repair.Linear, 4))
 			check("cRepair/parallel", rep.RepairRelationParallel(w.dirty, repair.Chase, 4))
+		})
+	}
+}
+
+// TestColumnarStreamMatchesRowStream cross-checks the columnar batch
+// engine against the row-at-a-time streaming path on the two benchmark
+// workloads: for each dataset and worker count, StreamCSVColumnar must
+// produce byte-identical output and identical stream statistics. The raw
+// direct-Σ coding, exact-match row filter and zero-copy span emission must
+// all be pure optimisations.
+func TestColumnarStreamMatchesRowStream(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		load func(testing.TB) *benchWorkload
+	}{
+		{"hosp", loadHosp},
+		{"uis", loadUIS},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.load(t)
+			rep := repair.NewRepairer(w.rules)
+			var in bytes.Buffer
+			if err := schema.WriteCSV(&in, w.dirty); err != nil {
+				t.Fatal(err)
+			}
+
+			var ref bytes.Buffer
+			refStats, err := rep.StreamCSV(bytes.NewReader(in.Bytes()), &ref, repair.Linear)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refStats.Repaired == 0 {
+				t.Fatalf("%s: row stream repaired nothing; workload is not exercising the engine", tc.name)
+			}
+
+			for _, workers := range []int{1, 4} {
+				var got bytes.Buffer
+				stats, err := rep.StreamCSVColumnar(context.Background(),
+					bytes.NewReader(in.Bytes()), &got, repair.Linear,
+					repair.ParallelOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(got.Bytes(), ref.Bytes()) {
+					t.Errorf("workers=%d: columnar output differs from row stream (%d vs %d bytes)",
+						workers, got.Len(), ref.Len())
+				}
+				if stats.Rows != refStats.Rows || stats.Repaired != refStats.Repaired ||
+					stats.Steps != refStats.Steps || stats.OOV != refStats.OOV {
+					t.Errorf("workers=%d: stats = %d/%d/%d/%d rows/repaired/steps/oov, reference %d/%d/%d/%d",
+						workers, stats.Rows, stats.Repaired, stats.Steps, stats.OOV,
+						refStats.Rows, refStats.Repaired, refStats.Steps, refStats.OOV)
+				}
+				if !maps.Equal(stats.PerRule, refStats.PerRule) {
+					t.Errorf("workers=%d: per-rule counts differ", workers)
+				}
+				if !maps.Equal(stats.OOVByAttr, refStats.OOVByAttr) {
+					t.Errorf("workers=%d: per-attribute OOV counts differ", workers)
+				}
+			}
 		})
 	}
 }

@@ -52,8 +52,9 @@ func benchReps(budget time.Duration, run func()) time.Duration {
 
 // BenchRepair measures whole-relation repair throughput on the named
 // dataset with its default workload and returns one record per
-// configuration: cRepair, lRepair, lRepair with the parallel driver, and
-// the sequential and parallel CSV streaming paths.
+// configuration: cRepair, lRepair, lRepair with the parallel driver, the
+// sequential and parallel row-at-a-time CSV streaming paths, and the
+// columnar batch engine (sequential and parallel).
 func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 	w, err := makeWorkload(cfg, ds, 0.5)
 	if err != nil {
@@ -78,7 +79,7 @@ func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 	in := csvIn.Bytes()
 
 	const budget = 2 * time.Second
-	out := make([]RepairBench, 0, 5)
+	out := make([]RepairBench, 0, 7)
 	for _, m := range []struct {
 		name string
 		run  func()
@@ -93,6 +94,18 @@ func BenchRepair(cfg Config, ds string) ([]RepairBench, error) {
 		}},
 		{"lRepair/stream-parallel", func() {
 			if _, err := rep.StreamCSVParallel(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear, 0); err != nil {
+				panic(err)
+			}
+		}},
+		{"lRepair/stream-columnar", func() {
+			if _, err := rep.StreamCSVColumnar(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear,
+				repair.ParallelOptions{Workers: 1}); err != nil {
+				panic(err)
+			}
+		}},
+		{"lRepair/stream-columnar-parallel", func() {
+			if _, err := rep.StreamCSVColumnar(context.Background(), bytes.NewReader(in), io.Discard, repair.Linear,
+				repair.ParallelOptions{}); err != nil {
 				panic(err)
 			}
 		}},

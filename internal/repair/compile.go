@@ -74,9 +74,14 @@ func containsCode(s []uint32, v uint32) bool {
 	return lo < len(s) && s[lo] == v
 }
 
-// slot is one entry of a valueTable: the interned string and its code.
+// slot is one entry of a valueTable: the interned string, its sample tag
+// (the hash's a-sample, see sampleHashTag) and its code. For keys of at
+// most 8 bytes the tag covers every byte, so tag plus length equality IS
+// string equality and a probe never dereferences the key at all; longer
+// keys use the tag as a first-word prefilter before the full compare.
 type slot struct {
 	key  string
+	tag  uint64
 	code uint32 // 0 marks an empty slot (interned codes start at 1)
 }
 
@@ -85,7 +90,7 @@ type slot struct {
 // hundred values) and never change after compilation, so a power-of-two
 // table at ≤ 50% load with linear probing beats the general-purpose map on
 // the encode hot path: the hash samples only the length and the first and
-// last eight bytes, and a probe touches one 24-byte slot.
+// last eight bytes, and a probe touches one 32-byte slot.
 //
 // Sampling is safe — a false hash match only costs the string compare that
 // the probe does anyway; a miss lands on an empty slot and returns oov.
@@ -109,9 +114,13 @@ func load32(s string, i int) uint32 {
 	return uint32(s[i]) | uint32(s[i+1])<<8 | uint32(s[i+2])<<16 | uint32(s[i+3])<<24
 }
 
-// sampleHash mixes len(s) with the first and last 8 bytes of s (xxhash-style
-// avalanche constants). Callers must ensure s is non-empty.
-func sampleHash(s string) uint32 {
+// sampleHashTag mixes len(s) with the first and last 8 bytes of s
+// (xxhash-style avalanche constants) and also returns the raw a-sample as
+// the slot tag. For n <= 8 the sample reads every byte of s — overlapping
+// where the halves meet — so for a fixed length it is injective: equal tag
+// plus equal length means equal strings. Callers must ensure s is
+// non-empty.
+func sampleHashTag(s string) (uint32, uint64) {
 	n := len(s)
 	var a, b uint64
 	switch {
@@ -119,17 +128,18 @@ func sampleHash(s string) uint32 {
 		a = load64(s, 0)
 		b = load64(s, n-8)
 	case n >= 4:
-		a = uint64(load32(s, 0))
-		b = uint64(load32(s, n-4))
+		a = uint64(load32(s, 0)) | uint64(load32(s, n-4))<<32
+		b = a
 	default: // 1..3 bytes
 		a = uint64(s[0]) | uint64(s[n>>1])<<8 | uint64(s[n-1])<<16
+		b = a
 	}
 	h := a ^ uint64(n)*0x9E3779B97F4A7C15
 	h = (h ^ b) * 0xC2B2AE3D27D4EB4F
 	h ^= h >> 29
 	h *= 0x165667B19E3779F9
 	h ^= h >> 32
-	return uint32(h)
+	return uint32(h), a
 }
 
 // newValueTable freezes an interning map into a lookup table.
@@ -144,11 +154,12 @@ func newValueTable(m map[string]uint32) *valueTable {
 			t.emptyCode = code
 			continue
 		}
-		i := sampleHash(k) & t.mask
+		h, tag := sampleHashTag(k)
+		i := h & t.mask
 		for t.slots[i].code != 0 {
 			i = (i + 1) & t.mask
 		}
-		t.slots[i] = slot{key: k, code: code}
+		t.slots[i] = slot{key: k, tag: tag, code: code}
 	}
 	return t
 }
@@ -161,13 +172,92 @@ func (t *valueTable) code(s string) uint32 {
 	if len(s) == 0 {
 		return t.emptyCode
 	}
-	i := sampleHash(s) & t.mask
+	h, tag := sampleHashTag(s)
+	i := h & t.mask
 	for {
 		sl := &t.slots[i]
 		if sl.code == 0 {
 			return oov
 		}
-		if sl.key == s {
+		if sl.tag == tag && sl.key == s {
+			return sl.code
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// load64B and load32B are load64/load32 for byte slices.
+func load64B(b []byte, i int) uint64 {
+	_ = b[i+7]
+	return uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
+		uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+}
+
+func load32B(b []byte, i int) uint32 {
+	_ = b[i+3]
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// sampleHashTagB must hash identically to sampleHashTag so byte-slice
+// probes find the same slots and compare the same tags.
+func sampleHashTagB(b []byte) (uint32, uint64) {
+	n := len(b)
+	var a, z uint64
+	switch {
+	case n >= 8:
+		a = load64B(b, 0)
+		z = load64B(b, n-8)
+	case n >= 4:
+		a = uint64(load32B(b, 0)) | uint64(load32B(b, n-4))<<32
+		z = a
+	default: // 1..3 bytes
+		a = uint64(b[0]) | uint64(b[n>>1])<<8 | uint64(b[n-1])<<16
+		z = a
+	}
+	h := a ^ uint64(n)*0x9E3779B97F4A7C15
+	h = (h ^ z) * 0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0x165667B19E3779F9
+	h ^= h >> 32
+	return uint32(h), a
+}
+
+// keyEqTail reports s == string(b) for keys already known to agree on
+// length and on their first 8 bytes (the slot tag), so it compares from
+// byte 8 on, a word at a time with an overlapping final load. Requires
+// len(s) == len(b) > 8. No string is ever materialised.
+func keyEqTail(s string, b []byte) bool {
+	n := len(b)
+	i := 8
+	for ; i+8 <= n; i += 8 {
+		if load64(s, i) != load64B(b, i) {
+			return false
+		}
+	}
+	return i >= n || load64(s, n-8) == load64B(b, n-8)
+}
+
+// codeB is code for a raw byte-slice cell: the same probe sequence, with
+// the key compare done byte-against-string so no string is ever allocated.
+// This is what lets the raw streaming path code CSV cells straight into
+// Σ's vocabulary without interning them first. A probe compares the slot
+// tag and the length first — for keys of at most 8 bytes that alone
+// decides equality, and only longer keys read the interned string.
+//
+//fix:hotpath
+func (t *valueTable) codeB(b []byte) uint32 {
+	n := len(b)
+	if n == 0 {
+		return t.emptyCode
+	}
+	h, tag := sampleHashTagB(b)
+	i := h & t.mask
+	for {
+		sl := &t.slots[i]
+		if sl.code == 0 {
+			return oov
+		}
+		if sl.tag == tag && len(sl.key) == n && (n <= 8 || keyEqTail(sl.key, b)) {
 			return sl.code
 		}
 		i = (i + 1) & t.mask
@@ -187,12 +277,58 @@ type compiled struct {
 	// is nil for attributes Σ never mentions.
 	listOff  [][]int32
 	listFlat []int32
+	// cellFlags[A][code] classifies codes for the columnar fast paths:
+	// bit 0 (cellOOV) marks code 0, so per-column OOV accounting is a flag
+	// sum instead of a compare; bit 1 (cellEvStart) marks codes whose
+	// inverted list (A, code) is non-empty — the only cells that can seed a
+	// rule match, and therefore the only entry points anyRuleMatches probes.
+	// nil for attributes Σ never mentions.
+	cellFlags [][]uint8
 }
+
+const (
+	cellOOV     = 1 << 0
+	cellEvStart = 1 << 1
+)
 
 // list returns the inverted list of (a, code).
 func (c *compiled) list(a int32, code uint32) []int32 {
 	o := c.listOff[a]
 	return c.listFlat[o[code]:o[code+1]]
+}
+
+// anyRuleMatches reports whether some rule of Σ properly applies to the
+// freshly encoded row: all its evidence cells match and the target cell
+// holds one of its negative patterns. For a fresh row this is an exact
+// repair predicate, not a heuristic, in both directions:
+//
+//   - If it returns true, the chase's first scan finds a matching rule and
+//     applies it, so the row is repaired.
+//   - If the chase (or lRepair) applies any rule, its first applied rule
+//     matched the row state at application time — and before the first
+//     application that state is exactly the input codes — so some rule
+//     fully matches the original row and this returns true.
+//
+// Every rule has non-empty evidence (core.New rejects the contrary), so
+// probing the inverted lists of the row's own codes visits every rule that
+// could match; the cellEvStart flag skips cells with no list at all. On
+// typical noisy data only a few percent of rows pass, and everything else
+// skips the chase entirely.
+//
+//fix:hotpath
+func (c *compiled) anyRuleMatches(row []uint32) bool {
+	for _, a := range c.relevant {
+		code := row[a]
+		if c.cellFlags[a][code]&cellEvStart == 0 {
+			continue
+		}
+		for _, pos := range c.list(a, code) {
+			if c.rules[pos].matches(row) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // compileRules interns Σ's constants and builds the integer rule forms and
@@ -201,11 +337,12 @@ func compileRules(rs *core.Ruleset) *compiled {
 	sch := rs.Schema()
 	rules := rs.Rules()
 	c := &compiled{
-		arity:   sch.Arity(),
-		words:   (sch.Arity() + 63) / 64,
-		tables:  make([]*valueTable, sch.Arity()),
-		rules:   make([]compiledRule, len(rules)),
-		listOff: make([][]int32, sch.Arity()),
+		arity:     sch.Arity(),
+		words:     (sch.Arity() + 63) / 64,
+		tables:    make([]*valueTable, sch.Arity()),
+		rules:     make([]compiledRule, len(rules)),
+		listOff:   make([][]int32, sch.Arity()),
+		cellFlags: make([][]uint8, sch.Arity()),
 	}
 	dicts := make([]map[string]uint32, sch.Arity())
 	intern := func(attr int, v string) uint32 {
@@ -244,6 +381,9 @@ func compileRules(rs *core.Ruleset) *compiled {
 		c.relevant = append(c.relevant, int32(a))
 		c.tables[a] = newValueTable(dicts[a])
 		lists[a] = make([][]int32, len(dicts[a])+1)
+		flags := make([]uint8, len(dicts[a])+1)
+		flags[oov] = cellOOV
+		c.cellFlags[a] = flags
 	}
 	for pos := range c.rules {
 		cr := &c.rules[pos]
@@ -259,6 +399,9 @@ func compileRules(rs *core.Ruleset) *compiled {
 		for code, l := range lists[a] {
 			off[code+1] = off[code] + int32(len(l))
 			c.listFlat = append(c.listFlat, l...)
+			if len(l) > 0 {
+				c.cellFlags[a][code] |= cellEvStart
+			}
 		}
 		c.listOff[a] = off
 	}

@@ -166,7 +166,11 @@ func (rp *Repairer) StreamCSVTraced(ctx context.Context, r io.Reader, w io.Write
 	// the next Read, so the reader can safely reuse its record slice and the
 	// loop allocates only the per-record field backing.
 	cr.ReuseRecord = true
-	cw := csv.NewWriter(w)
+	// The outer sized buffer batches writes to w well beyond csv.Writer's
+	// small internal buffer — on file and socket sinks the syscall count,
+	// not the formatting, dominates the write side.
+	bw := bufio.NewWriterSize(w, streamWriteBufSize)
+	cw := csv.NewWriter(bw)
 	if err := cw.Write(header); err != nil {
 		return nil, err
 	}
@@ -194,6 +198,9 @@ func (rp *Repairer) StreamCSVTraced(ctx context.Context, r io.Reader, w io.Write
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
 		return nil, err
 	}
 	rp.finishStreamStats(stats)

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"bufio"
 	"context"
 	"encoding/csv"
 	"fmt"
@@ -258,8 +259,23 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 		psp.End()
 		return nil, writeErr
 	}
+	stats := rp.statsFromAccs(accs, rowsRead)
+	psp.SetAttr(
+		trace.Int("rows", stats.Rows),
+		trace.Int("repaired", stats.Repaired),
+		trace.Int("steps", stats.Steps),
+		trace.Int("oov", stats.OOV),
+	)
+	psp.End()
+	return stats, nil
+}
+
+// statsFromAccs folds per-worker accumulators into the final StreamStats;
+// every statistic is an order-independent sum, so the result is identical
+// at any worker count. Shared by the row and columnar pipelines.
+func (rp *Repairer) statsFromAccs(accs []streamAcc, rows int) *StreamStats {
 	stats := rp.newStreamStats()
-	stats.Rows = rowsRead
+	stats.Rows = rows
 	total := make([]int64, len(rp.rules))
 	for wi := range accs {
 		stats.Repaired += accs[wi].repaired
@@ -278,14 +294,7 @@ func (rp *Repairer) streamParallel(ctx context.Context, read func() (schema.Tupl
 		}
 	}
 	rp.finishStreamStats(stats)
-	psp.SetAttr(
-		trace.Int("rows", stats.Rows),
-		trace.Int("repaired", stats.Repaired),
-		trace.Int("steps", stats.Steps),
-		trace.Int("oov", stats.OOV),
-	)
-	psp.End()
-	return stats, nil
+	return stats
 }
 
 // StreamCSVParallel is StreamCSVContext with the pipelined worker pool:
@@ -304,7 +313,8 @@ func (rp *Repairer) StreamCSVParallelOpts(ctx context.Context, r io.Reader, w io
 	}
 	// No ReuseRecord here: chunks own their rows until the writer emits
 	// them, so each record must keep its own slice.
-	cw := csv.NewWriter(w)
+	bw := bufio.NewWriterSize(w, streamWriteBufSize)
+	cw := csv.NewWriter(bw)
 	if err := cw.Write(header); err != nil {
 		return nil, err
 	}
@@ -322,6 +332,9 @@ func (rp *Repairer) StreamCSVParallelOpts(ctx context.Context, r io.Reader, w io
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
 		return nil, err
 	}
 	return stats, nil

@@ -19,7 +19,12 @@
 //	GET  /rules        the ruleset, as DSL (default) or JSON (?format=json)
 //	GET  /rules/stats  rule-count / size / per-target statistics
 //	POST /repair       JSON {"tuples": [[...], ...]} → repaired tuples + steps
-//	POST /repair/csv   CSV stream in (header must match schema), CSV out
+//	POST /repair/csv   CSV stream in (header must match schema), CSV out;
+//	                   Content-Type application/x-fcol switches the body to
+//	                   the columnar frame format (response follows), Accept
+//	                   application/x-fcol requests columnar output for a CSV
+//	                   body, and ?engine=columnar selects the batch engine
+//	                   for CSV-to-CSV (identical bytes, higher throughput)
 //	POST /explain      JSON {"tuple": [...]} → repair provenance
 //	POST /reload       reload the ruleset through the configured loader
 package server
@@ -36,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +51,7 @@ import (
 	"fixrule/internal/repair"
 	"fixrule/internal/ruleio"
 	"fixrule/internal/schema"
+	"fixrule/internal/store"
 	"fixrule/internal/trace"
 )
 
@@ -395,13 +402,38 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 		s.writeError(w, http.StatusBadRequest, codeBadAlgorithm, err.Error())
 		return
 	}
+	// Content negotiation: an application/x-fcol body streams the columnar
+	// frame format and the response mirrors it; a CSV body with Accept:
+	// application/x-fcol converts to columnar on the way out; ?engine=
+	// columnar selects the batch engine for plain CSV-to-CSV.
+	inFcol := mediaType(r.Header.Get("Content-Type")) == store.ColumnarContentType
+	accept := r.Header.Get("Accept")
+	// A columnar body is answered in kind; an Accept header that names
+	// neither the columnar type nor a wildcard refuses that.
+	outFcol := acceptsColumnar(accept) || (inFcol && (accept == "" || acceptsAny(accept)))
+	engineSel := r.URL.Query().Get("engine")
+	switch engineSel {
+	case "", "row", "columnar":
+	default:
+		s.writeError(w, http.StatusBadRequest, codeBadFormat, "unknown engine (want row or columnar)")
+		return
+	}
+	if inFcol && !outFcol {
+		s.writeError(w, http.StatusNotAcceptable, codeBadFormat,
+			"columnar request bodies are answered in kind; accept application/x-fcol")
+		return
+	}
 	// The handler interleaves reads of the request body with writes of the
 	// response; without full duplex, HTTP/1.1 closes the body once the
 	// response buffer first flushes (~4 KiB out) and every larger stream
 	// dies with "invalid Read on closed Body". Recorders and HTTP/2 may
 	// not support the control; both already allow concurrent read/write.
 	_ = http.NewResponseController(w).EnableFullDuplex()
-	w.Header().Set("Content-Type", "text/csv")
+	if outFcol {
+		w.Header().Set("Content-Type", store.ColumnarContentType)
+	} else {
+		w.Header().Set("Content-Type", "text/csv")
+	}
 	// On a sampled request, a chase recorder captures which rules fired on
 	// which rows (up to its tuple cap); the steps land on the span as events
 	// so /debug/traces can show the request's actual repairs. Unsampled
@@ -411,15 +443,27 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 	if sp.Sampled() {
 		rec = repair.NewChaseRecorder(0, 1, 0)
 	}
+	workers := s.cfg.StreamWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	opts := repair.ParallelOptions{
+		Workers:     workers,
+		QueueDepth:  s.m.streamQueue,
+		BusyWorkers: s.m.streamBusy,
+		Recorder:    rec,
+	}
 	var stats *repair.StreamStats
-	if s.cfg.StreamWorkers > 1 {
-		stats, err = eng.rep.StreamCSVParallelOpts(r.Context(), r.Body, w, alg, repair.ParallelOptions{
-			Workers:     s.cfg.StreamWorkers,
-			QueueDepth:  s.m.streamQueue,
-			BusyWorkers: s.m.streamBusy,
-			Recorder:    rec,
-		})
-	} else {
+	switch {
+	case inFcol:
+		stats, err = eng.rep.StreamColumnar(r.Context(), r.Body, w, alg, opts)
+	case outFcol:
+		stats, err = eng.rep.StreamCSVToColumnar(r.Context(), r.Body, w, alg, opts)
+	case engineSel == "columnar":
+		stats, err = eng.rep.StreamCSVColumnar(r.Context(), r.Body, w, alg, opts)
+	case s.cfg.StreamWorkers > 1:
+		stats, err = eng.rep.StreamCSVParallelOpts(r.Context(), r.Body, w, alg, opts)
+	default:
 		stats, err = eng.rep.StreamCSVTraced(r.Context(), r.Body, w, alg, rec)
 	}
 	if err != nil {
@@ -566,6 +610,38 @@ func (s *Server) streamError(w http.ResponseWriter, err error) {
 		//fix:allow errcode: stream errors describe the client's own CSV, no server state
 		s.writeError(w, http.StatusBadRequest, codeBadStream, err.Error())
 	}
+}
+
+// mediaType extracts the bare media type of a Content-Type header value,
+// dropping parameters and surrounding whitespace.
+func mediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// acceptsColumnar reports whether an Accept header lists the columnar
+// frame media type.
+func acceptsColumnar(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if mediaType(part) == store.ColumnarContentType {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsAny reports whether an Accept header carries a full or
+// application-level wildcard.
+func acceptsAny(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		switch mediaType(part) {
+		case "*/*", "application/*":
+			return true
+		}
+	}
+	return false
 }
 
 func parseAlgorithm(name string) (repair.Algorithm, error) {

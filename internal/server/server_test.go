@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"fixrule/internal/core"
 	"fixrule/internal/repair"
 	"fixrule/internal/schema"
+	"fixrule/internal/store"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -188,6 +190,102 @@ func TestRepairCSVEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(errBody), "header") {
 		t.Errorf("bad-header body = %q", errBody)
+	}
+}
+
+// TestRepairCSVColumnarNegotiation exercises the /repair/csv content
+// negotiation: the columnar batch engine for CSV-to-CSV must be
+// byte-identical to the row engine, an Accept of application/x-fcol must
+// switch the response to columnar frames, a columnar body must round-trip,
+// and the rejection paths must carry their status codes.
+func TestRepairCSVColumnarNegotiation(t *testing.T) {
+	srv := testServer(t)
+	csvIn := "name,country,capital,city,conf\n" +
+		"Ian,China,Shanghai,Hongkong,ICDE\n" +
+		"Ann,Canada,Toronto,Ottawa,SIGMOD\n"
+	post := func(path, contentType, accept, body string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	// CSV in, CSV out: batch engine must match the row engine byte for byte.
+	rowResp, rowBody := post("/repair/csv", "text/csv", "", csvIn)
+	colResp, colBody := post("/repair/csv?engine=columnar", "text/csv", "", csvIn)
+	if rowResp.StatusCode != http.StatusOK || colResp.StatusCode != http.StatusOK {
+		t.Fatalf("status row=%d columnar=%d", rowResp.StatusCode, colResp.StatusCode)
+	}
+	if string(rowBody) != string(colBody) {
+		t.Errorf("columnar engine output differs:\nrow:\n%scolumnar:\n%s", rowBody, colBody)
+	}
+	if !strings.Contains(string(colBody), "Ian,China,Beijing,Shanghai,ICDE") {
+		t.Errorf("columnar body lacks repaired row:\n%s", colBody)
+	}
+
+	// CSV in, columnar out.
+	resp, fcolBody := post("/repair/csv", "text/csv", store.ColumnarContentType, csvIn)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv-to-fcol status = %d: %s", resp.StatusCode, fcolBody)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != store.ColumnarContentType {
+		t.Errorf("csv-to-fcol content type = %q", ct)
+	}
+	sc, err := store.NewChunkScanner(bytes.NewReader(fcolBody))
+	if err != nil {
+		t.Fatalf("scanning fcol response: %v", err)
+	}
+	var chunk store.ColChunk
+	if _, err := sc.ReadChunk(&chunk); err != nil {
+		t.Fatalf("reading fcol chunk: %v", err)
+	}
+	if got := chunk.Value(0, 2); got != "Beijing" {
+		t.Errorf("fcol capital = %q, want Beijing", got)
+	}
+
+	// Columnar in, columnar out: feed the converted frames back.
+	resp, rtBody := post("/repair/csv", store.ColumnarContentType, store.ColumnarContentType, string(fcolBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fcol round-trip status = %d: %s", resp.StatusCode, rtBody)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != store.ColumnarContentType {
+		t.Errorf("fcol round-trip content type = %q", ct)
+	}
+	if sc, err = store.NewChunkScanner(bytes.NewReader(rtBody)); err != nil {
+		t.Fatalf("scanning round-trip response: %v", err)
+	}
+	if _, err := sc.ReadChunk(&chunk); err != nil {
+		t.Fatalf("reading round-trip chunk: %v", err)
+	}
+	if got := chunk.Value(0, 2); got != "Beijing" {
+		t.Errorf("round-trip capital = %q, want Beijing", got)
+	}
+
+	// A columnar body with a CSV-only Accept cannot be served.
+	resp, _ = post("/repair/csv", store.ColumnarContentType, "text/csv", string(fcolBody))
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Errorf("fcol-to-csv status = %d, want 406", resp.StatusCode)
+	}
+
+	// Unknown engine parameter.
+	resp, _ = post("/repair/csv?engine=quantum", "text/csv", "", csvIn)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad engine status = %d, want 400", resp.StatusCode)
 	}
 }
 

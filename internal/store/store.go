@@ -31,6 +31,11 @@ const magic = "FRELv1\n"
 // maxValueLen guards scanners against corrupt length prefixes.
 const maxValueLen = 1 << 24
 
+// storeBufSize sizes the buffered readers and writers of both formats:
+// large enough to batch syscalls on bulk streams, small enough that a
+// server holding a few dozen concurrent streams stays cheap.
+const storeBufSize = 1 << 16
+
 const (
 	tagRow = 0x01
 	tagEnd = 0x00
@@ -51,20 +56,43 @@ type Writer struct {
 // NewWriter writes the header for sch and returns a row writer.
 func NewWriter(w io.Writer, sch *schema.Schema) (*Writer, error) {
 	crc := crc32.NewIEEE()
-	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), storeBufSize)
 	out := &Writer{w: bw, crc: crc, sch: sch}
 	if _, err := bw.WriteString(magic); err != nil {
 		return nil, err
 	}
-	out.writeString(sch.Name())
-	out.writeUvarint(uint64(sch.Arity()))
-	for _, a := range sch.Attrs() {
-		out.writeString(a)
-	}
-	if out.err != nil {
-		return nil, out.err
+	if err := writeHeaderBody(bw, sch); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// writeHeaderBody writes the schema section both formats share: name,
+// arity, attribute names.
+func writeHeaderBody(bw *bufio.Writer, sch *schema.Schema) error {
+	writeLString := func(s string) error {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeLString(sch.Name()); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(sch.Arity()))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, a := range sch.Attrs() {
+		if err := writeLString(a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (w *Writer) writeUvarint(v uint64) {
@@ -171,7 +199,7 @@ type Scanner struct {
 // NewScanner reads and validates the header, returning a row scanner.
 func NewScanner(r io.Reader) (*Scanner, error) {
 	crc := crc32.NewIEEE()
-	br := &crcReader{br: bufio.NewReader(r), crc: crc}
+	br := &crcReader{br: bufio.NewReaderSize(r, storeBufSize), crc: crc}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("store: reading magic: %w", err)
@@ -179,8 +207,17 @@ func NewScanner(r io.Reader) (*Scanner, error) {
 	if string(head) != magic {
 		return nil, fmt.Errorf("store: bad magic %q", head)
 	}
-	s := &Scanner{r: br, crc: crc}
-	name, err := s.readString()
+	sch, err := readHeaderBody(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{r: br, crc: crc, sch: sch}, nil
+}
+
+// readHeaderBody reads and validates the schema section both formats
+// share: name, arity, attribute names.
+func readHeaderBody(br *crcReader) (*schema.Schema, error) {
+	name, err := readLString(br)
 	if err != nil {
 		return nil, fmt.Errorf("store: schema name: %w", err)
 	}
@@ -193,26 +230,28 @@ func NewScanner(r io.Reader) (*Scanner, error) {
 	}
 	attrs := make([]string, arity)
 	for i := range attrs {
-		if attrs[i], err = s.readString(); err != nil {
+		if attrs[i], err = readLString(br); err != nil {
 			return nil, fmt.Errorf("store: attr %d: %w", i, err)
 		}
 	}
+	var sch *schema.Schema
 	if err := func() (err error) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				err = fmt.Errorf("store: invalid schema: %v", rec)
 			}
 		}()
-		s.sch = schema.New(name, attrs...)
+		sch = schema.New(name, attrs...)
 		return nil
 	}(); err != nil {
 		return nil, err
 	}
-	return s, nil
+	return sch, nil
 }
 
-func (s *Scanner) readString() (string, error) {
-	n, err := binary.ReadUvarint(s.r)
+// readLString reads one length-prefixed string, guarding the length.
+func readLString(r *crcReader) (string, error) {
+	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
 	}
@@ -220,11 +259,13 @@ func (s *Scanner) readString() (string, error) {
 		return "", fmt.Errorf("value length %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(s.r, buf); err != nil {
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return "", err
 	}
 	return string(buf), nil
 }
+
+func (s *Scanner) readString() (string, error) { return readLString(s.r) }
 
 // Schema returns the stream's schema.
 func (s *Scanner) Schema() *schema.Schema { return s.sch }
