@@ -69,6 +69,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCSVChunk -fuzztime=30s ./internal/store/
 	$(GO) test -run '^$$' -fuzz=FuzzHandleRepairCSV -fuzztime=30s ./internal/server/
 	$(GO) test -run '^$$' -fuzz=FuzzHandleRepairJSON -fuzztime=30s ./internal/server/
+	$(GO) test -run '^$$' -fuzz=FuzzTenantRouting -fuzztime=30s ./internal/server/
 
 # Regenerate every figure/table of the paper's Section 7 at paper scale
 # (minutes); results land in results/.

@@ -348,3 +348,158 @@ RULE phi1
 		t.Error("listener still accepting after graceful shutdown")
 	}
 }
+
+// TestFixserveShardedLifecycle stands up the full sharded topology from
+// real binaries: two `-mode worker` processes over a per-tenant rules
+// directory and one `-mode proxy` in front. It exercises routing through
+// the ring, per-tenant hot deploy via the proxy, the worker-mode refusal
+// of legacy engine routes, and SIGTERM drain of every process.
+// Skipped with -short (it shells out to the Go toolchain).
+func TestFixserveShardedLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short: skipping sharded fixserve integration test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fixserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fixserve")
+	build.Env = os.Environ()
+	if msg, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building fixserve: %v\n%s", err, msg)
+	}
+
+	tenantRule := func(fact string) string {
+		return fmt.Sprintf(`SCHEMA Travel(name, country, capital, city, conf)
+RULE phi1
+  WHEN country = "China"
+  IF capital IN ("Shanghai", "Hongkong")
+  THEN capital = %q
+`, fact)
+	}
+	rulesDir := filepath.Join(dir, "tenants")
+	if err := os.Mkdir(rulesDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for tenant, fact := range map[string]string{"acme": "Beijing", "globex": "Peking"} {
+		if err := os.WriteFile(filepath.Join(rulesDir, tenant+".dsl"),
+			[]byte(tenantRule(fact)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// start launches one fixserve process and returns its base URL parsed
+	// from the startup line.
+	start := func(args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, append(args, "-addr", "127.0.0.1:0",
+			"-drain-timeout", "10s", "-log-level", "warn")...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill() })
+		scanner := bufio.NewScanner(stdout)
+		if !scanner.Scan() {
+			t.Fatalf("fixserve %v produced no output", args)
+		}
+		first := scanner.Text()
+		go io.Copy(io.Discard, stdout)
+		i := strings.LastIndex(first, "listening on ")
+		if i < 0 {
+			t.Fatalf("startup line %q has no address", first)
+		}
+		return cmd, "http://" + strings.TrimSpace(first[i+len("listening on "):])
+	}
+
+	w1, w1URL := start("-mode", "worker", "-tenant-rules", rulesDir)
+	w2, w2URL := start("-mode", "worker", "-tenant-rules", rulesDir)
+	proxy, proxyURL := start("-mode", "proxy", "-peers", w1URL+","+w2URL)
+
+	post := func(base, path, contentType, body string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Post(base+path, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s%s: %v", base, path, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(b), resp.Header
+	}
+	ian := `{"tuples": [["Ian","China","Shanghai","Hongkong","ICDE"]]}`
+
+	// Both tenants repair through the proxy with their own rulesets,
+	// wherever the ring placed them.
+	if code, body, hdr := post(proxyURL, "/t/acme/repair", "application/json", ian); code != 200 ||
+		!strings.Contains(body, "Beijing") || hdr.Get("X-Fixserve-Tenant") != "acme" {
+		t.Fatalf("/t/acme/repair via proxy = %d %q", code, body)
+	}
+	if code, body, _ := post(proxyURL, "/t/globex/repair", "application/json", ian); code != 200 ||
+		!strings.Contains(body, "Peking") {
+		t.Fatalf("/t/globex/repair via proxy = %d %q", code, body)
+	}
+
+	// The proxy's /shard endpoint names both workers and acme's owner.
+	resp, err := http.Get(proxyURL + "/shard?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(shardBody), w1URL) || !strings.Contains(string(shardBody), w2URL) ||
+		!strings.Contains(string(shardBody), `"owner"`) {
+		t.Fatalf("/shard = %s", shardBody)
+	}
+
+	// Per-tenant hot deploy: rewrite acme's rule file, reload through the
+	// proxy, and the next proxied repair uses the new ruleset.
+	if err := os.WriteFile(filepath.Join(rulesDir, "acme.dsl"),
+		[]byte(tenantRule("Peiping")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, body, _ := post(proxyURL, "/t/acme/reload", "", ""); code != 200 ||
+		!strings.Contains(body, `"ruleset_version": 2`) {
+		t.Fatalf("/t/acme/reload via proxy = %d %q", code, body)
+	}
+	if code, body, _ := post(proxyURL, "/t/acme/repair", "application/json", ian); code != 200 ||
+		!strings.Contains(body, "Peiping") {
+		t.Fatalf("post-reload /t/acme/repair via proxy = %d %q", code, body)
+	}
+	// globex is untouched by acme's deploy.
+	if _, body, _ := post(proxyURL, "/t/globex/repair", "application/json", ian); !strings.Contains(body, "Peking") {
+		t.Fatalf("globex changed behaviour after acme reload: %q", body)
+	}
+
+	// Workers run tenant routes only: the legacy engine surface answers
+	// 404 with the stable no-default-ruleset envelope.
+	if code, body, _ := post(w1URL, "/repair", "application/json", ian); code != 404 ||
+		!strings.Contains(body, "no_default_ruleset") {
+		t.Fatalf("worker /repair = %d %q, want 404 no_default_ruleset", code, body)
+	}
+	// But their probes and metrics still serve (the ops surface survives).
+	for _, u := range []string{w1URL, w2URL} {
+		r, err := http.Get(u + "/healthz")
+		if err != nil || r.StatusCode != 200 {
+			t.Fatalf("worker %s /healthz: %v %v", u, err, r)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+
+	// SIGTERM everything; each process must drain and exit 0.
+	for _, c := range []*exec.Cmd{proxy, w1, w2} {
+		if err := c.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, c := range map[string]*exec.Cmd{"proxy": proxy, "worker1": w1, "worker2": w2} {
+		if err := c.Wait(); err != nil {
+			t.Fatalf("%s exit after SIGTERM: %v", name, err)
+		}
+	}
+	if _, err := http.Get(proxyURL + "/healthz"); err == nil {
+		t.Error("proxy still accepting after graceful shutdown")
+	}
+}

@@ -6,34 +6,50 @@
 // Usage:
 //
 //	fixserve -rules rules.dsl -addr :8080
+//	fixserve -mode worker -tenant-rules /etc/fixrule/tenants -addr :8081
+//	fixserve -mode proxy -peers http://w1:8081,http://w2:8081 -addr :8080
+//
+// Modes (one binary is the whole topology):
+//
+//   - standalone (default): serve a single ruleset (-rules); add
+//     -tenant-rules to also serve per-tenant rulesets under /t/{tenant}/.
+//   - worker: serve tenant routes only, from -tenant-rules; the legacy
+//     single-tenant routes answer 404 unless -rules is also given.
+//   - proxy: own no rulesets; forward /t/{tenant}/ requests to the worker
+//     owning the tenant on a consistent-hash ring over -peers, streaming
+//     bodies (CSV and columnar alike) with trace propagation intact.
 //
 // Operations:
 //
 //   - SIGHUP (or POST /reload) re-reads the rule file, verifies its
 //     consistency, and swaps the compiled ruleset atomically; in-flight
-//     requests finish on the old version.
+//     requests finish on the old version. In multi-tenant modes SIGHUP
+//     also drops every cached tenant engine (recompiled on next use);
+//     POST /t/{tenant}/reload hot-deploys one tenant.
 //   - SIGTERM / SIGINT drain gracefully: the listener closes, in-flight
 //     requests complete (up to -drain-timeout), then the process exits 0.
 //   - GET /metrics serves Prometheus text; GET /stats the same counters
-//     as JSON with latency quantiles.
+//     as JSON with latency quantiles; GET /t/{tenant}/stats one tenant's.
 //   - Every response carries X-Request-Id and a W3C traceparent header;
 //     -trace-sample of requests (and every 5xx) retain a full trace —
 //     including per-tuple chase steps — browsable at /debug/traces.
 //     Logs are structured (log/slog, -log-level) and carry the same IDs.
 //   - -pprof exposes net/http/pprof under /debug/pprof/ (off by default).
 //
-// Endpoints (see internal/server and docs/OBSERVABILITY.md):
+// Endpoints (see docs/SERVER.md and docs/OBSERVABILITY.md):
 //
-//	GET  /healthz            liveness
-//	GET  /metrics            Prometheus exposition (with trace exemplars)
-//	GET  /stats              service counters and ruleset version
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus exposition (with trace exemplars)
+//	GET  /stats               service counters and ruleset version
 //	GET  /rules[?format=json] the loaded ruleset
-//	GET  /rules/stats        rule statistics
-//	GET  /debug/traces       recent request traces; /debug/traces/<id> drills in
-//	POST /repair             JSON tuples in, repaired tuples + steps out
-//	POST /repair/csv         CSV stream in, repaired CSV out
-//	POST /explain            one tuple in, repair provenance out
-//	POST /reload             hot-swap the ruleset from the rule file
+//	GET  /rules/stats         rule statistics
+//	GET  /debug/traces        recent request traces; /debug/traces/<id> drills in
+//	POST /repair              JSON tuples in, repaired tuples + steps out
+//	POST /repair/csv          CSV stream in, repaired CSV out
+//	POST /explain             one tuple in, repair provenance out
+//	POST /reload              hot-swap the ruleset from the rule file
+//	     /t/{tenant}/...      the same repair surface per tenant
+//	GET  /shard               (proxy mode) ring topology; ?tenant=x → owner
 package main
 
 import (
@@ -59,47 +75,175 @@ import (
 
 func main() {
 	var (
+		mode          = flag.String("mode", "standalone", "standalone, worker (tenant routes only) or proxy (shard router)")
 		rulesPath     = flag.String("rules", "", "rule file (DSL, or JSON when *.json); re-read on reload")
+		tenantDir     = flag.String("tenant-rules", "", "directory of per-tenant rule files (<tenant>.dsl or <tenant>.json); enables /t/{tenant}/ routes")
+		peers         = flag.String("peers", "", "comma-separated worker base URLs (proxy mode)")
 		addr          = flag.String("addr", ":8080", "listen address")
 		maxBody       = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
 		maxInFlight   = flag.Int("max-inflight", 64, "concurrent repair requests before shedding with 503")
 		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request repair deadline")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 		streamWorkers = flag.Int("stream-workers", 1, "workers for /repair/csv streaming (0 = GOMAXPROCS, 1 = sequential)")
+		maxEngines    = flag.Int("max-engines", 64, "compiled tenant engines kept in the LRU cache")
+		engineMem     = flag.Int64("engine-mem", 256<<20, "estimated memory budget for cached tenant engines, in bytes")
+		tenantInFl    = flag.Int("tenant-inflight", 16, "concurrent repair requests per tenant before shedding with 503")
+		tenantMaxBody = flag.Int64("tenant-max-body", 0, "per-tenant request body cap in bytes (0 = -max-body)")
+		shardReplicas = flag.Int("shard-replicas", 128, "virtual nodes per worker on the consistent-hash ring (proxy mode)")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		traceSample   = flag.Float64("trace-sample", 0.01, "fraction of requests recording full traces for /debug/traces (errors always recorded)")
 		traceRing     = flag.Int("trace-ring", 64, "completed traces retained for /debug/traces")
 		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "fixserve: -rules is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 	level, err := parseLogLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fixserve:", err)
 		os.Exit(2)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	tracer := trace.New(trace.Options{SampleRate: *traceSample, RingSize: *traceRing})
 	workers := *streamWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var tenants *server.TenantOptions
+	if *tenantDir != "" {
+		tenants = &server.TenantOptions{
+			Loader:         ruleio.TenantDirLoader(*tenantDir),
+			MaxEngines:     *maxEngines,
+			MaxEngineBytes: *engineMem,
+			MaxInFlight:    *tenantInFl,
+			MaxBodyBytes:   *tenantMaxBody,
+		}
 	}
 	cfg := server.Config{
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 		StreamWorkers:  workers,
-		Loader:         func() (*core.Ruleset, error) { return ruleio.LoadFile(*rulesPath) },
-		Logger:         slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
-		Tracer:         trace.New(trace.Options{SampleRate: *traceSample, RingSize: *traceRing}),
+		Logger:         logger,
+		Tracer:         tracer,
 		EnablePprof:    *pprofOn,
+		Tenants:        tenants,
 	}
-	if err := run(*rulesPath, *addr, cfg, *drainTimeout); err != nil {
+
+	var app application
+	switch *mode {
+	case "standalone", "worker":
+		app, err = buildNode(*mode, *rulesPath, cfg)
+	case "proxy":
+		app, err = buildProxy(*peers, *shardReplicas, *maxBody, logger, tracer)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want standalone, worker or proxy)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixserve:", err)
+		if _, usage := err.(usageError); usage {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+	if err := serve(app, *addr, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "fixserve:", err)
 		os.Exit(1)
 	}
+}
+
+// usageError marks a flag-validation failure (exit 2 + usage text).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// application is one serving topology: a handler plus the banner line and
+// the SIGHUP action of its mode.
+type application struct {
+	handler http.Handler
+	banner  string
+	onHUP   func()
+}
+
+// buildNode assembles a standalone or worker node.
+func buildNode(mode, rulesPath string, cfg server.Config) (application, error) {
+	if mode == "standalone" && rulesPath == "" {
+		return application{}, usageError("-rules is required in standalone mode (or use -mode worker with -tenant-rules)")
+	}
+	if mode == "worker" && cfg.Tenants == nil {
+		return application{}, usageError("-tenant-rules is required in worker mode")
+	}
+
+	var srv *server.Server
+	var banner string
+	if rulesPath != "" {
+		cfg.Loader = func() (*core.Ruleset, error) { return ruleio.LoadFile(rulesPath) }
+		rs, err := ruleio.LoadFile(rulesPath)
+		if err != nil {
+			return application{}, err
+		}
+		rep, err := repair.NewRepairerChecked(rs)
+		if err != nil {
+			return application{}, err
+		}
+		srv = server.NewWithConfig(rep, cfg)
+		banner = fmt.Sprintf("fixserve: %d rules over %s (version 1, hash %s)",
+			rs.Len(), rs.Schema(), server.RulesetHash(rs))
+		if srv.TenantEnabled() {
+			banner += ", tenant routes on"
+		}
+	} else {
+		var err error
+		srv, err = server.NewTenantOnly(cfg)
+		if err != nil {
+			return application{}, err
+		}
+		banner = "fixserve: worker serving tenant routes only"
+	}
+	onHUP := func() {
+		if rulesPath != "" {
+			if info, err := srv.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "fixserve: SIGHUP reload rejected:", err)
+			} else {
+				fmt.Printf("fixserve: SIGHUP reload ok: version %d, hash %s, %d rules\n",
+					info.Version, info.Hash, info.Rules)
+			}
+		}
+		if n := srv.InvalidateTenants(); n > 0 {
+			fmt.Printf("fixserve: SIGHUP dropped %d cached tenant engines\n", n)
+		}
+	}
+	return application{handler: srv, banner: banner, onHUP: onHUP}, nil
+}
+
+// buildProxy assembles the shard router.
+func buildProxy(peers string, replicas int, maxBody int64, logger *slog.Logger, tracer *trace.Tracer) (application, error) {
+	var workers []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			workers = append(workers, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(workers) == 0 {
+		return application{}, usageError("-peers is required in proxy mode")
+	}
+	px, err := server.NewProxy(server.ProxyConfig{
+		Workers:      workers,
+		Replicas:     replicas,
+		MaxBodyBytes: maxBody,
+		Logger:       logger,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		return application{}, err
+	}
+	return application{
+		handler: px,
+		banner:  fmt.Sprintf("fixserve: proxy over %d workers (%d replicas/node)", len(workers), replicas),
+		onHUP: func() {
+			fmt.Println("fixserve: SIGHUP ignored in proxy mode (no rulesets held)")
+		},
+	}, nil
 }
 
 func parseLogLevel(s string) (slog.Level, error) {
@@ -117,33 +261,26 @@ func parseLogLevel(s string) (slog.Level, error) {
 	}
 }
 
-func run(rulesPath, addr string, cfg server.Config, drainTimeout time.Duration) error {
-	rs, err := ruleio.LoadFile(rulesPath)
-	if err != nil {
-		return err
-	}
-	rep, err := repair.NewRepairerChecked(rs)
-	if err != nil {
-		return err
-	}
-	srv := server.NewWithConfig(rep, cfg)
+// serve runs the listener with the signal lifecycle shared by every mode:
+// SIGHUP triggers the mode's reload action, SIGTERM/SIGINT drain
+// gracefully within the drain budget.
+func serve(app application, addr string, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	// Print the resolved address (":0" picks a free port) so operators and
-	// the integration test can find the listener.
-	fmt.Printf("fixserve: %d rules over %s (version 1, hash %s), listening on %s\n",
-		rs.Len(), rs.Schema(), server.RulesetHash(rs), ln.Addr())
+	// the integration tests can find the listener.
+	fmt.Printf("%s, listening on %s\n", app.banner, ln.Addr())
 
 	hs := &http.Server{
-		Handler:           srv,
+		Handler:           app.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Read/write generously outlast the per-request repair deadline so
 		// slow-but-legitimate streams are cut by the context (408), not by
 		// an opaque connection reset.
-		ReadTimeout:  cfg.RequestTimeout + 30*time.Second,
-		WriteTimeout: cfg.RequestTimeout + 30*time.Second,
+		ReadTimeout:  3 * time.Minute,
+		WriteTimeout: 3 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
 	errc := make(chan error, 1)
@@ -158,12 +295,7 @@ func run(rulesPath, addr string, cfg server.Config, drainTimeout time.Duration) 
 		case sig := <-sigs:
 			switch sig {
 			case syscall.SIGHUP:
-				if info, err := srv.Reload(); err != nil {
-					fmt.Fprintln(os.Stderr, "fixserve: SIGHUP reload rejected:", err)
-				} else {
-					fmt.Printf("fixserve: SIGHUP reload ok: version %d, hash %s, %d rules\n",
-						info.Version, info.Hash, info.Rules)
-				}
+				app.onHUP()
 			case syscall.SIGTERM, syscall.SIGINT:
 				fmt.Printf("fixserve: %v received, draining for up to %v\n", sig, drainTimeout)
 				ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)

@@ -1,0 +1,58 @@
+package ruleio
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"fixrule/internal/core"
+)
+
+// TenantDirLoader builds a per-tenant ruleset loader over a directory of
+// rule files: tenant "acme" loads <dir>/acme.dsl, falling back to
+// <dir>/acme.json. The returned loader is what internal/server's
+// TenantOptions.Loader expects — it reports unknown tenants with an error
+// wrapping fs.ErrNotExist (the server maps that to 404), and it re-reads
+// the file on every call, so a per-tenant reload picks up edits without
+// restarting.
+//
+// The loader re-validates the tenant name with the same alphabet the
+// server enforces ([a-z0-9][a-z0-9_-]*, max 64). The server never passes
+// anything else, but a loader that touches the file system must not trust
+// its caller for path safety — defense in depth against a future caller
+// wiring it up without the HTTP-layer validation.
+func TenantDirLoader(dir string) func(tenant string) (*core.Ruleset, error) {
+	return func(tenant string) (*core.Ruleset, error) {
+		if !safeTenantName(tenant) {
+			return nil, fmt.Errorf("tenant %q: %w", tenant, fs.ErrNotExist)
+		}
+		for _, ext := range []string{".dsl", ".json"} {
+			path := filepath.Join(dir, tenant+ext)
+			if _, err := os.Stat(path); err == nil {
+				return LoadFile(path)
+			}
+		}
+		return nil, fmt.Errorf("tenant %q has no rule file under %s: %w",
+			tenant, dir, fs.ErrNotExist)
+	}
+}
+
+// safeTenantName mirrors the server's tenant-ID alphabet: 1–64 chars of
+// [a-z0-9_-], first char alphanumeric. Everything that could traverse or
+// alias a path ('/', '.', '\', upper case) is outside the alphabet.
+func safeTenantName(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

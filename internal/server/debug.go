@@ -72,6 +72,14 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request, _ *engine)
 		s.methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	s.writeTraceList(w, r, "")
+}
+
+// writeTraceList renders the trace listing. A non-empty tenant restricts
+// the view to traces whose root span carries that tenant attribute —
+// /t/{x}/debug/traces can never see another tenant's requests (or
+// untenanted ones).
+func (s *Server) writeTraceList(w http.ResponseWriter, r *http.Request, tenant string) {
 	limit := 0
 	if q := r.URL.Query().Get("limit"); q != "" {
 		n, err := strconv.Atoi(q)
@@ -82,6 +90,15 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request, _ *engine)
 		limit = n
 	}
 	traces := s.tracer.Traces()
+	if tenant != "" {
+		kept := traces[:0:0]
+		for _, tr := range traces {
+			if rootAttr(tr, "tenant") == tenant {
+				kept = append(kept, tr)
+			}
+		}
+		traces = kept
+	}
 	if limit > 0 && len(traces) > limit {
 		traces = traces[:limit]
 	}
@@ -115,12 +132,20 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request, _ *engi
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	s.writeTraceDetail(w, id, "")
+}
+
+// writeTraceDetail renders one trace's span tree. A non-empty tenant
+// refuses traces that do not belong to that tenant with the same 404 a
+// missing trace gets, so the response does not even confirm the trace ID
+// exists for someone else.
+func (s *Server) writeTraceDetail(w http.ResponseWriter, id, tenant string) {
 	if id == "" || strings.Contains(id, "/") {
 		s.writeError(w, http.StatusNotFound, codeTraceNotFound, "no such trace")
 		return
 	}
 	tr := s.tracer.Lookup(id)
-	if tr == nil {
+	if tr == nil || (tenant != "" && rootAttr(tr, "tenant") != tenant) {
 		s.writeError(w, http.StatusNotFound, codeTraceNotFound,
 			"trace not retained (unsampled, expired from the ring, or never existed)")
 		return

@@ -26,6 +26,17 @@ const (
 	codeReloadFailed     = "reload_failed"
 	codeInconsistent     = "ruleset_inconsistent"
 	codeInternal         = "internal_error"
+
+	// Multi-tenant and shard-routing codes.
+	codeBadTenant        = "bad_tenant"
+	codeUnknownTenant    = "unknown_tenant"
+	codeUnknownRoute     = "unknown_route"
+	codeTenantLoadFailed = "tenant_load_failed"
+	codeTenantOverloaded = "tenant_overloaded"
+	codeNoDefaultRuleset = "no_default_ruleset"
+	codeUpstreamDown     = "upstream_unavailable"
+	codeUpstreamCut      = "upstream_interrupted"
+	codeNotProxied       = "not_proxied"
 )
 
 // errorEnvelope is the JSON error body every non-2xx response carries:
@@ -57,6 +68,11 @@ type errorDetail struct {
 // back from the response headers the middleware set, so every call site
 // gets them for free.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	writeErrorEnvelope(w, status, code, message)
+}
+
+// writeErrorEnvelope is the envelope writer shared by Server and Proxy.
+func writeErrorEnvelope(w http.ResponseWriter, status int, code, message string) {
 	detail := errorDetail{Code: code, Message: message,
 		RequestID: w.Header().Get(RequestIDHeader)}
 	if sc, ok := trace.ParseTraceparent(w.Header().Get("traceparent")); ok {

@@ -43,10 +43,25 @@ type metrics struct {
 }
 
 // endpoints is the full routing surface; every metric family carrying an
-// endpoint label is pre-registered over this list.
+// endpoint label is pre-registered over this list. Tenant routes use one
+// template label per route, never the tenant ID — the tenant dimension
+// lives on the dedicated fixserve_tenant_* series, so endpoint-label
+// cardinality stays fixed no matter how many tenants are served.
 var endpoints = []string{
 	"/healthz", "/metrics", "/stats", "/rules", "/rules/stats",
 	"/repair", "/repair/csv", "/explain", "/reload", "/debug/traces",
+	"/t/{tenant}",
+	"/t/{tenant}/repair", "/t/{tenant}/repair/csv", "/t/{tenant}/explain",
+	"/t/{tenant}/rules", "/t/{tenant}/rules/stats", "/t/{tenant}/stats",
+	"/t/{tenant}/reload", "/t/{tenant}/debug/traces",
+}
+
+// engineEndpoints are the routes that are meaningless without a default
+// (single-tenant) ruleset; a tenants-only node answers them with 404
+// no_default_ruleset instead of serving an empty placeholder schema.
+var engineEndpoints = map[string]bool{
+	"/repair": true, "/repair/csv": true, "/explain": true,
+	"/rules": true, "/rules/stats": true, "/reload": true,
 }
 
 func (s *Server) initMetrics() {
@@ -138,17 +153,40 @@ func (s *Server) oovCounter(attr string) *obs.Counter {
 	return c
 }
 
+// recordTotals folds one request's repair aggregates into the service-wide
+// counters and — when the engine belongs to a tenant — that tenant's
+// series.
+func (s *Server) recordTotals(eng *engine, tuples, repaired, steps, oov int) {
+	s.m.tuples.Add(int64(tuples))
+	s.m.repaired.Add(int64(repaired))
+	s.m.rulesFired.Add(int64(steps))
+	s.m.oovCells.Add(int64(oov))
+	if tm := eng.tm; tm != nil {
+		tm.tuples.Add(int64(tuples))
+		tm.repaired.Add(int64(repaired))
+		tm.rulesFired.Add(int64(steps))
+		tm.oovCells.Add(int64(oov))
+	}
+}
+
 // addAttrMetrics folds per-request aggregates into the per-attribute
 // series: changed counts keyed by attribute name, OOV counts indexed by
 // attribute position. Iterates the schema's attribute slice, so the order
-// (and the set of series touched) is deterministic.
+// (and the set of series touched) is deterministic. Tenant engines
+// additionally feed the fixserve_tenant_cells_* series.
 func (s *Server) addAttrMetrics(eng *engine, changed map[string]int, oovAcc []int64) {
 	for i, a := range eng.rep.Ruleset().Schema().Attrs() {
 		if n := changed[a]; n > 0 {
 			s.changedCounter(a).Add(int64(n))
+			if eng.tm != nil {
+				eng.tm.changedCounter(s.reg, eng.tenant, a).Add(int64(n))
+			}
 		}
 		if i < len(oovAcc) && oovAcc[i] > 0 {
 			s.oovCounter(a).Add(oovAcc[i])
+			if eng.tm != nil {
+				eng.tm.oovCounter(s.reg, eng.tenant, a).Add(oovAcc[i])
+			}
 		}
 	}
 }
@@ -159,9 +197,15 @@ func (s *Server) addAttrMetricsByName(eng *engine, changed, oov map[string]int) 
 	for _, a := range eng.rep.Ruleset().Schema().Attrs() {
 		if n := changed[a]; n > 0 {
 			s.changedCounter(a).Add(int64(n))
+			if eng.tm != nil {
+				eng.tm.changedCounter(s.reg, eng.tenant, a).Add(int64(n))
+			}
 		}
 		if n := oov[a]; n > 0 {
 			s.oovCounter(a).Add(int64(n))
+			if eng.tm != nil {
+				eng.tm.oovCounter(s.reg, eng.tenant, a).Add(int64(n))
+			}
 		}
 	}
 }
@@ -210,63 +254,102 @@ func (sw *statusWriter) status() int {
 // reload can never mix two ruleset versions inside one response.
 type handlerFunc func(http.ResponseWriter, *http.Request, *engine)
 
-// wrap is the middleware every route passes through: request ID issuance,
-// trace extraction/injection (W3C traceparent), request counting and
-// latency, the structured request log line, the ruleset-version response
-// headers, the concurrency limiter with load shedding (limited endpoints
-// only), the request deadline, and the body-size cap.
+// reqCtx is one request's instrumentation state, shared between the
+// single-tenant wrap and the tenant router so both surfaces carry
+// identical request IDs, traces, metrics and log lines.
+type reqCtx struct {
+	sw       *statusWriter
+	endpoint string
+	method   string
+	reqID    string
+	tr       *trace.Trace
+	root     *trace.Span
+	start    time.Time
+}
+
+// begin opens a request: endpoint counter, inflight gauge, request ID,
+// trace (joined to the caller's when a valid traceparent arrived), and the
+// correlation response headers. Callers must `defer s.end(c)`.
+func (s *Server) begin(endpoint string, w http.ResponseWriter, r *http.Request) *reqCtx {
+	start := time.Now()
+	if c := s.m.requests[endpoint]; c != nil {
+		c.Inc()
+	}
+	s.m.inflight.Add(1)
+
+	// Every request gets a trace — joined to the caller's when a valid
+	// traceparent arrived, fresh otherwise — so logs and error envelopes
+	// always carry a trace ID; whether child spans are recorded is the
+	// sampling decision inside StartRequest.
+	reqID := s.nextRequestID()
+	parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	tr := s.tracer.StartRequest(endpoint, parent)
+	root := tr.Root()
+	root.SetAttr(
+		trace.String("request_id", reqID),
+		trace.String("method", r.Method),
+		trace.String("endpoint", endpoint),
+	)
+
+	sw := &statusWriter{ResponseWriter: w}
+	sw.Header().Set(RequestIDHeader, reqID)
+	sw.Header().Set("traceparent", root.Context().Traceparent())
+	return &reqCtx{
+		sw: sw, endpoint: endpoint, method: r.Method,
+		reqID: reqID, tr: tr, root: root, start: start,
+	}
+}
+
+// end closes a request: status classification, latency (with a trace
+// exemplar when sampled), the structured log line.
+func (s *Server) end(c *reqCtx) {
+	s.m.inflight.Add(-1)
+	dur := time.Since(c.start)
+	st := c.sw.status()
+	c.root.SetAttr(trace.Int("status", st))
+	if st >= 500 {
+		// Server-side failures always keep their trace, sampled or
+		// not, so /debug/traces has the evidence when it matters.
+		c.root.SetError(http.StatusText(st))
+	}
+	c.tr.Finish()
+	if c.tr.Sampled() {
+		s.m.latency.ObserveExemplar(dur.Seconds(), c.tr.ID().String())
+	} else {
+		s.m.latency.Observe(dur.Seconds())
+	}
+	switch {
+	case st >= 500:
+		if e := s.m.errors5xx[c.endpoint]; e != nil {
+			e.Inc()
+		}
+	case st >= 400:
+		if e := s.m.errors4xx[c.endpoint]; e != nil {
+			e.Inc()
+		}
+	}
+	s.logRequest(c.method, c.endpoint, st, dur, c.reqID, c.tr)
+}
+
+// wrap is the middleware every non-tenant route passes through: request ID
+// issuance, trace extraction/injection (W3C traceparent), request counting
+// and latency, the structured request log line, the ruleset-version
+// response headers, the concurrency limiter with load shedding (limited
+// endpoints only), the request deadline, and the body-size cap. Tenant
+// routes run the same sequence through handleTenant.
 func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.HandlerFunc {
-	reqs := s.m.requests[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		reqs.Inc()
-		s.m.inflight.Add(1)
-		defer s.m.inflight.Add(-1)
-
-		// Every request gets a trace — joined to the caller's when a valid
-		// traceparent arrived, fresh otherwise — so logs and error envelopes
-		// always carry a trace ID; whether child spans are recorded is the
-		// sampling decision inside StartRequest.
-		reqID := s.nextRequestID()
-		parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
-		tr := s.tracer.StartRequest(endpoint, parent)
-		root := tr.Root()
-		root.SetAttr(
-			trace.String("request_id", reqID),
-			trace.String("method", r.Method),
-			trace.String("endpoint", endpoint),
-		)
-
-		sw := &statusWriter{ResponseWriter: w}
-		sw.Header().Set(RequestIDHeader, reqID)
-		sw.Header().Set("traceparent", root.Context().Traceparent())
-		defer func() {
-			dur := time.Since(start)
-			st := sw.status()
-			root.SetAttr(trace.Int("status", st))
-			if st >= 500 {
-				// Server-side failures always keep their trace, sampled or
-				// not, so /debug/traces has the evidence when it matters.
-				root.SetError(http.StatusText(st))
-			}
-			tr.Finish()
-			if tr.Sampled() {
-				s.m.latency.ObserveExemplar(dur.Seconds(), tr.ID().String())
-			} else {
-				s.m.latency.Observe(dur.Seconds())
-			}
-			switch {
-			case st >= 500:
-				s.m.errors5xx[endpoint].Inc()
-			case st >= 400:
-				s.m.errors4xx[endpoint].Inc()
-			}
-			s.logRequest(r.Method, endpoint, st, dur, reqID, tr)
-		}()
+		c := s.begin(endpoint, w, r)
+		defer s.end(c)
 
 		eng := s.eng.Load()
-		sw.Header().Set(VersionHeader, strconv.FormatInt(eng.version, 10))
-		sw.Header().Set(HashHeader, eng.hash)
+		c.sw.Header().Set(VersionHeader, strconv.FormatInt(eng.version, 10))
+		c.sw.Header().Set(HashHeader, eng.hash)
+		if s.noDefault && engineEndpoints[endpoint] {
+			s.writeError(c.sw, http.StatusNotFound, codeNoDefaultRuleset,
+				"this node serves tenant routes only; use /t/{tenant}"+endpoint)
+			return
+		}
 
 		ctx := r.Context()
 		if limited {
@@ -275,8 +358,8 @@ func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.Handler
 				defer func() { <-s.sem }()
 			default:
 				s.m.shed.Inc()
-				sw.Header().Set("Retry-After", "1")
-				s.writeError(sw, http.StatusServiceUnavailable, codeOverloaded,
+				c.sw.Header().Set("Retry-After", "1")
+				s.writeError(c.sw, http.StatusServiceUnavailable, codeOverloaded,
 					"server at capacity, retry shortly")
 				return
 			}
@@ -284,11 +367,11 @@ func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.Handler
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
-		r = r.WithContext(trace.ContextWithSpan(ctx, root))
+		r = r.WithContext(trace.ContextWithSpan(ctx, c.root))
 		if r.Method == http.MethodPost {
-			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			r.Body = http.MaxBytesReader(c.sw, r.Body, s.cfg.MaxBodyBytes)
 		}
-		h(sw, r, eng)
+		h(c.sw, r, eng)
 	}
 }
 

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fixrule/internal/obs"
+	"fixrule/internal/trace"
+)
+
+// Proxy is the shard-router face of fixserve: it owns a consistent-hash
+// ring over worker base URLs and forwards every /t/{tenant}/ request —
+// JSON, CSV streams and columnar x-fcol bodies alike — to the worker that
+// owns the tenant, streaming both directions without buffering. The
+// proxy's W3C trace context propagates on the forwarded request, so a
+// repair traced at the proxy and at the worker shares one trace ID, and
+// the worker's version/hash/tenant response headers pass through to the
+// client untouched.
+//
+// Proxy-local endpoints:
+//
+//	GET /healthz   proxy liveness (workers are not probed)
+//	GET /metrics   the proxy's own Prometheus exposition
+//	GET /shard     ring topology; ?tenant=x reports the owning worker
+//
+// Everything else that is not /t/{tenant}/... answers 404 not_proxied:
+// a shard router has no rulesets of its own.
+type Proxy struct {
+	cfg    ProxyConfig
+	mux    *http.ServeMux
+	ring   *Ring
+	client *http.Client
+	reg    *obs.Registry
+	tracer *trace.Tracer
+
+	reqPrefix  string
+	reqCounter atomic.Uint64
+
+	requests  map[string]*obs.Counter // per worker
+	upErrors  map[string]*obs.Counter // per worker
+	inflight  *obs.Gauge
+	latency   *obs.Histogram
+	errors4xx *obs.Counter
+	errors5xx *obs.Counter
+}
+
+// ProxyConfig tunes the shard router. Workers is required; everything else
+// has production-safe defaults.
+type ProxyConfig struct {
+	// Workers are the worker base URLs (e.g. "http://10.0.0.7:8080"), the
+	// nodes of the consistent-hash ring.
+	Workers []string
+	// Replicas is the virtual-node count per worker; <= 0 selects 128.
+	Replicas int
+	// MaxBodyBytes caps forwarded request bodies; <= 0 selects 32 MiB.
+	MaxBodyBytes int64
+	// ForwardTimeout bounds one forwarded request end to end; <= 0
+	// selects 120s (generous: workers enforce their own repair deadline).
+	ForwardTimeout time.Duration
+	// Transport overrides the outbound round tripper; nil uses
+	// http.DefaultTransport (connection pooling included).
+	Transport http.RoundTripper
+	// Registry receives the proxy metrics; nil allocates a private one.
+	Registry *obs.Registry
+	// Logger receives structured request logs; nil selects stderr text.
+	Logger *slog.Logger
+	// Tracer records proxy-side request traces; nil builds a private
+	// tracer with sampling disabled.
+	Tracer *trace.Tracer
+}
+
+func (c ProxyConfig) withDefaults() ProxyConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = ringReplicas
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 120 * time.Second
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.New(trace.Options{})
+	}
+	return c
+}
+
+// NewProxy builds the shard router over the configured workers.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Workers, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		ring:      ring,
+		client:    &http.Client{Transport: cfg.Transport, Timeout: cfg.ForwardTimeout},
+		reg:       cfg.Registry,
+		tracer:    cfg.Tracer,
+		reqPrefix: newRequestPrefix(),
+		requests:  make(map[string]*obs.Counter, len(cfg.Workers)),
+		upErrors:  make(map[string]*obs.Counter, len(cfg.Workers)),
+	}
+	for _, wkr := range cfg.Workers {
+		p.requests[wkr] = p.reg.Counter("fixserve_proxy_requests_total",
+			"Requests forwarded, by worker.", obs.Labels("worker", wkr))
+		p.upErrors[wkr] = p.reg.Counter("fixserve_proxy_upstream_errors_total",
+			"Forwards that failed before or during the upstream response, by worker.",
+			obs.Labels("worker", wkr))
+	}
+	p.inflight = p.reg.Gauge("fixserve_proxy_inflight_requests",
+		"Requests currently being forwarded.", "")
+	p.latency = p.reg.Histogram("fixserve_proxy_request_duration_seconds",
+		"End-to-end forwarded request latency.", "", obs.DefaultLatencyBuckets())
+	p.errors4xx = p.reg.Counter("fixserve_proxy_errors_total",
+		"Error responses returned to clients, by status class.", obs.Labels("class", "4xx"))
+	p.errors5xx = p.reg.Counter("fixserve_proxy_errors_total",
+		"Error responses returned to clients, by status class.", obs.Labels("class", "5xx"))
+	p.reg.Gauge("fixserve_shard_nodes",
+		"Workers in the consistent-hash ring.", "").Set(int64(len(cfg.Workers)))
+
+	p.mux.HandleFunc("/healthz", p.handleHealth)
+	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.mux.HandleFunc("/shard", p.handleShard)
+	p.mux.HandleFunc("/t/", p.handleForward)
+	p.mux.HandleFunc("/", p.handleNotProxied)
+	return p, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+
+// Registry returns the proxy's metrics registry.
+func (p *Proxy) Registry() *obs.Registry { return p.reg }
+
+// Ring returns the proxy's shard ring.
+func (p *Proxy) Ring() *Ring { return p.ring }
+
+func (p *Proxy) nextRequestID() string {
+	return p.reqPrefix + "-" + pad6(p.reqCounter.Add(1))
+}
+
+func pad6(n uint64) string {
+	s := strconv.FormatUint(n, 10)
+	if len(s) < 6 {
+		s = strings.Repeat("0", 6-len(s)) + s
+	}
+	return s
+}
+
+func (p *Proxy) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.reg.WritePrometheus(w)
+}
+
+// shardResponse is the /shard payload: the ring topology, and when
+// ?tenant= names a well-formed tenant, its owning worker.
+type shardResponse struct {
+	Mode     string   `json:"mode"`
+	Workers  []string `json:"workers"`
+	Replicas int      `json:"replicas"`
+	Tenant   string   `json:"tenant,omitempty"`
+	Owner    string   `json:"owner,omitempty"`
+}
+
+func (p *Proxy) handleShard(w http.ResponseWriter, r *http.Request) {
+	resp := shardResponse{Mode: "proxy", Workers: p.ring.Nodes(), Replicas: p.ring.Replicas()}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		if !ValidTenantID(t) {
+			writeErrorEnvelope(w, http.StatusBadRequest, codeBadTenant,
+				"tenant id must be 1-64 chars of [a-z0-9_-], starting with a letter or digit")
+			return
+		}
+		resp.Tenant = t
+		resp.Owner = p.ring.Owner(t)
+	}
+	writeJSON(w, resp)
+}
+
+func (p *Proxy) handleNotProxied(w http.ResponseWriter, r *http.Request) {
+	writeErrorEnvelope(w, http.StatusNotFound, codeNotProxied,
+		"this node is a shard router; only /t/{tenant}/... routes are served")
+}
+
+// hopHeaders are the hop-by-hop headers stripped in both directions
+// (RFC 9110 §7.6.1).
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// handleForward proxies one tenant request to its owning worker.
+func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+
+	reqID := p.nextRequestID()
+	parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	tr := p.tracer.StartRequest("/t/{tenant} proxy", parent)
+	root := tr.Root()
+	sw := &statusWriter{ResponseWriter: w}
+	sw.Header().Set(RequestIDHeader, reqID)
+	sw.Header().Set("traceparent", root.Context().Traceparent())
+
+	tenantID, _ := splitTenantPath(r.URL.Path)
+	root.SetAttr(
+		trace.String("request_id", reqID),
+		trace.String("tenant", tenantID),
+		trace.String("endpoint", "/t/{tenant} proxy"),
+	)
+	defer func() {
+		st := sw.status()
+		root.SetAttr(trace.Int("status", st))
+		if st >= 500 {
+			root.SetError(http.StatusText(st))
+		}
+		tr.Finish()
+		p.latency.Observe(time.Since(start).Seconds())
+		switch {
+		case st >= 500:
+			p.errors5xx.Inc()
+		case st >= 400:
+			p.errors4xx.Inc()
+		}
+		p.cfg.Logger.Log(context.Background(), logLevelFor(st), "proxy request",
+			"method", r.Method, "path", r.URL.Path, "tenant", tenantID,
+			"status", st, "duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"request_id", reqID, "trace_id", tr.ID().String())
+	}()
+
+	// Reject malformed tenants at the edge: no worker connection is spent
+	// on a request that every worker would refuse.
+	if !ValidTenantID(tenantID) {
+		writeErrorEnvelope(sw, http.StatusBadRequest, codeBadTenant,
+			"tenant id must be 1-64 chars of [a-z0-9_-], starting with a letter or digit")
+		return
+	}
+	worker := p.ring.Owner(tenantID)
+	root.SetAttr(trace.String("worker", worker))
+	if c := p.requests[worker]; c != nil {
+		c.Inc()
+	}
+
+	var body io.Reader = r.Body
+	if r.Method == http.MethodPost {
+		body = http.MaxBytesReader(sw, r.Body, p.cfg.MaxBodyBytes)
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, worker+r.URL.RequestURI(), body)
+	if err != nil {
+		// Only a malformed worker URL reaches here; the detail names
+		// server-side configuration, so log it and answer with the code.
+		p.cfg.Logger.Error("proxy request build failed", "request_id", reqID, "err", err)
+		writeErrorEnvelope(sw, http.StatusInternalServerError, codeInternal,
+			"building the upstream request failed; see proxy log")
+		return
+	}
+	copyHeaders(out.Header, r.Header)
+	// The proxy's own span context propagates downstream, so the worker
+	// joins this trace; the worker's sampling decision follows the
+	// proxy's, keeping one consistent record per request.
+	out.Header.Set("traceparent", root.Context().Traceparent())
+	out.ContentLength = r.ContentLength
+
+	resp, err := p.client.Do(out)
+	if err != nil {
+		if c := p.upErrors[worker]; c != nil {
+			c.Inc()
+		}
+		p.cfg.Logger.Error("proxy upstream unavailable",
+			"worker", worker, "tenant", tenantID, "request_id", reqID, "err", err)
+		writeErrorEnvelope(sw, http.StatusBadGateway, codeUpstreamDown,
+			"the worker owning this tenant is unreachable, retry shortly")
+		return
+	}
+	defer resp.Body.Close()
+
+	copyHeaders(sw.Header(), resp.Header)
+	// The proxy's correlation headers win over the worker's: the client
+	// talks to the proxy, and the proxy log is indexed by its own IDs. The
+	// worker's request ID remains reachable for operators as the upstream
+	// header.
+	if up := resp.Header.Get(RequestIDHeader); up != "" {
+		sw.Header().Set("X-Fixserve-Upstream-Request-Id", up)
+	}
+	sw.Header().Set(RequestIDHeader, reqID)
+	sw.Header().Set("traceparent", root.Context().Traceparent())
+	sw.WriteHeader(resp.StatusCode)
+
+	if err := flushCopy(sw, resp.Body); err != nil {
+		// The worker died mid-stream with the status line long gone; the
+		// envelope lands as trailing body content — exactly the contract
+		// the single-tenant stream error path already has — carrying the
+		// request and trace IDs the operator needs.
+		if c := p.upErrors[worker]; c != nil {
+			c.Inc()
+		}
+		root.SetError("upstream interrupted")
+		p.cfg.Logger.Error("proxy upstream interrupted mid-stream",
+			"worker", worker, "tenant", tenantID, "request_id", reqID, "err", err)
+		writeErrorEnvelope(sw, http.StatusBadGateway, codeUpstreamCut,
+			"the worker connection was interrupted mid-response")
+	}
+}
+
+func logLevelFor(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	}
+	return slog.LevelInfo
+}
+
+// copyHeaders copies all non-hop-by-hop headers from src into dst.
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if isHopHeader(k) {
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func isHopHeader(k string) bool {
+	for _, h := range hopHeaders {
+		if strings.EqualFold(k, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// flushCopy streams src to dst, flushing after every chunk so worker
+// streaming (CSV and columnar frames) passes through the proxy without
+// buffering a full response.
+func flushCopy(dst *statusWriter, src io.Reader) error {
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			dst.Flush()
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}

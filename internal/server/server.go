@@ -27,6 +27,14 @@
 //	                   for CSV-to-CSV (identical bytes, higher throughput)
 //	POST /explain      JSON {"tuple": [...]} → repair provenance
 //	POST /reload       reload the ruleset through the configured loader
+//
+// With Config.Tenants set, the same surface is additionally served per
+// tenant under /t/{tenant}/ (repair, repair/csv, explain, rules,
+// rules/stats, stats, reload, debug/traces), each tenant against its own
+// compiled ruleset resolved through an LRU engine cache with singleflight
+// compilation and per-tenant quotas — see tenant.go and tenant_routes.go.
+// NewProxy builds the companion shard router that forwards tenant routes
+// to the owning worker of a consistent-hash ring — see proxy.go.
 package server
 
 import (
@@ -102,6 +110,9 @@ type Config struct {
 	// default: profiles expose internals and cost CPU, so the operator must
 	// opt in (fixserve -pprof).
 	EnablePprof bool
+	// Tenants enables the multi-tenant surface under /t/{tenant}/; nil
+	// leaves the server single-tenant. See TenantOptions.
+	Tenants *TenantOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +145,11 @@ type engine struct {
 	version  int64
 	hash     string
 	loadedAt time.Time
+	// tenant / tm are set on engines owned by the tenant registry; the
+	// metric helpers use them to feed the per-tenant series alongside the
+	// service-wide ones. Both are zero on the default engine.
+	tenant string
+	tm     *tenantMetrics
 }
 
 func newEngine(rep *repair.Repairer, version int64) *engine {
@@ -158,6 +174,14 @@ type Server struct {
 	reg      *obs.Registry
 	m        metrics
 	tracer   *trace.Tracer
+
+	// Multi-tenant state; nil / zero unless Config.Tenants was set.
+	tenants    *tenantRegistry
+	tenantOpts TenantOptions
+	// noDefault marks a tenants-only node (NewTenantOnly): the legacy
+	// single-tenant repair routes answer 404 no_default_ruleset instead of
+	// serving the placeholder empty ruleset.
+	noDefault bool
 
 	// Request IDs are a random per-process prefix plus an atomic counter:
 	// unique across restarts and replicas, orderable within one process, and
@@ -195,10 +219,33 @@ func NewWithConfig(rep *repair.Repairer, cfg Config) *Server {
 	s.mux.HandleFunc("/reload", s.wrap("/reload", false, s.handleReload))
 	s.mux.HandleFunc("/debug/traces", s.wrap("/debug/traces", false, s.handleTraces))
 	s.mux.HandleFunc("/debug/traces/", s.wrap("/debug/traces", false, s.handleTraceByID))
+	if cfg.Tenants != nil && cfg.Tenants.Loader != nil {
+		s.tenantOpts = cfg.Tenants.withDefaults(cfg.MaxBodyBytes)
+		s.tenants = newTenantRegistry(s.tenantOpts, s.reg)
+		s.mux.HandleFunc("/t/", s.handleTenant)
+	}
 	if cfg.EnablePprof {
 		s.mountPprof()
 	}
 	return s
+}
+
+// NewTenantOnly builds a worker node that serves tenant routes
+// exclusively: Config.Tenants.Loader is required, no default ruleset is
+// loaded, and the legacy single-tenant repair routes answer 404
+// no_default_ruleset. Probe and operator endpoints (/healthz, /metrics,
+// /stats, /debug/traces) keep working.
+func NewTenantOnly(cfg Config) (*Server, error) {
+	if cfg.Tenants == nil || cfg.Tenants.Loader == nil {
+		return nil, errors.New("server: NewTenantOnly requires Config.Tenants.Loader")
+	}
+	// The placeholder engine keeps every engine-snapshot invariant intact
+	// (wrap always has a non-nil engine to stamp headers from); the
+	// noDefault gate keeps it from ever serving a repair.
+	placeholder := repair.NewRepairer(core.NewRuleset(schema.New("none", "placeholder")))
+	s := NewWithConfig(placeholder, cfg)
+	s.noDefault = true
+	return s, nil
 }
 
 // newRequestPrefix draws the per-process request-ID prefix.
@@ -383,10 +430,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 		trace.Int("oov", oov),
 	)
 	sp.End()
-	s.m.tuples.Add(int64(len(req.Tuples)))
-	s.m.repaired.Add(int64(resp.Changed))
-	s.m.rulesFired.Add(int64(steps))
-	s.m.oovCells.Add(int64(oov))
+	s.recordTotals(eng, len(req.Tuples), resp.Changed, steps, oov)
 	s.addAttrMetrics(eng, changedBy, oovAcc)
 	writeJSON(w, resp)
 }
@@ -476,10 +520,7 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 	if rec != nil {
 		addChaseEvents(sp, rec)
 	}
-	s.m.tuples.Add(int64(stats.Rows))
-	s.m.repaired.Add(int64(stats.Repaired))
-	s.m.rulesFired.Add(int64(stats.Steps))
-	s.m.oovCells.Add(int64(stats.OOV))
+	s.recordTotals(eng, stats.Rows, stats.Repaired, stats.Steps, stats.OOV)
 	// Per-attribute fold: rule applications by target, iterating the rules
 	// slice (not the PerRule map) for deterministic order.
 	changedBy := make(map[string]int)
@@ -568,12 +609,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, eng *engi
 	oov := eng.rep.OOVCellsByAttr(schema.Tuple(req.Tuple), oovAcc)
 	sp.SetAttr(trace.Int("steps", len(e.Steps)), trace.Int("oov", oov))
 	sp.End()
-	s.m.tuples.Add(1)
+	repaired := 0
 	if len(e.Steps) > 0 {
-		s.m.repaired.Add(1)
+		repaired = 1
 	}
-	s.m.rulesFired.Add(int64(len(e.Steps)))
-	s.m.oovCells.Add(int64(oov))
+	s.recordTotals(eng, 1, repaired, len(e.Steps), oov)
 	s.addAttrMetrics(eng, changedBy, oovAcc)
 	writeJSON(w, resp)
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// This file property-tests the consistent-hash ring: deterministic
+// routing across replicas, bounded key movement on topology change, and
+// reasonable load spread.
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	r, err := NewRing([]string{"a"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != ringReplicas {
+		t.Errorf("default replicas = %d, want %d", r.Replicas(), ringReplicas)
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Errorf("single-node ring owner = %q", got)
+	}
+}
+
+// TestRingDeterministic: two rings built from the same node list route
+// every key identically — the property that lets any number of proxy
+// replicas agree on tenant placement without coordination.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	r1, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if a, b := r1.Owner(k), r2.Owner(k); a != b {
+			t.Fatalf("key %q: replica rings disagree (%q vs %q)", k, a, b)
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToNewNode: when a node joins, every key that
+// changes owner moves TO the new node (nothing reshuffles between
+// survivors), and the moved fraction stays near K/n.
+func TestRingJoinMovesOnlyToNewNode(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3", "w4"}
+	before, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(append([]string{}, nodes...), "w5"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(5000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "w5" {
+			t.Fatalf("key %q moved %q -> %q, not to the joining node", k, was, is)
+		}
+	}
+	// Expected K/(n+1) = 1000; allow a generous 2× factor for hash
+	// variance so the test is a bound, not a coin flip.
+	if max := 2 * len(keys) / (len(nodes) + 1); moved > max {
+		t.Errorf("join moved %d of %d keys, bound %d", moved, len(keys), max)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys; the new node owns nothing")
+	}
+}
+
+// TestRingLeaveMovesOnlyDepartedKeys: when a node leaves, the only keys
+// that change owner are those it owned; every key owned by a survivor
+// stays put — exactly the property that keeps worker engine caches warm
+// through topology changes.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3", "w4", "w5"}
+	before, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"w1", "w2", "w4", "w5"}, 0) // w3 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(5000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "w3" {
+			if is == "w3" {
+				t.Fatalf("key %q still owned by the departed node", k)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q owned by survivor %q reshuffled to %q", k, was, is)
+		}
+	}
+	if max := 2 * len(keys) / len(nodes); moved > max {
+		t.Errorf("leave moved %d of %d keys, bound %d", moved, len(keys), max)
+	}
+}
+
+// TestRingSpread: with the default replica count no node's share is
+// pathologically far from the mean. The bound is loose on purpose — this
+// guards against a broken hash, not imperfect balance.
+func TestRingSpread(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3", "w4"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(8000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	mean := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < mean/3 || c > mean*3 {
+			t.Errorf("node %s owns %d keys, mean %d — distribution broken", n, c, mean)
+		}
+	}
+}

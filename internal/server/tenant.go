@@ -1,0 +1,395 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"fixrule/internal/core"
+	"fixrule/internal/obs"
+	"fixrule/internal/repair"
+)
+
+// This file is the multi-tenant engine registry: each tenant serves from
+// its own compiled, consistency-checked ruleset, resolved on first use
+// through the configured TenantOptions.Loader and cached in an LRU bounded
+// by both an entry count and an estimated memory budget. Compilation is
+// singleflighted — N concurrent cold requests for one tenant run the
+// loader and the consistency check exactly once — and eviction never
+// invalidates in-flight requests, which hold their immutable engine
+// snapshot until they finish. Per-tenant versions survive eviction, so a
+// re-admitted tenant continues its version sequence and the
+// X-Fixserve-Ruleset-Version header stays monotonic per tenant.
+
+// TenantOptions enables and tunes multi-tenant serving. The zero value of
+// every limit selects a production-safe default; Loader is required.
+type TenantOptions struct {
+	// Loader supplies a tenant's ruleset. Return an error wrapping
+	// fs.ErrNotExist for unknown tenants (mapped to 404); any other error
+	// is mapped to 500 with the detail kept server-side.
+	Loader func(tenant string) (*core.Ruleset, error)
+	// MaxEngines bounds the number of cached compiled engines; <= 0
+	// selects 64. The least recently used tenant is evicted first.
+	MaxEngines int
+	// MaxEngineBytes bounds the estimated memory held by cached engines;
+	// <= 0 selects 256 MiB. A single engine larger than the budget is
+	// still served (the cache never refuses a tenant), but it is the only
+	// resident entry while in use.
+	MaxEngineBytes int64
+	// MaxInFlight bounds concurrently served repair requests per tenant;
+	// excess requests are shed with 503 tenant_overloaded. <= 0 selects 16.
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies on tenant routes; <= 0 inherits the
+	// server-wide Config.MaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+func (o TenantOptions) withDefaults(serverBody int64) TenantOptions {
+	if o.MaxEngines <= 0 {
+		o.MaxEngines = 64
+	}
+	if o.MaxEngineBytes <= 0 {
+		o.MaxEngineBytes = 256 << 20
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 16
+	}
+	if o.MaxBodyBytes <= 0 || o.MaxBodyBytes > serverBody {
+		o.MaxBodyBytes = serverBody
+	}
+	return o
+}
+
+// tenant is one tenant's serving state. The engine pointer is swapped
+// atomically by reloads exactly like the single-tenant server's, so a
+// request that snapshotted the engine never observes a half-swapped
+// ruleset. The struct stays valid after eviction: in-flight requests keep
+// using their snapshot and release the semaphore they hold.
+type tenant struct {
+	name string
+	eng  atomic.Pointer[engine]
+	sem  chan struct{}
+	elem *list.Element // registry LRU position, guarded by registry.mu
+	cost int64         // estimated engine bytes, guarded by registry.mu
+	m    *tenantMetrics
+}
+
+// tenantMetrics are one tenant's metric series, all carrying a tenant
+// label. The obs registry deduplicates by (name, labels), so an evicted
+// and re-admitted tenant resolves back to the same monotonic counters.
+type tenantMetrics struct {
+	requests   *obs.Counter
+	shed       *obs.Counter
+	tuples     *obs.Counter
+	repaired   *obs.Counter
+	rulesFired *obs.Counter
+	oovCells   *obs.Counter
+	reloads    *obs.Counter
+	version    *obs.Gauge
+
+	attrMu        sync.Mutex
+	changedByAttr map[string]*obs.Counter
+	oovByAttr     map[string]*obs.Counter
+}
+
+func newTenantMetrics(reg *obs.Registry, name string) *tenantMetrics {
+	l := func(extra ...string) string {
+		kv := append([]string{"tenant", name}, extra...)
+		return obs.Labels(kv...)
+	}
+	return &tenantMetrics{
+		requests: reg.Counter("fixserve_tenant_requests_total",
+			"Requests served on tenant routes, by tenant.", l()),
+		shed: reg.Counter("fixserve_tenant_shed_total",
+			"Tenant requests shed with 503 because the per-tenant in-flight quota was reached.", l()),
+		tuples: reg.Counter("fixserve_tenant_tuples_total",
+			"Tuples processed by a tenant's repair endpoints.", l()),
+		repaired: reg.Counter("fixserve_tenant_tuples_repaired_total",
+			"Tuples changed by at least one rule, by tenant.", l()),
+		rulesFired: reg.Counter("fixserve_tenant_rules_fired_total",
+			"Rule applications (repair steps), by tenant.", l()),
+		oovCells: reg.Counter("fixserve_tenant_oov_cells_total",
+			"Input cells outside the tenant ruleset vocabulary.", l()),
+		reloads: reg.Counter("fixserve_tenant_reloads_total",
+			"Successful per-tenant ruleset reloads.", l()),
+		version: reg.Gauge("fixserve_tenant_ruleset_version",
+			"Served ruleset version, by tenant; survives eviction.", l()),
+		changedByAttr: make(map[string]*obs.Counter),
+		oovByAttr:     make(map[string]*obs.Counter),
+	}
+}
+
+// changedCounter resolves fixserve_tenant_cells_changed_total{tenant,attr}.
+func (tm *tenantMetrics) changedCounter(reg *obs.Registry, tenantName, attr string) *obs.Counter {
+	tm.attrMu.Lock()
+	defer tm.attrMu.Unlock()
+	c := tm.changedByAttr[attr]
+	if c == nil {
+		c = reg.Counter("fixserve_tenant_cells_changed_total",
+			"Cell writes by repairs, by tenant and target attribute.",
+			obs.Labels("tenant", tenantName, "attr", attr))
+		tm.changedByAttr[attr] = c
+	}
+	return c
+}
+
+// oovCounter resolves fixserve_tenant_cells_oov_total{tenant,attr}.
+func (tm *tenantMetrics) oovCounter(reg *obs.Registry, tenantName, attr string) *obs.Counter {
+	tm.attrMu.Lock()
+	defer tm.attrMu.Unlock()
+	c := tm.oovByAttr[attr]
+	if c == nil {
+		c = reg.Counter("fixserve_tenant_cells_oov_total",
+			"Input cells outside the ruleset vocabulary, by tenant and attribute.",
+			obs.Labels("tenant", tenantName, "attr", attr))
+		tm.oovByAttr[attr] = c
+	}
+	return c
+}
+
+// flight is one in-progress tenant compilation. Waiters block on done and
+// read e/err afterwards.
+type flight struct {
+	done chan struct{}
+	e    *tenant
+	err  error
+}
+
+// tenantRegistry is the LRU of compiled tenant engines plus the
+// compilation singleflight and the per-tenant version history.
+type tenantRegistry struct {
+	opts TenantOptions
+	reg  *obs.Registry
+
+	mu       sync.Mutex
+	entries  map[string]*tenant
+	lru      *list.List       // front = most recently used
+	mem      int64            // sum of resident entry costs
+	versions map[string]int64 // survives eviction; 1:1 with loader calls that installed an engine
+	flights  map[string]*flight
+	metrics  map[string]*tenantMetrics // survives eviction, bounding re-registration work
+
+	engines   *obs.Gauge
+	bytes     *obs.Gauge
+	evictions *obs.Counter
+	compiles  *obs.Counter
+}
+
+func newTenantRegistry(opts TenantOptions, reg *obs.Registry) *tenantRegistry {
+	return &tenantRegistry{
+		opts:     opts,
+		reg:      reg,
+		entries:  make(map[string]*tenant),
+		lru:      list.New(),
+		versions: make(map[string]int64),
+		flights:  make(map[string]*flight),
+		metrics:  make(map[string]*tenantMetrics),
+		engines: reg.Gauge("fixserve_tenant_engines",
+			"Compiled tenant engines resident in the LRU cache.", ""),
+		bytes: reg.Gauge("fixserve_tenant_engine_bytes",
+			"Estimated memory held by cached tenant engines.", ""),
+		evictions: reg.Counter("fixserve_tenant_evictions_total",
+			"Tenant engines evicted from the LRU cache.", ""),
+		compiles: reg.Counter("fixserve_tenant_compiles_total",
+			"Tenant ruleset compilations (cold loads and reloads).", ""),
+	}
+}
+
+// engineCost estimates the resident bytes of one compiled engine: a fixed
+// per-engine overhead (inverted lists, dictionaries, scratch pools) plus a
+// per-pattern-cell contribution. The estimate only has to be consistent
+// and monotone in ruleset size for the LRU budget to be meaningful.
+func engineCost(rep *repair.Repairer) int64 {
+	return 16<<10 + int64(rep.Ruleset().Size())*48
+}
+
+// tenantMetricsFor resolves (or mints) a tenant's metric series.
+func (r *tenantRegistry) tenantMetricsFor(name string) *tenantMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tm := r.metrics[name]
+	if tm == nil {
+		tm = newTenantMetrics(r.reg, name)
+		r.metrics[name] = tm
+	}
+	return tm
+}
+
+// get resolves a tenant's serving state, compiling it on a cold hit.
+// Exactly one goroutine runs the loader per cold tenant; the rest wait on
+// its flight and share the result (including a load error — the next
+// request after a failed flight retries).
+func (r *tenantRegistry) get(name string) (*tenant, error) {
+	r.mu.Lock()
+	if e := r.entries[name]; e != nil {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		return e, nil
+	}
+	if f := r.flights[name]; f != nil {
+		r.mu.Unlock()
+		<-f.done
+		return f.e, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[name] = f
+	r.mu.Unlock()
+
+	f.e, f.err = r.compile(name)
+	r.mu.Lock()
+	delete(r.flights, name)
+	if f.err == nil {
+		r.admitLocked(f.e)
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return f.e, f.err
+}
+
+// compile loads and consistency-checks one tenant's ruleset outside the
+// registry lock, building a fresh entry. The version is assigned under the
+// lock at admission time.
+func (r *tenantRegistry) compile(name string) (*tenant, error) {
+	rs, err := r.opts.Loader(name)
+	if err != nil {
+		return nil, &ReloadError{Stage: "load", Err: err}
+	}
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		return nil, &ReloadError{Stage: "consistency", Err: err}
+	}
+	r.compiles.Inc()
+	tm := r.tenantMetricsFor(name)
+	e := &tenant{
+		name: name,
+		sem:  make(chan struct{}, r.opts.MaxInFlight),
+		cost: engineCost(rep),
+		m:    tm,
+	}
+	eng := newEngine(rep, 0)
+	eng.tenant = name
+	eng.tm = tm
+	e.eng.Store(eng)
+	return e, nil
+}
+
+// admitLocked inserts a freshly compiled entry, stamps its version from
+// the tenant's surviving sequence, and evicts over-budget entries from the
+// cold end. The newly admitted entry is never evicted, so a tenant larger
+// than the whole memory budget still serves (alone).
+func (r *tenantRegistry) admitLocked(e *tenant) {
+	r.versions[e.name]++
+	eng := e.eng.Load()
+	eng.version = r.versions[e.name]
+	e.m.version.Set(eng.version)
+	e.elem = r.lru.PushFront(e)
+	r.entries[e.name] = e
+	r.mem += e.cost
+	r.evictOverBudgetLocked(e)
+	r.engines.Set(int64(r.lru.Len()))
+	r.bytes.Set(r.mem)
+}
+
+// evictOverBudgetLocked drops least-recently-used entries until both
+// budgets hold, never evicting keep.
+func (r *tenantRegistry) evictOverBudgetLocked(keep *tenant) {
+	for r.lru.Len() > 1 && (r.lru.Len() > r.opts.MaxEngines || r.mem > r.opts.MaxEngineBytes) {
+		back := r.lru.Back()
+		victim := back.Value.(*tenant)
+		if victim == keep {
+			// keep drifted to the back (single-entry case is excluded by
+			// the loop guard); move on — nothing else can be evicted
+			// before it without violating the admission guarantee.
+			break
+		}
+		r.lru.Remove(back)
+		delete(r.entries, victim.name)
+		r.mem -= victim.cost
+		r.evictions.Inc()
+	}
+}
+
+// reload force-loads a tenant's ruleset and swaps it in atomically,
+// whether or not the tenant is currently cached — a per-tenant hot deploy.
+// In-flight requests finish on the engine they snapshotted. A failed
+// reload leaves the served engine untouched.
+func (r *tenantRegistry) reload(name string) (RulesetInfo, error) {
+	rs, err := r.opts.Loader(name)
+	if err != nil {
+		return RulesetInfo{}, &ReloadError{Stage: "load", Err: err}
+	}
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		return RulesetInfo{}, &ReloadError{Stage: "consistency", Err: err}
+	}
+	r.compiles.Inc()
+	tm := r.tenantMetricsFor(name)
+	eng := newEngine(rep, 0)
+	eng.tenant = name
+	eng.tm = tm
+
+	r.mu.Lock()
+	r.versions[name]++
+	eng.version = r.versions[name]
+	tm.version.Set(eng.version)
+	if e := r.entries[name]; e != nil {
+		newCost := engineCost(rep)
+		r.mem += newCost - e.cost
+		e.cost = newCost
+		e.eng.Store(eng)
+		r.lru.MoveToFront(e.elem)
+		r.evictOverBudgetLocked(e)
+	} else {
+		e := &tenant{
+			name: name,
+			sem:  make(chan struct{}, r.opts.MaxInFlight),
+			cost: engineCost(rep),
+			m:    tm,
+		}
+		e.eng.Store(eng)
+		e.elem = r.lru.PushFront(e)
+		r.entries[name] = e
+		r.mem += e.cost
+		r.evictOverBudgetLocked(e)
+	}
+	r.engines.Set(int64(r.lru.Len()))
+	r.bytes.Set(r.mem)
+	r.mu.Unlock()
+	tm.reloads.Inc()
+	return RulesetInfo{Version: eng.version, Hash: eng.hash, Rules: rs.Len()}, nil
+}
+
+// invalidateAll drops every cached engine; the next request per tenant
+// recompiles through the loader. Versions survive, so reloads-by-
+// invalidation still bump the per-tenant version header. Returns the
+// number of entries dropped.
+func (r *tenantRegistry) invalidateAll() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.lru.Len()
+	r.entries = make(map[string]*tenant)
+	r.lru.Init()
+	r.mem = 0
+	r.engines.Set(0)
+	r.bytes.Set(0)
+	return n
+}
+
+// snapshotLocked helpers for tests and /stats.
+func (r *tenantRegistry) cached(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[name] != nil
+}
+
+func (r *tenantRegistry) residentCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+func (r *tenantRegistry) residentBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mem
+}

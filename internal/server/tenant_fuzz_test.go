@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fixrule/internal/core"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+// fuzzTenantState is shared across fuzz iterations (rebuilding compiled
+// rulesets per input would dominate the loop). The loader records every
+// tenant ID it is handed, which is how the fuzzer detects aliasing: the
+// file-system layer must only ever see IDs the validator passed.
+var (
+	fuzzTenantOnce sync.Once
+	fuzzTenantSrv  *Server
+
+	fuzzLoaderMu    sync.Mutex
+	fuzzLoaderSeen  []string
+	fuzzProvisioned = map[string]bool{"acme": true, "globex": true}
+)
+
+func fuzzTenantServer() *Server {
+	fuzzTenantOnce.Do(func() {
+		sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+		rs := core.MustRuleset(
+			core.MustNew("phi1", sch, map[string]string{"country": "China"},
+				"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+		)
+		loader := func(tenant string) (*core.Ruleset, error) {
+			fuzzLoaderMu.Lock()
+			fuzzLoaderSeen = append(fuzzLoaderSeen, tenant)
+			fuzzLoaderMu.Unlock()
+			if !fuzzProvisioned[tenant] {
+				return nil, fmt.Errorf("tenant %q: %w", tenant, fs.ErrNotExist)
+			}
+			return rs, nil
+		}
+		rep, err := repair.NewRepairerChecked(rs)
+		if err != nil {
+			panic(err)
+		}
+		fuzzTenantSrv = NewWithConfig(rep, Config{
+			MaxBodyBytes: 1 << 20,
+			Logger:       discardLogger,
+			Tenants:      &TenantOptions{Loader: loader, MaxEngines: 4},
+		})
+	})
+	return fuzzTenantSrv
+}
+
+// FuzzTenantRouting hardens the tenant path router: arbitrary tenant
+// segments and route remainders must never panic, never 5xx (the loader
+// only fails with not-found), always answer errors with the stable JSON
+// envelope, and the loader must only ever be called with IDs that pass
+// ValidTenantID — no path traversal, no aliasing, no case folding.
+func FuzzTenantRouting(f *testing.F) {
+	f.Add("acme", "/repair", ianTuple)
+	f.Add("acme", "/repair/csv", "name,country,capital,city,conf\nIan,China,Shanghai,Hongkong,ICDE\n")
+	f.Add("globex", "/stats", "")
+	f.Add("acme", "/rules", "")
+	f.Add("acme", "/reload", "")
+	f.Add("acme", "/debug/traces", "")
+	f.Add("acme", "/debug/traces/0123456789abcdef0123456789abcdef", "")
+	f.Add("ghost", "/repair", ianTuple)    // valid ID, unprovisioned
+	f.Add("ACME", "/repair", ianTuple)     // case aliasing attempt
+	f.Add("..", "/repair", ianTuple)       // path traversal attempt
+	f.Add("a/../b", "/repair", ianTuple)   // embedded traversal
+	f.Add("acme%2Fx", "/repair", ianTuple) // encoded separator
+	f.Add("", "/repair", ianTuple)         // empty tenant
+	f.Add("a b", "/repair", ianTuple)      // whitespace
+	f.Add(strings.Repeat("x", 65), "/repair", ianTuple)
+	f.Add("acme", "/nonexistent", "")
+	f.Add("acme", "", "")
+	f.Add("acme", "/repair/../../reload", "")
+	f.Add("acme\x00", "/repair", "")
+	f.Add("acme", "/debug/traces/../../../stats", "")
+
+	f.Fuzz(func(t *testing.T, tenantSeg, rest, body string) {
+		// Assemble the raw request target; reject fuzz inputs the HTTP
+		// layer itself could never deliver (control bytes in the target
+		// make NewRequest panic, which would test net/http, not us).
+		target := "/t/" + tenantSeg + rest
+		if strings.ContainsAny(target, " \t\r\n\x00#?") {
+			t.Skip()
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic for target %q: %v", target, r)
+			}
+		}()
+		var req *http.Request
+		func() {
+			defer func() {
+				if recover() != nil {
+					req = nil // unparsable target: not an HTTP-reachable input
+				}
+			}()
+			req = httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+		}()
+		if req == nil {
+			t.Skip()
+		}
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		fuzzTenantServer().ServeHTTP(rec, req)
+
+		if rec.Code >= 500 {
+			t.Fatalf("status %d for target %q: %s", rec.Code, target, rec.Body.String())
+		}
+		// Error statuses carry the stable JSON envelope (3xx redirects
+		// from the mux's path cleaning have no body contract).
+		if rec.Code >= 400 {
+			ct := rec.Header().Get("Content-Type")
+			if !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("error %d for %q has Content-Type %q, want JSON envelope",
+					rec.Code, target, ct)
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("error %d for %q: body is not an envelope: %v\n%s",
+					rec.Code, target, err, rec.Body.String())
+			}
+			if env.Error.Code == "" || env.Error.Message == "" {
+				t.Fatalf("error %d for %q: envelope incomplete: %+v", rec.Code, target, env)
+			}
+		}
+		// Cross-tenant aliasing check: whatever the router did, the
+		// loader must only ever have been handed well-formed tenant IDs.
+		fuzzLoaderMu.Lock()
+		seen := append([]string(nil), fuzzLoaderSeen...)
+		fuzzLoaderMu.Unlock()
+		for _, id := range seen {
+			if !ValidTenantID(id) {
+				t.Fatalf("loader called with invalid tenant ID %q (target %q)", id, target)
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fixrule/internal/core"
+)
+
+// This file is the multi-tenant concurrency battery (run it under -race):
+// repairs, per-tenant hot reloads, LRU evictions and full invalidations
+// all interleave, and every response must still be served wholly by one
+// engine snapshot — no torn responses mixing two ruleset versions, no
+// request observing a half-swapped engine, no registry invariant broken.
+
+// tenantBatteryBody is a multi-row request where every row repairs to the
+// engine's fact, so a torn response (rows from two ruleset versions) is
+// detectable in the output bytes.
+const tenantBatteryRows = 8
+
+func tenantBatteryJSON() string {
+	rows := make([]string, tenantBatteryRows)
+	for i := range rows {
+		rows[i] = fmt.Sprintf(`["p%d","China","Shanghai","Hongkong","ICDE"]`, i)
+	}
+	return `{"tuples": [` + strings.Join(rows, ",") + `]}`
+}
+
+func tenantBatteryCSV() string {
+	var b strings.Builder
+	b.WriteString("name,country,capital,city,conf\n")
+	for i := 0; i < tenantBatteryRows; i++ {
+		fmt.Fprintf(&b, "p%d,China,Shanghai,Hongkong,ICDE\n", i)
+	}
+	return b.String()
+}
+
+// assertWholeVersion fails if a response body carries rows from more than
+// one ruleset version (facts are "Beijing" for odd loader generations and
+// "Peking" for even ones, so counting both is enough). want is the
+// expected fact count for a whole response: rows for CSV, 2×rows for JSON
+// (each fact appears in the tuple and again in its step record).
+func assertWholeVersion(t *testing.T, kind, body string, want int) {
+	t.Helper()
+	beijing := strings.Count(body, "Beijing")
+	peking := strings.Count(body, "Peking")
+	if beijing > 0 && peking > 0 {
+		t.Errorf("%s response mixes ruleset versions (%d Beijing, %d Peking):\n%s",
+			kind, beijing, peking, body)
+	}
+	if beijing != want && peking != want {
+		t.Errorf("%s response repaired %d+%d, want %d:\n%s",
+			kind, beijing, peking, want, body)
+	}
+}
+
+// runTenantBattery drives the full interleaving against a server built
+// with the given stream worker count.
+func runTenantBattery(t *testing.T, streamWorkers int) {
+	// The loader alternates facts per call, so every installed engine
+	// serves exactly one of the two recognizable outputs.
+	var generation atomic.Int64
+	facts := [2]string{"Beijing", "Peking"}
+	loader := func(tenant string) (*core.Ruleset, error) {
+		g := generation.Add(1)
+		return travelRuleset(facts[g%2]), nil
+	}
+
+	cfg := Config{
+		Logger:        discardLogger,
+		StreamWorkers: streamWorkers,
+		MaxInFlight:   64,
+	}
+	cfg.Tenants = &TenantOptions{
+		Loader: loader,
+		// Two resident engines over five active tenants forces constant
+		// eviction and recompilation under load.
+		MaxEngines:  2,
+		MaxInFlight: 64,
+	}
+	rep := mustTestRepairer(t)
+	s := NewWithConfig(rep, cfg)
+	ts := newLocalServer(t, s)
+
+	tenants := []string{"t0", "t1", "t2", "t3", "t4"}
+	jsonBody := tenantBatteryJSON()
+	csvBody := tenantBatteryCSV()
+
+	const (
+		repairers  = 8
+		reloaders  = 3
+		iterations = 30
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < repairers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			client := &http.Client{}
+			for i := 0; i < iterations; i++ {
+				tenant := tenants[(w+i)%len(tenants)]
+				if i%2 == 0 {
+					resp, err := client.Post(ts.URL+"/t/"+tenant+"/repair",
+						"application/json", strings.NewReader(jsonBody))
+					if err != nil {
+						t.Errorf("repair: %v", err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						t.Errorf("repair = %d: %s", resp.StatusCode, body)
+						return
+					}
+					assertWholeVersion(t, "/repair", string(body), 2*tenantBatteryRows)
+				} else {
+					resp, err := client.Post(ts.URL+"/t/"+tenant+"/repair/csv",
+						"text/csv", strings.NewReader(csvBody))
+					if err != nil {
+						t.Errorf("repair/csv: %v", err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						t.Errorf("repair/csv = %d: %s", resp.StatusCode, body)
+						return
+					}
+					assertWholeVersion(t, "/repair/csv", string(body), tenantBatteryRows)
+				}
+			}
+		}(w)
+	}
+
+	for w := 0; w < reloaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iterations; i++ {
+				tenant := tenants[(w*7+i)%len(tenants)]
+				resp, err := http.Post(ts.URL+"/t/"+tenant+"/reload", "", nil)
+				if err != nil {
+					t.Errorf("reload: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("reload = %d", resp.StatusCode)
+					return
+				}
+				// Periodically drop the whole cache, the SIGHUP path.
+				if i%10 == 9 {
+					s.InvalidateTenants()
+				}
+			}
+		}(w)
+	}
+
+	close(start)
+	wg.Wait()
+
+	// Registry invariants after the storm: within budget, memory
+	// accounting consistent, and versions still monotonic per tenant.
+	if n := s.tenants.residentCount(); n > 2 {
+		t.Errorf("resident engines = %d, exceeds MaxEngines 2", n)
+	}
+	if m := s.tenants.residentBytes(); m < 0 {
+		t.Errorf("resident bytes = %d, negative", m)
+	}
+	for _, tenant := range tenants {
+		resp, err := http.Get(ts.URL + "/t/" + tenant + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("post-battery /t/%s/stats = %d", tenant, resp.StatusCode)
+		}
+	}
+}
+
+func TestTenantBatterySequentialStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short: skipping concurrency battery")
+	}
+	runTenantBattery(t, 1)
+}
+
+func TestTenantBatteryParallelStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short: skipping concurrency battery")
+	}
+	runTenantBattery(t, 4)
+}
+
+// TestTenantEvictionDuringStream pins the in-flight snapshot guarantee
+// against eviction specifically: a streaming request's tenant is evicted
+// and recompiled mid-stream, and the stream still completes wholly on the
+// engine it snapshotted.
+func TestTenantEvictionDuringStream(t *testing.T) {
+	var generation atomic.Int64
+	loader := func(tenant string) (*core.Ruleset, error) {
+		if tenant == "victim" {
+			// First load "Beijing", every recompile after that "Peking".
+			if generation.Add(1) == 1 {
+				return travelRuleset("Beijing"), nil
+			}
+			return travelRuleset("Peking"), nil
+		}
+		return travelRuleset("Ottawa"), nil
+	}
+	cfg := Config{Logger: discardLogger}
+	cfg.Tenants = &TenantOptions{Loader: loader, MaxEngines: 1}
+	s := NewWithConfig(mustTestRepairer(t), cfg)
+	ts := newLocalServer(t, s)
+
+	pr, pw := io.Pipe()
+	done := make(chan string, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/t/victim/repair/csv", "text/csv", pr)
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- string(b)
+	}()
+	io.WriteString(pw, "name,country,capital,city,conf\nIan,China,Shanghai,Hongkong,ICDE\n")
+
+	// Evict the victim by touching another tenant (MaxEngines 1), then
+	// recompile the victim on its second generation.
+	for _, tenant := range []string{"other", "victim", "other"} {
+		resp, err := http.Post(ts.URL+"/t/"+tenant+"/repair",
+			"application/json", strings.NewReader(ianTuple))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// The in-flight stream must still be generation 1 end to end.
+	io.WriteString(pw, "Amy,China,Hongkong,Paris,VLDB\n")
+	pw.Close()
+	out := <-done
+	if strings.Count(out, "Beijing") != 2 || strings.Contains(out, "Peking") {
+		t.Errorf("evicted mid-stream request not served by its snapshot:\n%s", out)
+	}
+}

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fixrule/internal/trace"
+)
+
+// This file is the tenant-scoped HTTP surface: every route under
+// /t/{tenant}/ resolves the tenant's compiled engine through the registry
+// (LRU + singleflight) and then dispatches into the same handlers the
+// single-tenant routes use, bound to the tenant's engine snapshot — which
+// is what makes multi-tenant repair output byte-identical to a
+// single-tenant server loaded with the same ruleset.
+//
+//	POST /t/{x}/repair        JSON tuples → repaired tuples + steps
+//	POST /t/{x}/repair/csv    CSV / x-fcol stream → repaired stream
+//	POST /t/{x}/explain       one tuple → repair provenance
+//	GET  /t/{x}/rules         the tenant's ruleset (DSL or ?format=json)
+//	GET  /t/{x}/rules/stats   rule statistics
+//	GET  /t/{x}/stats         the tenant's own counters, never another's
+//	POST /t/{x}/reload        per-tenant hot deploy through the loader
+//	GET  /t/{x}/debug/traces  the tenant's retained traces; /{id} drills in
+
+// TenantHeader names the tenant a response was served for.
+const TenantHeader = "X-Fixserve-Tenant"
+
+// maxTenantIDLen bounds tenant identifiers.
+const maxTenantIDLen = 64
+
+// ValidTenantID reports whether id is a well-formed tenant identifier:
+// 1–64 characters of [a-z0-9_-], starting with a letter or digit. The
+// alphabet deliberately excludes '/', '.', '%' and upper case, so a tenant
+// ID can never traverse paths, alias another route, or collide with a
+// sibling on a case-insensitive file system.
+func ValidTenantID(id string) bool {
+	if len(id) == 0 || len(id) > maxTenantIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '-' || c == '_':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitTenantPath splits "/t/{tenant}{rest}" into the raw tenant segment
+// and the remainder ("/repair", "/debug/traces/abc", or "" for a bare
+// "/t/{tenant}").
+func splitTenantPath(path string) (tenant, rest string) {
+	p := strings.TrimPrefix(path, "/t/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i:]
+	}
+	return p, ""
+}
+
+// tenantEndpointLabel maps the remainder of a tenant path to its metric
+// endpoint label. Unknown remainders return ok=false and are answered 404.
+func tenantEndpointLabel(rest string) (label string, ok bool) {
+	switch rest {
+	case "/repair":
+		return "/t/{tenant}/repair", true
+	case "/repair/csv":
+		return "/t/{tenant}/repair/csv", true
+	case "/explain":
+		return "/t/{tenant}/explain", true
+	case "/rules":
+		return "/t/{tenant}/rules", true
+	case "/rules/stats":
+		return "/t/{tenant}/rules/stats", true
+	case "/stats":
+		return "/t/{tenant}/stats", true
+	case "/reload":
+		return "/t/{tenant}/reload", true
+	case "/debug/traces":
+		return "/t/{tenant}/debug/traces", true
+	}
+	if strings.HasPrefix(rest, "/debug/traces/") {
+		return "/t/{tenant}/debug/traces", true
+	}
+	return "/t/{tenant}", false
+}
+
+// tenantLimited marks the tenant routes that pass through both the global
+// and the per-tenant concurrency limiter and get a request deadline —
+// the same set as their single-tenant counterparts.
+func tenantLimited(label string) bool {
+	switch label {
+	case "/t/{tenant}/repair", "/t/{tenant}/repair/csv", "/t/{tenant}/explain":
+		return true
+	}
+	return false
+}
+
+// handleTenant is the tenant router: it validates the tenant ID, resolves
+// the tenant's engine (compiling under singleflight on a cold hit),
+// enforces the per-tenant quotas, and dispatches to the shared handlers.
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	tenantID, rest := splitTenantPath(r.URL.Path)
+	label, known := tenantEndpointLabel(rest)
+	c := s.begin(label, w, r)
+	defer s.end(c)
+
+	if !ValidTenantID(tenantID) {
+		s.writeError(c.sw, http.StatusBadRequest, codeBadTenant,
+			"tenant id must be 1-64 chars of [a-z0-9_-], starting with a letter or digit")
+		return
+	}
+	c.sw.Header().Set(TenantHeader, tenantID)
+	c.root.SetAttr(trace.String("tenant", tenantID))
+	if !known {
+		s.writeError(c.sw, http.StatusNotFound, codeUnknownRoute,
+			"unknown tenant route")
+		return
+	}
+
+	// The trace views read only the tracer's ring — no engine, no loader.
+	if label == "/t/{tenant}/debug/traces" {
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(c.sw, http.MethodGet)
+			return
+		}
+		if id := strings.TrimPrefix(rest, "/debug/traces"); strings.HasPrefix(id, "/") {
+			s.writeTraceDetail(c.sw, strings.TrimPrefix(id, "/"), tenantID)
+		} else {
+			s.writeTraceList(c.sw, r, tenantID)
+		}
+		return
+	}
+
+	// A reload always goes through the loader, cached or not: it is the
+	// per-tenant hot deploy.
+	if label == "/t/{tenant}/reload" {
+		s.handleTenantReload(c.sw, r, tenantID)
+		return
+	}
+
+	e, err := s.tenants.get(tenantID)
+	if err != nil {
+		s.tenantResolveError(c.sw, tenantID, err)
+		return
+	}
+	eng := e.eng.Load()
+	e.m.requests.Inc()
+	c.sw.Header().Set(VersionHeader, strconv.FormatInt(eng.version, 10))
+	c.sw.Header().Set(HashHeader, eng.hash)
+
+	ctx := r.Context()
+	if tenantLimited(label) {
+		// Global capacity first, then the tenant's own quota; a tenant at
+		// its quota is shed without consuming global slots, so one noisy
+		// tenant cannot starve the others.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.m.shed.Inc()
+			c.sw.Header().Set("Retry-After", "1")
+			s.writeError(c.sw, http.StatusServiceUnavailable, codeOverloaded,
+				"server at capacity, retry shortly")
+			return
+		}
+		select {
+		case e.sem <- struct{}{}:
+			defer func() { <-e.sem }()
+		default:
+			e.m.shed.Inc()
+			c.sw.Header().Set("Retry-After", "1")
+			s.writeError(c.sw, http.StatusServiceUnavailable, codeTenantOverloaded,
+				"tenant at its concurrency quota, retry shortly")
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	r = r.WithContext(trace.ContextWithSpan(ctx, c.root))
+	if r.Method == http.MethodPost {
+		r.Body = http.MaxBytesReader(c.sw, r.Body, s.tenantOpts.MaxBodyBytes)
+	}
+
+	switch label {
+	case "/t/{tenant}/repair":
+		s.handleRepair(c.sw, r, eng)
+	case "/t/{tenant}/repair/csv":
+		s.handleRepairCSV(c.sw, r, eng)
+	case "/t/{tenant}/explain":
+		s.handleExplain(c.sw, r, eng)
+	case "/t/{tenant}/rules":
+		s.handleRules(c.sw, r, eng)
+	case "/t/{tenant}/rules/stats":
+		s.handleStats(c.sw, r, eng)
+	case "/t/{tenant}/stats":
+		s.handleTenantStats(c.sw, r, e, eng)
+	}
+}
+
+// tenantResolveError maps a registry resolution failure onto the envelope:
+// unknown tenants are 404, inconsistent rulesets 422 (the conflict text
+// names only the tenant's own rules), and anything else — typically a
+// loader I/O failure whose detail may reference server-side paths — is
+// logged and answered 500 with the code alone.
+func (s *Server) tenantResolveError(w http.ResponseWriter, tenantID string, err error) {
+	var re *ReloadError
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		s.writeError(w, http.StatusNotFound, codeUnknownTenant,
+			"unknown tenant "+strconv.Quote(tenantID))
+	case errors.As(err, &re) && re.Stage == "consistency":
+		s.writeError(w, http.StatusUnprocessableEntity, codeInconsistent,
+			//fix:allow errcode: the conflict text names rules from the tenant's own ruleset, never paths
+			fmt.Sprintf("tenant ruleset rejected: %v", re.Err))
+	default:
+		s.cfg.Logger.Error("tenant load failed",
+			"tenant", tenantID, "request_id", w.Header().Get(RequestIDHeader), "err", err)
+		s.writeError(w, http.StatusInternalServerError, codeTenantLoadFailed,
+			"loading the tenant ruleset failed; see server log")
+	}
+}
+
+// handleTenantReload is POST /t/{x}/reload: fetch the tenant's ruleset
+// through the loader, consistency-check it, and swap it in atomically.
+func (s *Server) handleTenantReload(w http.ResponseWriter, r *http.Request, tenantID string) {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	info, err := s.tenants.reload(tenantID)
+	if err != nil {
+		s.m.reloadFail.Inc()
+		s.tenantResolveError(w, tenantID, err)
+		return
+	}
+	s.m.reloads.Inc()
+	w.Header().Set(VersionHeader, strconv.FormatInt(info.Version, 10))
+	w.Header().Set(HashHeader, info.Hash)
+	s.cfg.Logger.Info("tenant ruleset reloaded",
+		"tenant", tenantID, "version", info.Version, "hash", info.Hash, "rules", info.Rules)
+	writeJSON(w, struct {
+		Tenant string `json:"tenant"`
+		RulesetInfo
+	}{Tenant: tenantID, RulesetInfo: info})
+}
+
+// tenantStatsResponse is the /t/{x}/stats payload: the tenant's own
+// serving state and counters, and nothing of any other tenant's.
+type tenantStatsResponse struct {
+	Tenant         string    `json:"tenant"`
+	RequestID      string    `json:"request_id,omitempty"`
+	RulesetVersion int64     `json:"ruleset_version"`
+	RulesetHash    string    `json:"ruleset_hash"`
+	Rules          int       `json:"rules"`
+	LoadedAt       time.Time `json:"loaded_at"`
+	Cached         bool      `json:"cached"`
+	InFlight       int       `json:"in_flight"`
+	Requests       int64     `json:"requests"`
+	Shed           int64     `json:"shed"`
+	Tuples         int64     `json:"tuples"`
+	TuplesRepaired int64     `json:"tuples_repaired"`
+	RulesFired     int64     `json:"rules_fired"`
+	OOVCells       int64     `json:"oov_cells"`
+	Reloads        int64     `json:"reloads"`
+}
+
+func (s *Server) handleTenantStats(w http.ResponseWriter, r *http.Request, e *tenant, eng *engine) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, tenantStatsResponse{
+		Tenant:         e.name,
+		RequestID:      w.Header().Get(RequestIDHeader),
+		RulesetVersion: eng.version,
+		RulesetHash:    eng.hash,
+		Rules:          eng.rep.Ruleset().Len(),
+		LoadedAt:       eng.loadedAt,
+		Cached:         s.tenants.cached(e.name),
+		InFlight:       len(e.sem),
+		Requests:       e.m.requests.Load(),
+		Shed:           e.m.shed.Load(),
+		Tuples:         e.m.tuples.Load(),
+		TuplesRepaired: e.m.repaired.Load(),
+		RulesFired:     e.m.rulesFired.Load(),
+		OOVCells:       e.m.oovCells.Load(),
+		Reloads:        e.m.reloads.Load(),
+	})
+}
+
+// InvalidateTenants drops every cached tenant engine (fixserve wires this
+// to SIGHUP in multi-tenant mode); the next request per tenant recompiles
+// through the loader. Returns the number of engines dropped. A server
+// without tenant serving returns 0.
+func (s *Server) InvalidateTenants() int {
+	if s.tenants == nil {
+		return 0
+	}
+	return s.tenants.invalidateAll()
+}
+
+// TenantEnabled reports whether this server routes /t/{tenant}/ requests.
+func (s *Server) TenantEnabled() bool { return s.tenants != nil }
