@@ -2,9 +2,12 @@ package server
 
 import (
 	"context"
+	"errors"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
+	"net/textproto"
 	"os"
 	"strconv"
 	"strings"
@@ -267,6 +270,15 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 
 	var body io.Reader = r.Body
 	if r.Method == http.MethodPost {
+		// Declared-length overruns are rejected before a worker connection
+		// is spent; chunked uploads are caught by the MaxBytesReader below
+		// when the transport reads the body mid-forward.
+		if r.ContentLength > p.cfg.MaxBodyBytes {
+			writeErrorEnvelope(sw, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				"request body exceeds the proxy limit of "+
+					strconv.FormatInt(p.cfg.MaxBodyBytes, 10)+" bytes")
+			return
+		}
 		body = http.MaxBytesReader(sw, r.Body, p.cfg.MaxBodyBytes)
 	}
 	out, err := http.NewRequestWithContext(r.Context(), r.Method, worker+r.URL.RequestURI(), body)
@@ -279,6 +291,16 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	copyHeaders(out.Header, r.Header)
+	// Forwarding metadata: workers can tell proxied from direct traffic
+	// and recover the client address and original Host.
+	if ip, _, splitErr := net.SplitHostPort(r.RemoteAddr); splitErr == nil {
+		if prior := out.Header.Get("X-Forwarded-For"); prior != "" {
+			out.Header.Set("X-Forwarded-For", prior+", "+ip)
+		} else {
+			out.Header.Set("X-Forwarded-For", ip)
+		}
+	}
+	out.Header.Set("X-Forwarded-Host", r.Host)
 	// The proxy's own span context propagates downstream, so the worker
 	// joins this trace; the worker's sampling decision follows the
 	// proxy's, keeping one consistent record per request.
@@ -287,6 +309,17 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := p.client.Do(out)
 	if err != nil {
+		// A body-limit overrun surfaces here as the transport's read error
+		// on the MaxBytesReader; that is the client's fault, not the
+		// worker's, so it maps to 413 without touching the upstream-error
+		// counter.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErrorEnvelope(sw, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				"request body exceeds the proxy limit of "+
+					strconv.FormatInt(p.cfg.MaxBodyBytes, 10)+" bytes")
+			return
+		}
 		if c := p.upErrors[worker]; c != nil {
 			c.Inc()
 		}
@@ -310,7 +343,9 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 	sw.Header().Set("traceparent", root.Context().Traceparent())
 	sw.WriteHeader(resp.StatusCode)
 
-	if err := flushCopy(sw, resp.Body); err != nil {
+	readErr, writeErr := flushCopy(sw, resp.Body)
+	switch {
+	case readErr != nil:
 		// The worker died mid-stream with the status line long gone; the
 		// envelope lands as trailing body content — exactly the contract
 		// the single-tenant stream error path already has — carrying the
@@ -320,9 +355,15 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 		}
 		root.SetError("upstream interrupted")
 		p.cfg.Logger.Error("proxy upstream interrupted mid-stream",
-			"worker", worker, "tenant", tenantID, "request_id", reqID, "err", err)
+			"worker", worker, "tenant", tenantID, "request_id", reqID, "err", readErr)
 		writeErrorEnvelope(sw, http.StatusBadGateway, codeUpstreamCut,
 			"the worker connection was interrupted mid-response")
+	case writeErr != nil:
+		// The client hung up mid-download. The worker is healthy, so its
+		// upstream-error counter stays untouched, and there is no point
+		// writing an envelope to a dead connection.
+		p.cfg.Logger.Warn("proxy client disconnected mid-stream",
+			"worker", worker, "tenant", tenantID, "request_id", reqID, "err", writeErr)
 	}
 }
 
@@ -336,16 +377,39 @@ func logLevelFor(status int) slog.Level {
 	return slog.LevelInfo
 }
 
-// copyHeaders copies all non-hop-by-hop headers from src into dst.
+// copyHeaders copies all non-hop-by-hop headers from src into dst,
+// including any header the src Connection header nominates as hop-by-hop
+// (RFC 9110 §7.6.1 requires dropping those alongside the fixed list).
 func copyHeaders(dst, src http.Header) {
+	nominated := connectionNominated(src)
 	for k, vv := range src {
-		if isHopHeader(k) {
+		if isHopHeader(k) || nominated[textproto.CanonicalMIMEHeaderKey(k)] {
 			continue
 		}
 		for _, v := range vv {
 			dst.Add(k, v)
 		}
 	}
+}
+
+// connectionNominated parses the Connection header's comma-separated
+// option list into the set of canonical header names it declares
+// hop-by-hop. Returns nil when Connection is absent (the common case).
+func connectionNominated(h http.Header) map[string]bool {
+	var set map[string]bool
+	for _, v := range h.Values("Connection") {
+		for _, opt := range strings.Split(v, ",") {
+			opt = strings.TrimSpace(opt)
+			if opt == "" {
+				continue
+			}
+			if set == nil {
+				set = make(map[string]bool)
+			}
+			set[textproto.CanonicalMIMEHeaderKey(opt)] = true
+		}
+	}
+	return set
 }
 
 func isHopHeader(k string) bool {
@@ -359,22 +423,24 @@ func isHopHeader(k string) bool {
 
 // flushCopy streams src to dst, flushing after every chunk so worker
 // streaming (CSV and columnar frames) passes through the proxy without
-// buffering a full response.
-func flushCopy(dst *statusWriter, src io.Reader) error {
+// buffering a full response. Read-side (upstream) and write-side (client)
+// failures are reported separately so the caller can attribute the
+// interruption to the correct peer.
+func flushCopy(dst *statusWriter, src io.Reader) (readErr, writeErr error) {
 	buf := make([]byte, 32<<10)
 	for {
 		n, rerr := src.Read(buf)
 		if n > 0 {
 			if _, werr := dst.Write(buf[:n]); werr != nil {
-				return werr
+				return nil, werr
 			}
 			dst.Flush()
 		}
 		if rerr == io.EOF {
-			return nil
+			return nil, nil
 		}
 		if rerr != nil {
-			return rerr
+			return rerr, nil
 		}
 	}
 }

@@ -2,12 +2,14 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"testing/iotest"
 	"time"
 
 	"fixrule/internal/core"
@@ -294,6 +296,152 @@ func TestProxyDeadWorker(t *testing.T) {
 		t.Errorf("live tenant alongside dead worker = %d", resp.StatusCode)
 	}
 	readBody(t, resp)
+}
+
+// TestProxyBodyTooLarge: an oversized POST body answers 413
+// body_too_large — both when the length is declared up front and when a
+// chunked upload trips the MaxBytesReader mid-forward — and neither case
+// blames the (healthy) worker's upstream-error counter.
+func TestProxyBodyTooLarge(t *testing.T) {
+	fx := newProxyFixture(t, 0)
+	p, err := NewProxy(ProxyConfig{
+		Workers:      []string{fx.workers[0].URL, fx.workers[1].URL},
+		MaxBodyBytes: 1 << 10,
+		Logger:       discardLogger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	upstreamErrors := func() int64 {
+		var n int64
+		for _, c := range p.upErrors {
+			n += c.Load()
+		}
+		return n
+	}
+
+	big := strings.Repeat("x", 2<<10)
+	for _, declared := range []bool{true, false} {
+		var body io.Reader = strings.NewReader(big)
+		if !declared {
+			// An io.Reader that is not a *strings.Reader forces chunked
+			// encoding: ContentLength stays -1 and the limit can only
+			// trip while the transport reads the body mid-forward.
+			body = io.MultiReader(strings.NewReader(big))
+		}
+		req, err := http.NewRequest(http.MethodPost, front.URL+"/t/acme/repair", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("declared=%v: %v", declared, err)
+		}
+		if code := decodeEnvelope(t, resp); resp.StatusCode != 413 || code != codeBodyTooLarge {
+			t.Errorf("declared=%v oversized body = %d %s, want 413 %s",
+				declared, resp.StatusCode, code, codeBodyTooLarge)
+		}
+		if n := upstreamErrors(); n != 0 {
+			t.Errorf("declared=%v oversized body incremented upstream errors to %d", declared, n)
+		}
+	}
+
+	// A body within the limit still forwards.
+	resp := postJSON(t, front.URL+"/t/acme/repair", ianTuple)
+	if resp.StatusCode != 200 {
+		t.Errorf("in-limit body via limited proxy = %d %s", resp.StatusCode, readBody(t, resp))
+	} else {
+		readBody(t, resp)
+	}
+}
+
+// TestProxyForwardHeaders: headers the client's Connection header
+// nominates as hop-by-hop are not forwarded (RFC 9110 §7.6.1), and the
+// proxy stamps X-Forwarded-For / X-Forwarded-Host so workers can tell
+// proxied from direct traffic.
+func TestProxyForwardHeaders(t *testing.T) {
+	var got http.Header
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Clone()
+		got.Set("Host", r.Host)
+		io.WriteString(w, "ok")
+	}))
+	defer worker.Close()
+
+	p, err := NewProxy(ProxyConfig{Workers: []string{worker.URL}, Logger: discardLogger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	req, err := http.NewRequest(http.MethodGet, front.URL+"/t/acme/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Connection", "close, X-Hop-Secret")
+	req.Header.Set("X-Hop-Secret", "do-not-forward")
+	req.Header.Set("X-Forwarded-For", "203.0.113.9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+
+	if v := got.Get("X-Hop-Secret"); v != "" {
+		t.Errorf("Connection-nominated header forwarded: X-Hop-Secret=%q", v)
+	}
+	xff := got.Get("X-Forwarded-For")
+	if !strings.HasPrefix(xff, "203.0.113.9, ") || !strings.HasSuffix(xff, "127.0.0.1") {
+		t.Errorf("X-Forwarded-For = %q, want client chain + 127.0.0.1", xff)
+	}
+	if v := got.Get("X-Forwarded-Host"); v == "" {
+		t.Error("X-Forwarded-Host not set on forwarded request")
+	}
+}
+
+// errWriter is a ResponseWriter whose Write always fails — the shape of a
+// client that hung up mid-download.
+type errWriter struct{ header http.Header }
+
+func (w *errWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *errWriter) WriteHeader(int) {}
+func (w *errWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client gone")
+}
+
+// TestFlushCopyAttributesSides: flushCopy reports upstream read failures
+// and client write failures separately, so a client hangup is never
+// counted or logged as a worker fault.
+func TestFlushCopyAttributesSides(t *testing.T) {
+	upstreamCut := io.MultiReader(strings.NewReader("partial"),
+		iotest.ErrReader(errors.New("worker died")))
+	readErr, writeErr := flushCopy(
+		&statusWriter{ResponseWriter: httptest.NewRecorder()}, upstreamCut)
+	if readErr == nil || writeErr != nil {
+		t.Errorf("upstream cut: readErr=%v writeErr=%v, want read-side only", readErr, writeErr)
+	}
+
+	readErr, writeErr = flushCopy(
+		&statusWriter{ResponseWriter: &errWriter{}}, strings.NewReader("payload"))
+	if writeErr == nil || readErr != nil {
+		t.Errorf("client hangup: readErr=%v writeErr=%v, want write-side only", readErr, writeErr)
+	}
+
+	readErr, writeErr = flushCopy(
+		&statusWriter{ResponseWriter: httptest.NewRecorder()}, strings.NewReader("clean"))
+	if readErr != nil || writeErr != nil {
+		t.Errorf("clean stream: readErr=%v writeErr=%v", readErr, writeErr)
+	}
 }
 
 // TestProxyMidStreamWorkerDeath injects the worst fault: the worker dies

@@ -238,7 +238,15 @@ func (r *tenantRegistry) get(name string) (*tenant, error) {
 	f.e, f.err = r.compile(name)
 	r.mu.Lock()
 	delete(r.flights, name)
-	if f.err == nil {
+	if cur := r.entries[name]; cur != nil {
+		// A reload installed this tenant while the flight was compiling.
+		// The installed engine is the newer one (the reload's loader call
+		// happened after ours started); admitting the flight's result
+		// would silently revert the hot deploy and orphan cur in the LRU.
+		// Discard our compile and serve the installed entry instead.
+		r.lru.MoveToFront(cur.elem)
+		f.e, f.err = cur, nil
+	} else if f.err == nil {
 		r.admitLocked(f.e)
 	}
 	r.mu.Unlock()
@@ -278,6 +286,14 @@ func (r *tenantRegistry) compile(name string) (*tenant, error) {
 // cold end. The newly admitted entry is never evicted, so a tenant larger
 // than the whole memory budget still serves (alone).
 func (r *tenantRegistry) admitLocked(e *tenant) {
+	if old := r.entries[e.name]; old != nil && old != e {
+		// Defense in depth: never double-insert a tenant. Unlink the
+		// resident entry first so the LRU and the map stay 1:1 and the
+		// memory accounting stays exact (in-flight requests on the old
+		// entry keep their snapshot and drain normally).
+		r.lru.Remove(old.elem)
+		r.mem -= old.cost
+	}
 	r.versions[e.name]++
 	eng := e.eng.Load()
 	eng.version = r.versions[e.name]

@@ -204,6 +204,98 @@ func TestTenantBatteryParallelStream(t *testing.T) {
 	runTenantBattery(t, 4)
 }
 
+// TestTenantReloadDuringColdGet pins the reload-vs-singleflight race
+// deterministically: a reload that completes while a cold get() is still
+// compiling must win — the cold flight's (older) engine is discarded, the
+// hot deploy is not reverted, and the registry never double-inserts the
+// tenant (which would orphan an LRU element and let a later eviction
+// delete the live entry).
+func TestTenantReloadDuringColdGet(t *testing.T) {
+	var calls atomic.Int64
+	coldEntered := make(chan struct{})
+	coldRelease := make(chan struct{})
+	loader := func(tenant string) (*core.Ruleset, error) {
+		if calls.Add(1) == 1 {
+			// The cold get()'s singleflight load: block until released.
+			close(coldEntered)
+			<-coldRelease
+			return travelRuleset("Beijing"), nil
+		}
+		// The reload's load: returns immediately.
+		return travelRuleset("Peking"), nil
+	}
+	cfg := Config{Logger: discardLogger}
+	cfg.Tenants = &TenantOptions{Loader: loader}
+	s := NewWithConfig(mustTestRepairer(t), cfg)
+	ts := newLocalServer(t, s)
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/t/acme/repair",
+			"application/json", strings.NewReader(ianTuple))
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- string(b)
+	}()
+	<-coldEntered
+
+	// Hot deploy while the cold flight is mid-compile.
+	resp, err := http.Post(ts.URL+"/t/acme/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("reload during cold get = %d", resp.StatusCode)
+	}
+	reloadVersion := resp.Header.Get(VersionHeader)
+
+	// The released cold request serves the reloaded engine, not the stale
+	// one its own flight compiled.
+	close(coldRelease)
+	body := <-got
+	if !strings.Contains(body, "Peking") || strings.Contains(body, "Beijing") {
+		t.Errorf("cold get raced by reload served the stale engine:\n%s", body)
+	}
+
+	// Registry invariants: exactly one resident entry, LRU and entry map
+	// 1:1, memory accounting matches the single entry.
+	if n := s.tenants.residentCount(); n != 1 {
+		t.Errorf("resident engines after race = %d, want 1", n)
+	}
+	s.tenants.mu.Lock()
+	entries, lruLen := len(s.tenants.entries), s.tenants.lru.Len()
+	mem := s.tenants.mem
+	var sum int64
+	for _, e := range s.tenants.entries {
+		sum += e.cost
+	}
+	s.tenants.mu.Unlock()
+	if entries != lruLen {
+		t.Errorf("entries map has %d tenants but LRU has %d elements", entries, lruLen)
+	}
+	if mem != sum {
+		t.Errorf("accounted bytes %d != sum of entry costs %d", mem, sum)
+	}
+
+	// Follow-up requests keep serving the hot deploy at its version.
+	resp = postJSON(t, ts.URL+"/t/acme/repair", ianTuple)
+	if v := resp.Header.Get(VersionHeader); v != reloadVersion {
+		t.Errorf("post-race version header = %q, want reload's %q", v, reloadVersion)
+	}
+	if body := readBody(t, resp); !strings.Contains(body, "Peking") {
+		t.Errorf("post-race repair reverted the hot deploy:\n%s", body)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("loader calls = %d, want 2 (one flight, one reload)", n)
+	}
+}
+
 // TestTenantEvictionDuringStream pins the in-flight snapshot guarantee
 // against eviction specifically: a streaming request's tenant is evicted
 // and recompiled mid-stream, and the stream still completes wholly on the
