@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-baseline bench-compare bench-json fuzz experiments experiments-fast trace-demo clean
+.PHONY: all build test vet lint race cover bench bench-baseline bench-compare bench-json load fuzz experiments experiments-fast trace-demo clean
 
 # Repair-engine benchmarks (the compiled hot path); -count for benchstat.
 BENCH_REPAIR = -run '^$$' -bench 'Fig13Repair|RepairSingleTuple|CodedRepairTuple|StreamRepair' -benchmem -count 6 .
@@ -45,8 +45,27 @@ bench-baseline:
 # Re-run the repair benchmarks and compare against bench_baseline.txt.
 # benchstat is optional; without it the raw results are left in
 # bench_new.txt for manual comparison (this repo adds no dependencies).
+#
+# Go stamps every benchmark name with the GOMAXPROCS it ran at (the -N
+# suffix); comparing runs taken at different values is comparing different
+# machines and silently flatters or damns a change. The guard refuses the
+# comparison unless BENCH_ALLOW_CROSS_GOMAXPROCS=1 explicitly overrides.
 bench-compare:
+	@test -f bench_baseline.txt || { \
+		echo "bench-compare: no bench_baseline.txt; run 'make bench-baseline' first"; exit 1; }
 	$(GO) test $(BENCH_REPAIR) | tee bench_new.txt
+	@base=$$(grep -oE '^Benchmark[^[:space:]]+' bench_baseline.txt | grep -oE '[0-9]+$$' | sort -un | tr '\n' ' '); \
+	new=$$(grep -oE '^Benchmark[^[:space:]]+' bench_new.txt | grep -oE '[0-9]+$$' | sort -un | tr '\n' ' '); \
+	if [ "$$base" != "$$new" ]; then \
+		echo "bench-compare: GOMAXPROCS mismatch — baseline ran at [ $$base], this run at [ $$new]"; \
+		if [ -n "$$BENCH_ALLOW_CROSS_GOMAXPROCS" ]; then \
+			echo "bench-compare: BENCH_ALLOW_CROSS_GOMAXPROCS set; comparing anyway (numbers are NOT comparable)"; \
+		else \
+			echo "bench-compare: refusing the comparison; re-run 'make bench-baseline' at the current GOMAXPROCS,"; \
+			echo "bench-compare: or set BENCH_ALLOW_CROSS_GOMAXPROCS=1 to override"; \
+			exit 1; \
+		fi; \
+	fi
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_new.txt; \
 	else \
@@ -59,6 +78,18 @@ bench-compare:
 bench-json:
 	$(GO) run ./cmd/experiments -bench-json BENCH_repair.json \
 		-hosp-rows 20000 -hosp-rules 500 -uis-rows 8000 -uis-rules 100
+
+# Open-loop load test against a running fixserve (docs/LOADTEST.md).
+# Tunables: make load LOAD_URL=http://host:8080 LOAD_RPS=100:1000:5 \
+#               LOAD_DURATION=30s LOAD_SLO='p99=50ms,err<0.1%' LOAD_FLAGS='-json load.json'
+LOAD_URL ?= http://127.0.0.1:8080
+LOAD_RPS ?= 200
+LOAD_DURATION ?= 10s
+LOAD_SLO ?=
+LOAD_FLAGS ?=
+load:
+	$(GO) run ./cmd/fixload -url $(LOAD_URL) -rps $(LOAD_RPS) \
+		-duration $(LOAD_DURATION) $(if $(LOAD_SLO),-slo '$(LOAD_SLO)') $(LOAD_FLAGS)
 
 # Short fuzzing pass over the hardened decoders and the HTTP surface.
 fuzz:

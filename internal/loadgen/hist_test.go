@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileErrorBound pins the histogram's documented accuracy
+// contract: the quantile estimate never undershoots the exact quantile and
+// overshoots it by at most one bucket width — 1/64 (~1.6%) relative, plus
+// 1ns of integer rounding.
+func TestHistQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	// A latency-shaped mixture: a tight body around 2ms, a slower mode
+	// around 40ms, and a long tail to 3s.
+	vals := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		var v int64
+		switch {
+		case i%100 < 80:
+			v = int64(2*time.Millisecond) + rng.Int63n(int64(time.Millisecond))
+		case i%100 < 98:
+			v = int64(40*time.Millisecond) + rng.Int63n(int64(20*time.Millisecond))
+		default:
+			v = rng.Int63n(int64(3 * time.Second))
+		}
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999, 1.0} {
+		// The same rank definition Quantile uses.
+		rank := int64(q*float64(len(vals)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > int64(len(vals)) {
+			rank = int64(len(vals))
+		}
+		exact := vals[rank-1]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%v: estimate %d undershoots exact %d", q, got, exact)
+		}
+		if limit := exact + exact/64 + 1; got > limit {
+			t.Errorf("q=%v: estimate %d exceeds bound %d (exact %d)", q, got, limit, exact)
+		}
+	}
+
+	if h.Count() != int64(len(vals)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Max() != time.Duration(vals[len(vals)-1]) {
+		t.Errorf("Max = %v, want %v", h.Max(), time.Duration(vals[len(vals)-1]))
+	}
+	if h.Min() != time.Duration(vals[0]) {
+		t.Errorf("Min = %v, want %v", h.Min(), time.Duration(vals[0]))
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if h.Sum() != time.Duration(sum) {
+		t.Errorf("Sum = %v, want %v", h.Sum(), time.Duration(sum))
+	}
+}
+
+// TestHistExactRegion: values below 128ns are recorded exactly.
+func TestHistExactRegion(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 128; v++ {
+		h.Record(time.Duration(v))
+	}
+	for i, v := range []int64{0, 63, 127} {
+		_ = i
+		q := (float64(v) + 1) / 128
+		if got := int64(h.Quantile(q)); got != v {
+			t.Errorf("Quantile(%v) = %d, want exact %d", q, got, v)
+		}
+	}
+}
+
+// TestHistBucketLayout: bucketIdx and bucketUpper agree — every value
+// maps to a bucket whose upper edge is ≥ the value and within the 1/64
+// relative-width contract.
+func TestHistBucketLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(v int64) {
+		t.Helper()
+		i := bucketIdx(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", i, up, v)
+		}
+		if v >= 128 && up-v > v/64+1 {
+			t.Fatalf("value %d: upper %d exceeds width bound", v, up)
+		}
+		// Edges are consistent: the upper edge maps back to the same
+		// bucket, and upper+1 to the next.
+		if bucketIdx(up) != i {
+			t.Fatalf("bucketIdx(upper(%d))=%d, want %d", v, bucketIdx(up), i)
+		}
+		if bucketIdx(up+1) != i+1 {
+			t.Fatalf("bucketIdx(%d)=%d, want %d", up+1, bucketIdx(up+1), i+1)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for i := 0; i < 10000; i++ {
+		check(rng.Int63n(int64(100 * time.Second)))
+	}
+	check(int64(time.Hour))
+}
+
+// TestHistMergeAndConcurrency: concurrent recorders land every sample, and
+// Merge folds shards into the same totals as a single histogram.
+func TestHistMergeAndConcurrency(t *testing.T) {
+	var whole Hist
+	shards := make([]*Hist, 4)
+	for i := range shards {
+		shards[i] = &Hist{}
+	}
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s)))
+			for i := 0; i < 10000; i++ {
+				d := time.Duration(rng.Int63n(int64(time.Second)))
+				shards[s].Record(d)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, s := range shards {
+		whole.Merge(s)
+	}
+	if whole.Count() != 40000 {
+		t.Fatalf("merged Count = %d, want 40000", whole.Count())
+	}
+	var wantSum time.Duration
+	var wantMax time.Duration
+	wantMin := time.Duration(1 << 62)
+	for _, s := range shards {
+		wantSum += s.Sum()
+		if s.Max() > wantMax {
+			wantMax = s.Max()
+		}
+		if s.Min() < wantMin {
+			wantMin = s.Min()
+		}
+	}
+	if whole.Sum() != wantSum || whole.Max() != wantMax || whole.Min() != wantMin {
+		t.Errorf("merged sum/max/min = %v/%v/%v, want %v/%v/%v",
+			whole.Sum(), whole.Max(), whole.Min(), wantSum, wantMax, wantMin)
+	}
+}

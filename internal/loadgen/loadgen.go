@@ -1,0 +1,441 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase is one segment of the load schedule: a constant target rate held
+// for a duration. Warmup phases run the full request path but are excluded
+// from the report and the SLO verdict.
+type Phase struct {
+	RPS      float64
+	Duration time.Duration
+	Warmup   bool
+}
+
+// Config tunes one load run. BaseURL, Phases, Header and Rows are
+// required; everything else has usable defaults.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Phases is the rate schedule, executed in order.
+	Phases []Phase
+	// Mix is the workload mix; empty selects 100% OpRepair.
+	Mix []MixEntry
+	// Header and Rows are the workload relation (attribute names plus data
+	// rows) request bodies are built from; rows must match the served
+	// ruleset's schema arity.
+	Header []string
+	Rows   [][]string
+	// Tenants routes requests under /t/{tenant}/; empty uses the
+	// single-tenant routes. With HotFrac > 0, that fraction of tenant
+	// picks is pinned to Tenants[0] (hot-tenant skew) and the rest spread
+	// uniformly.
+	Tenants []string
+	HotFrac float64
+	// Algorithm is the repair algorithm query/body parameter ("" = server
+	// default).
+	Algorithm string
+	// Batch is tuples per /repair request; <= 0 selects 16.
+	Batch int
+	// StreamRows is rows per /repair/csv request; <= 0 selects 256.
+	StreamRows int
+	// Conns is the worker-pool size — the maximum in-flight requests; <= 0
+	// selects 128. The pool bounds concurrency, never the schedule: when
+	// every worker is busy, tickets queue and their waiting time is part
+	// of the recorded latency.
+	Conns int
+	// QueueCap bounds tickets waiting for a free worker; <= 0 selects
+	// 16384. A full queue drops the ticket and counts it in Dropped (and
+	// in the error rate) rather than stalling the schedule.
+	QueueCap int
+	// Timeout bounds one request; <= 0 selects 30s.
+	Timeout time.Duration
+	// Seed feeds the mix/tenant/row pickers; 0 selects 1.
+	Seed int64
+	// Client overrides the HTTP client (its Timeout is ignored; Timeout
+	// above is applied per request via context). Nil builds one with a
+	// connection pool sized to Conns.
+	Client *http.Client
+	// Logf receives progress lines (one per phase); nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.StreamRows <= 0 {
+		c.StreamRows = 256
+	}
+	if c.Conns <= 0 {
+		c.Conns = 128
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16384
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = []MixEntry{{Op: OpRepair, Weight: 1}}
+	}
+	if c.Client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        c.Conns,
+			MaxIdleConnsPerHost: c.Conns,
+		}
+		c.Client = &http.Client{Transport: tr}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// PhaseStats accumulates one phase's outcomes. Latency is measured from
+// the request's *scheduled* start — the open-loop, coordinated-omission-
+// corrected number — while Service is send-to-completion only; the gap
+// between the two is queueing delay (in the generator or the server).
+type PhaseStats struct {
+	Phase   Phase
+	Latency Hist
+	Service Hist
+
+	Sent      atomic.Int64 // tickets dispatched to a worker
+	Done      atomic.Int64 // responses fully read
+	OK        atomic.Int64 // 2xx
+	Shed      atomic.Int64 // 503 with overloaded/tenant_overloaded shape
+	Errors    atomic.Int64 // transport errors + non-2xx non-shed
+	Truncated atomic.Int64 // 2xx streams ending in an error envelope
+	Dropped   atomic.Int64 // tickets lost to a full queue
+	Tuples    atomic.Int64 // tuples carried by OK responses
+	Bytes     atomic.Int64 // response body bytes read
+
+	// RetryAfterMax is the largest Retry-After seconds seen on a shed
+	// response — the server-side backpressure hint under saturation.
+	RetryAfterMax atomic.Int64
+
+	start, end time.Time
+}
+
+// Attempted counts every request the schedule asked for, including drops.
+func (p *PhaseStats) Attempted() int64 { return p.Done.Load() + p.Dropped.Load() }
+
+// Report is the outcome of one Run: per-phase stats plus measured totals
+// (warmup phases excluded from the totals).
+type Report struct {
+	Phases []*PhaseStats
+
+	// Totals over non-warmup phases.
+	Latency   Hist
+	Service   Hist
+	Duration  time.Duration
+	Attempted int64
+	OK        int64
+	Shed      int64
+	Errors    int64
+	Truncated int64
+	Dropped   int64
+	Tuples    int64
+	Bytes     int64
+	TargetRPS float64 // request-weighted mean target over measured phases
+}
+
+// AchievedRPS is completed requests per second over the measured window.
+func (r *Report) AchievedRPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.OK+r.Shed+r.Errors) / r.Duration.Seconds()
+}
+
+// TuplesPerSec is repaired-tuple throughput over the measured window.
+func (r *Report) TuplesPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Tuples) / r.Duration.Seconds()
+}
+
+// ErrRate is the failed fraction of attempted requests: transport errors,
+// non-2xx responses other than shed, truncated streams and dropped sends.
+func (r *Report) ErrRate() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Errors+r.Truncated+r.Dropped) / float64(r.Attempted)
+}
+
+// ShedRate is the shed (503 overloaded) fraction of attempted requests.
+func (r *Report) ShedRate() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Attempted)
+}
+
+// ticket is one scheduled request: the op to run, the tenant to hit, and
+// the absolute time the schedule asked for it — the latency origin.
+type ticket struct {
+	sched  time.Time
+	op     Op
+	tenant string
+	stats  *PhaseStats
+}
+
+// Run executes the configured schedule against cfg.BaseURL and returns the
+// report. The context cancels the run early (stats up to that point are
+// returned); schedule pacing is absolute, so a slow server never slows the
+// generator down.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL is required")
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, errors.New("loadgen: at least one phase is required")
+	}
+	if len(cfg.Header) == 0 || len(cfg.Rows) == 0 {
+		return nil, errors.New("loadgen: workload header and rows are required")
+	}
+	for _, ph := range cfg.Phases {
+		if ph.RPS <= 0 || ph.Duration <= 0 {
+			return nil, fmt.Errorf("loadgen: bad phase %+v (rps and duration must be positive)", ph)
+		}
+	}
+	wl, err := newWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	queue := make(chan ticket, cfg.QueueCap)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range queue {
+				runTicket(ctx, cfg, wl, tk)
+			}
+		}()
+	}
+
+	rep := &Report{}
+	picker := rand.New(rand.NewSource(cfg.Seed))
+	for _, ph := range cfg.Phases {
+		ps := &PhaseStats{Phase: ph}
+		rep.Phases = append(rep.Phases, ps)
+		runPhase(ctx, cfg, ph, ps, picker, queue)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	for _, ps := range rep.Phases {
+		ps.end = time.Now()
+		if ps.Phase.Warmup {
+			continue
+		}
+		rep.Latency.Merge(&ps.Latency)
+		rep.Service.Merge(&ps.Service)
+		rep.Duration += ps.Phase.Duration
+		rep.Attempted += ps.Attempted()
+		rep.OK += ps.OK.Load()
+		rep.Shed += ps.Shed.Load()
+		rep.Errors += ps.Errors.Load()
+		rep.Truncated += ps.Truncated.Load()
+		rep.Dropped += ps.Dropped.Load()
+		rep.Tuples += ps.Tuples.Load()
+		rep.Bytes += ps.Bytes.Load()
+		rep.TargetRPS += ps.Phase.RPS * ps.Phase.Duration.Seconds()
+	}
+	if rep.Duration > 0 {
+		rep.TargetRPS /= rep.Duration.Seconds()
+	}
+	return rep, nil
+}
+
+// runPhase paces one phase on an absolute schedule: request i of the phase
+// is due at start + i/RPS regardless of how long any response takes, so a
+// stalled server shows up as recorded latency (tickets waiting in the
+// queue), never as a quietly stretched schedule.
+func runPhase(ctx context.Context, cfg Config, ph Phase, ps *PhaseStats, picker *rand.Rand, queue chan<- ticket) {
+	interval := time.Duration(float64(time.Second) / ph.RPS)
+	start := time.Now()
+	ps.start = start
+	n := int64(ph.RPS * ph.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	for i := int64(0); i < n; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		tk := ticket{
+			sched:  due,
+			op:     cfg.Mix[pickWeighted(picker, cfg.Mix)].Op,
+			tenant: pickTenant(picker, cfg),
+			stats:  ps,
+		}
+		select {
+		case queue <- tk:
+		default:
+			// Open loop: never block the schedule. A full queue means the
+			// system (or the pool size) is hopelessly behind; record the
+			// miss and move on.
+			ps.Dropped.Add(1)
+		}
+	}
+	kind := "measure"
+	if ph.Warmup {
+		kind = "warmup"
+	}
+	cfg.Logf("phase %s: %.0f rps for %s scheduled (%d requests)", kind, ph.RPS, ph.Duration, n)
+}
+
+// pickTenant draws the tenant for one request, honouring hot-tenant skew.
+func pickTenant(r *rand.Rand, cfg Config) string {
+	if len(cfg.Tenants) == 0 {
+		return ""
+	}
+	if cfg.HotFrac > 0 && r.Float64() < cfg.HotFrac {
+		return cfg.Tenants[0]
+	}
+	return cfg.Tenants[r.Intn(len(cfg.Tenants))]
+}
+
+// pickWeighted draws an index from the mix by weight.
+func pickWeighted(r *rand.Rand, mix []MixEntry) int {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	n := r.Intn(total)
+	for i, m := range mix {
+		n -= m.Weight
+		if n < 0 {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
+// runTicket executes one scheduled request and records its outcome.
+func runTicket(ctx context.Context, cfg Config, wl *workload, tk ticket) {
+	ps := tk.stats
+	ps.Sent.Add(1)
+	sendStart := time.Now()
+
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	out, retryAfter, tuples, respBytes := wl.do(rctx, cfg.Client, tk)
+	cancel()
+
+	now := time.Now()
+	ps.Latency.Record(now.Sub(tk.sched))
+	ps.Service.Record(now.Sub(sendStart))
+	ps.Done.Add(1)
+	ps.Bytes.Add(respBytes)
+	switch out {
+	case outcomeOK:
+		ps.OK.Add(1)
+		ps.Tuples.Add(tuples)
+	case outcomeShed:
+		ps.Shed.Add(1)
+		//fix:allow ctxpoll: CAS max-update loop; iterates only while another recorder races the same slot, never waits
+		for {
+			old := ps.RetryAfterMax.Load()
+			if retryAfter <= old || ps.RetryAfterMax.CompareAndSwap(old, retryAfter) {
+				break
+			}
+		}
+	case outcomeTruncated:
+		ps.Truncated.Add(1)
+	default:
+		ps.Errors.Add(1)
+	}
+}
+
+// WriteText renders the human report: one line per phase, the measured
+// totals with schedule-corrected quantiles, and the service-time view for
+// comparison (the gap between the two is queueing delay).
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-9s %9s %9s %8s %8s %8s %8s %9s %9s %9s\n",
+		"phase", "target", "achieved", "ok", "shed", "err", "drop", "p50", "p99", "max")
+	for i, ps := range r.Phases {
+		name := fmt.Sprintf("#%d", i+1)
+		if ps.Phase.Warmup {
+			name += " warm"
+		}
+		dur := ps.Phase.Duration.Seconds()
+		var achieved float64
+		if dur > 0 {
+			achieved = float64(ps.OK.Load()+ps.Shed.Load()+ps.Errors.Load()+ps.Truncated.Load()) / dur
+		}
+		fmt.Fprintf(w, "%-9s %9.1f %9.1f %8d %8d %8d %8d %9s %9s %9s\n",
+			name, ps.Phase.RPS, achieved,
+			ps.OK.Load(), ps.Shed.Load(),
+			ps.Errors.Load()+ps.Truncated.Load(), ps.Dropped.Load(),
+			fmtDur(ps.Latency.Quantile(0.50)), fmtDur(ps.Latency.Quantile(0.99)),
+			fmtDur(ps.Latency.Max()))
+	}
+	fmt.Fprintf(w, "\nmeasured window: %s, %d attempted, %.1f rps achieved (target %.1f), %.2f Mtuples/s\n",
+		r.Duration, r.Attempted, r.AchievedRPS(), r.TargetRPS, r.TuplesPerSec()/1e6)
+	fmt.Fprintf(w, "outcomes: %d ok, %d shed (%.3f%%), %d errors, %d truncated, %d dropped (err rate %.3f%%)\n",
+		r.OK, r.Shed, r.ShedRate()*100, r.Errors, r.Truncated, r.Dropped, r.ErrRate()*100)
+	fmt.Fprintf(w, "latency  (sched-corrected): p50 %s  p90 %s  p99 %s  p99.9 %s  max %s  mean %s\n",
+		fmtDur(r.Latency.Quantile(0.50)), fmtDur(r.Latency.Quantile(0.90)),
+		fmtDur(r.Latency.Quantile(0.99)), fmtDur(r.Latency.Quantile(0.999)),
+		fmtDur(r.Latency.Max()), fmtDur(r.Latency.Mean()))
+	fmt.Fprintf(w, "service  (send-to-done):    p50 %s  p90 %s  p99 %s  p99.9 %s  max %s  mean %s\n",
+		fmtDur(r.Service.Quantile(0.50)), fmtDur(r.Service.Quantile(0.90)),
+		fmtDur(r.Service.Quantile(0.99)), fmtDur(r.Service.Quantile(0.999)),
+		fmtDur(r.Service.Max()), fmtDur(r.Service.Mean()))
+	if lag := r.Latency.Quantile(0.99) - r.Service.Quantile(0.99); lag > time.Millisecond {
+		fmt.Fprintf(w, "note: p99 schedule lag %s — demand exceeded capacity; the corrected column is the truthful one\n", fmtDur(lag))
+	}
+}
+
+// WriteSLOText renders the verdict lines for evaluated SLO terms.
+func WriteSLOText(w io.Writer, results []SLOResult, pass bool) {
+	if len(results) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nSLO verdict:\n")
+	for _, res := range results {
+		state := "PASS"
+		if !res.Pass {
+			state = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %-16s observed %s\n", state, res.Term.Raw, res.Observed)
+	}
+	verdict := "PASS"
+	if !pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  overall: %s\n", verdict)
+}
+
+// trimBase normalises a base URL (no trailing slash).
+func trimBase(u string) string { return strings.TrimRight(u, "/") }

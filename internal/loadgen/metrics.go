@@ -1,0 +1,226 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fixrule/internal/obs"
+)
+
+// Scrape is one parsed Prometheus text exposition: every sample keyed by
+// its full series identity (name plus rendered label set). Scraping the
+// server before and after a load run and diffing the two attributes the
+// client-observed latency to the server's own shed/queue/error counters —
+// the "whose fault was it" half of a load report.
+type Scrape map[string]float64
+
+// ScrapeMetrics fetches and parses url (a /metrics endpoint).
+func ScrapeMetrics(ctx context.Context, client *http.Client, url string) (Scrape, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics parses a Prometheus 0.0.4 text exposition. Unparsable
+// lines are skipped — a load client has no business failing a run over an
+// exposition quirk.
+func ParseMetrics(r io.Reader) (Scrape, error) {
+	s := make(Scrape)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "name{labels} value" or "name value"; the value is the last
+		// space-separated field (expositions here carry no timestamps).
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		s[strings.TrimSpace(line[:i])] = v
+	}
+	return s, sc.Err()
+}
+
+// FamilyDelta sums the increase of every series of a counter family
+// between two scrapes (missing-before series count from zero).
+func FamilyDelta(before, after Scrape, family string) float64 {
+	var sum float64
+	for key, v := range after {
+		if !seriesOf(key, family) {
+			continue
+		}
+		sum += v - before[key]
+	}
+	return sum
+}
+
+// GaugeValue returns the current summed value of a gauge family in one
+// scrape.
+func GaugeValue(s Scrape, family string) float64 {
+	var sum float64
+	for key, v := range s {
+		if seriesOf(key, family) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// seriesOf reports whether a sample key belongs to the named family:
+// exactly the name, or the name followed by a label block.
+func seriesOf(key, family string) bool {
+	if !strings.HasPrefix(key, family) {
+		return false
+	}
+	rest := key[len(family):]
+	return rest == "" || rest[0] == '{'
+}
+
+// HistQuantileDelta estimates the q-quantile of a scraped histogram family
+// over the window between two scrapes: bucket-by-bucket cumulative deltas
+// are aggregated across label sets, then fed to obs.QuantileFromBuckets —
+// the same estimator the server's own /stats uses. Returns ok=false when
+// the window holds no observations.
+func HistQuantileDelta(before, after Scrape, family string, q float64) (float64, bool) {
+	prefix := family + "_bucket{"
+	byLE := make(map[float64]float64)
+	for key, v := range after {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		le, ok := parseLE(key)
+		if !ok {
+			continue
+		}
+		byLE[le] += v - before[key]
+	}
+	if len(byLE) == 0 {
+		return 0, false
+	}
+	les := make([]float64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	// Cumulative-le deltas → per-bucket counts; the last le is +Inf.
+	bounds := make([]float64, 0, len(les)-1)
+	counts := make([]int64, 0, len(les))
+	var prev float64
+	for _, le := range les {
+		c := byLE[le] - prev
+		prev = byLE[le]
+		if c < 0 {
+			c = 0 // counter reset between scrapes
+		}
+		counts = append(counts, int64(c+0.5))
+		if !isInf(le) {
+			bounds = append(bounds, le)
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return obs.QuantileFromBuckets(bounds, counts, q), true
+}
+
+// parseLE extracts the le="..." bound from a _bucket sample key.
+func parseLE(key string) (float64, bool) {
+	i := strings.Index(key, `le="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := key[i+4:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	if rest[:j] == "+Inf" {
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+// serverFamilies are the counter families a load report surfaces when the
+// scraped server exposes them — worker and proxy names both listed, so one
+// differ serves every fixserve mode.
+var serverFamilies = []string{
+	"fixserve_requests_total",
+	"fixserve_shed_total",
+	"fixserve_errors_total",
+	"fixserve_tuples_total",
+	"fixserve_tenant_shed_total",
+	"fixserve_proxy_requests_total",
+	"fixserve_proxy_errors_total",
+	"fixserve_proxy_upstream_errors_total",
+}
+
+// latencyFamilies are the histogram families tried for the server-side
+// quantile line (worker first, proxy second).
+var latencyFamilies = []string{
+	"fixserve_request_duration_seconds",
+	"fixserve_proxy_request_duration_seconds",
+}
+
+// WriteServerDelta renders the server-side view of the measurement window
+// from before/after scrapes: counter deltas for the families present, and
+// the server's own latency quantiles over the window. The deltas cover the
+// whole window including warmup (the scrape is taken around the full run).
+func WriteServerDelta(w io.Writer, before, after Scrape) {
+	fmt.Fprintf(w, "\nserver-side /metrics delta (whole run incl. warmup):\n")
+	any := false
+	for _, fam := range serverFamilies {
+		d := FamilyDelta(before, after, fam)
+		if d == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "  %-42s +%.0f\n", fam, d)
+	}
+	if !any {
+		fmt.Fprintf(w, "  (no tracked counter families moved)\n")
+	}
+	for _, fam := range latencyFamilies {
+		p50, ok := HistQuantileDelta(before, after, fam, 0.50)
+		if !ok {
+			continue
+		}
+		p99, _ := HistQuantileDelta(before, after, fam, 0.99)
+		fmt.Fprintf(w, "  %s window quantiles: p50 ~%.1fms, p99 ~%.1fms\n",
+			fam, p50*1000, p99*1000)
+	}
+}

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const expositionBefore = `# HELP fixserve_requests_total Requests served.
+# TYPE fixserve_requests_total counter
+fixserve_requests_total{endpoint="repair"} 100
+fixserve_requests_total{endpoint="explain"} 20
+fixserve_shed_total 5
+fixserve_inflight 3
+fixserve_request_duration_seconds_bucket{endpoint="repair",le="0.005"} 80
+fixserve_request_duration_seconds_bucket{endpoint="repair",le="0.05"} 110
+fixserve_request_duration_seconds_bucket{endpoint="repair",le="+Inf"} 120
+fixserve_request_duration_seconds_sum{endpoint="repair"} 1.5
+fixserve_request_duration_seconds_count{endpoint="repair"} 120
+`
+
+const expositionAfter = `fixserve_requests_total{endpoint="repair"} 190
+fixserve_requests_total{endpoint="explain"} 30
+fixserve_requests_total{endpoint="csv"} 7
+fixserve_shed_total 5
+fixserve_inflight 9
+fixserve_request_duration_seconds_bucket{endpoint="repair",le="0.005"} 130
+fixserve_request_duration_seconds_bucket{endpoint="repair",le="0.05"} 210
+fixserve_request_duration_seconds_bucket{endpoint="repair",le="+Inf"} 220
+fixserve_request_duration_seconds_sum{endpoint="repair"} 3.5
+fixserve_request_duration_seconds_count{endpoint="repair"} 220
+garbage line without a number value_x
+`
+
+func TestParseMetricsAndDeltas(t *testing.T) {
+	before, err := ParseMetrics(strings.NewReader(expositionBefore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseMetrics(strings.NewReader(expositionAfter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := before[`fixserve_requests_total{endpoint="repair"}`]; got != 100 {
+		t.Errorf("parsed repair counter = %v, want 100", got)
+	}
+
+	// Delta sums every series of the family, counting new series from zero.
+	if got := FamilyDelta(before, after, "fixserve_requests_total"); got != 90+10+7 {
+		t.Errorf("FamilyDelta(requests) = %v, want 107", got)
+	}
+	if got := FamilyDelta(before, after, "fixserve_shed_total"); got != 0 {
+		t.Errorf("FamilyDelta(shed) = %v, want 0", got)
+	}
+	// A family name that is a prefix of another must not match it.
+	if got := FamilyDelta(before, after, "fixserve_requests"); got != 0 {
+		t.Errorf("FamilyDelta(prefix) = %v, want 0", got)
+	}
+	if got := GaugeValue(after, "fixserve_inflight"); got != 9 {
+		t.Errorf("GaugeValue(inflight) = %v, want 9", got)
+	}
+}
+
+func TestHistQuantileDelta(t *testing.T) {
+	before, _ := ParseMetrics(strings.NewReader(expositionBefore))
+	after, _ := ParseMetrics(strings.NewReader(expositionAfter))
+
+	// Window buckets: le 0.005 → 50, le 0.05 → 50 more, +Inf → 0.
+	// p50 (rank 50 of 100) falls in the first bucket → ≤ 0.005; p99 in the
+	// second → ≤ 0.05.
+	p50, ok := HistQuantileDelta(before, after, "fixserve_request_duration_seconds", 0.50)
+	if !ok {
+		t.Fatal("p50 delta not available")
+	}
+	if p50 <= 0 || p50 > 0.005+1e-9 {
+		t.Errorf("window p50 = %v, want in (0, 0.005]", p50)
+	}
+	p99, ok := HistQuantileDelta(before, after, "fixserve_request_duration_seconds", 0.99)
+	if !ok {
+		t.Fatal("p99 delta not available")
+	}
+	if p99 <= 0.005 || p99 > 0.05+1e-9 {
+		t.Errorf("window p99 = %v, want in (0.005, 0.05]", p99)
+	}
+
+	// Identical scrapes hold no observations.
+	if _, ok := HistQuantileDelta(before, before, "fixserve_request_duration_seconds", 0.5); ok {
+		t.Error("empty window reported a quantile")
+	}
+	if _, ok := HistQuantileDelta(before, after, "no_such_family", 0.5); ok {
+		t.Error("unknown family reported a quantile")
+	}
+}
+
+func TestParseLE(t *testing.T) {
+	if v, ok := parseLE(`x_bucket{le="0.25"}`); !ok || v != 0.25 {
+		t.Errorf("parseLE finite = %v %v", v, ok)
+	}
+	if v, ok := parseLE(`x_bucket{a="b",le="+Inf"}`); !ok || !math.IsInf(v, 1) {
+		t.Errorf("parseLE inf = %v %v", v, ok)
+	}
+	if _, ok := parseLE(`x_bucket{a="b"}`); ok {
+		t.Error("parseLE accepted a key without le")
+	}
+}

@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is a parsed service-level objective: a conjunction of terms a load
+// run either meets (every term holds) or fails. The flag grammar
+// (docs/LOADTEST.md) is a comma-separated term list:
+//
+//	p99=50ms,err<0.1%
+//
+// Term forms, with `=`, `<` and `<=` all read as "at most":
+//
+//	pN[.M]{=,<,<=}DUR   latency quantile bound, e.g. p50=5ms, p99.9<250ms
+//	mean{=,<,<=}DUR     mean latency bound
+//	max{=,<,<=}DUR      worst-case latency bound
+//	err{=,<,<=}N%       error rate bound (transport errors, non-2xx other
+//	                    than shed, truncated streams, dropped sends)
+//	shed{=,<,<=}N%      shed rate bound (503 overloaded / tenant_overloaded)
+//
+// Rates are fractions of attempted requests. Latency terms read the
+// schedule-based (coordinated-omission-corrected) histogram.
+type SLO struct {
+	Terms []SLOTerm
+}
+
+// SLOTerm is one bound. Exactly one of Dur (latency terms) or Rate (err /
+// shed terms) is meaningful, selected by Kind.
+type SLOTerm struct {
+	// Raw is the term as the user wrote it, for verdict lines.
+	Raw string
+	// Kind is "quantile", "mean", "max", "err" or "shed".
+	Kind string
+	// Q is the quantile in (0,1] when Kind == "quantile".
+	Q float64
+	// Dur is the latency bound for quantile/mean/max terms.
+	Dur time.Duration
+	// Rate is the bound as a fraction for err/shed terms (0.1% → 0.001).
+	Rate float64
+}
+
+// SLOResult is one term's verdict against a report.
+type SLOResult struct {
+	Term     SLOTerm
+	Observed string // rendered observed value
+	Pass     bool
+}
+
+// ParseSLO parses the -slo flag grammar. An empty string yields an SLO
+// with no terms (which trivially passes).
+func ParseSLO(s string) (SLO, error) {
+	var slo SLO
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		term, err := parseSLOTerm(raw)
+		if err != nil {
+			return SLO{}, err
+		}
+		slo.Terms = append(slo.Terms, term)
+	}
+	return slo, nil
+}
+
+func parseSLOTerm(raw string) (SLOTerm, error) {
+	name, val, err := splitSLOTerm(raw)
+	if err != nil {
+		return SLOTerm{}, err
+	}
+	t := SLOTerm{Raw: raw}
+	switch {
+	case name == "err" || name == "shed":
+		t.Kind = name
+		pct, ok := strings.CutSuffix(val, "%")
+		if !ok {
+			return SLOTerm{}, fmt.Errorf("slo term %q: rate bound needs a %% suffix", raw)
+		}
+		f, err := strconv.ParseFloat(pct, 64)
+		if err != nil || f < 0 || f > 100 {
+			return SLOTerm{}, fmt.Errorf("slo term %q: bad percentage %q", raw, val)
+		}
+		t.Rate = f / 100
+	case name == "mean" || name == "max":
+		t.Kind = name
+		if t.Dur, err = time.ParseDuration(val); err != nil || t.Dur <= 0 {
+			return SLOTerm{}, fmt.Errorf("slo term %q: bad duration %q", raw, val)
+		}
+	case strings.HasPrefix(name, "p"):
+		t.Kind = "quantile"
+		f, err := strconv.ParseFloat(name[1:], 64)
+		if err != nil || f <= 0 || f >= 100 {
+			return SLOTerm{}, fmt.Errorf("slo term %q: bad quantile %q (want p50..p99.99)", raw, name)
+		}
+		t.Q = f / 100
+		if t.Dur, err = time.ParseDuration(val); err != nil || t.Dur <= 0 {
+			return SLOTerm{}, fmt.Errorf("slo term %q: bad duration %q", raw, val)
+		}
+	default:
+		return SLOTerm{}, fmt.Errorf("slo term %q: unknown metric %q (want pN, mean, max, err or shed)", raw, name)
+	}
+	return t, nil
+}
+
+// splitSLOTerm cuts "p99<=50ms" into ("p99", "50ms"), accepting `=`, `<`
+// and `<=` as the separator.
+func splitSLOTerm(raw string) (name, val string, err error) {
+	i := strings.IndexAny(raw, "<=")
+	if i <= 0 {
+		return "", "", fmt.Errorf("slo term %q: want metric{=,<,<=}bound", raw)
+	}
+	name = strings.TrimSpace(raw[:i])
+	val = raw[i:]
+	val = strings.TrimPrefix(val, "<")
+	val = strings.TrimPrefix(val, "=")
+	val = strings.TrimSpace(val)
+	if val == "" {
+		return "", "", fmt.Errorf("slo term %q: missing bound", raw)
+	}
+	return name, val, nil
+}
+
+// Evaluate checks every term against the measured totals of a report and
+// returns one verdict per term plus the overall pass.
+func (s SLO) Evaluate(rep *Report) (results []SLOResult, pass bool) {
+	pass = true
+	for _, t := range s.Terms {
+		r := SLOResult{Term: t}
+		switch t.Kind {
+		case "quantile":
+			got := rep.Latency.Quantile(t.Q)
+			r.Observed = fmtDur(got)
+			r.Pass = got <= t.Dur
+		case "mean":
+			got := rep.Latency.Mean()
+			r.Observed = fmtDur(got)
+			r.Pass = got <= t.Dur
+		case "max":
+			got := rep.Latency.Max()
+			r.Observed = fmtDur(got)
+			r.Pass = got <= t.Dur
+		case "err":
+			got := rep.ErrRate()
+			r.Observed = fmt.Sprintf("%.3f%%", got*100)
+			r.Pass = got <= t.Rate
+		case "shed":
+			got := rep.ShedRate()
+			r.Observed = fmt.Sprintf("%.3f%%", got*100)
+			r.Pass = got <= t.Rate
+		}
+		if !r.Pass {
+			pass = false
+		}
+		results = append(results, r)
+	}
+	return results, pass
+}

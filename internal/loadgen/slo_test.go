@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr string
+		check   func(t *testing.T, s SLO)
+	}{
+		{in: "", check: func(t *testing.T, s SLO) {
+			if len(s.Terms) != 0 {
+				t.Errorf("empty SLO has %d terms", len(s.Terms))
+			}
+		}},
+		{in: "p99=50ms,err<0.1%", check: func(t *testing.T, s SLO) {
+			if len(s.Terms) != 2 {
+				t.Fatalf("terms = %d, want 2", len(s.Terms))
+			}
+			if s.Terms[0].Kind != "quantile" || s.Terms[0].Q != 0.99 || s.Terms[0].Dur != 50*time.Millisecond {
+				t.Errorf("term 0 = %+v", s.Terms[0])
+			}
+			if s.Terms[1].Kind != "err" || s.Terms[1].Rate != 0.001 {
+				t.Errorf("term 1 = %+v", s.Terms[1])
+			}
+		}},
+		{in: "p99.9<=250ms", check: func(t *testing.T, s SLO) {
+			if math.Abs(s.Terms[0].Q-0.999) > 1e-9 {
+				t.Errorf("Q = %v, want 0.999", s.Terms[0].Q)
+			}
+		}},
+		{in: "mean<5ms, max=2s, shed<1%", check: func(t *testing.T, s SLO) {
+			if len(s.Terms) != 3 {
+				t.Fatalf("terms = %d, want 3", len(s.Terms))
+			}
+			if s.Terms[0].Kind != "mean" || s.Terms[1].Kind != "max" || s.Terms[2].Kind != "shed" {
+				t.Errorf("kinds = %v %v %v", s.Terms[0].Kind, s.Terms[1].Kind, s.Terms[2].Kind)
+			}
+			if s.Terms[2].Rate != 0.01 {
+				t.Errorf("shed rate = %v", s.Terms[2].Rate)
+			}
+		}},
+		{in: "p99=50", wantErr: "bad duration"},
+		{in: "p0=50ms", wantErr: "bad quantile"},
+		{in: "p100=50ms", wantErr: "bad quantile"},
+		{in: "err<0.1", wantErr: "needs a % suffix"},
+		{in: "err<101%", wantErr: "bad percentage"},
+		{in: "latency=50ms", wantErr: "unknown metric"},
+		{in: "p99", wantErr: "want metric"},
+		{in: "=50ms", wantErr: "want metric"},
+		{in: "mean<", wantErr: "missing bound"},
+	}
+	for _, tc := range cases {
+		s, err := ParseSLO(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseSLO(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSLO(%q) unexpected error: %v", tc.in, err)
+			continue
+		}
+		tc.check(t, s)
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	rep := &Report{Attempted: 1000, OK: 985, Shed: 10, Errors: 4, Dropped: 1}
+	// 1000 samples: 980 at 10ms, 20 at 200ms → the p99 rank (990) lands in
+	// the 200ms tail, p50 at 10ms-ish, max 200ms.
+	for i := 0; i < 980; i++ {
+		rep.Latency.Record(10 * time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		rep.Latency.Record(200 * time.Millisecond)
+	}
+
+	slo, err := ParseSLO("p50=11ms,p99<150ms,max<=1s,err<1%,shed<0.5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, pass := slo.Evaluate(rep)
+	if pass {
+		t.Error("overall pass = true, want false (p99 and shed should fail)")
+	}
+	wantPass := map[string]bool{
+		"p50=11ms":  true,  // 10ms + ≤1.6% bucket width < 11ms
+		"p99<150ms": false, // p99 ≈ 200ms
+		"max<=1s":   true,
+		"err<1%":    true,  // (4+0+1)/1000 = 0.5%
+		"shed<0.5%": false, // 10/1000 = 1%
+	}
+	for _, r := range results {
+		want, ok := wantPass[r.Term.Raw]
+		if !ok {
+			t.Errorf("unexpected term %q", r.Term.Raw)
+			continue
+		}
+		if r.Pass != want {
+			t.Errorf("term %q pass = %v, want %v (observed %s)", r.Term.Raw, r.Pass, want, r.Observed)
+		}
+		if r.Observed == "" {
+			t.Errorf("term %q has empty observed value", r.Term.Raw)
+		}
+	}
+
+	// Empty SLO trivially passes.
+	if _, pass := (SLO{}).Evaluate(rep); !pass {
+		t.Error("empty SLO failed")
+	}
+}

@@ -156,41 +156,66 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // observations; ranks landing in the +Inf bucket clamp to the largest
 // finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	bounds, counts := h.Snapshot()
+	return QuantileFromBuckets(bounds, counts, q)
+}
+
+// Snapshot returns the histogram's finite upper bounds and a point-in-time
+// copy of its per-bucket (non-cumulative) counts; counts has one extra
+// trailing entry for the implicit +Inf bucket. The two slices feed
+// QuantileFromBuckets, and external tooling can reconstruct the same view
+// from a scraped exposition.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// QuantileFromBuckets is the quantile estimate Histogram.Quantile uses,
+// exposed over raw bucket data: bounds are the finite upper bounds sorted
+// ascending, counts the per-bucket (non-cumulative) observation counts
+// with one trailing +Inf entry. Load tooling (cmd/fixload) uses it to turn
+// before/after scrape deltas of a *_bucket family into the server-side
+// latency quantiles of the measurement window.
+func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	var cum int64
-	for i := range h.counts {
-		n := h.counts[i].Load()
+	for i, n := range counts {
 		if n == 0 {
-			cum += n
 			continue
 		}
 		if float64(cum)+float64(n) >= rank {
-			if i == len(h.bounds) { // +Inf bucket
-				if len(h.bounds) == 0 {
+			if i >= len(bounds) { // +Inf bucket
+				if len(bounds) == 0 {
 					return 0
 				}
-				return h.bounds[len(h.bounds)-1]
+				return bounds[len(bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
 			frac := (rank - float64(cum)) / float64(n)
 			if frac < 0 {
 				frac = 0
 			}
-			return lo + (h.bounds[i]-lo)*frac
+			return lo + (bounds[i]-lo)*frac
 		}
 		cum += n
 	}
-	if len(h.bounds) == 0 {
+	if len(bounds) == 0 {
 		return 0
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // kind discriminates the instrument held by a series.

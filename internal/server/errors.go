@@ -36,6 +36,7 @@ const (
 	codeNoDefaultRuleset = "no_default_ruleset"
 	codeUpstreamDown     = "upstream_unavailable"
 	codeUpstreamCut      = "upstream_interrupted"
+	codeUpstreamTimeout  = "upstream_timeout"
 	codeNotProxied       = "not_proxied"
 )
 

@@ -331,6 +331,33 @@ func (s *Server) end(c *reqCtx) {
 	s.logRequest(c.method, c.endpoint, st, dur, c.reqID, c.tr)
 }
 
+// retryAfter derives the Retry-After hint for a shed response from the
+// observed overload depth rather than a hardcoded constant: at the moment
+// of shed the repair semaphore is full, and every in-flight request beyond
+// its capacity is concurrent demand the server is already refusing. The
+// hint grows linearly with that excess — 1s at the brink, ~5s at double
+// capacity, capped at 30s — so clients back off harder exactly when the
+// server is deeper under water, instead of hammering a drowning server
+// once a second.
+func (s *Server) retryAfter() string {
+	return strconv.FormatInt(retryAfterSecs(s.m.inflight.Load(), int64(cap(s.sem))), 10)
+}
+
+func retryAfterSecs(inflight, capacity int64) int64 {
+	if capacity < 1 {
+		capacity = 1
+	}
+	excess := inflight - capacity
+	if excess < 0 {
+		excess = 0
+	}
+	secs := 1 + 4*excess/capacity
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // wrap is the middleware every non-tenant route passes through: request ID
 // issuance, trace extraction/injection (W3C traceparent), request counting
 // and latency, the structured request log line, the ruleset-version
@@ -358,7 +385,7 @@ func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.Handler
 				defer func() { <-s.sem }()
 			default:
 				s.m.shed.Inc()
-				c.sw.Header().Set("Retry-After", "1")
+				c.sw.Header().Set("Retry-After", s.retryAfter())
 				s.writeError(c.sw, http.StatusServiceUnavailable, codeOverloaded,
 					"server at capacity, retry shortly")
 				return

@@ -64,8 +64,12 @@ type ProxyConfig struct {
 	Replicas int
 	// MaxBodyBytes caps forwarded request bodies; <= 0 selects 32 MiB.
 	MaxBodyBytes int64
-	// ForwardTimeout bounds one forwarded request end to end; <= 0
-	// selects 120s (generous: workers enforce their own repair deadline).
+	// ForwardTimeout bounds a forwarded request: end to end for
+	// non-streaming endpoints, connect + response headers for streaming
+	// ones (/t/{tenant}/repair/csv), whose body may legitimately flow for
+	// longer than any fixed bound — a healthy stream is never cut mid-read.
+	// <= 0 selects 120s (generous: workers enforce their own repair
+	// deadline).
 	ForwardTimeout time.Duration
 	// Transport overrides the outbound round tripper; nil uses
 	// http.DefaultTransport (connection pooling included).
@@ -112,10 +116,14 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		return nil, err
 	}
 	p := &Proxy{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		ring:      ring,
-		client:    &http.Client{Transport: cfg.Transport, Timeout: cfg.ForwardTimeout},
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		ring: ring,
+		// No Client.Timeout: it would bound the entire body read and cut
+		// legitimate long-running streams mid-flight. handleForward applies
+		// ForwardTimeout per request instead — end to end for non-streaming
+		// endpoints, connect + headers only for streams.
+		client:    &http.Client{Transport: cfg.Transport},
 		reg:       cfg.Registry,
 		tracer:    cfg.Tracer,
 		reqPrefix: newRequestPrefix(),
@@ -281,7 +289,33 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 		}
 		body = http.MaxBytesReader(sw, r.Body, p.cfg.MaxBodyBytes)
 	}
-	out, err := http.NewRequestWithContext(r.Context(), r.Method, worker+r.URL.RequestURI(), body)
+	// Bound the forward without bounding stream bodies. Non-streaming
+	// endpoints get an end-to-end deadline; the CSV stream endpoint gets a
+	// timer covering only connect + response headers, stopped the moment
+	// the worker answers — after that, a slow-but-flowing repair stream may
+	// run as long as it needs, and only a genuine peer failure (surfacing
+	// as a read or write error in flushCopy) ends it early.
+	_, rest := splitTenantPath(r.URL.Path)
+	streaming := rest == "/repair/csv"
+	fctx := r.Context()
+	var headerTimedOut atomic.Bool
+	var headerTimer *time.Timer
+	if streaming {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithCancel(fctx)
+		defer cancel()
+		headerTimer = time.AfterFunc(p.cfg.ForwardTimeout, func() {
+			headerTimedOut.Store(true)
+			cancel()
+		})
+		defer headerTimer.Stop()
+	} else {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(fctx, p.cfg.ForwardTimeout)
+		defer cancel()
+	}
+
+	out, err := http.NewRequestWithContext(fctx, r.Method, worker+r.URL.RequestURI(), body)
 	if err != nil {
 		// Only a malformed worker URL reaches here; the detail names
 		// server-side configuration, so log it and answer with the code.
@@ -308,6 +342,11 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 	out.ContentLength = r.ContentLength
 
 	resp, err := p.client.Do(out)
+	if headerTimer != nil {
+		// Headers are in (or the attempt failed): the stream body is no
+		// longer under the clock.
+		headerTimer.Stop()
+	}
 	if err != nil {
 		// A body-limit overrun surfaces here as the transport's read error
 		// on the MaxBytesReader; that is the client's fault, not the
@@ -322,6 +361,16 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 		}
 		if c := p.upErrors[worker]; c != nil {
 			c.Inc()
+		}
+		// A timeout is the worker being slow, not down — distinct status and
+		// code so dashboards and retry policies can tell the two apart.
+		if headerTimedOut.Load() || errors.Is(err, context.DeadlineExceeded) {
+			p.cfg.Logger.Error("proxy upstream timed out",
+				"worker", worker, "tenant", tenantID, "request_id", reqID,
+				"timeout", p.cfg.ForwardTimeout, "err", err)
+			writeErrorEnvelope(sw, http.StatusGatewayTimeout, codeUpstreamTimeout,
+				"the worker owning this tenant did not answer within the forward timeout")
+			return
 		}
 		p.cfg.Logger.Error("proxy upstream unavailable",
 			"worker", worker, "tenant", tenantID, "request_id", reqID, "err", err)

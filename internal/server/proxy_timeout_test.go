@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowStreamWorker fakes a worker whose /t/{tenant}/repair/csv answers
+// promptly but then streams the body in small flushed chunks over a total
+// duration — the shape of a large repair stream. Non-streaming paths
+// (/t/{tenant}/repair) hang for hangFor before answering, to exercise the
+// end-to-end bound.
+func slowStreamWorker(chunks int, chunkGap, hangFor time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, rest := splitTenantPath(r.URL.Path)
+		switch rest {
+		case "/repair/csv":
+			w.Header().Set("Content-Type", "text/csv")
+			w.WriteHeader(http.StatusOK)
+			fl := w.(http.Flusher)
+			fmt.Fprintln(w, "name,country,capital,city,conf")
+			fl.Flush()
+			for i := 0; i < chunks; i++ {
+				time.Sleep(chunkGap)
+				fmt.Fprintf(w, "row%d,China,Beijing,Shanghai,ICDE\n", i)
+				fl.Flush()
+			}
+		default:
+			time.Sleep(hangFor)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"tuples":[],"changed":0}`)
+		}
+	})
+}
+
+// proxyOver builds a proxy with a short ForwardTimeout over one fake
+// worker.
+func proxyOver(t *testing.T, workerURL string, timeout time.Duration) *httptest.Server {
+	t.Helper()
+	p, err := NewProxy(ProxyConfig{
+		Workers:        []string{workerURL},
+		ForwardTimeout: timeout,
+		Logger:         discardLogger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return front
+}
+
+// TestProxySlowStreamOutlivesForwardTimeout is the regression test for the
+// stream-cut bug: the proxy's HTTP client used Timeout = ForwardTimeout,
+// which bounds the ENTIRE body read, so any legitimate stream running
+// longer than ForwardTimeout was severed mid-flight and misreported as
+// upstream_interrupted. A healthy stream must now run to completion even
+// when its total duration is a multiple of ForwardTimeout.
+func TestProxySlowStreamOutlivesForwardTimeout(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	// 10 chunks 60ms apart ≈ 600ms of streaming, 4× the forward timeout;
+	// every inter-chunk gap stays well under it.
+	worker := httptest.NewServer(slowStreamWorker(10, 60*time.Millisecond, 0))
+	defer worker.Close()
+	front := proxyOver(t, worker.URL, timeout)
+
+	resp, err := http.Post(front.URL+"/t/acme/repair/csv", "text/csv",
+		strings.NewReader("name,country,capital,city,conf\nIan,China,Beijing,Shanghai,ICDE\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	start := time.Now()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("stream read failed after %v: %v", time.Since(start), err)
+	}
+	if elapsed := time.Since(start); elapsed < 3*timeout {
+		t.Fatalf("stream finished in %v — shorter than the bug would even allow; fixture broken", elapsed)
+	}
+	if got := strings.Count(string(body), "\n"); got != 11 {
+		t.Errorf("stream has %d lines, want 11 (header + 10 rows):\n%s", got, body)
+	}
+	if strings.Contains(string(body), `{"error"`) {
+		t.Errorf("healthy slow stream carries a trailing error envelope:\n%s", body)
+	}
+}
+
+// TestProxyStreamHeaderTimeout: the stream endpoint is still bounded where
+// it should be — a worker that never sends response headers is cut at
+// ForwardTimeout and reported as 504 upstream_timeout, not 502.
+func TestProxyStreamHeaderTimeout(t *testing.T) {
+	release := make(chan struct{})
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // headers never sent until the test ends
+	}))
+	defer worker.Close()
+	// Unblock the handler before worker.Close (defers run LIFO), or Close
+	// would wait on it forever.
+	defer close(release)
+	front := proxyOver(t, worker.URL, 100*time.Millisecond)
+
+	start := time.Now()
+	resp, err := http.Post(front.URL+"/t/acme/repair/csv", "text/csv",
+		strings.NewReader("name,country,capital,city,conf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+	if code := decodeEnvelope(t, resp); code != codeUpstreamTimeout {
+		t.Errorf("code = %q, want %q", code, codeUpstreamTimeout)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("header timeout took %v, want ~100ms", elapsed)
+	}
+}
+
+// TestProxyNonStreamingTimeout: non-streaming endpoints keep the
+// end-to-end ForwardTimeout bound, answered as 504 upstream_timeout.
+func TestProxyNonStreamingTimeout(t *testing.T) {
+	worker := httptest.NewServer(slowStreamWorker(0, 0, 1*time.Second))
+	defer worker.Close()
+	front := proxyOver(t, worker.URL, 100*time.Millisecond)
+
+	resp := postJSON(t, front.URL+"/t/acme/repair", ianTuple)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+	if code := decodeEnvelope(t, resp); code != codeUpstreamTimeout {
+		t.Errorf("code = %q, want %q", code, codeUpstreamTimeout)
+	}
+}
+
+// TestProxySlowStreamStillDetectsDeadWorker: loosening the stream bound
+// must not loosen failure detection — a worker that dies mid-stream is
+// still reported via the trailing upstream_interrupted envelope.
+func TestProxySlowStreamStillDetectsDeadWorker(t *testing.T) {
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		fmt.Fprintln(w, "name,country,capital,city,conf")
+		fl.Flush()
+		time.Sleep(250 * time.Millisecond) // outlive ForwardTimeout first
+		fmt.Fprintln(w, "row0,China,Beijing,Shanghai,ICDE")
+		fl.Flush()
+		// Die mid-stream: panic(ErrAbortHandler) resets the connection.
+		panic(http.ErrAbortHandler)
+	}))
+	defer worker.Close()
+	front := proxyOver(t, worker.URL, 100*time.Millisecond)
+
+	resp, err := http.Post(front.URL+"/t/acme/repair/csv", "text/csv",
+		strings.NewReader("name,country,capital,city,conf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (stream started)", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var last string
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	if !strings.Contains(last, codeUpstreamCut) {
+		t.Errorf("dead worker's stream tail = %q, want %s envelope", last, codeUpstreamCut)
+	}
+}

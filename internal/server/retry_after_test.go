@@ -1,0 +1,87 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		inflight, capacity, want int64
+	}{
+		{0, 64, 1},    // idle (shouldn't shed, but the hint stays sane)
+		{64, 64, 1},   // at the brink: retry soon
+		{96, 64, 3},   // 1.5× capacity
+		{128, 64, 5},  // 2× capacity
+		{320, 64, 17}, // 5× capacity
+		{6400, 64, 30},
+		{10, 0, 30}, // degenerate capacity clamps, never divides by zero
+		{1, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSecs(tc.inflight, tc.capacity); got != tc.want {
+			t.Errorf("retryAfterSecs(%d, %d) = %d, want %d",
+				tc.inflight, tc.capacity, got, tc.want)
+		}
+	}
+	// Monotone in the overload depth: more pressure never shortens the
+	// backoff hint.
+	prev := int64(0)
+	for in := int64(0); in <= 1024; in += 16 {
+		got := retryAfterSecs(in, 64)
+		if got < prev {
+			t.Fatalf("retryAfterSecs(%d, 64) = %d < previous %d (not monotone)", in, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestRetryAfterGrowsUnderSaturation: the Retry-After header on shed
+// responses reflects how far past capacity demand actually is — it must
+// grow as the in-flight depth climbs, on both the global and the tenant
+// shed paths.
+func TestRetryAfterGrowsUnderSaturation(t *testing.T) {
+	s, srv := newOpsServer(t, Config{MaxInFlight: 2})
+
+	s.sem <- struct{}{} // saturate the semaphore: every repair request sheds
+	s.sem <- struct{}{}
+	defer func() { <-s.sem; <-s.sem }()
+
+	shedOnce := func() int64 {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/repair", "application/json",
+			strings.NewReader(`{"tuples": []}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+		ra, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64)
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v",
+				resp.Header.Get("Retry-After"), err)
+		}
+		return ra
+	}
+
+	// At the brink (no excess in-flight beyond this one request) the hint
+	// is the old steady-state 1s.
+	atBrink := shedOnce()
+	if atBrink != 1 {
+		t.Errorf("Retry-After at the brink = %d, want 1", atBrink)
+	}
+
+	// Deep saturation: simulate a pile of concurrent requests past the
+	// limiter by raising the inflight gauge the middleware reads (each live
+	// request increments it in begin()). The hint must grow.
+	s.m.inflight.Add(8) // ~5× the capacity of 2
+	deep := shedOnce()
+	s.m.inflight.Add(-8)
+	if deep <= atBrink {
+		t.Errorf("Retry-After under deep saturation = %d, want > %d", deep, atBrink)
+	}
+}

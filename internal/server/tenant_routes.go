@@ -171,7 +171,7 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.sem }()
 		default:
 			s.m.shed.Inc()
-			c.sw.Header().Set("Retry-After", "1")
+			c.sw.Header().Set("Retry-After", s.retryAfter())
 			s.writeError(c.sw, http.StatusServiceUnavailable, codeOverloaded,
 				"server at capacity, retry shortly")
 			return
@@ -181,7 +181,11 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-e.sem }()
 		default:
 			e.m.shed.Inc()
-			c.sw.Header().Set("Retry-After", "1")
+			// The tenant quota has no queue of its own; the backoff hint
+			// follows global pressure — a tenant at quota on an idle server
+			// can retry in a second, one shed under global saturation should
+			// wait as long as any other refused request.
+			c.sw.Header().Set("Retry-After", s.retryAfter())
 			s.writeError(c.sw, http.StatusServiceUnavailable, codeTenantOverloaded,
 				"tenant at its concurrency quota, retry shortly")
 			return
