@@ -16,12 +16,15 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis (docs/ANALYSIS.md) plus formatting. fixvet
-# enforces the engine's hot-path, padding, cancellation, error-surface and
-# determinism invariants; gofmt must be a no-op outside the analyzer
-# fixtures (which deliberately hold unformatted want-comments).
+# enforces the engine's hot-path, padding, cancellation, error-surface,
+# determinism and concurrency (goroutine-join, lock-scope, shared-capture,
+# suppression-audit) invariants; gofmt must be a no-op outside testdata
+# directories — analyzer fixtures and the CFG golden shapes deliberately
+# hold want-comments and layouts gofmt would rewrite. The match is
+# anchored on path segments so only real testdata/ trees are excluded.
 lint:
 	$(GO) run ./cmd/fixvet ./...
-	@fmt_out=$$(gofmt -l . | grep -v testdata || true); \
+	@fmt_out=$$(gofmt -l . | grep -vE '(^|/)testdata/' || true); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi

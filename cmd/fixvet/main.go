@@ -1,4 +1,4 @@
-// Command fixvet is the repo's static-analysis driver: it runs the five
+// Command fixvet is the repo's static-analysis driver: it runs the nine
 // engine-invariant analyzers (internal/analysis/...) over the given
 // packages and reports findings, the compile-time counterpart of the
 // paper's static Σ checks in cmd/rulecheck.
@@ -14,15 +14,21 @@
 //
 // Analyzers:
 //
-//	hotpathalloc  //fix:hotpath functions (and intra-package callees) must not allocate
-//	atomicpad     //fix:padded structs must be cache-line padded and 32-bit atomic-safe
-//	ctxpoll       unbounded loops in context-carrying functions must poll the context
-//	errcode       HTTP responses carry registered error codes, never raw error text
-//	detrange      bare map iteration must not feed user-visible ordered output
+//	hotpathalloc   //fix:hotpath functions (and intra-package callees) must not allocate
+//	atomicpad      //fix:padded structs must be cache-line padded and 32-bit atomic-safe
+//	ctxpoll        unbounded loops in context-carrying functions must poll the context
+//	errcode        HTTP responses carry registered error codes, never raw error text
+//	detrange       bare map iteration must not feed user-visible ordered output
+//	goleak         every goroutine launch must show a join (WaitGroup, done-channel, ctx)
+//	lockscope      mutexes must not be held across blocking ops; branches must balance
+//	sharedcapture  goroutine-captured variables must not be written racily on both sides
+//	suppressaudit  //fix:allow directives that no longer suppress anything are errors
 //
 // -json emits the shared diagnostic schema of internal/analysis/diag —
 // the same shape cmd/rulecheck -format json produces — so rule-level and
-// Go-level findings flow into one consumer.
+// Go-level findings flow into one consumer. Output is sorted by
+// (file, line, code) in both modes, so runs diff cleanly. -codes lists
+// every registered diagnostic code with its analyzer and exits.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"fixrule/internal/analysis"
 	"fixrule/internal/analysis/atomicpad"
@@ -37,7 +44,11 @@ import (
 	"fixrule/internal/analysis/detrange"
 	"fixrule/internal/analysis/diag"
 	"fixrule/internal/analysis/errcode"
+	"fixrule/internal/analysis/goleak"
 	"fixrule/internal/analysis/hotpathalloc"
+	"fixrule/internal/analysis/lockscope"
+	"fixrule/internal/analysis/sharedcapture"
+	"fixrule/internal/analysis/suppressaudit"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -46,11 +57,16 @@ var analyzers = []*analysis.Analyzer{
 	ctxpoll.Analyzer,
 	errcode.Analyzer,
 	detrange.Analyzer,
+	goleak.Analyzer,
+	lockscope.Analyzer,
+	sharedcapture.Analyzer,
+	suppressaudit.Analyzer,
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (internal/analysis/diag schema)")
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	codes := flag.Bool("codes", false, "list every registered diagnostic code with its analyzer and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fixvet [-json] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
@@ -63,6 +79,16 @@ func main() {
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *codes {
+		// Include the framework's own codes (bad-suppression,
+		// unknown-analyzer): consumers key on those too.
+		for _, a := range append([]*analysis.Analyzer{analysis.Framework}, analyzers...) {
+			for _, c := range a.Codes {
+				fmt.Printf("%-14s %s\n", a.Name, c)
+			}
 		}
 		return
 	}
@@ -114,6 +140,18 @@ func run(patterns []string, jsonOut bool) (int, error) {
 			}
 		}
 	}
+
+	// Deterministic output order regardless of package load order, so
+	// consecutive runs (and the CI artifact) diff cleanly.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].File != found[j].File {
+			return found[i].File < found[j].File
+		}
+		if found[i].Line != found[j].Line {
+			return found[i].Line < found[j].Line
+		}
+		return found[i].Code < found[j].Code
+	})
 
 	if jsonOut {
 		if err := diag.Write(os.Stdout, found); err != nil {

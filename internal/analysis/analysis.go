@@ -36,8 +36,42 @@ type Analyzer struct {
 	Name string
 	// Doc is the analyzer's one-paragraph description.
 	Doc string
-	// Run applies the analyzer to one package.
+	// Codes lists the stable diagnostic codes the analyzer can emit —
+	// the machine-readable finding classes consumers key on. fixvet
+	// -codes enumerates them.
+	Codes []string
+	// Run applies the analyzer to one package. Nil for analyzers that
+	// only implement RunAudit.
 	Run func(*Pass) error
+	// RunAudit, if set, runs after every analyzer of the suite has
+	// finished on the package, receiving the suppression audit trail —
+	// which //fix:allow directives actually matched a diagnostic. This
+	// is how suppressaudit keeps suppressions from rotting.
+	RunAudit func(*Pass, *Audit) error
+}
+
+// An Audit summarises the suppression activity of one Run for
+// suite-level analyzers.
+type Audit struct {
+	Suppressions []AuditedSuppression
+}
+
+// AuditedSuppression is one well-formed //fix:allow directive and its
+// fate during the run.
+type AuditedSuppression struct {
+	// Analyzer is the directive's target analyzer name.
+	Analyzer string
+	// Reason is the mandatory justification text.
+	Reason string
+	// Pos is the directive comment's position.
+	Pos token.Pos
+	// Used reports whether the directive suppressed at least one
+	// diagnostic during this run.
+	Used bool
+	// Assessable reports whether the named analyzer was part of this
+	// run: a directive for an analyzer that did not execute cannot be
+	// judged stale.
+	Assessable bool
 }
 
 // A Pass presents one package to an analyzer's Run function.
@@ -131,34 +165,44 @@ type RunResult struct {
 // cannot rot silently.
 func Run(pkg *Package, analyzers []*Analyzer) ([]RunResult, error) {
 	sups := collectSuppressions(pkg.Fset, pkg.Syntax)
+	used := make([]bool, len(sups))
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 
-	var results []RunResult
-	for _, a := range analyzers {
-		var diags []Diagnostic
-		pass := &Pass{
+	newPass := func(a *Analyzer, diags *[]Diagnostic) *Pass {
+		return &Pass{
 			Analyzer:   a,
 			Fset:       pkg.Fset,
 			Files:      pkg.Syntax,
 			Pkg:        pkg.Types,
 			TypesInfo:  pkg.TypesInfo,
 			TypesSizes: pkg.TypesSizes,
-			Report:     func(d Diagnostic) { diags = append(diags, d) },
+			Report:     func(d Diagnostic) { *diags = append(*diags, d) },
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-		}
+	}
+	filter := func(a *Analyzer, diags []Diagnostic, markUsed bool) []Diagnostic {
 		kept := diags[:0]
 		for _, d := range diags {
-			if !suppressed(pkg.Fset, d, a.Name, sups) {
+			if !suppressed(pkg.Fset, d, a.Name, sups, used, markUsed) {
 				kept = append(kept, d)
 			}
 		}
 		sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
-		results = append(results, RunResult{Analyzer: a, Diags: kept})
+		return kept
+	}
+
+	var results []RunResult
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // audit-only analyzers run below
+		}
+		var diags []Diagnostic
+		if err := a.Run(newPass(a, &diags)); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		results = append(results, RunResult{Analyzer: a, Diags: filter(a, diags, true)})
 	}
 
 	// Malformed suppressions are findings too, attributed to a synthetic
@@ -177,28 +221,60 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]RunResult, error) {
 	if len(bad) > 0 {
 		results = append(results, RunResult{Analyzer: Framework, Diags: bad})
 	}
+
+	// Suite-level audit analyzers see which suppressions earned their
+	// keep. Their own diagnostics honour //fix:allow like any other.
+	audit := &Audit{}
+	for i, s := range sups {
+		if s.analyzer == "" || s.reason == "" {
+			continue // already reported as bad-suppression
+		}
+		audit.Suppressions = append(audit.Suppressions, AuditedSuppression{
+			Analyzer:   s.analyzer,
+			Reason:     s.reason,
+			Pos:        s.pos,
+			Used:       used[i],
+			Assessable: known[s.analyzer],
+		})
+	}
+	for _, a := range analyzers {
+		if a.RunAudit == nil {
+			continue
+		}
+		var diags []Diagnostic
+		if err := a.RunAudit(newPass(a, &diags), audit); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		results = append(results, RunResult{Analyzer: a, Diags: filter(a, diags, false)})
+	}
 	return results, nil
 }
 
 // Framework attributes diagnostics about the analysis machinery itself
 // (malformed suppressions); it has no Run of its own.
 var Framework = &Analyzer{
-	Name: "fixvet",
-	Doc:  "diagnostics about the //fix: directives themselves",
+	Name:  "fixvet",
+	Doc:   "diagnostics about the //fix: directives themselves",
+	Codes: []string{"bad-suppression", "unknown-analyzer"},
 }
 
 // suppressed reports whether diagnostic d of the named analyzer is covered
-// by a //fix:allow on its line or the line above, in the same file.
-func suppressed(fset *token.FileSet, d Diagnostic, analyzer string, sups []suppression) bool {
+// by a //fix:allow on its line or the line above, in the same file. When
+// markUsed is set, a matching suppression is recorded as live in used.
+func suppressed(fset *token.FileSet, d Diagnostic, analyzer string, sups []suppression, used []bool, markUsed bool) bool {
 	if len(sups) == 0 {
 		return false
 	}
 	pos := fset.Position(d.Pos)
-	for _, s := range sups {
+	hit := false
+	for i, s := range sups {
 		if s.analyzer == analyzer && s.reason != "" && s.file == pos.Filename &&
 			(s.line == pos.Line || s.line == pos.Line-1) {
-			return true
+			if markUsed {
+				used[i] = true
+			}
+			hit = true
 		}
 	}
-	return false
+	return hit
 }

@@ -1,5 +1,5 @@
-// Package analysistest runs an analyzer over a golden fixture package and
-// checks its diagnostics against `// want` expectations — the same
+// Package analysistest runs analyzers over a golden fixture package and
+// checks their diagnostics against `// want` expectations — the same
 // contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on the
 // repo's dependency-free framework.
 //
@@ -12,7 +12,10 @@
 // The backquoted pattern is a regular expression matched against
 // "code: message" of each diagnostic reported on that line. Multiple
 // patterns on one line expect multiple diagnostics. Lines without a want
-// comment must produce none.
+// comment must produce none. The `want` marker may appear mid-comment —
+// `//fix:allow goleak: reason -- want `stale-suppression“ — so
+// suppression-bearing lines can still state expectations (Go allows one
+// line comment per line).
 package analysistest
 
 import (
@@ -31,6 +34,17 @@ import (
 // comparing diagnostics against the fixture's want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
+	RunSuite(t, dir, a)
+}
+
+// RunSuite is Run for several analyzers at once: all diagnostics from
+// all analyzers (and the framework's own suppression diagnostics) are
+// pooled and matched against the fixture's want comments. Suite
+// analyzers interact — suppressaudit's findings depend on what the
+// other analyzers reported — so multi-analyzer fixtures must run them
+// together, exactly as cmd/fixvet does.
+func RunSuite(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	pkgs, err := analysis.Load(".", "./"+filepath.ToSlash(dir))
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
@@ -40,9 +54,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	}
 	pkg := pkgs[0]
 
-	results, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	results, err := analysis.Run(pkg, analyzers)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running suite on %s: %v", dir, err)
 	}
 
 	got := map[string][]*finding{} // "file:line" -> findings
@@ -82,7 +96,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 	}
 	if t.Failed() {
-		t.Logf("%s on %s: %d diagnostics, %d matched", a.Name, dir, total, matched)
+		t.Logf("suite on %s: %d diagnostics, %d matched", dir, total, matched)
 	}
 }
 
@@ -94,7 +108,10 @@ type wantExpect struct {
 
 var wantPattern = regexp.MustCompile("`([^`]+)`")
 
-// collectWants parses the `// want` comments of every fixture file.
+// collectWants parses the `want` expectations of every fixture file. The
+// marker is recognised at the start of a comment or after " -- "
+// mid-comment, so a line whose comment slot is taken by a //fix:allow
+// directive can still declare what it expects.
 func collectWants(t *testing.T, pkg *analysis.Package) []wantExpect {
 	t.Helper()
 	var wants []wantExpect
@@ -102,7 +119,12 @@ func collectWants(t *testing.T, pkg *analysis.Package) []wantExpect {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				switch {
+				case strings.HasPrefix(text, "want "):
+					text = strings.TrimPrefix(text, "want ")
+				case strings.Contains(text, " -- want "):
+					text = text[strings.Index(text, " -- want ")+len(" -- want "):]
+				default:
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())

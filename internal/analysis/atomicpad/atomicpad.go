@@ -27,9 +27,10 @@ import (
 
 // Analyzer is the atomicpad check.
 var Analyzer = &analysis.Analyzer{
-	Name: "atomicpad",
-	Doc:  "check cache-line padding and 64-bit alignment of //fix:padded structs",
-	Run:  run,
+	Name:  "atomicpad",
+	Doc:   "check cache-line padding and 64-bit alignment of //fix:padded structs",
+	Codes: []string{"not-a-struct", "missing-pad", "pad-too-small", "misaligned-64bit"},
+	Run:   run,
 }
 
 const (

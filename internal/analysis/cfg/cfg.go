@@ -1,0 +1,572 @@
+// Package cfg builds a lightweight intra-procedural control-flow graph
+// over go/ast function bodies — the foundation the concurrency-safety
+// analyzers (lockscope, sharedcapture) reason on.
+//
+// The paper's static guarantees for Σ (consistency, unique fixes) hold
+// because every rule interaction is enumerated before any repair runs.
+// The AST-only analyzers of PR 4 enumerate single statements the same
+// way; this package extends enumeration to *paths*: which statements can
+// execute between a Lock and its Unlock, which branches merge with
+// different lock states, what a goroutine body can reach. The race
+// detector only observes executed interleavings — a CFG sees all of
+// them.
+//
+// The graph is deliberately small: basic blocks of ast.Node in execution
+// order, successor/predecessor edges, one synthetic Exit block that every
+// return and fall-off-the-end edge reaches. Panics and runtime faults are
+// not modelled (matching go/ssa's "normal control flow" view); neither
+// are the bodies of nested function literals, which are separate
+// functions with separate graphs.
+//
+// Like the rest of internal/analysis, the package reproduces the shape of
+// its x/tools counterpart (golang.org/x/tools/go/cfg) on the standard
+// library alone, so the module keeps zero external requirements.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. It may be empty when the
+	// body begins with a control statement.
+	Entry *Block
+	// Exit is the synthetic sink: every return statement and every path
+	// that falls off the end of the body has an edge here. Exit holds no
+	// nodes.
+	Exit *Block
+	// Blocks lists every block, Entry first and Exit last, in creation
+	// order (roughly source order).
+	Blocks []*Block
+
+	// selectComms marks the comm statements of select cases: by the time
+	// a comm node executes, the select head has already done the
+	// blocking, so the comm's own channel operation completes
+	// immediately.
+	selectComms map[ast.Node]bool
+}
+
+// SelectComm reports whether n is the comm statement of a select case —
+// a channel operation that does not block on its own (the enclosing
+// select head blocked for it).
+func (g *Graph) SelectComm(n ast.Node) bool { return g.selectComms[n] }
+
+// A Block is a maximal straight-line sequence of AST nodes: control
+// transfers only at the end, control is only targeted at the start.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind describes what created the block ("entry", "exit", "if.then",
+	// "for.body", "select.case", "range.loop", ...) — for dumps and
+	// debugging only; analyzers should rely on edges, not kinds.
+	Kind string
+	// Nodes are the block's statements and control expressions in
+	// execution order. A branch condition (if/for cond, switch tag,
+	// range operand) is the last node of the block that evaluates it.
+	// Nested *ast.FuncLit bodies are NOT expanded here.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to after this one.
+	Succs []*Block
+	// Preds are the blocks that may transfer control here.
+	Preds []*Block
+	// Return is the return statement ending this block, if any. Blocks
+	// with Return non-nil have exactly one successor: Exit.
+	Return *ast.ReturnStmt
+}
+
+// Pos returns the position of the block's first node, or token.NoPos for
+// empty blocks.
+func (b *Block) Pos() token.Pos {
+	if len(b.Nodes) == 0 {
+		return token.NoPos
+	}
+	return b.Nodes[0].Pos()
+}
+
+// New builds the CFG of one function body (a FuncDecl.Body or
+// FuncLit.Body).
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.current = b.g.Entry
+	b.labels = map[string]*labelInfo{}
+	b.collectLabels(body)
+	b.stmtList(body.List)
+	exit := b.newBlock("exit")
+	b.g.Exit = exit
+	// Whatever block is live at the end of the body falls off into Exit.
+	b.edge(b.current, exit)
+	for _, blk := range b.g.Blocks {
+		if blk.Return != nil {
+			b.edge(blk, exit)
+		}
+	}
+	b.prune()
+	return b.g
+}
+
+// labelInfo tracks one label's targets: the labelled statement's entry
+// block (goto target) and, once the labelled loop/switch is built, its
+// break/continue targets.
+type labelInfo struct {
+	entry    *Block // goto L jumps here
+	breakTo  *Block
+	contTo   *Block
+	pending  []*Block // gotos seen before the label's entry exists
+	labelled ast.Stmt
+}
+
+// builder carries the construction state.
+type builder struct {
+	g       *Graph
+	current *Block // nil after a terminating statement (return/branch)
+	// break/continue target stacks for the innermost enclosing constructs.
+	breakTargets []*Block
+	contTargets  []*Block
+	labels       map[string]*labelInfo
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, opening a fresh block when the
+// previous one was terminated.
+func (b *builder) add(n ast.Node) {
+	if b.current == nil {
+		b.current = b.newBlock("unreachable")
+	}
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// startBlock makes blk current, adding a fall-through edge from the
+// previous current block.
+func (b *builder) startBlock(blk *Block) {
+	b.edge(b.current, blk)
+	b.current = blk
+}
+
+// collectLabels pre-registers every label in the body so forward gotos
+// resolve.
+func (b *builder) collectLabels(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			b.labels[ls.Label.Name] = &labelInfo{labelled: ls.Stmt}
+		}
+		return true
+	})
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.current
+		then := b.newBlock("if.then")
+		b.current = nil
+		b.edge(condBlk, then)
+		b.current = then
+		b.stmtList(s.Body.List)
+		thenEnd := b.current
+		var elseEnd *Block
+		if s.Else != nil {
+			elseBlk := b.newBlock("if.else")
+			b.edge(condBlk, elseBlk)
+			b.current = elseBlk
+			b.stmt(s.Else)
+			elseEnd = b.current
+		}
+		done := b.newBlock("if.done")
+		b.edge(thenEnd, done)
+		if s.Else != nil {
+			b.edge(elseEnd, done)
+		} else {
+			b.edge(condBlk, done)
+		}
+		b.current = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.setLabelTargets(s, head, done, post)
+		b.pushLoop(done, post)
+		b.current = body
+		b.stmtList(s.Body.List)
+		if s.Post != nil {
+			b.edge(b.current, post)
+			b.current = post
+			b.add(s.Post)
+			b.edge(post, head)
+			b.current = nil
+		} else {
+			b.edge(b.current, head)
+			b.current = nil
+		}
+		b.popLoop()
+		b.current = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.loop")
+		b.startBlock(head)
+		// The range operand (and per-iteration key/value assignment) is
+		// evaluated at the loop head — the head is also where a channel
+		// range blocks each iteration.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, done)
+		b.setLabelTargets(s, head, done, head)
+		b.pushLoop(done, head)
+		b.current = body
+		b.stmtList(s.Body.List)
+		b.edge(b.current, head)
+		b.current = nil
+		b.popLoop()
+		b.current = done
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.current.Return = s
+		b.current = nil
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.LabeledStmt:
+		li := b.labels[s.Label.Name]
+		entry := b.newBlock("label." + s.Label.Name)
+		b.startBlock(entry)
+		if li != nil {
+			li.entry = entry
+			for _, p := range li.pending {
+				b.edge(p, entry)
+			}
+			li.pending = nil
+		}
+		b.stmt(s.Stmt)
+
+	default:
+		// Straight-line statement: expr/assign/decl/defer/go/send/incdec.
+		b.add(s)
+	}
+}
+
+// setLabelTargets records break/continue targets for a loop that is the
+// direct statement of a label.
+func (b *builder) setLabelTargets(loop ast.Stmt, entry, breakTo, contTo *Block) {
+	for _, li := range b.labels {
+		if li.labelled == loop {
+			li.breakTo = breakTo
+			li.contTo = contTo
+			if li.entry == nil {
+				li.entry = entry
+			}
+		}
+	}
+}
+
+func (b *builder) pushLoop(breakTo, contTo *Block) {
+	b.breakTargets = append(b.breakTargets, breakTo)
+	b.contTargets = append(b.contTargets, contTo)
+}
+
+func (b *builder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.contTargets = b.contTargets[:len(b.contTargets)-1]
+}
+
+// pushBreakOnly registers a break target without a continue target
+// (switch/select): continue still refers to the enclosing loop.
+func (b *builder) pushBreakOnly(breakTo *Block) {
+	b.breakTargets = append(b.breakTargets, breakTo)
+	cont := (*Block)(nil)
+	if len(b.contTargets) > 0 {
+		cont = b.contTargets[len(b.contTargets)-1]
+	}
+	b.contTargets = append(b.contTargets, cont)
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	if s.Tok == token.FALLTHROUGH {
+		// Leave the block live: switchStmt links the case-body end to the
+		// next case block.
+		return
+	}
+	from := b.current
+	b.current = nil
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+				b.edge(from, li.breakTo)
+			}
+			return
+		}
+		if n := len(b.breakTargets); n > 0 {
+			b.edge(from, b.breakTargets[n-1])
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.contTo != nil {
+				b.edge(from, li.contTo)
+			}
+			return
+		}
+		if n := len(b.contTargets); n > 0 && b.contTargets[n-1] != nil {
+			b.edge(from, b.contTargets[n-1])
+		}
+	case token.GOTO:
+		if li := b.labels[s.Label.Name]; li != nil {
+			if li.entry != nil {
+				b.edge(from, li.entry)
+			} else {
+				li.pending = append(li.pending, from)
+			}
+		}
+	}
+}
+
+// switchStmt builds switch and type-switch: the tag block branches to
+// every case body (and to done when no default exists); each case body
+// flows to done, or to the next body on fallthrough.
+func (b *builder) switchStmt(s ast.Stmt) {
+	var init ast.Stmt
+	var tag ast.Node
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, body = s.Init, s.Tag, s.Body
+	case *ast.TypeSwitchStmt:
+		init, tag, body = s.Init, s.Assign, s.Body
+	}
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	tagBlk := b.current
+	if tagBlk == nil {
+		tagBlk = b.newBlock("switch.tag")
+		b.current = tagBlk
+	}
+	done := b.newBlock("switch.done")
+	b.pushBreakOnly(done)
+
+	var caseBlks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock("switch.case")
+		caseBlks = append(caseBlks, blk)
+		b.edge(tagBlk, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(tagBlk, done)
+	}
+	for i, cc := range clauses {
+		b.current = caseBlks[i]
+		// Case guard expressions evaluate in the case block.
+		for _, e := range cc.List {
+			b.current.Nodes = append(b.current.Nodes, e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(cc.Body)
+		if fallsThrough && i+1 < len(caseBlks) {
+			b.edge(b.current, caseBlks[i+1])
+			b.current = nil
+		} else {
+			b.edge(b.current, done)
+		}
+	}
+	b.popLoop()
+	b.current = done
+}
+
+// selectStmt builds select: the select block branches to every comm
+// clause; a select without a default blocks (the select node itself is
+// recorded in the head block so dataflow sees the blocking point).
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.newBlock("select")
+	b.startBlock(head)
+	head.Nodes = append(head.Nodes, s)
+	done := b.newBlock("select.done")
+	b.pushBreakOnly(done)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		b.edge(head, blk)
+		b.current = blk
+		if cc.Comm != nil {
+			b.current.Nodes = append(b.current.Nodes, cc.Comm)
+			if b.g.selectComms == nil {
+				b.g.selectComms = map[ast.Node]bool{}
+			}
+			b.g.selectComms[cc.Comm] = true
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.current, done)
+	}
+	b.popLoop()
+	b.current = done
+}
+
+// prune drops unreachable empty blocks created during construction (e.g.
+// the "unreachable" blocks opened after a return when trailing dead code
+// exists but is empty) and renumbers. Entry and Exit always survive.
+func (b *builder) prune() {
+	keep := b.g.Blocks[:0]
+	for _, blk := range b.g.Blocks {
+		if blk != b.g.Entry && blk != b.g.Exit &&
+			len(blk.Preds) == 0 && len(blk.Nodes) == 0 {
+			// Unreachable and empty: drop, detaching from successors.
+			for _, s := range blk.Succs {
+				s.Preds = removeBlock(s.Preds, blk)
+			}
+			continue
+		}
+		keep = append(keep, blk)
+	}
+	b.g.Blocks = keep
+	for i, blk := range b.g.Blocks {
+		blk.Index = i
+	}
+}
+
+func removeBlock(list []*Block, b *Block) []*Block {
+	out := list[:0]
+	for _, x := range list {
+		if x != b {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// String renders the graph in a compact stable form for golden tests:
+//
+//	b0 entry: [stmt kinds] -> b1 b2
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " %s", nodeLabel(n))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func nodeLabel(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.ExprStmt:
+		if _, ok := n.X.(*ast.CallExpr); ok {
+			return "call"
+		}
+		if _, ok := n.X.(*ast.UnaryExpr); ok {
+			return "recv"
+		}
+		return "expr"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BranchStmt:
+		return strings.ToLower(n.Tok.String())
+	case *ast.GoStmt:
+		return "go"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.SelectStmt:
+		return "select"
+	case *ast.EmptyStmt:
+		return "empty"
+	case ast.Expr:
+		return "cond"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}

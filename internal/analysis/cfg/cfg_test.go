@@ -1,0 +1,119 @@
+package cfg
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden .cfg files")
+
+// TestGolden builds the CFG of every function in cfg/testdata/*.go and
+// compares the dump against the sibling .cfg golden file. Regenerate with
+// `go test ./internal/analysis/cfg -update`.
+func TestGolden(t *testing.T) {
+	srcs, err := filepath.Glob("testdata/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) == 0 {
+		t.Fatal("no fixtures under testdata/")
+	}
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, src, nil, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", src, err)
+			}
+			var sb strings.Builder
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				sb.WriteString("func " + fd.Name.Name + ":\n")
+				sb.WriteString(New(fd.Body).String())
+				sb.WriteString("\n")
+			}
+			got := sb.String()
+			golden := strings.TrimSuffix(src, ".go") + ".cfg"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with -update): %v", golden, err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dump for %s diverged from %s.\ngot:\n%s\nwant:\n%s",
+					src, golden, got, want)
+			}
+		})
+	}
+}
+
+// TestInvariants checks structural properties on every fixture graph:
+// edges are symmetric (succ/pred agree), return blocks reach only Exit,
+// Exit has no successors, and every reachable block is listed.
+func TestInvariants(t *testing.T) {
+	srcs, _ := filepath.Glob("testdata/*.go")
+	for _, src := range srcs {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, src, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := New(fd.Body)
+			if len(g.Exit.Succs) != 0 {
+				t.Errorf("%s/%s: exit block has successors", src, fd.Name.Name)
+			}
+			in := map[*Block]bool{}
+			for _, b := range g.Blocks {
+				in[b] = true
+			}
+			for _, b := range g.Blocks {
+				if b.Return != nil && (len(b.Succs) != 1 || b.Succs[0] != g.Exit) {
+					t.Errorf("%s/%s b%d: return block must have exactly the exit successor",
+						src, fd.Name.Name, b.Index)
+				}
+				for _, s := range b.Succs {
+					if !in[s] {
+						t.Errorf("%s/%s b%d: successor not in Blocks", src, fd.Name.Name, b.Index)
+					}
+					if !contains(s.Preds, b) {
+						t.Errorf("%s/%s b%d -> b%d: missing back-pointer", src, fd.Name.Name, b.Index, s.Index)
+					}
+				}
+				for _, p := range b.Preds {
+					if !contains(p.Succs, b) {
+						t.Errorf("%s/%s b%d: pred b%d lacks the forward edge", src, fd.Name.Name, b.Index, p.Index)
+					}
+				}
+			}
+		}
+	}
+}
+
+func contains(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

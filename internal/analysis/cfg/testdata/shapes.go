@@ -1,0 +1,131 @@
+// Package shapes exercises every control construct the CFG builder
+// models. The sibling shapes.cfg golden file pins the block/edge
+// structure; `go test ./internal/analysis/cfg -update` regenerates it.
+package shapes
+
+func straight(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func ifNoElse(a int) int {
+	if a > 0 {
+		a++
+	}
+	return a
+}
+
+func earlyReturn(a int) int {
+	if a > 0 {
+		return 1
+	}
+	return 0
+}
+
+func threeClauseFor(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func condFor(n int) int {
+	for n > 0 {
+		n--
+	}
+	return n
+}
+
+func infiniteWithBreak(ch chan int) int {
+	for {
+		v := <-ch
+		if v == 0 {
+			break
+		}
+	}
+	return 1
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+		if x < 0 {
+			continue
+		}
+		s++
+	}
+	return s
+}
+
+func switchCases(v int) int {
+	switch v {
+	case 1:
+		v = 10
+	case 2:
+		v = 20
+		fallthrough
+	case 3:
+		v = 30
+	default:
+		v = 0
+	}
+	return v
+}
+
+func selectLoop(ch chan int, done chan struct{}) int {
+	n := 0
+	for {
+		select {
+		case v := <-ch:
+			n += v
+		case <-done:
+			return n
+		}
+	}
+}
+
+func labelledBreak(xs [][]int) int {
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			if v < 0 {
+				continue outer
+			}
+		}
+	}
+	return 0
+}
+
+func gotoRetry(n int) int {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+	return n
+}
+
+func spawnAndJoin(work chan int) {
+	done := make(chan struct{})
+	go func() {
+		for range work {
+		}
+		close(done)
+	}()
+	<-done
+}

@@ -30,9 +30,10 @@ import (
 
 // Analyzer is the ctxpoll check.
 var Analyzer = &analysis.Analyzer{
-	Name: "ctxpoll",
-	Doc:  "unbounded loops in context-carrying functions must poll the context",
-	Run:  run,
+	Name:  "ctxpoll",
+	Doc:   "unbounded loops in context-carrying functions must poll the context",
+	Codes: []string{"unpolled-loop"},
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {

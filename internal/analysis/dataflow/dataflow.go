@@ -1,0 +1,382 @@
+// Package dataflow is the analysis layer between the CFG and the
+// concurrency analyzers: a forward fixpoint solver over cfg.Graph plus a
+// classifier that reduces AST nodes to the concurrency-relevant
+// operations — goroutine launches, defers, lock/unlock calls, channel
+// sends and receives, and calls that can block (sleeps, waits, network
+// and file I/O).
+//
+// The classifier is deliberately concrete: an operation is "blocking"
+// only when the callee is statically known to block (a channel
+// operation, time.Sleep, sync.WaitGroup.Wait, an *http.Client
+// round-trip, net dialing, net.Conn/os.File I/O, os/exec waits). Calls
+// through interfaces like io.Writer are NOT classified as blocking, even
+// though some implementations block — the analyzers trade that
+// incompleteness for a false-positive rate low enough to gate CI on.
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fixrule/internal/analysis"
+	"fixrule/internal/analysis/cfg"
+)
+
+// Forward solves a forward monotone dataflow problem to fixpoint over g
+// and returns each reachable block's in-state. The entry block's
+// in-state is entry. transfer must not mutate its input; join must be
+// commutative and monotone; equal detects convergence.
+func Forward[S any](
+	g *cfg.Graph,
+	entry S,
+	transfer func(b *cfg.Block, in S) S,
+	join func(a, b S) S,
+	equal func(a, b S) bool,
+) map[*cfg.Block]S {
+	in := map[*cfg.Block]S{g.Entry: entry}
+	// Worklist seeded in block order (roughly reverse post-order for the
+	// builder's creation sequence); duplicates are filtered by onList.
+	work := []*cfg.Block{g.Entry}
+	onList := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onList[b] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			next := out
+			if seen {
+				next = join(cur, out)
+			}
+			if !seen || !equal(cur, next) {
+				in[s] = next
+				if !onList[s] {
+					work = append(work, s)
+					onList[s] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// OpKind classifies one concurrency-relevant operation.
+type OpKind int
+
+const (
+	// OpLock is x.Lock() or x.RLock() on a sync.Mutex/RWMutex.
+	OpLock OpKind = iota
+	// OpUnlock is x.Unlock() or x.RUnlock().
+	OpUnlock
+	// OpDeferUnlock is `defer x.Unlock()` — the release happens at
+	// function exit on every path through the defer.
+	OpDeferUnlock
+	// OpBlocking is an operation that can block the goroutine: channel
+	// send/receive, select without default, range over a channel, or a
+	// statically known blocking call (see Desc).
+	OpBlocking
+	// OpGo is a goroutine launch.
+	OpGo
+)
+
+// An Op is one classified operation, in execution order within its node.
+type Op struct {
+	Kind OpKind
+	Pos  token.Pos
+	// Key identifies the mutex for lock ops: the printed receiver path
+	// (e.g. "r.mu"), with "[R]" appended for the reader side of an
+	// RWMutex, qualified by the root object so distinct receivers with
+	// the same field name stay distinct.
+	Key LockKey
+	// Desc says what blocks, for OpBlocking diagnostics ("channel send",
+	// "time.Sleep", "HTTP round-trip", ...).
+	Desc string
+	// Node is the operation's AST node (the GoStmt for OpGo).
+	Node ast.Node
+}
+
+// LockKey identifies one mutex value: the root identifier's object plus
+// the printed selector path from it.
+type LockKey struct {
+	Obj  types.Object
+	Path string
+}
+
+func (k LockKey) String() string { return k.Path }
+
+// IsZero reports whether the key is unresolved (an unidentifiable
+// receiver expression, e.g. a map element).
+func (k LockKey) IsZero() bool { return k.Obj == nil && k.Path == "" }
+
+// NodeOps extracts the classified operations of one CFG block node, in
+// source order. Nested function literals are never descended into (their
+// bodies are separate functions); a RangeStmt node contributes only its
+// range operand (its body lives in other blocks); a SelectStmt node
+// contributes only the select's own blocking behaviour.
+func NodeOps(info *types.Info, n ast.Node) []Op {
+	var ops []Op
+	var walk func(ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return // separate function
+
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ops = append(ops, Op{Kind: OpBlocking, Pos: n.For,
+						Desc: "range over channel", Node: n})
+				}
+			}
+			walk(n.X)
+			return // body lives in other blocks
+
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false // default clause: never blocks
+				}
+			}
+			if blocking {
+				ops = append(ops, Op{Kind: OpBlocking, Pos: n.Select,
+					Desc: "select without default", Node: n})
+			}
+			return // comm clauses live in other blocks
+
+		case *ast.GoStmt:
+			ops = append(ops, Op{Kind: OpGo, Pos: n.Go, Node: n})
+			// Arguments evaluate on the launching goroutine, but a lock
+			// or blocking op in a go-call argument list is vanishingly
+			// rare; the call (and any literal body) is not descended.
+			return
+
+		case *ast.DeferStmt:
+			if key, isUnlock, ok := lockCall(info, n.Call); ok && isUnlock {
+				ops = append(ops, Op{Kind: OpDeferUnlock, Pos: n.Defer, Key: key, Node: n})
+			}
+			// A deferred Lock (or a deferred blocking call) runs at
+			// function exit; neither affects intra-body lock scope.
+			return
+
+		case *ast.SendStmt:
+			walk(n.Chan)
+			walk(n.Value)
+			ops = append(ops, Op{Kind: OpBlocking, Pos: n.Arrow,
+				Desc: "channel send", Node: n})
+			return
+
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				walk(n.X)
+				ops = append(ops, Op{Kind: OpBlocking, Pos: n.OpPos,
+					Desc: "channel receive", Node: n})
+				return
+			}
+
+		case *ast.CallExpr:
+			// Arguments evaluate before the call itself.
+			for _, a := range n.Args {
+				walk(a)
+			}
+			walk(n.Fun)
+			if key, isUnlock, ok := lockCall(info, n); ok {
+				kind := OpLock
+				if isUnlock {
+					kind = OpUnlock
+				}
+				ops = append(ops, Op{Kind: kind, Pos: n.Lparen, Key: key, Node: n})
+			} else if desc, ok := BlockingCall(info, n); ok {
+				ops = append(ops, Op{Kind: OpBlocking, Pos: n.Lparen, Desc: desc, Node: n})
+			}
+			return
+		}
+		// Generic traversal for everything else.
+		children(n, walk)
+	}
+	walk(n)
+	return ops
+}
+
+// children invokes f on each direct child node of n, in source order.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself
+		}
+		if c != nil {
+			f(c)
+		}
+		return false // do not descend: f recurses itself
+	})
+}
+
+// lockCall classifies a call as a mutex lock/unlock. ok is false for
+// anything that is not a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex/RWMutex; the reader side gets a distinct "[R]" key.
+func lockCall(info *types.Info, call *ast.CallExpr) (key LockKey, isUnlock, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return LockKey{}, false, false
+	}
+	var rside bool
+	switch sel.Sel.Name {
+	case "Lock":
+	case "RLock":
+		rside = true
+	case "Unlock":
+		isUnlock = true
+	case "RUnlock":
+		isUnlock, rside = true, true
+	default:
+		return LockKey{}, false, false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil || !isMutexType(recv) {
+		return LockKey{}, false, false
+	}
+	key = lockKeyOf(info, sel.X)
+	if rside {
+		key.Path += "[R]"
+	}
+	return key, isUnlock, true
+}
+
+// isMutexType reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return analysis.IsNamed(t, "sync", "Mutex") || analysis.IsNamed(t, "sync", "RWMutex")
+}
+
+// lockKeyOf renders the mutex receiver expression as a stable key:
+// root-object identity plus the printed selector path. Unresolvable
+// receivers (map elements, call results) yield a path-only key from the
+// expression's position, which still dedupes textually identical uses.
+func lockKeyOf(info *types.Info, e ast.Expr) LockKey {
+	root := analysis.RootIdent(e)
+	path := exprPath(e)
+	if root == nil {
+		return LockKey{Obj: nil, Path: path}
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	return LockKey{Obj: obj, Path: path}
+}
+
+// exprPath prints a selector chain ("r.mu", "s.reg.mu"); non-selector
+// components print as their syntactic class.
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprPath(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	case *ast.IndexExpr:
+		return exprPath(e.X) + "[i]"
+	case *ast.CallExpr:
+		return exprPath(e.Fun) + "()"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// BlockingCall reports whether the call is a statically known blocking
+// call, describing it when so.
+func BlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		// Interface-method calls carry no *types.Func through Selections
+		// for some shapes; resolve net.Conn explicitly below via the
+		// selector's receiver type.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := info.TypeOf(sel.X); t != nil && analysis.IsNamed(t, "net", "Conn") {
+				switch sel.Sel.Name {
+				case "Read", "Write":
+					return "net.Conn " + sel.Sel.Name, true
+				}
+			}
+		}
+		return "", false
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "time":
+		if recv == "" && name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if recv == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait", true
+		}
+		if recv == "Cond" && name == "Wait" {
+			return "sync.Cond.Wait", true
+		}
+	case "net/http":
+		if recv == "Client" {
+			switch name {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				return "HTTP round-trip (http.Client." + name + ")", true
+			}
+		}
+		if recv == "" {
+			switch name {
+			case "Get", "Post", "PostForm", "Head":
+				return "HTTP round-trip (http." + name + ")", true
+			}
+		}
+	case "net":
+		if recv == "" && (name == "Dial" || name == "DialTimeout") {
+			return "net." + name, true
+		}
+		if recv == "Dialer" && (name == "Dial" || name == "DialContext") {
+			return "net.Dialer." + name, true
+		}
+		if recv == "Conn" && (name == "Read" || name == "Write") {
+			return "net.Conn " + name, true
+		}
+	case "os":
+		if recv == "File" {
+			switch name {
+			case "Read", "ReadAt", "Write", "WriteAt", "Sync", "ReadFrom", "WriteTo":
+				return "os.File " + name, true
+			}
+		}
+	case "os/exec":
+		if recv == "Cmd" {
+			switch name {
+			case "Run", "Wait", "Output", "CombinedOutput":
+				return "os/exec Cmd." + name, true
+			}
+		}
+	}
+	return "", false
+}

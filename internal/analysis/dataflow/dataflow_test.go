@@ -1,0 +1,147 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"fixrule/internal/analysis"
+	"fixrule/internal/analysis/cfg"
+	"fixrule/internal/analysis/dataflow"
+)
+
+// loadFixture type-checks the lockflow fixture once per test binary.
+func loadFixture(t *testing.T) *analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./testdata/src/lockflow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// funcDecl finds a fixture function by name.
+func funcDecl(t *testing.T, pkg *analysis.Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pkg.Syntax {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("fixture function %q not found", name)
+	return nil
+}
+
+func analyze(t *testing.T, pkg *analysis.Package, name string) *dataflow.LockFacts {
+	t.Helper()
+	fd := funcDecl(t, pkg, name)
+	return dataflow.AnalyzeLocks(pkg.TypesInfo, cfg.New(fd.Body))
+}
+
+func kinds(fs []dataflow.LockFinding) []dataflow.LockFindingKind {
+	out := make([]dataflow.LockFindingKind, len(fs))
+	for i, f := range fs {
+		out[i] = f.Kind
+	}
+	return out
+}
+
+func TestLockFindings(t *testing.T) {
+	pkg := loadFixture(t)
+	cases := []struct {
+		fn   string
+		want []dataflow.LockFindingKind
+		key  string // expected key of the first finding, "" to skip
+	}{
+		{"blockingUnderLock", []dataflow.LockFindingKind{dataflow.BlockingWhileHeld}, "s.mu"},
+		{"deferStillHeld", []dataflow.LockFindingKind{dataflow.BlockingWhileHeld}, "s.mu"},
+		{"balanced", nil, ""},
+		{"imbalance", []dataflow.LockFindingKind{dataflow.MergeImbalance}, "s.mu"},
+		{"doubleLock", []dataflow.LockFindingKind{dataflow.DoubleLock}, "s.mu"},
+		{"unlockOnly", []dataflow.LockFindingKind{dataflow.UnlockWithoutLock}, "s.mu"},
+		{"readerSide", []dataflow.LockFindingKind{dataflow.BlockingWhileHeld}, "s.rw[R]"},
+		{"lockHelper", nil, ""}, // intentional lock helper: no imbalance, no unlock
+		{"selectUnderLock", []dataflow.LockFindingKind{dataflow.BlockingWhileHeld}, "s.mu"},
+		{"selectWithDefault", nil, ""},
+		{"blockingOutsideLock", nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			lf := analyze(t, pkg, tc.fn)
+			got := lf.Findings()
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings = %+v, want kinds %v", got, tc.want)
+			}
+			for i, k := range kinds(got) {
+				if k != tc.want[i] {
+					t.Fatalf("finding %d kind = %v, want %v (all: %+v)", i, k, tc.want[i], got)
+				}
+			}
+			if tc.key != "" && len(got) > 0 && got[0].Key != tc.key {
+				t.Errorf("finding key = %q, want %q", got[0].Key, tc.key)
+			}
+		})
+	}
+}
+
+func TestHeldAtPos(t *testing.T) {
+	pkg := loadFixture(t)
+	fd := funcDecl(t, pkg, "deferStillHeld")
+	lf := dataflow.AnalyzeLocks(pkg.TypesInfo, cfg.New(fd.Body))
+	var send *ast.SendStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			send = s
+		}
+		return true
+	})
+	if send == nil {
+		t.Fatal("no send statement in fixture")
+	}
+	held := lf.HeldAtPos(send.Pos())
+	if len(held) != 1 || held[0] != "s.mu" {
+		t.Errorf("HeldAtPos(send) = %v, want [s.mu]", held)
+	}
+
+	fd2 := funcDecl(t, pkg, "blockingOutsideLock")
+	lf2 := dataflow.AnalyzeLocks(pkg.TypesInfo, cfg.New(fd2.Body))
+	var send2 *ast.SendStmt
+	ast.Inspect(fd2.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			send2 = s
+		}
+		return true
+	})
+	if held := lf2.HeldAtPos(send2.Pos()); len(held) != 0 {
+		t.Errorf("HeldAtPos(pre-lock send) = %v, want none", held)
+	}
+}
+
+// TestNodeOpsOrdering pins the classifier's view of a mixed statement:
+// arguments and operands yield their ops before the enclosing operation.
+func TestNodeOpsOrdering(t *testing.T) {
+	pkg := loadFixture(t)
+	fd := funcDecl(t, pkg, "blockingUnderLock")
+	var descs []string
+	for _, stmt := range fd.Body.List {
+		for _, op := range dataflow.NodeOps(pkg.TypesInfo, stmt) {
+			switch op.Kind {
+			case dataflow.OpLock:
+				descs = append(descs, "lock:"+op.Key.String())
+			case dataflow.OpUnlock:
+				descs = append(descs, "unlock:"+op.Key.String())
+			case dataflow.OpBlocking:
+				descs = append(descs, "block:"+op.Desc)
+			}
+		}
+	}
+	want := "lock:s.mu block:time.Sleep unlock:s.mu"
+	if got := strings.Join(descs, " "); got != want {
+		t.Errorf("ops = %q, want %q", got, want)
+	}
+}

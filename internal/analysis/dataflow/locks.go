@@ -1,0 +1,369 @@
+package dataflow
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+
+	"fixrule/internal/analysis/cfg"
+)
+
+// This file is the lock-state dataflow: a must-held analysis of
+// sync.Mutex/RWMutex values over a function's CFG. lockscope turns its
+// findings into diagnostics; sharedcapture consults HeldAtPos to decide
+// whether a captured-variable write is mutex-protected.
+
+// Per-key lattice: absent = unheld on every path reaching here,
+// stHeld = held on every path, stConflict = held on some paths only.
+const (
+	stHeld uint8 = iota + 1
+	stConflict
+)
+
+// lockState is the dataflow fact: the lock keys held (or in conflict)
+// entering a block, plus the keys a reached `defer x.Unlock()` will
+// release at function exit. Treated as immutable; transfer copies.
+type lockState struct {
+	held     map[LockKey]uint8
+	deferred map[LockKey]bool
+}
+
+func (s lockState) clone() lockState {
+	c := lockState{held: map[LockKey]uint8{}, deferred: map[LockKey]bool{}}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+func (s lockState) equal(o lockState) bool {
+	if len(s.held) != len(o.held) || len(s.deferred) != len(o.deferred) {
+		return false
+	}
+	for k, v := range s.held {
+		if o.held[k] != v {
+			return false
+		}
+	}
+	for k := range s.deferred {
+		if !o.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinLocks(a, b lockState) lockState {
+	j := lockState{held: map[LockKey]uint8{}, deferred: map[LockKey]bool{}}
+	for k, va := range a.held {
+		if vb, ok := b.held[k]; ok && va == stHeld && vb == stHeld {
+			j.held[k] = stHeld
+		} else {
+			// Disagreement (or an inherited conflict) on either side.
+			j.held[k] = stConflict
+		}
+	}
+	for k := range b.held {
+		if _, ok := a.held[k]; !ok {
+			j.held[k] = stConflict
+		}
+	}
+	for k := range a.deferred {
+		j.deferred[k] = true
+	}
+	for k := range b.deferred {
+		j.deferred[k] = true
+	}
+	return j
+}
+
+// LockFindingKind classifies one lock-discipline finding.
+type LockFindingKind int
+
+const (
+	// BlockingWhileHeld: a blocking operation executes with a mutex held.
+	BlockingWhileHeld LockFindingKind = iota
+	// MergeImbalance: control-flow paths merge with a mutex held on some
+	// and released on others.
+	MergeImbalance
+	// UnlockWithoutLock: an Unlock with no matching Lock on any path.
+	UnlockWithoutLock
+	// DoubleLock: a Lock while the same (non-reentrant) mutex is already
+	// held on every path — self-deadlock.
+	DoubleLock
+)
+
+// A LockFinding is one violation of the lock discipline.
+type LockFinding struct {
+	Kind LockFindingKind
+	Pos  token.Pos
+	Key  string // printed lock path ("r.mu", "s.mu[R]")
+	Desc string // blocking-operation description for BlockingWhileHeld
+}
+
+// LockFacts is the solved lock-state analysis of one function body.
+type LockFacts struct {
+	info *types.Info
+	g    *cfg.Graph
+	in   map[*cfg.Block]lockState
+	ops  map[*cfg.Block][]Op // cached per-block ops, in execution order
+	any  bool                // whether the body contains any lock op
+}
+
+// AnalyzeLocks runs the must-held lock dataflow over the body's CFG.
+func AnalyzeLocks(info *types.Info, g *cfg.Graph) *LockFacts {
+	lf := &LockFacts{info: info, g: g, ops: map[*cfg.Block][]Op{}}
+	for _, b := range g.Blocks {
+		var ops []Op
+		for _, n := range b.Nodes {
+			nodeOps := NodeOps(info, n)
+			if g.SelectComm(n) {
+				// The select head already blocked for this comm; its own
+				// channel operation completes immediately.
+				kept := nodeOps[:0]
+				for _, op := range nodeOps {
+					if op.Kind == OpBlocking && (op.Desc == "channel send" || op.Desc == "channel receive") {
+						continue
+					}
+					kept = append(kept, op)
+				}
+				nodeOps = kept
+			}
+			ops = append(ops, nodeOps...)
+		}
+		lf.ops[b] = ops
+		for _, op := range ops {
+			if op.Kind == OpLock || op.Kind == OpUnlock || op.Kind == OpDeferUnlock {
+				lf.any = true
+			}
+		}
+	}
+	if !lf.any {
+		return lf
+	}
+	entry := lockState{held: map[LockKey]uint8{}, deferred: map[LockKey]bool{}}
+	lf.in = Forward(g, entry,
+		func(b *cfg.Block, in lockState) lockState { return lf.transfer(b, in) },
+		joinLocks,
+		lockState.equal,
+	)
+	return lf
+}
+
+// HasLocks reports whether the body contains any lock operation at all —
+// callers skip the reporting pass when false.
+func (lf *LockFacts) HasLocks() bool { return lf.any }
+
+// transfer applies a block's ops to the incoming state. Blocks ending in
+// a return additionally release the deferred unlocks (defers run on
+// function exit), so the state joining into Exit is the post-defer one.
+func (lf *LockFacts) transfer(b *cfg.Block, in lockState) lockState {
+	out := in.clone()
+	for _, op := range lf.ops[b] {
+		switch op.Kind {
+		case OpLock:
+			out.held[op.Key] = stHeld
+		case OpUnlock:
+			delete(out.held, op.Key)
+		case OpDeferUnlock:
+			out.deferred[op.Key] = true
+		}
+	}
+	if b.Return != nil {
+		for k := range out.deferred {
+			delete(out.held, k)
+		}
+	}
+	return out
+}
+
+// Findings runs the reporting pass over the solved states.
+func (lf *LockFacts) Findings() []LockFinding {
+	if !lf.any {
+		return nil
+	}
+	var out []LockFinding
+	for _, b := range lf.g.Blocks {
+		in, reachable := lf.in[b]
+		if !reachable {
+			continue // dead code
+		}
+		// Fresh merge conflicts: two predecessors whose (defer-adjusted,
+		// when merging into Exit) out-states disagree cleanly.
+		if len(b.Preds) >= 2 {
+			for _, k := range lf.conflictKeys(b, in) {
+				out = append(out, LockFinding{Kind: MergeImbalance, Pos: lf.mergePos(b), Key: k.String()})
+			}
+		}
+		st := in.clone()
+		for _, op := range lf.ops[b] {
+			switch op.Kind {
+			case OpLock:
+				if st.held[op.Key] == stHeld {
+					out = append(out, LockFinding{Kind: DoubleLock, Pos: op.Pos, Key: op.Key.String()})
+				}
+				st.held[op.Key] = stHeld
+			case OpUnlock:
+				if _, held := st.held[op.Key]; !held {
+					out = append(out, LockFinding{Kind: UnlockWithoutLock, Pos: op.Pos, Key: op.Key.String()})
+				}
+				delete(st.held, op.Key)
+			case OpDeferUnlock:
+				st.deferred[op.Key] = true
+			case OpBlocking:
+				for _, k := range sortedKeys(st.held) {
+					if st.held[k] == stHeld {
+						out = append(out, LockFinding{Kind: BlockingWhileHeld, Pos: op.Pos,
+							Key: k.String(), Desc: op.Desc})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// conflictKeys finds keys whose held-state disagrees cleanly between two
+// reachable predecessors of b: one pred ends with the key held, another
+// with it unheld. Conflicts inherited from upstream merges (a pred
+// already in conflict) are not re-reported.
+func (lf *LockFacts) conflictKeys(b *cfg.Block, in lockState) []LockKey {
+	type tally struct{ held, unheld bool }
+	tallies := map[LockKey]*tally{}
+	preds := 0
+	for _, p := range b.Preds {
+		pin, ok := lf.in[p]
+		if !ok {
+			continue // unreachable predecessor contributes no path
+		}
+		preds++
+		pout := lf.transfer(p, pin)
+		if b == lf.g.Exit && p.Return == nil {
+			// Falling off the end of the body also runs the defers.
+			for k := range pout.deferred {
+				delete(pout.held, k)
+			}
+		}
+		for k, v := range pout.held {
+			t := tallies[k]
+			if t == nil {
+				t = &tally{}
+				tallies[k] = t
+			}
+			if v == stHeld {
+				t.held = true
+			}
+		}
+	}
+	if preds < 2 {
+		return nil
+	}
+	var keys []LockKey
+	for k, t := range tallies {
+		if !t.held {
+			continue
+		}
+		// Held on at least one path; unheld on another iff some reachable
+		// pred's out-state lacks the key.
+		unheldSomewhere := false
+		for _, p := range b.Preds {
+			pin, ok := lf.in[p]
+			if !ok {
+				continue
+			}
+			pout := lf.transfer(p, pin)
+			if b == lf.g.Exit && p.Return == nil {
+				for dk := range pout.deferred {
+					delete(pout.held, dk)
+				}
+			}
+			if _, has := pout.held[k]; !has {
+				unheldSomewhere = true
+				break
+			}
+		}
+		if unheldSomewhere {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Path < keys[j].Path })
+	return keys
+}
+
+// mergePos picks a position for a merge finding: the block's first node,
+// or the graph exit's best-effort stand-in (the last return seen).
+func (lf *LockFacts) mergePos(b *cfg.Block) token.Pos {
+	if p := b.Pos(); p != token.NoPos {
+		return p
+	}
+	// Exit (and empty join blocks): use the position of a predecessor's
+	// last node so the diagnostic lands on a real line.
+	for _, p := range b.Preds {
+		if len(p.Nodes) > 0 {
+			return p.Nodes[len(p.Nodes)-1].Pos()
+		}
+	}
+	return token.NoPos
+}
+
+// HeldAtPos returns the printed keys of mutexes held on every path at the
+// given position (must-held), by replaying the containing block's ops up
+// to pos. Returns nil when pos is not inside a reachable block.
+func (lf *LockFacts) HeldAtPos(pos token.Pos) []string {
+	if !lf.any {
+		return nil
+	}
+	for _, b := range lf.g.Blocks {
+		in, ok := lf.in[b]
+		if !ok || !containsPos(b, pos) {
+			continue
+		}
+		st := in.clone()
+		for _, op := range lf.ops[b] {
+			if op.Pos >= pos {
+				break
+			}
+			switch op.Kind {
+			case OpLock:
+				st.held[op.Key] = stHeld
+			case OpUnlock:
+				delete(st.held, op.Key)
+			}
+		}
+		var held []string
+		for _, k := range sortedKeys(st.held) {
+			if st.held[k] == stHeld {
+				held = append(held, k.String())
+			}
+		}
+		return held
+	}
+	return nil
+}
+
+func containsPos(b *cfg.Block, pos token.Pos) bool {
+	for _, n := range b.Nodes {
+		if n.Pos() <= pos && pos <= n.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[LockKey]uint8) []LockKey {
+	keys := make([]LockKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Path < keys[j].Path })
+	return keys
+}

@@ -1,0 +1,90 @@
+// Package lockflow is the dataflow-layer test fixture: each function is
+// one lock-discipline shape the locks analysis must classify exactly
+// (see dataflow_test.go for the per-function expectations).
+package lockflow
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (s *S) blockingUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+func (s *S) deferStillHeld(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *S) balanced(ok bool) int {
+	s.mu.Lock()
+	if ok {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *S) imbalance(ok bool) {
+	if ok {
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock()
+}
+
+func (s *S) unlockOnly() {
+	s.mu.Unlock()
+}
+
+func (s *S) readerSide() int {
+	s.rw.RLock()
+	v := <-s.ch
+	s.rw.RUnlock()
+	return v
+}
+
+func (s *S) lockHelper() {
+	s.mu.Lock()
+}
+
+func (s *S) selectUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-done:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *S) selectWithDefault() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) blockingOutsideLock(v int) {
+	s.ch <- v
+	s.mu.Lock()
+	s.mu.Unlock()
+}

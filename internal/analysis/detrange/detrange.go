@@ -28,9 +28,10 @@ import (
 
 // Analyzer is the detrange check.
 var Analyzer = &analysis.Analyzer{
-	Name: "detrange",
-	Doc:  "bare map iteration must not construct user-visible ordered output",
-	Run:  run,
+	Name:  "detrange",
+	Doc:   "bare map iteration must not construct user-visible ordered output",
+	Codes: []string{"map-order-to-writer", "map-order-to-channel", "map-order-to-slice"},
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {

@@ -30,9 +30,10 @@ import (
 
 // Analyzer is the errcode check.
 var Analyzer = &analysis.Analyzer{
-	Name: "errcode",
-	Doc:  "HTTP responses carry registered error codes only; raw error text must not reach a response body",
-	Run:  run,
+	Name:  "errcode",
+	Doc:   "HTTP responses carry registered error codes only; raw error text must not reach a response body",
+	Codes: []string{"error-text-in-response", "unregistered-code"},
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,275 @@
+// Package goleak enforces the engine's no-fire-and-forget rule: every
+// `go` statement must come with visible evidence that the goroutine is
+// joined (or bounded) by its launcher. A leaked goroutine in the server,
+// proxy or loadgen is capacity that never comes back — under the PR-8
+// open-loop load model, a steady leak is indistinguishable from a
+// memory/OOM time bomb.
+//
+// A launch site passes when any of these joins is visible:
+//
+//   - counter join: the goroutine body calls Done (possibly deferred) on
+//     a sync.WaitGroup, and the launching function either calls Wait on
+//     the same WaitGroup or received it from outside (parameter, field,
+//     global — the waiter lives elsewhere by construction);
+//
+//   - channel join: the body sends on or closes a channel, and the
+//     launching function receives from that channel (<-ch, range ch, a
+//     select case), returns it, or the channel arrived from outside —
+//     the pipeline convention of internal/repair's chunk streams;
+//
+//   - context bound: the body consults a context.Context (ctx.Done(),
+//     ctx.Err(), or passing ctx to a callee), so cancelling the request
+//     bounds the goroutine's lifetime — the server-handler convention.
+//
+// Everything else is flagged: `unjoined-goroutine` for a `go func(){...}`
+// literal with no join evidence, `opaque-goroutine` for `go f(x)` on a
+// named function, whose body the intra-procedural analysis cannot see —
+// wrap it in a literal that signals completion, or suppress with a
+// reason.
+//
+// The evidence is syntactic, not a proof of liveness: a Wait that is
+// never reached, or a receive on the wrong arm of a select, still
+// passes. The analyzer's job is to force every launch site to *name* its
+// join so review (and suppressaudit) can hold it to the claim.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fixrule/internal/analysis"
+)
+
+// Analyzer is the goleak check.
+var Analyzer = &analysis.Analyzer{
+	Name:  "goleak",
+	Doc:   "every goroutine launch must show a join: WaitGroup counter, done-channel, or context bound",
+	Codes: []string{"unjoined-goroutine", "opaque-goroutine"},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scope := fd.Body
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGo(pass, scope, g)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGo judges one launch site against the whole top-level function
+// body (scope): join evidence may live in a sibling literal — the
+// pipeline closer `go func() { wg.Wait(); close(done) }()` joins the
+// workers on behalf of the function.
+func checkGo(pass *analysis.Pass, scope *ast.BlockStmt, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(g.Go, "opaque-goroutine",
+			"goroutine launches a named function whose join cannot be checked here; wrap it in a literal that signals completion (done-channel, WaitGroup) or suppress with the external join's location")
+		return
+	}
+	if waitGroupJoin(pass.TypesInfo, scope, lit, g) ||
+		channelJoin(pass.TypesInfo, scope, lit, g) ||
+		contextBound(pass.TypesInfo, lit) {
+		return
+	}
+	pass.Reportf(g.Go, "unjoined-goroutine",
+		"fire-and-forget goroutine: no WaitGroup counter, done-channel, or context bound joins it to its launcher; a leak here never returns capacity")
+}
+
+// waitGroupJoin: the body calls Done on a WaitGroup that the scope Waits
+// on (or that came from outside the scope).
+func waitGroupJoin(info *types.Info, scope *ast.BlockStmt, lit *ast.FuncLit, g *ast.GoStmt) bool {
+	for _, obj := range methodReceivers(info, lit.Body, "Done", isWaitGroup) {
+		if !declaredIn(info, obj, scope) {
+			return true // parameter/field/global: the waiter lives outside
+		}
+		for _, waiter := range methodReceivers(info, scope, "Wait", isWaitGroup) {
+			if waiter == obj && !withinNode(g, objUsePos(info, scope, obj, "Wait")) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// channelJoin: the body sends on or closes a channel that the scope
+// receives from (outside this goroutine's own literal), returns, or that
+// came from outside the scope.
+func channelJoin(info *types.Info, scope *ast.BlockStmt, lit *ast.FuncLit, g *ast.GoStmt) bool {
+	signalled := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := chanObj(info, n.Chan); obj != nil {
+				signalled[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if info.Uses[id] == types.Universe.Lookup("close") {
+					if obj := chanObj(info, n.Args[0]); obj != nil {
+						signalled[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(signalled) == 0 {
+		return false
+	}
+	for obj := range signalled {
+		if !declaredIn(info, obj, scope) {
+			return true // the channel arrived from outside: its receiver joins
+		}
+	}
+	joined := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		if n == lit {
+			return false // the goroutine's own receives don't join it
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanObj(info, n.X); obj != nil && signalled[obj] {
+					joined = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := chanObj(info, n.X); obj != nil && signalled[obj] {
+				joined = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj := chanObj(info, r); obj != nil && signalled[obj] {
+					joined = true // the caller receives the join channel
+				}
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// contextBound: the body consults a context (Done/Err/deadline, or hands
+// ctx to a callee), so cancellation bounds its lifetime.
+func contextBound(info *types.Info, lit *ast.FuncLit) bool {
+	bound := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if bound {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && analysis.IsContextType(obj.Type()) {
+			if _, isVar := obj.(*types.Var); isVar {
+				bound = true
+			}
+		}
+		return !bound
+	})
+	return bound
+}
+
+// methodReceivers collects the root objects of x in x.Name() calls where
+// x's type satisfies typeOK, anywhere under n (including nested
+// literals: the closer-goroutine pattern Waits inside a sibling literal).
+func methodReceivers(info *types.Info, n ast.Node, name string, typeOK func(types.Type) bool) []types.Object {
+	var objs []types.Object
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return true
+		}
+		t := info.TypeOf(sel.X)
+		if t == nil || !typeOK(t) {
+			return true
+		}
+		if root := analysis.RootIdent(sel.X); root != nil {
+			if obj := info.Uses[root]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// objUsePos finds the position of obj's use as the receiver of a .Name
+// call in scope — only to confirm the Wait is not inside the launched
+// literal itself (withinNode filters that).
+func objUsePos(info *types.Info, scope *ast.BlockStmt, obj types.Object, name string) token.Pos {
+	var pos token.Pos
+	ast.Inspect(scope, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+			if root := analysis.RootIdent(sel.X); root != nil && info.Uses[root] == obj {
+				pos = call.Pos()
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return pos != token.NoPos && n.Pos() <= pos && pos <= n.End()
+}
+
+// declaredIn reports whether obj's declaration lies inside the scope
+// block — i.e. it is function-local. Parameters, receiver fields, struct
+// fields and globals are declared elsewhere: for those, the join
+// obligation belongs to whoever owns the object.
+func declaredIn(info *types.Info, obj types.Object, scope *ast.BlockStmt) bool {
+	return withinNode(scope, obj.Pos())
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return analysis.IsNamed(t, "sync", "WaitGroup")
+}
+
+// chanObj resolves an expression to the object of its root identifier
+// when the expression is channel-typed.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	root := analysis.RootIdent(e)
+	if root == nil {
+		return nil
+	}
+	if obj := info.Uses[root]; obj != nil {
+		return obj
+	}
+	return info.Defs[root]
+}

@@ -33,7 +33,12 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
 	Doc:  "forbid allocating constructs in //fix:hotpath functions and their intra-package callees",
-	Run:  run,
+	Codes: []string{
+		"fmt-call", "string-conversion", "string-concat", "make", "new",
+		"composite-lit-addr", "interface-boxing", "closure-capture",
+		"append-no-prealloc",
+	},
+	Run: run,
 }
 
 const directive = "fix:hotpath"

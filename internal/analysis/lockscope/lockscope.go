@@ -1,0 +1,98 @@
+// Package lockscope enforces the serving stack's lock discipline with a
+// CFG/dataflow analysis of every function that touches a
+// sync.Mutex/RWMutex:
+//
+//   - lock-across-blocking: a mutex is held (on every path) across an
+//     operation that can block — a channel send or receive, a select
+//     without default, a range over a channel, time.Sleep,
+//     sync.WaitGroup.Wait, an HTTP round-trip, net dialing,
+//     net.Conn/os.File I/O, or an os/exec wait. Holding a lock across a
+//     block stalls every other goroutine contending for it; the PR-7
+//     reload/cold-get race came from exactly this tension — the registry
+//     must NOT hold its lock across the singleflight compile, which in
+//     turn forces the re-check-under-lock pattern the fix introduced.
+//
+//   - lock-imbalance: control-flow paths merge with the mutex held on
+//     some and released on others, a Lock runs while the same mutex is
+//     already held (sync mutexes are not reentrant: self-deadlock), or
+//     an Unlock has no matching Lock on any path.
+//
+// The analysis is a must-held forward dataflow over the intra-procedural
+// CFG (internal/analysis/cfg, internal/analysis/dataflow): `defer
+// x.Unlock()` releases at every return; RLock/RUnlock track separately
+// from Lock/Unlock; TryLock is ignored (its held-state is data-dependent).
+// Functions that only ever Lock without Unlock (intentional lock helpers,
+// and functions documented to be called with the lock held) produce no
+// imbalance finding — only *disagreeing* paths do.
+//
+// What it deliberately does not see: blocking through interfaces
+// (io.Writer.Write may be a socket), lock handoff across function
+// boundaries, and aliasing (two names for one mutex). Those trades keep
+// the false-positive rate at CI-gate level; the race detector and the
+// server's fault batteries cover the remainder dynamically.
+package lockscope
+
+import (
+	"go/ast"
+
+	"fixrule/internal/analysis"
+	"fixrule/internal/analysis/cfg"
+	"fixrule/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockscope check.
+var Analyzer = &analysis.Analyzer{
+	Name:  "lockscope",
+	Doc:   "mutexes must not be held across blocking operations, and lock/unlock must balance across branches",
+	Codes: []string{"lock-across-blocking", "lock-imbalance"},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			// Function literals are separate functions with separate
+			// lock scopes (a goroutine body that locks owes the same
+			// discipline).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	lf := dataflow.AnalyzeLocks(pass.TypesInfo, cfg.New(body))
+	if !lf.HasLocks() {
+		return
+	}
+	for _, f := range lf.Findings() {
+		switch f.Kind {
+		case dataflow.BlockingWhileHeld:
+			pass.Reportf(f.Pos, "lock-across-blocking",
+				"%s is held across %s; shrink the critical section (copy what you need, unlock, then block) or the lock stalls every contender",
+				f.Key, f.Desc)
+		case dataflow.MergeImbalance:
+			pass.Reportf(f.Pos, "lock-imbalance",
+				"control-flow paths merge with %s held on some and released on others; balance the branches or use defer",
+				f.Key)
+		case dataflow.DoubleLock:
+			pass.Reportf(f.Pos, "lock-imbalance",
+				"%s is locked while already held on every path — sync mutexes are not reentrant, this self-deadlocks",
+				f.Key)
+		case dataflow.UnlockWithoutLock:
+			pass.Reportf(f.Pos, "lock-imbalance",
+				"%s is unlocked without a lock on any path through this function",
+				f.Key)
+		}
+	}
+}

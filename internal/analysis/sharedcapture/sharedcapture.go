@@ -1,0 +1,326 @@
+// Package sharedcapture flags data races born at the launch site: a
+// local variable captured by a `go func(){...}` literal that is written
+// both inside the goroutine and outside it, with no visible handoff
+// discipline. This is the shape of the PR-7 reload/cold-get bug — two
+// goroutines mutating a registry slot, each believing it had exclusive
+// ownership.
+//
+// A capture is flagged only when every cheaper explanation fails:
+//
+//   - writes that happen strictly before the `go` statement are ordered
+//     by the launch itself (the go statement is a happens-before edge)
+//     and don't count;
+//   - writes that happen after a visible join of this goroutine — a
+//     Wait on a WaitGroup the body calls Done on, or a receive on a
+//     channel the body sends on or closes — are ordered by the join and
+//     don't count;
+//   - writes on both sides that hold a common mutex (per the
+//     internal/analysis/dataflow must-held analysis) are serialised and
+//     don't count;
+//   - sync/atomic accesses never appear as plain writes and so never
+//     count.
+//
+// What remains is a variable two goroutines scribble on concurrently
+// with nothing ordering them: `shared-capture`. The check is
+// intra-procedural and write/write only — read/write races where the
+// read has no ordering are left to the race detector, because flagging
+// every post-launch read would drown the signal.
+package sharedcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fixrule/internal/analysis"
+	"fixrule/internal/analysis/cfg"
+	"fixrule/internal/analysis/dataflow"
+)
+
+// Analyzer is the sharedcapture check.
+var Analyzer = &analysis.Analyzer{
+	Name:  "sharedcapture",
+	Doc:   "variables captured by goroutine literals must not be written on both sides without a mutex, atomic, or launch/join ordering",
+	Codes: []string{"shared-capture"},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, scope *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var outerFacts *dataflow.LockFacts // lazily computed must-held facts for the scope
+	ast.Inspect(scope, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		inside := writes(info, lit.Body)
+		if len(inside) == 0 {
+			return true
+		}
+		outside := writesExcluding(info, scope, lit)
+		joins := joinPositions(info, scope, lit, g)
+		var litFacts *dataflow.LockFacts
+		for obj, inPositions := range inside {
+			if !isLocal(obj, scope) || declaredInside(obj, lit) {
+				continue
+			}
+			outPositions := racingWrites(outside[obj], g, joins)
+			if len(outPositions) == 0 {
+				continue
+			}
+			if outerFacts == nil {
+				outerFacts = dataflow.AnalyzeLocks(info, cfg.New(scope))
+			}
+			if litFacts == nil {
+				litFacts = dataflow.AnalyzeLocks(info, cfg.New(lit.Body))
+			}
+			if commonLockHeld(litFacts, inPositions, outerFacts, outPositions) {
+				continue
+			}
+			pass.Reportf(g.Go, "shared-capture",
+				"captured variable %s is written both inside this goroutine and outside it with no mutex, atomic, or launch/join ordering — a write/write race",
+				obj.Name())
+		}
+		return true
+	})
+}
+
+// writes collects plain assignments and ++/-- per object under n,
+// ignoring := definitions (creating a variable is not a race) and
+// nothing under nested launches is excluded here — a write is a write
+// whichever literal performs it.
+func writes(info *types.Info, n ast.Node) map[types.Object][]token.Pos {
+	out := map[types.Object][]token.Pos{}
+	record := func(e ast.Expr) {
+		root := analysis.RootIdent(e)
+		if root == nil {
+			return
+		}
+		if obj := info.Uses[root]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				out[obj] = append(out[obj], e.Pos())
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range c.Lhs {
+				record(lhs) // Defs-only idents (the := case) resolve via Uses to nil and drop out
+			}
+		case *ast.IncDecStmt:
+			record(c.X)
+		}
+		return true
+	})
+	return out
+}
+
+// writesExcluding is writes over the scope minus the subtree of lit.
+func writesExcluding(info *types.Info, scope *ast.BlockStmt, lit *ast.FuncLit) map[types.Object][]token.Pos {
+	all := writes(info, scope)
+	for obj, positions := range all {
+		kept := positions[:0]
+		for _, p := range positions {
+			if p < lit.Pos() || p > lit.End() {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(all, obj)
+		} else {
+			all[obj] = kept
+		}
+	}
+	return all
+}
+
+// racingWrites filters the outside writes down to the ones the launch
+// and joins do not order: after the go statement, and not after every
+// join position (a write after any join is ordered by that join only if
+// the join precedes it — we require a join between the launch and the
+// write, so any join position < write position clears it).
+func racingWrites(positions []token.Pos, g *ast.GoStmt, joins []token.Pos) []token.Pos {
+	var racing []token.Pos
+	for _, p := range positions {
+		if p < g.End() {
+			continue // pre-launch: ordered by the go statement
+		}
+		ordered := false
+		for _, j := range joins {
+			if j > g.End() && j <= p {
+				ordered = true // a join sits between launch and write
+				break
+			}
+		}
+		if !ordered {
+			racing = append(racing, p)
+		}
+	}
+	return racing
+}
+
+// joinPositions finds where the scope provably waits for this goroutine:
+// Wait calls on a WaitGroup the body calls Done on, and receives on
+// channels the body sends on or closes.
+func joinPositions(info *types.Info, scope *ast.BlockStmt, lit *ast.FuncLit, g *ast.GoStmt) []token.Pos {
+	var joins []token.Pos
+	doneOn := receiverObjs(info, lit.Body, "Done", isWaitGroup)
+	signalled := signalledChans(info, lit.Body)
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if n == lit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := info.TypeOf(sel.X); t != nil && isWaitGroup(t) {
+					if root := analysis.RootIdent(sel.X); root != nil && doneOn[info.Uses[root]] {
+						joins = append(joins, n.Pos())
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if root := analysis.RootIdent(n.X); root != nil && signalled[info.Uses[root]] {
+					joins = append(joins, n.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			if root := analysis.RootIdent(n.X); root != nil && signalled[info.Uses[root]] {
+				joins = append(joins, n.Pos())
+			}
+		}
+		return true
+	})
+	return joins
+}
+
+func receiverObjs(info *types.Info, n ast.Node, method string, typeOK func(types.Type) bool) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if t := info.TypeOf(sel.X); t == nil || !typeOK(t) {
+			return true
+		}
+		if root := analysis.RootIdent(sel.X); root != nil {
+			if obj := info.Uses[root]; obj != nil {
+				objs[obj] = true
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+func signalledChans(info *types.Info, n ast.Node) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		t := info.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Chan); !ok {
+			return
+		}
+		if root := analysis.RootIdent(e); root != nil {
+			if obj := info.Uses[root]; obj != nil {
+				objs[obj] = true
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.SendStmt:
+			mark(c.Chan)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "close" && len(c.Args) == 1 &&
+				info.Uses[id] == types.Universe.Lookup("close") {
+				mark(c.Args[0])
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// commonLockHeld reports whether some single mutex is must-held at every
+// inside write (per the literal's facts) and every outside write (per
+// the scope's facts) — the serialised-by-mutex exemption.
+func commonLockHeld(litFacts *dataflow.LockFacts, inside []token.Pos, outerFacts *dataflow.LockFacts, outside []token.Pos) bool {
+	common := map[string]bool{}
+	for i, p := range inside {
+		held := litFacts.HeldAtPos(p)
+		if len(held) == 0 {
+			return false
+		}
+		if i == 0 {
+			for _, k := range held {
+				common[k] = true
+			}
+			continue
+		}
+		keep := map[string]bool{}
+		for _, k := range held {
+			if common[k] {
+				keep[k] = true
+			}
+		}
+		common = keep
+	}
+	if len(common) == 0 {
+		return false
+	}
+	for _, p := range outside {
+		keep := map[string]bool{}
+		for _, k := range outerFacts.HeldAtPos(p) {
+			if common[k] {
+				keep[k] = true
+			}
+		}
+		common = keep
+		if len(common) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func isLocal(obj types.Object, scope *ast.BlockStmt) bool {
+	return obj.Pos() >= scope.Pos() && obj.Pos() <= scope.End()
+}
+
+func declaredInside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return analysis.IsNamed(t, "sync", "WaitGroup")
+}

@@ -8,7 +8,11 @@ import (
 	"fixrule/internal/analysis/ctxpoll"
 	"fixrule/internal/analysis/detrange"
 	"fixrule/internal/analysis/errcode"
+	"fixrule/internal/analysis/goleak"
 	"fixrule/internal/analysis/hotpathalloc"
+	"fixrule/internal/analysis/lockscope"
+	"fixrule/internal/analysis/sharedcapture"
+	"fixrule/internal/analysis/suppressaudit"
 )
 
 func TestHotpathalloc(t *testing.T) {
@@ -29,4 +33,32 @@ func TestErrcode(t *testing.T) {
 
 func TestDetrange(t *testing.T) {
 	analysistest.Run(t, "testdata/src/detrangefix", detrange.Analyzer)
+}
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/goleakfix", goleak.Analyzer)
+}
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockscopefix", lockscope.Analyzer)
+}
+
+func TestSharedcapture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/sharedcapturefix", sharedcapture.Analyzer)
+}
+
+// TestSuppressaudit runs ctxpoll and suppressaudit together: the audit
+// only judges directives for analyzers that were part of the run.
+func TestSuppressaudit(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/suppressauditfix",
+		ctxpoll.Analyzer, suppressaudit.Analyzer)
+}
+
+// TestReloadRaceRegression pins the PR-7 reload/cold-get bug shapes: the
+// concurrency analyzers must catch both the lock-held-across-compile
+// wait and the distilled two-writer race, and stay silent on the
+// shipped fix.
+func TestReloadRaceRegression(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/reloadrace",
+		goleak.Analyzer, lockscope.Analyzer, sharedcapture.Analyzer, suppressaudit.Analyzer)
 }

@@ -1,0 +1,48 @@
+// Package suppressaudit keeps the suppression ledger honest: a
+// `//fix:allow <analyzer>: <reason>` directive is a standing claim that
+// a specific diagnostic on that line is a reviewed false positive. When
+// the code changes and the diagnostic goes away, the directive doesn't —
+// it silently pre-approves whatever diagnostic appears there next, with
+// a reason written for different code.
+//
+// This analyzer runs after every other analyzer in the suite, over the
+// framework's audit trail of which suppressions actually matched a
+// diagnostic, and reports `stale-suppression` for each one that:
+//
+//   - names an analyzer that ran in this invocation (a suppression for
+//     an analyzer outside the run is unassessable, not stale — partial
+//     runs via -analyzers must not condemn the others' directives), and
+//   - suppressed nothing.
+//
+// The fix is to delete the directive, or — if the diagnostic is
+// expected to return — re-establish it next to code that actually
+// triggers it. A stale-suppression diagnostic can itself be suppressed
+// (`//fix:allow suppressaudit: <reason>`) for the rare directive that
+// guards a diagnostic which appears only under build tags this run
+// didn't load; that suppression is audited in turn on runs that do.
+package suppressaudit
+
+import (
+	"fixrule/internal/analysis"
+)
+
+// Analyzer is the suppressaudit check. It has no Run: it consumes the
+// framework's post-run audit instead of the source.
+var Analyzer = &analysis.Analyzer{
+	Name:     "suppressaudit",
+	Doc:      "every //fix:allow directive must still suppress a live diagnostic; stale ones are errors",
+	Codes:    []string{"stale-suppression"},
+	RunAudit: runAudit,
+}
+
+func runAudit(pass *analysis.Pass, audit *analysis.Audit) error {
+	for _, s := range audit.Suppressions {
+		if !s.Assessable || s.Used {
+			continue
+		}
+		pass.Reportf(s.Pos, "stale-suppression",
+			"//fix:allow %s suppresses nothing — the diagnostic it excused (reason: %s) is gone; delete the directive or move it to the code that still needs it",
+			s.Analyzer, s.Reason)
+	}
+	return nil
+}

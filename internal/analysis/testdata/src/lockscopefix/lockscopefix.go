@@ -1,0 +1,118 @@
+// Package lockscopefix is the lockscope golden fixture: critical
+// sections that block, branch imbalances, and the sanctioned shapes
+// that must stay silent.
+package lockscopefix
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	state int
+	work  chan int
+}
+
+// blockingUnderLock holds the mutex across a channel receive.
+func (s *server) blockingUnderLock() int {
+	s.mu.Lock()
+	v := <-s.work // want `lock-across-blocking`
+	s.mu.Unlock()
+	return v
+}
+
+// deferHeld: the deferred unlock only runs at return, so the send still
+// happens with the lock held.
+func (s *server) deferHeld(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.work <- v // want `lock-across-blocking`
+}
+
+// sleepUnderRead holds the read side across a sleep; readers stall
+// writers too.
+func (s *server) sleepUnderRead() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want `lock-across-blocking`
+	s.rw.RUnlock()
+}
+
+// imbalance locks on one branch only: the paths merge disagreeing about
+// whether s.mu is held.
+func (s *server) imbalance(cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.state++ // want `lock-imbalance`
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// doubleLock re-locks a held, non-reentrant mutex: self-deadlock. The
+// second unlock is reported too — must-held state does not nest, so
+// after the pair of locks collapses, one unlock is left unmatched.
+func (s *server) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `lock-imbalance`
+	s.state++
+	s.mu.Unlock()
+	s.mu.Unlock() // want `lock-imbalance`
+}
+
+// unlockAdrift has no matching lock on any path.
+func (s *server) unlockAdrift() {
+	s.state++
+	s.mu.Unlock() // want `lock-imbalance`
+}
+
+// literalBody: a goroutine body owes the same discipline as a
+// declaration.
+func (s *server) literalBody(done chan struct{}) {
+	go func() {
+		s.mu.Lock()
+		<-s.work // want `lock-across-blocking`
+		s.mu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+// shrink is the sanctioned pattern: copy under lock, unlock, then block.
+func (s *server) shrink() {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	s.work <- v
+}
+
+// balanced branches agree on the lock state at every merge.
+func (s *server) balanced(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.state++
+	} else {
+		s.state--
+	}
+	s.mu.Unlock()
+}
+
+// lockHelper intentionally leaves the mutex held for its caller — no
+// disagreeing paths, no finding.
+func (s *server) lockHelper() {
+	s.mu.Lock()
+	s.state++
+}
+
+// selectDefault never blocks: the default arm makes the select a poll.
+func (s *server) selectDefault() {
+	s.mu.Lock()
+	select {
+	case v := <-s.work:
+		s.state = v
+	default:
+	}
+	s.mu.Unlock()
+}

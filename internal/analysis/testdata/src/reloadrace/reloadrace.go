@@ -1,0 +1,91 @@
+// Package reloadrace is the regression fixture for the PR-7 reload /
+// cold-get race in the tenant registry: the buggy shapes that shipped
+// (and their distilled racy variant) must trip lockscope and
+// sharedcapture, and the fixed shape must stay silent. Run as a suite —
+// goleak, lockscope, sharedcapture, suppressaudit together — exactly as
+// cmd/fixvet runs them.
+package reloadrace
+
+import "sync"
+
+type engine struct{ rules int }
+
+func compile(tenant string) *engine {
+	return &engine{rules: len(tenant)}
+}
+
+type registry struct {
+	mu      sync.Mutex
+	engines map[string]*engine
+	pending map[string]chan struct{}
+}
+
+// coldGetBad is the bug shape: the registry lock is held across the
+// singleflight wait, so one tenant's compile stalls every other
+// tenant's get — and the compiling goroutine self-deadlocks trying to
+// take the lock the waiter holds.
+func (r *registry) coldGetBad(tenant string) *engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.engines[tenant]; ok {
+		return e
+	}
+	done, ok := r.pending[tenant]
+	if !ok {
+		done = make(chan struct{})
+		r.pending[tenant] = done
+		go func() {
+			e := compile(tenant)
+			r.mu.Lock()
+			r.engines[tenant] = e
+			delete(r.pending, tenant)
+			r.mu.Unlock()
+			close(done)
+		}()
+	}
+	<-done // want `lock-across-blocking`
+	return r.engines[tenant]
+}
+
+// coldGet is the shipped fix: register the pending slot under the lock,
+// release it across the compile wait, re-read under the lock after.
+func (r *registry) coldGet(tenant string) *engine {
+	r.mu.Lock()
+	if e, ok := r.engines[tenant]; ok {
+		r.mu.Unlock()
+		return e
+	}
+	done, ok := r.pending[tenant]
+	if !ok {
+		done = make(chan struct{})
+		r.pending[tenant] = done
+		go func() {
+			e := compile(tenant)
+			r.mu.Lock()
+			r.engines[tenant] = e
+			delete(r.pending, tenant)
+			r.mu.Unlock()
+			close(done)
+		}()
+	}
+	r.mu.Unlock()
+	<-done
+	r.mu.Lock()
+	e := r.engines[tenant]
+	r.mu.Unlock()
+	return e
+}
+
+// reloadRacy distils the racy pre-fix reload: two writers to one
+// captured slot, no ordering between them — and nothing joins the
+// goroutine either.
+func (r *registry) reloadRacy(tenant string) *engine {
+	var got *engine
+	go func() { // want `shared-capture` `unjoined-goroutine`
+		got = compile(tenant)
+	}()
+	if got == nil {
+		got = &engine{}
+	}
+	return got
+}

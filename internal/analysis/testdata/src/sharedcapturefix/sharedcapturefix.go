@@ -1,0 +1,90 @@
+// Package sharedcapturefix is the sharedcapture golden fixture: a
+// captured variable written on both sides of a goroutine launch, and
+// every ordering discipline that legitimises such writes.
+package sharedcapturefix
+
+import "sync"
+
+func compute() int { return 1 }
+
+// racyCounter: written by the goroutine and by the launcher with
+// nothing ordering the writes.
+func racyCounter() int {
+	n := 0
+	go func() { // want `shared-capture`
+		n = compute()
+	}()
+	n++
+	return n
+}
+
+// preLaunch: the only outside write precedes the launch; the go
+// statement itself orders it.
+func preLaunch() int {
+	n := 0
+	n = compute()
+	done := make(chan struct{})
+	go func() {
+		n++
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// postJoin: the launcher writes again only after Wait — the PR-8
+// loadgen accumulator shape.
+func postJoin() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n = compute()
+	}()
+	wg.Wait()
+	n++
+	return n
+}
+
+// chanJoin: a receive on the goroutine's done channel orders the
+// launcher's second write.
+func chanJoin() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = compute()
+		close(done)
+	}()
+	<-done
+	n++
+	return n
+}
+
+// mutexGuarded: both sides hold the same mutex around their writes.
+func mutexGuarded(mu *sync.Mutex) int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		n = compute()
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	n++
+	mu.Unlock()
+	<-done
+	return n
+}
+
+// readBack: the launcher only reads. Read/write ordering is the race
+// detector's turf; flagging every post-launch read would drown the
+// signal.
+func readBack() int {
+	n := 0
+	go func() {
+		n = compute()
+	}()
+	return n
+}

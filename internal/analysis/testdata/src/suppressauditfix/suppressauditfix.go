@@ -1,0 +1,48 @@
+// Package suppressauditfix exercises the suppression audit: live
+// directives pass, stale ones are flagged, directives for analyzers
+// outside the run are left unjudged.
+package suppressauditfix
+
+import "context"
+
+func busyWork() {}
+
+// spin legitimately suppresses: ctxpoll would flag the loop, and the
+// directive still matches that live diagnostic.
+func spin(ctx context.Context, fuel func() bool) {
+	//fix:allow ctxpoll: loop is bounded by the fuel callback; polling would double the branch cost
+	for fuel() {
+		busyWork()
+	}
+	_ = ctx
+}
+
+// stale carries a directive whose diagnostic no longer fires: the loop
+// now polls the context, so the excuse outlived the offence.
+func stale(ctx context.Context, fuel func() bool) {
+	//fix:allow ctxpoll: profiling shows the poll dominates this loop -- want `stale-suppression`
+	for fuel() {
+		if ctx.Err() != nil {
+			return
+		}
+		busyWork()
+	}
+}
+
+// typo names an analyzer that does not exist in any run.
+func typo() {
+	//fix:allow ctxpol: misspelled analyzer name -- want `unknown-analyzer`
+	busyWork()
+}
+
+// selfSuppressed: a directive guarding a diagnostic that only fires
+// under build tags this run did not load — stale here, excused by a
+// suppressaudit directive, which covers the stale-suppression report on
+// its own and the following line.
+func selfSuppressed(fuel func() bool) {
+	//fix:allow suppressaudit: guards a diagnostic behind build tags not loaded in this run
+	//fix:allow ctxpoll: integration-tagged body polls differently
+	for fuel() {
+		busyWork()
+	}
+}
