@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -64,6 +65,7 @@ func run() int {
 		sloSpec    = flag.String("slo", "", "SLO terms, e.g. p99=50ms,err<0.1% (empty = no verdict)")
 		jsonPath   = flag.String("json", "", "append the run's JSON records to this file (BENCH_repair.json-compatible rows)")
 		scrape     = flag.Bool("scrape", true, "scrape <url>/metrics before and after and report the server-side delta")
+		quality    = flag.Bool("quality", false, "fetch <url>/quality before and after and embed both reports in the JSON record")
 		seed       = flag.Int64("seed", 1, "workload picker seed")
 	)
 	flag.Parse()
@@ -136,6 +138,13 @@ func run() int {
 			before = nil
 		}
 	}
+	var qualityBefore json.RawMessage
+	qualityURL := strings.TrimRight(*url, "/") + "/quality"
+	if *quality {
+		if qualityBefore, err = fetchQuality(ctx, qualityURL); err != nil {
+			fmt.Fprintf(os.Stderr, "fixload: pre-run /quality fetch failed (%v); continuing\n", err)
+		}
+	}
 
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
@@ -144,6 +153,13 @@ func run() int {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "fixload: interrupted; reporting partial results\n")
+	}
+
+	var qualityAfter json.RawMessage
+	if *quality {
+		if qualityAfter, err = fetchQuality(context.Background(), qualityURL); err != nil {
+			fmt.Fprintf(os.Stderr, "fixload: post-run /quality fetch failed (%v)\n", err)
+		}
 	}
 
 	rep.WriteText(os.Stdout)
@@ -167,7 +183,10 @@ func run() int {
 			}
 		}
 		label := fmt.Sprintf("load/%s@%.0frps", *mixSpec, rep.TargetRPS)
-		if err := appendRecord(*jsonPath, rep.Record(*dataset, label, verdict)); err != nil {
+		rec := rep.Record(*dataset, label, verdict)
+		rec.QualityBefore = qualityBefore
+		rec.QualityAfter = qualityAfter
+		if err := appendRecord(*jsonPath, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "fixload: %v\n", err)
 			return 2
 		}
@@ -240,6 +259,33 @@ func loadRelation(path string) (header []string, rows [][]string, err error) {
 		return nil, nil, fmt.Errorf("%s: need a header and at least one data row", path)
 	}
 	return all[0], all[1:], nil
+}
+
+// fetchQuality GETs the server's /quality report and returns the body
+// verbatim. Non-200 statuses (a proxy answers 503 quality_unavailable
+// before its first probe round lands) and invalid JSON are errors; the
+// caller degrades to omitting the field rather than aborting the run.
+func fetchQuality(ctx context.Context, url string) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("%s: response is not valid JSON", url)
+	}
+	return json.RawMessage(body), nil
 }
 
 // appendRecord merges one record into the JSON array at path (created when

@@ -41,6 +41,7 @@
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus exposition (with trace exemplars)
 //	GET  /stats               service counters and ruleset version
+//	GET  /quality             windowed data-quality telemetry + drift verdicts
 //	GET  /rules[?format=json] the loaded ruleset
 //	GET  /rules/stats         rule statistics
 //	GET  /debug/traces        recent request traces; /debug/traces/<id> drills in
@@ -50,6 +51,7 @@
 //	POST /reload              hot-swap the ruleset from the rule file
 //	     /t/{tenant}/...      the same repair surface per tenant
 //	GET  /shard               (proxy mode) ring topology; ?tenant=x → owner
+//	GET  /fleet               (proxy mode) per-worker health + aggregated quality
 package main
 
 import (
@@ -90,6 +92,10 @@ func main() {
 		tenantInFl    = flag.Int("tenant-inflight", 16, "concurrent repair requests per tenant before shedding with 503")
 		tenantMaxBody = flag.Int64("tenant-max-body", 0, "per-tenant request body cap in bytes (0 = -max-body)")
 		shardReplicas = flag.Int("shard-replicas", 128, "virtual nodes per worker on the consistent-hash ring (proxy mode)")
+		qualityWin    = flag.Duration("quality-window", time.Minute, "live window span for /quality telemetry")
+		qualityBase   = flag.Duration("quality-baseline", 10*time.Minute, "baseline window span the drift detector compares against")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second, "worker health/quality probe period (proxy mode)")
+		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "per-probe HTTP deadline (proxy mode)")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		traceSample   = flag.Float64("trace-sample", 0.01, "fraction of requests recording full traces for /debug/traces (errors always recorded)")
 		traceRing     = flag.Int("trace-ring", 64, "completed traces retained for /debug/traces")
@@ -119,14 +125,16 @@ func main() {
 		}
 	}
 	cfg := server.Config{
-		MaxBodyBytes:   *maxBody,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		StreamWorkers:  workers,
-		Logger:         logger,
-		Tracer:         tracer,
-		EnablePprof:    *pprofOn,
-		Tenants:        tenants,
+		MaxBodyBytes:    *maxBody,
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  *reqTimeout,
+		StreamWorkers:   workers,
+		Logger:          logger,
+		Tracer:          tracer,
+		EnablePprof:     *pprofOn,
+		Tenants:         tenants,
+		QualityWindow:   *qualityWin,
+		QualityBaseline: *qualityBase,
 	}
 
 	var app application
@@ -134,7 +142,7 @@ func main() {
 	case "standalone", "worker":
 		app, err = buildNode(*mode, *rulesPath, cfg)
 	case "proxy":
-		app, err = buildProxy(*peers, *shardReplicas, *maxBody, logger, tracer)
+		app, err = buildProxy(*peers, *shardReplicas, *maxBody, *probeInterval, *probeTimeout, logger, tracer)
 	default:
 		err = fmt.Errorf("unknown -mode %q (want standalone, worker or proxy)", *mode)
 	}
@@ -157,12 +165,14 @@ type usageError string
 
 func (e usageError) Error() string { return string(e) }
 
-// application is one serving topology: a handler plus the banner line and
-// the SIGHUP action of its mode.
+// application is one serving topology: a handler plus the banner line,
+// the SIGHUP action of its mode, and an optional shutdown hook that stops
+// background workers (the proxy's prober) after the listener drains.
 type application struct {
 	handler http.Handler
 	banner  string
 	onHUP   func()
+	close   func()
 }
 
 // buildNode assembles a standalone or worker node.
@@ -217,7 +227,7 @@ func buildNode(mode, rulesPath string, cfg server.Config) (application, error) {
 }
 
 // buildProxy assembles the shard router.
-func buildProxy(peers string, replicas int, maxBody int64, logger *slog.Logger, tracer *trace.Tracer) (application, error) {
+func buildProxy(peers string, replicas int, maxBody int64, probeInterval, probeTimeout time.Duration, logger *slog.Logger, tracer *trace.Tracer) (application, error) {
 	var workers []string
 	for _, p := range strings.Split(peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -228,11 +238,13 @@ func buildProxy(peers string, replicas int, maxBody int64, logger *slog.Logger, 
 		return application{}, usageError("-peers is required in proxy mode")
 	}
 	px, err := server.NewProxy(server.ProxyConfig{
-		Workers:      workers,
-		Replicas:     replicas,
-		MaxBodyBytes: maxBody,
-		Logger:       logger,
-		Tracer:       tracer,
+		Workers:       workers,
+		Replicas:      replicas,
+		MaxBodyBytes:  maxBody,
+		ProbeInterval: probeInterval,
+		ProbeTimeout:  probeTimeout,
+		Logger:        logger,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return application{}, err
@@ -243,6 +255,7 @@ func buildProxy(peers string, replicas int, maxBody int64, logger *slog.Logger, 
 		onHUP: func() {
 			fmt.Println("fixserve: SIGHUP ignored in proxy mode (no rulesets held)")
 		},
+		close: px.Close,
 	}, nil
 }
 
@@ -305,6 +318,9 @@ func serve(app application, addr string, drainTimeout time.Duration) error {
 					return fmt.Errorf("shutdown: %w", err)
 				}
 				<-errc // Serve has returned http.ErrServerClosed
+				if app.close != nil {
+					app.close()
+				}
 				fmt.Println("fixserve: drained, bye")
 				return nil
 			}

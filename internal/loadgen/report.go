@@ -38,6 +38,12 @@ type LoadRecord struct {
 	Truncated    int64   `json:"truncated"`
 	Dropped      int64   `json:"dropped"`
 	SLO          string  `json:"slo,omitempty"` // "pass" / "fail"
+
+	// QualityBefore/QualityAfter hold the server's /quality report captured
+	// around the run (fixload -quality), verbatim, so a load row carries the
+	// windowed coverage/OOV/drift picture alongside its latency columns.
+	QualityBefore json.RawMessage `json:"quality_before,omitempty"`
+	QualityAfter  json.RawMessage `json:"quality_after,omitempty"`
 }
 
 // Record flattens a report's measured totals into one LoadRecord.

@@ -50,6 +50,30 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// FloatGauge is an atomic float64 value, for quantities that are not whole
+// numbers (seconds of uptime, probe latency, windowed rates). It renders
+// like a Gauge; registered via Registry.FloatGauge or — for monotonic
+// float quantities like cumulative GC pause seconds — Registry.FloatCounter.
+type FloatGauge struct {
+	v atomic.Uint64 // math.Float64bits
+}
+
+// Set stores f.
+func (g *FloatGauge) Set(f float64) { g.v.Store(math.Float64bits(f)) }
+
+// Add increments the value by f (CAS loop, same as Histogram's sum).
+func (g *FloatGauge) Add(f float64) {
+	for {
+		old := g.v.Load()
+		if g.v.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+f)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket histogram in the Prometheus style: bounds
 // are upper limits, counts are per-bucket (not cumulative internally), and
 // an implicit +Inf bucket catches the tail. Observe is wait-free: one
@@ -232,6 +256,7 @@ type series struct {
 	labels string // pre-rendered, e.g. `endpoint="/repair"`, or ""
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge // float-valued counter or gauge; wins over c/g when set
 	h      *Histogram
 }
 
@@ -251,6 +276,10 @@ type Registry struct {
 	mu     sync.Mutex
 	fams   []*family
 	byName map[string]*family
+	hooks  []func()
+	// runtimeDone guards RegisterRuntime against double registration —
+	// two runtime hooks would each apply full GC deltas and double-count.
+	runtimeDone bool
 }
 
 // NewRegistry returns an empty registry.
@@ -315,6 +344,34 @@ func (r *Registry) Gauge(name, help, labels string) *Gauge {
 	return s.g
 }
 
+// FloatGauge returns the float gauge for (name, labels), registering it on
+// first use. A name may hold int or float series, never both.
+func (r *Registry) FloatGauge(name, help, labels string) *FloatGauge {
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.fg == nil {
+		if s.g != nil {
+			panic(fmt.Sprintf("obs: metric %s already registered as an int gauge", name))
+		}
+		s.fg = &FloatGauge{}
+	}
+	return s.fg
+}
+
+// FloatCounter returns a float-valued counter for (name, labels) — for
+// monotonic quantities measured in fractional units, like cumulative GC
+// pause seconds. It renders with counter TYPE metadata; the caller must
+// only ever Add non-negative deltas.
+func (r *Registry) FloatCounter(name, help, labels string) *FloatGauge {
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.fg == nil {
+		if s.c != nil {
+			panic(fmt.Sprintf("obs: metric %s already registered as an int counter", name))
+		}
+		s.fg = &FloatGauge{}
+	}
+	return s.fg
+}
+
 // Histogram returns the histogram for (name, labels), registering it on
 // first use with the given bucket bounds (ignored on later lookups).
 func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
@@ -323,6 +380,28 @@ func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histo
 		s.h = NewHistogram(bounds)
 	}
 	return s.h
+}
+
+// AddScrapeHook registers fn to run at the start of every WritePrometheus /
+// WriteOpenMetrics call, outside the registry lock. Hooks let gauges whose
+// values live elsewhere (windowed quality rates, Go runtime stats) refresh
+// at scrape time while reusing the normal rendering path.
+func (r *Registry) AddScrapeHook(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// markRuntimeRegistered flips the runtime-collector guard, reporting
+// whether this call was the first.
+func (r *Registry) markRuntimeRegistered() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.runtimeDone {
+		return false
+	}
+	r.runtimeDone = true
+	return true
 }
 
 // WritePrometheus renders every registered family in the classic text
@@ -342,6 +421,13 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) { r.write(w, true) }
 
 func (r *Registry) write(w io.Writer, om bool) {
 	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
 	fams := make([]*family, len(r.fams))
 	copy(fams, r.fams)
 	r.mu.Unlock()
@@ -357,9 +443,17 @@ func (r *Registry) write(w io.Writer, om bool) {
 		for _, s := range f.series {
 			switch f.kind {
 			case kindCounter:
-				writeSample(w, f.name, s.labels, "", float64(s.c.Load()))
+				if s.fg != nil {
+					writeSample(w, f.name, s.labels, "", s.fg.Load())
+				} else {
+					writeSample(w, f.name, s.labels, "", float64(s.c.Load()))
+				}
 			case kindGauge:
-				writeSample(w, f.name, s.labels, "", float64(s.g.Load()))
+				if s.fg != nil {
+					writeSample(w, f.name, s.labels, "", s.fg.Load())
+				} else {
+					writeSample(w, f.name, s.labels, "", float64(s.g.Load()))
+				}
 			case kindHistogram:
 				var cum int64
 				for i, bound := range s.h.bounds {

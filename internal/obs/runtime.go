@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime attaches a Go runtime collector to the registry: live
+// goroutine count, heap bytes, cumulative GC cycles and pause seconds, and
+// process uptime, all refreshed on every /metrics scrape via a scrape
+// hook. start anchors the uptime gauge (the process or server start time).
+// A second call on the same registry is a no-op — the GC series are
+// delta-accumulated, and a duplicate hook would double-count them.
+func RegisterRuntime(r *Registry, start time.Time) {
+	if !r.markRuntimeRegistered() {
+		return
+	}
+	goroutines := r.Gauge("fixserve_goroutines",
+		"Number of live goroutines.", "")
+	heapAlloc := r.Gauge("fixserve_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", "")
+	heapSys := r.Gauge("fixserve_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys).", "")
+	gcCycles := r.Counter("fixserve_gc_cycles_total",
+		"Completed GC cycles since process start.", "")
+	gcPause := r.FloatCounter("fixserve_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time in seconds.", "")
+	uptime := r.FloatGauge("fixserve_uptime_seconds",
+		"Seconds since the server started.", "")
+
+	// The runtime exposes NumGC / PauseTotalNs as cumulative values; the
+	// hook adds only the delta since the previous scrape so the registered
+	// series keep real counter semantics. mu serialises concurrent scrapes
+	// over that delta state.
+	var mu sync.Mutex
+	var lastGC uint32
+	var lastPauseNs uint64
+	r.AddScrapeHook(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		gcCycles.Add(int64(ms.NumGC - lastGC))
+		lastGC = ms.NumGC
+		gcPause.Add(float64(ms.PauseTotalNs-lastPauseNs) / 1e9)
+		lastPauseNs = ms.PauseTotalNs
+		uptime.Set(time.Since(start).Seconds())
+	})
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	g.Set(1.5)
+	if g.Load() != 1.5 {
+		t.Errorf("Load = %v, want 1.5", g.Load())
+	}
+	g.Add(0.25)
+	if g.Load() != 1.75 {
+		t.Errorf("Load after Add = %v, want 1.75", g.Load())
+	}
+}
+
+func TestFloatSeriesRender(t *testing.T) {
+	r := NewRegistry()
+	r.FloatGauge("test_ratio", "A ratio.", "").Set(0.25)
+	r.FloatCounter("test_seconds_total", "Seconds.", "").Add(1.5)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_ratio gauge",
+		"test_ratio 0.25",
+		"# TYPE test_seconds_total counter",
+		"test_seconds_total 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScrapeHookRefreshesGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_hooked", "Refreshed by hook.", "")
+	n := int64(0)
+	r.AddScrapeHook(func() { n++; g.Set(n) })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "test_hooked 1") {
+		t.Errorf("first scrape: %s", b.String())
+	}
+	b.Reset()
+	r.WriteOpenMetrics(&b)
+	if !strings.Contains(b.String(), "test_hooked 2") {
+		t.Errorf("second scrape: %s", b.String())
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	start := time.Now().Add(-3 * time.Second)
+	RegisterRuntime(r, start)
+	RegisterRuntime(r, start) // second call must be a no-op, not double-count
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, fam := range []string{
+		"fixserve_goroutines",
+		"fixserve_heap_alloc_bytes",
+		"fixserve_heap_sys_bytes",
+		"fixserve_gc_cycles_total",
+		"fixserve_gc_pause_seconds_total",
+		"fixserve_uptime_seconds",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing family %s:\n%s", fam, out)
+		}
+	}
+	// Goroutines and heap are live values; uptime must reflect the anchor.
+	if strings.Contains(out, "fixserve_goroutines 0\n") {
+		t.Error("goroutine gauge reads 0 on a running process")
+	}
+	if strings.Contains(out, "fixserve_uptime_seconds 0\n") {
+		t.Error("uptime gauge reads 0 with a 3s-old start anchor")
+	}
+}

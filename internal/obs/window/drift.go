@@ -1,0 +1,128 @@
+package window
+
+import "math"
+
+// Verdict classifies one drift signal: how far a live-window rate has
+// moved from its baseline-window value.
+type Verdict string
+
+const (
+	// VerdictInsufficient means one of the windows holds too few samples
+	// for the comparison to mean anything (cold start, idle service).
+	VerdictInsufficient Verdict = "insufficient_data"
+	// VerdictOK means the live rate is within the warn envelope.
+	VerdictOK Verdict = "ok"
+	// VerdictWarn means the live rate has moved past the warn envelope but
+	// not the drift envelope — worth a look, not yet an incident.
+	VerdictWarn Verdict = "warn"
+	// VerdictDrift means the live rate has left the drift envelope: the
+	// ruleset's relationship to the data has materially changed (coverage
+	// decay, OOV surge) and rule mining / redeployment should kick in.
+	VerdictDrift Verdict = "drift"
+)
+
+// severity orders verdicts for the roll-up: drift > warn > ok >
+// insufficient_data.
+func severity(v Verdict) int {
+	switch v {
+	case VerdictDrift:
+		return 3
+	case VerdictWarn:
+		return 2
+	case VerdictOK:
+		return 1
+	}
+	return 0
+}
+
+// Severity exposes the verdict's numeric rank (0 insufficient_data,
+// 1 ok, 2 warn, 3 drift) for gauges and alert thresholds.
+func (v Verdict) Severity() int { return severity(v) }
+
+// Worst returns the most severe verdict of the set; an empty set (or one
+// of only insufficient-data verdicts) rolls up to VerdictInsufficient.
+func Worst(vs ...Verdict) Verdict {
+	out := VerdictInsufficient
+	for _, v := range vs {
+		if severity(v) > severity(out) {
+			out = v
+		}
+	}
+	return out
+}
+
+// Thresholds tunes drift classification. A signal's deviation is the
+// absolute difference between its live and baseline rates; it trips a
+// level when it exceeds BOTH nothing and max(abs, rel×baseline) for that
+// level — the absolute floor keeps near-zero baselines from flagging on
+// noise, the relative term scales with the signal's own magnitude.
+type Thresholds struct {
+	// WarnAbs / WarnRel bound the warn envelope; defaults 0.01 / 0.25.
+	WarnAbs, WarnRel float64
+	// DriftAbs / DriftRel bound the drift envelope; defaults 0.05 / 0.50.
+	DriftAbs, DriftRel float64
+	// MinLive / MinBaseline are the sample floors (denominator counts)
+	// below which the verdict is insufficient_data; defaults 20 / 100.
+	MinLive, MinBaseline int64
+}
+
+// DefaultThresholds returns the production defaults documented above.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		WarnAbs: 0.01, WarnRel: 0.25,
+		DriftAbs: 0.05, DriftRel: 0.50,
+		MinLive: 20, MinBaseline: 100,
+	}
+}
+
+// withDefaults resolves zero fields so a partially set Thresholds (tests
+// often only lower the sample floors) behaves sanely.
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.WarnAbs <= 0 {
+		t.WarnAbs = d.WarnAbs
+	}
+	if t.WarnRel <= 0 {
+		t.WarnRel = d.WarnRel
+	}
+	if t.DriftAbs <= 0 {
+		t.DriftAbs = d.DriftAbs
+	}
+	if t.DriftRel <= 0 {
+		t.DriftRel = d.DriftRel
+	}
+	if t.MinLive <= 0 {
+		t.MinLive = d.MinLive
+	}
+	if t.MinBaseline <= 0 {
+		t.MinBaseline = d.MinBaseline
+	}
+	return t
+}
+
+// Classify grades one signal: live and baseline are the two windows'
+// rates (ratios in [0,1], typically), liveN and baseN the sample counts
+// the rates were computed over.
+func (t Thresholds) Classify(live, baseline float64, liveN, baseN int64) Verdict {
+	t = t.withDefaults()
+	if liveN < t.MinLive || baseN < t.MinBaseline {
+		return VerdictInsufficient
+	}
+	dev := math.Abs(live - baseline)
+	if dev > math.Max(t.DriftAbs, t.DriftRel*baseline) {
+		return VerdictDrift
+	}
+	if dev > math.Max(t.WarnAbs, t.WarnRel*baseline) {
+		return VerdictWarn
+	}
+	return VerdictOK
+}
+
+// Ratio is the safe division every rate computation here uses: 0 when the
+// denominator is 0, so an idle window reads as rate 0 rather than NaN.
+func Ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,215 @@
+// Package window provides sliding-window counters for data-quality
+// telemetry: lock-cheap rings of time buckets with an injectable clock, so
+// windowed rates (rule applications, OOV cells, coverage) can sit next to
+// the cumulative counters of internal/obs without ever resetting them —
+// and so tests can drive bucket rotation deterministically.
+//
+// The design mirrors the rest of the observability layer: nothing here may
+// slow the repair hot path. Observations are per-request aggregates, never
+// per tuple, and Add is two atomic loads plus one atomic add in the common
+// case; a mutex is taken only when a bucket rotates, which happens at most
+// once per bucket resolution per counter.
+package window
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the current time. Production code passes time.Now; tests
+// pass a fake to make bucket rotation deterministic.
+type Clock func() time.Time
+
+// Options sizes one window.
+type Options struct {
+	// Span is the total window length; <= 0 selects one minute.
+	Span time.Duration
+	// Buckets is the ring size; the bucket resolution is Span/Buckets.
+	// <= 0 selects 12 (5s resolution on the default span).
+	Buckets int
+}
+
+// WithDefaults resolves zero fields to the production defaults.
+func (o Options) WithDefaults() Options {
+	if o.Span <= 0 {
+		o.Span = time.Minute
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 12
+	}
+	return o
+}
+
+// bucket is one ring slot: the epoch (bucket index = unix-nanos / res)
+// it currently holds, and the count accumulated for that epoch.
+type bucket struct {
+	epoch atomic.Int64
+	n     atomic.Int64
+}
+
+// Counter is a sliding-window counter over a ring of time buckets. An
+// observation lands in the bucket of its timestamp; Total sums the buckets
+// still inside the window. Rotation is lazy — a bucket is reset the first
+// time an observation (or a rotation probe) reaches it in a new epoch — so
+// an idle counter costs nothing.
+//
+// Window semantics: TotalAt(now) covers the bucket holding now plus the
+// Buckets-1 preceding ones. At an exact bucket boundary that is precisely
+// the trailing Span; mid-bucket, the oldest partial bucket has already
+// been dropped, so the covered span is between Span-resolution and Span.
+// The guarantee tests rely on: a windowed total never exceeds the
+// cumulative count of the same observations.
+type Counter struct {
+	res     int64 // bucket resolution in nanoseconds
+	mu      sync.Mutex
+	buckets []bucket
+}
+
+// NewCounter builds a windowed counter over the given options.
+func NewCounter(o Options) *Counter {
+	o = o.WithDefaults()
+	res := int64(o.Span) / int64(o.Buckets)
+	if res < 1 {
+		res = 1
+	}
+	c := &Counter{res: res, buckets: make([]bucket, o.Buckets)}
+	for i := range c.buckets {
+		c.buckets[i].epoch.Store(-1 << 62) // never matches a real epoch
+	}
+	return c
+}
+
+// Span is the nominal window length (resolution × buckets).
+func (c *Counter) Span() time.Duration {
+	return time.Duration(c.res * int64(len(c.buckets)))
+}
+
+// Resolution is the bucket width.
+func (c *Counter) Resolution() time.Duration { return time.Duration(c.res) }
+
+// Add records delta at time now. Concurrent adds racing a rotation may
+// attribute a count to the adjacent bucket; the windowed total stays a
+// lower bound of the cumulative count either way.
+func (c *Counter) Add(now time.Time, delta int64) {
+	e := now.UnixNano() / c.res
+	b := &c.buckets[int(e%int64(len(c.buckets)))]
+	if b.epoch.Load() != e {
+		c.rotate(b, e)
+	}
+	b.n.Add(delta)
+}
+
+// rotate resets a stale bucket for epoch e. The mutex serialises
+// concurrent rotators; the double-check keeps the reset from wiping a
+// bucket another rotator already advanced.
+func (c *Counter) rotate(b *bucket, e int64) {
+	c.mu.Lock()
+	if b.epoch.Load() < e {
+		b.n.Store(0)
+		b.epoch.Store(e)
+	}
+	c.mu.Unlock()
+}
+
+// TotalAt sums the observations still inside the window ending at now.
+func (c *Counter) TotalAt(now time.Time) int64 {
+	e := now.UnixNano() / c.res
+	min := e - int64(len(c.buckets)) + 1
+	var sum int64
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		if be := b.epoch.Load(); be >= min && be <= e {
+			sum += b.n.Load()
+		}
+	}
+	return sum
+}
+
+// RateAt is TotalAt normalised to events per second over the nominal span.
+func (c *Counter) RateAt(now time.Time) float64 {
+	return float64(c.TotalAt(now)) / c.Span().Seconds()
+}
+
+// Dual tracks one quantity over two horizons at once: a short live window
+// ("what the data looks like right now") and a longer baseline window
+// ("what it has looked like recently"). The drift signals in the /quality
+// report compare the two. Both windows see every observation, so the
+// baseline always contains the live window.
+type Dual struct {
+	live *Counter
+	base *Counter
+}
+
+// NewDual builds the paired windows.
+func NewDual(live, base Options) *Dual {
+	return &Dual{live: NewCounter(live), base: NewCounter(base)}
+}
+
+// Add records delta into both windows.
+func (d *Dual) Add(now time.Time, delta int64) {
+	d.live.Add(now, delta)
+	d.base.Add(now, delta)
+}
+
+// LiveAt is the live-window total at now.
+func (d *Dual) LiveAt(now time.Time) int64 { return d.live.TotalAt(now) }
+
+// BaselineAt is the baseline-window total at now.
+func (d *Dual) BaselineAt(now time.Time) int64 { return d.base.TotalAt(now) }
+
+// LiveSpan is the live window's nominal length.
+func (d *Dual) LiveSpan() time.Duration { return d.live.Span() }
+
+// BaselineSpan is the baseline window's nominal length.
+func (d *Dual) BaselineSpan() time.Duration { return d.base.Span() }
+
+// Group is a keyed family of Duals (per rule, per attribute). Keys are
+// minted on first use and never removed — an expired key's windows simply
+// decay to zero — so resolved pointers stay valid forever, exactly like
+// series in the obs registry.
+type Group struct {
+	liveOpts Options
+	baseOpts Options
+	mu       sync.Mutex
+	m        map[string]*Dual
+}
+
+// NewGroup builds an empty keyed family; every minted Dual uses the given
+// window options.
+func NewGroup(live, base Options) *Group {
+	return &Group{liveOpts: live, baseOpts: base, m: make(map[string]*Dual)}
+}
+
+// Get resolves the Dual for key, minting it on first use.
+func (g *Group) Get(key string) *Dual {
+	g.mu.Lock()
+	d := g.m[key]
+	if d == nil {
+		d = NewDual(g.liveOpts, g.baseOpts)
+		g.m[key] = d
+	}
+	g.mu.Unlock()
+	return d
+}
+
+// Keys returns every minted key, sorted, so renderers (JSON, /metrics) are
+// deterministic regardless of observation order.
+func (g *Group) Keys() []string {
+	g.mu.Lock()
+	out := make([]string, 0, len(g.m))
+	for k := range g.m {
+		out = append(out, k)
+	}
+	g.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of minted keys.
+func (g *Group) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,279 @@
+package window
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// base is an arbitrary aligned origin for fake clocks: a whole number of
+// default bucket resolutions past the epoch, so boundary arithmetic in the
+// tests is exact.
+var base = time.Unix(1_700_000_000, 0)
+
+func TestCounterExactAtBoundaries(t *testing.T) {
+	// 60s window, 12 buckets => 5s resolution.
+	c := NewCounter(Options{Span: time.Minute, Buckets: 12})
+	if c.Resolution() != 5*time.Second {
+		t.Fatalf("resolution = %v", c.Resolution())
+	}
+	// One observation per second for 60s, value 1 each.
+	for s := 0; s < 60; s++ {
+		c.Add(base.Add(time.Duration(s)*time.Second), 1)
+	}
+	// At t=59s (inside the last bucket) the whole minute is in view.
+	if got := c.TotalAt(base.Add(59 * time.Second)); got != 60 {
+		t.Errorf("TotalAt(59s) = %d, want 60", got)
+	}
+	// At t=60s exactly, a new bucket begins and the [0,5s) bucket leaves
+	// the window: 60 - 5 = 55 observations remain.
+	if got := c.TotalAt(base.Add(60 * time.Second)); got != 55 {
+		t.Errorf("TotalAt(60s) = %d, want 55", got)
+	}
+	// At t=65s the [5s,10s) bucket is gone too.
+	if got := c.TotalAt(base.Add(65 * time.Second)); got != 50 {
+		t.Errorf("TotalAt(65s) = %d, want 50", got)
+	}
+	// A full span later, everything has aged out.
+	if got := c.TotalAt(base.Add(125 * time.Second)); got != 0 {
+		t.Errorf("TotalAt(125s) = %d, want 0", got)
+	}
+	// Rate at the 59s mark: 60 events over a 60s span.
+	if got := c.RateAt(base.Add(59 * time.Second)); got != 1.0 {
+		t.Errorf("RateAt(59s) = %v, want 1.0", got)
+	}
+}
+
+func TestCounterBucketRotationReuses(t *testing.T) {
+	c := NewCounter(Options{Span: 10 * time.Second, Buckets: 2}) // 5s buckets
+	c.Add(base, 7)
+	if got := c.TotalAt(base); got != 7 {
+		t.Fatalf("TotalAt = %d, want 7", got)
+	}
+	// 10s later the same ring slot is reused for a new epoch; the old
+	// count must not leak into it.
+	later := base.Add(10 * time.Second)
+	c.Add(later, 3)
+	if got := c.TotalAt(later); got != 3 {
+		t.Errorf("TotalAt after wrap = %d, want 3 (stale bucket leaked)", got)
+	}
+}
+
+func TestCounterIdleDecay(t *testing.T) {
+	c := NewCounter(Options{Span: time.Minute, Buckets: 12})
+	c.Add(base, 100)
+	for _, tc := range []struct {
+		after time.Duration
+		want  int64
+	}{
+		{0, 100},
+		{55 * time.Second, 100}, // still inside the window
+		{60 * time.Second, 0},   // first bucket aged out
+		{24 * time.Hour, 0},     // long-idle counter reads clean
+		{-10 * time.Second, 0},  // a window ending before the add sees nothing
+	} {
+		if got := c.TotalAt(base.Add(tc.after)); got != tc.want {
+			t.Errorf("TotalAt(+%v) = %d, want %d", tc.after, got, tc.want)
+		}
+	}
+}
+
+func TestDualBaselineContainsLive(t *testing.T) {
+	d := NewDual(Options{Span: time.Minute, Buckets: 12},
+		Options{Span: 10 * time.Minute, Buckets: 20})
+	// 5 observations early, 3 late: the live minute sees only the late
+	// ones, the baseline sees all.
+	for i := 0; i < 5; i++ {
+		d.Add(base, 1)
+	}
+	late := base.Add(5 * time.Minute)
+	for i := 0; i < 3; i++ {
+		d.Add(late, 1)
+	}
+	if got := d.LiveAt(late); got != 3 {
+		t.Errorf("LiveAt = %d, want 3", got)
+	}
+	if got := d.BaselineAt(late); got != 8 {
+		t.Errorf("BaselineAt = %d, want 8", got)
+	}
+}
+
+func TestGroupKeysSortedAndStable(t *testing.T) {
+	g := NewGroup(Options{}, Options{})
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		g.Get(k).Add(base, 1)
+	}
+	keys := g.Keys()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if g.Get("alpha") != g.Get("alpha") {
+		t.Error("Get minted a fresh Dual for an existing key")
+	}
+}
+
+// TestWindowedNeverExceedsCumulative is the property the /quality layer
+// rests on: however the clock moves (forward in uneven steps), a windowed
+// total never exceeds the cumulative count of the same observations.
+func TestWindowedNeverExceedsCumulative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := NewCounter(Options{
+			Span:    time.Duration(1+rng.Intn(120)) * time.Second,
+			Buckets: 1 + rng.Intn(20),
+		})
+		now := base
+		var cumulative int64
+		for i := 0; i < 500; i++ {
+			switch rng.Intn(3) {
+			case 0: // observe
+				delta := int64(rng.Intn(10))
+				c.Add(now, delta)
+				cumulative += delta
+			case 1: // advance time (sometimes past the whole window)
+				now = now.Add(time.Duration(rng.Intn(7000)) * time.Millisecond)
+			case 2: // check
+				if got := c.TotalAt(now); got > cumulative {
+					t.Fatalf("trial %d step %d: windowed %d > cumulative %d",
+						trial, i, got, cumulative)
+				}
+			}
+		}
+		if got := c.TotalAt(now); got > cumulative {
+			t.Fatalf("trial %d: final windowed %d > cumulative %d", trial, got, cumulative)
+		}
+	}
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines while a
+// reader snapshots, for the race detector; the final total must equal the
+// cumulative sum (no clock movement, so nothing can age out).
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(Options{Span: time.Minute, Buckets: 12})
+	now := time.Now()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.TotalAt(time.Now())
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(time.Now(), 1)
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.TotalAt(now); got != workers*perWorker {
+		t.Errorf("TotalAt = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestGroupConcurrent races key minting against snapshotting.
+func TestGroupConcurrent(t *testing.T) {
+	g := NewGroup(Options{}, Options{})
+	keys := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				g.Get(keys[(w+i)%len(keys)]).Add(time.Now(), 1)
+				if i%64 == 0 {
+					_ = g.Keys()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", g.Len(), len(keys))
+	}
+}
+
+func TestAddZeroAlloc(t *testing.T) {
+	c := NewCounter(Options{})
+	now := time.Now()
+	c.Add(now, 1) // warm the bucket
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(now, 1)
+	}); allocs != 0 {
+		t.Errorf("Counter.Add allocates %v bytes/op, want 0", allocs)
+	}
+	d := NewDual(Options{}, Options{Span: 10 * time.Minute})
+	d.Add(now, 1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		d.Add(now, 1)
+	}); allocs != 0 {
+		t.Errorf("Dual.Add allocates %v bytes/op, want 0", allocs)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	th := DefaultThresholds()
+	for _, tc := range []struct {
+		name           string
+		live, baseline float64
+		liveN, baseN   int64
+		want           Verdict
+	}{
+		{"cold start", 0.9, 0.0, 3, 10, VerdictInsufficient},
+		{"thin baseline", 0.9, 0.0, 50, 50, VerdictInsufficient},
+		{"steady", 0.10, 0.10, 100, 1000, VerdictOK},
+		{"small wiggle", 0.105, 0.10, 100, 1000, VerdictOK},
+		{"warn", 0.14, 0.10, 100, 1000, VerdictWarn},
+		{"drift", 0.30, 0.10, 100, 1000, VerdictDrift},
+		{"zero baseline surge", 0.06, 0.0, 100, 1000, VerdictDrift},
+		{"zero baseline noise", 0.005, 0.0, 100, 1000, VerdictOK},
+		{"coverage collapse", 0.40, 0.95, 100, 1000, VerdictDrift},
+	} {
+		if got := th.Classify(tc.live, tc.baseline, tc.liveN, tc.baseN); got != tc.want {
+			t.Errorf("%s: Classify(%v, %v, %d, %d) = %s, want %s",
+				tc.name, tc.live, tc.baseline, tc.liveN, tc.baseN, got, tc.want)
+		}
+	}
+}
+
+func TestWorst(t *testing.T) {
+	if got := Worst(); got != VerdictInsufficient {
+		t.Errorf("Worst() = %s", got)
+	}
+	if got := Worst(VerdictOK, VerdictInsufficient); got != VerdictOK {
+		t.Errorf("Worst(ok, insufficient) = %s", got)
+	}
+	if got := Worst(VerdictOK, VerdictDrift, VerdictWarn); got != VerdictDrift {
+		t.Errorf("Worst(ok, drift, warn) = %s", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 0); got != 0 {
+		t.Errorf("Ratio(3,0) = %v", got)
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio(1,4) = %v", got)
+	}
+}

@@ -38,6 +38,9 @@ const (
 	codeUpstreamCut      = "upstream_interrupted"
 	codeUpstreamTimeout  = "upstream_timeout"
 	codeNotProxied       = "not_proxied"
+	// codeQualityUnavailable: the proxy's /quality aggregate has no data yet
+	// (no probe round has scraped a worker successfully).
+	codeQualityUnavailable = "quality_unavailable"
 )
 
 // errorEnvelope is the JSON error body every non-2xx response carries:

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"fixrule/internal/core"
+)
+
+// scrapeFamilies GETs a /metrics endpoint and returns the metric family
+// names from its `# TYPE <name> <kind>` lines.
+func scrapeFamilies(t *testing.T, url string, into map[string]bool) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, _, ok := strings.Cut(rest, " "); ok {
+				into[name] = true
+			}
+		}
+	}
+}
+
+// TestMetricsDocumented is the metrics-hygiene guard: every family either
+// node kind exposes — after real traffic, so lazily-registered series
+// (per-rule windows, per-attribute counters, tenant series, probe gauges)
+// are all present — must appear by name in docs/OBSERVABILITY.md. Adding
+// a metric without documenting it fails this test.
+func TestMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A multi-tenant server with tenant and default traffic.
+	loader := newMapLoader(map[string]*core.Ruleset{"acme": travelRuleset("Beijing")})
+	_, srv := newTenantServer(t, Config{}, TenantOptions{}, loader)
+	for _, path := range []string{"/repair", "/t/acme/repair"} {
+		resp := postJSON(t, srv.URL+path, ianTuple)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s = %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// A proxy that has completed at least one probe round.
+	front, _ := newFleetFixture(t, 1, 25*time.Millisecond)
+	waitFleet(t, front.URL, func(f fleetResponse) bool { return f.Healthy == 1 })
+
+	families := make(map[string]bool)
+	scrapeFamilies(t, srv.URL, families)
+	scrapeFamilies(t, front.URL, families)
+	if len(families) < 30 {
+		t.Fatalf("only %d metric families scraped — scrape broken?", len(families))
+	}
+
+	var missing []string
+	for name := range families {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("metric families not documented in docs/OBSERVABILITY.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

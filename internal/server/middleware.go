@@ -36,6 +36,7 @@ type metrics struct {
 	streamQueue *obs.Gauge
 	streamBusy  *obs.Gauge
 	latency     *obs.Histogram
+	win         windowGauges
 
 	attrMu        sync.Mutex
 	changedByAttr map[string]*obs.Counter
@@ -48,12 +49,20 @@ type metrics struct {
 // lives on the dedicated fixserve_tenant_* series, so endpoint-label
 // cardinality stays fixed no matter how many tenants are served.
 var endpoints = []string{
-	"/healthz", "/metrics", "/stats", "/rules", "/rules/stats",
+	"/healthz", "/metrics", "/stats", "/quality", "/rules", "/rules/stats",
 	"/repair", "/repair/csv", "/explain", "/reload", "/debug/traces",
 	"/t/{tenant}",
 	"/t/{tenant}/repair", "/t/{tenant}/repair/csv", "/t/{tenant}/explain",
 	"/t/{tenant}/rules", "/t/{tenant}/rules/stats", "/t/{tenant}/stats",
-	"/t/{tenant}/reload", "/t/{tenant}/debug/traces",
+	"/t/{tenant}/quality", "/t/{tenant}/reload", "/t/{tenant}/debug/traces",
+}
+
+// dataPlaneEndpoints are the routes whose traffic the quality windows
+// observe: the repair surface, where request and error rates say something
+// about the data being repaired rather than about scrapers and probes.
+var dataPlaneEndpoints = map[string]bool{
+	"/repair": true, "/repair/csv": true, "/explain": true,
+	"/t/{tenant}/repair": true, "/t/{tenant}/repair/csv": true, "/t/{tenant}/explain": true,
 }
 
 // engineEndpoints are the routes that are meaningless without a default
@@ -101,6 +110,30 @@ func (s *Server) initMetrics() {
 		"Parallel stream workers currently repairing a chunk.", "")
 	s.m.latency = r.Histogram("fixserve_request_duration_seconds",
 		"Request latency.", "", obs.DefaultLatencyBuckets())
+	s.m.win = windowGauges{
+		requests: r.Gauge("fixserve_window_requests",
+			"Data-plane requests in the live quality window.", ""),
+		errors: r.Gauge("fixserve_window_errors",
+			"Data-plane error responses (4xx+5xx) in the live quality window.", ""),
+		shed: r.Gauge("fixserve_window_shed",
+			"Requests shed in the live quality window.", ""),
+		rows: r.Gauge("fixserve_window_rows",
+			"Tuples processed in the live quality window.", ""),
+		repaired: r.Gauge("fixserve_window_rows_repaired",
+			"Tuples changed by at least one rule in the live quality window.", ""),
+		steps: r.Gauge("fixserve_window_steps",
+			"Rule applications in the live quality window, all rules.", ""),
+		oov: r.Gauge("fixserve_window_oov_cells",
+			"Out-of-vocabulary input cells in the live quality window.", ""),
+		coverage: r.FloatGauge("fixserve_window_coverage_rate",
+			"Share of windowed rows matched (and repaired) by at least one rule.", ""),
+		oovRate: r.FloatGauge("fixserve_window_oov_rate",
+			"Share of windowed input cells outside the ruleset vocabulary.", ""),
+		errRate: r.FloatGauge("fixserve_window_error_rate",
+			"Share of windowed data-plane requests answered 4xx/5xx.", ""),
+	}
+	r.AddScrapeHook(s.refreshWindowGauges)
+	obs.RegisterRuntime(r, time.Now())
 	r.Gauge("fixserve_build_info",
 		"Build identity; value is always 1.",
 		obs.Labels("version", buildVersion(), "go", runtime.Version())).Set(1)
@@ -161,11 +194,15 @@ func (s *Server) recordTotals(eng *engine, tuples, repaired, steps, oov int) {
 	s.m.repaired.Add(int64(repaired))
 	s.m.rulesFired.Add(int64(steps))
 	s.m.oovCells.Add(int64(oov))
+	now := s.quality.now()
+	cells := int64(tuples) * int64(eng.rep.Ruleset().Schema().Arity())
+	s.quality.observeTotals(now, int64(tuples), int64(repaired), int64(steps), int64(oov), cells)
 	if tm := eng.tm; tm != nil {
 		tm.tuples.Add(int64(tuples))
 		tm.repaired.Add(int64(repaired))
 		tm.rulesFired.Add(int64(steps))
 		tm.oovCells.Add(int64(oov))
+		tm.quality.observeTotals(now, int64(tuples), int64(repaired), int64(steps), int64(oov), cells)
 	}
 }
 
@@ -175,17 +212,28 @@ func (s *Server) recordTotals(eng *engine, tuples, repaired, steps, oov int) {
 // (and the set of series touched) is deterministic. Tenant engines
 // additionally feed the fixserve_tenant_cells_* series.
 func (s *Server) addAttrMetrics(eng *engine, changed map[string]int, oovAcc []int64) {
+	now := s.quality.now()
 	for i, a := range eng.rep.Ruleset().Schema().Attrs() {
+		var oovN int64
+		if i < len(oovAcc) {
+			oovN = oovAcc[i]
+		}
 		if n := changed[a]; n > 0 {
 			s.changedCounter(a).Add(int64(n))
 			if eng.tm != nil {
 				eng.tm.changedCounter(s.reg, eng.tenant, a).Add(int64(n))
 			}
 		}
-		if i < len(oovAcc) && oovAcc[i] > 0 {
-			s.oovCounter(a).Add(oovAcc[i])
+		if oovN > 0 {
+			s.oovCounter(a).Add(oovN)
 			if eng.tm != nil {
-				eng.tm.oovCounter(s.reg, eng.tenant, a).Add(oovAcc[i])
+				eng.tm.oovCounter(s.reg, eng.tenant, a).Add(oovN)
+			}
+		}
+		if changed[a] > 0 || oovN > 0 {
+			s.quality.observeAttr(now, a, int64(changed[a]), oovN)
+			if eng.tm != nil {
+				eng.tm.quality.observeAttr(now, a, int64(changed[a]), oovN)
 			}
 		}
 	}
@@ -194,6 +242,7 @@ func (s *Server) addAttrMetrics(eng *engine, changed map[string]int, oovAcc []in
 // addAttrMetricsByName is addAttrMetrics with the OOV side already keyed by
 // attribute name (the streaming paths hand back StreamStats.OOVByAttr).
 func (s *Server) addAttrMetricsByName(eng *engine, changed, oov map[string]int) {
+	now := s.quality.now()
 	for _, a := range eng.rep.Ruleset().Schema().Attrs() {
 		if n := changed[a]; n > 0 {
 			s.changedCounter(a).Add(int64(n))
@@ -205,6 +254,12 @@ func (s *Server) addAttrMetricsByName(eng *engine, changed, oov map[string]int) 
 			s.oovCounter(a).Add(int64(n))
 			if eng.tm != nil {
 				eng.tm.oovCounter(s.reg, eng.tenant, a).Add(int64(n))
+			}
+		}
+		if changed[a] > 0 || oov[a] > 0 {
+			s.quality.observeAttr(now, a, int64(changed[a]), int64(oov[a]))
+			if eng.tm != nil {
+				eng.tm.quality.observeAttr(now, a, int64(changed[a]), int64(oov[a]))
 			}
 		}
 	}
@@ -265,6 +320,10 @@ type reqCtx struct {
 	tr       *trace.Trace
 	root     *trace.Span
 	start    time.Time
+	// tenantQuality is set by the tenant router once the tenant's engine
+	// resolves, so end() can mirror the request/error observation into the
+	// tenant's quality windows alongside the service-wide ones.
+	tenantQuality *qualityTracker
 }
 
 // begin opens a request: endpoint counter, inflight gauge, request ID,
@@ -328,6 +387,13 @@ func (s *Server) end(c *reqCtx) {
 			e.Inc()
 		}
 	}
+	if dataPlaneEndpoints[c.endpoint] {
+		now := s.quality.now()
+		s.quality.observeRequest(now, st >= 400)
+		if c.tenantQuality != nil {
+			c.tenantQuality.observeRequest(now, st >= 400)
+		}
+	}
 	s.logRequest(c.method, c.endpoint, st, dur, c.reqID, c.tr)
 }
 
@@ -385,6 +451,7 @@ func (s *Server) wrap(endpoint string, limited bool, h handlerFunc) http.Handler
 				defer func() { <-s.sem }()
 			default:
 				s.m.shed.Inc()
+				s.quality.observeShed(s.quality.now())
 				c.sw.Header().Set("Retry-After", s.retryAfter())
 				s.writeError(c.sw, http.StatusServiceUnavailable, codeOverloaded,
 					"server at capacity, retry shortly")

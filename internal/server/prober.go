@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"fixrule/internal/obs"
+	"fixrule/internal/obs/window"
+)
+
+// This file is the proxy's fleet observability plane: an active worker
+// prober (periodic /healthz liveness checks plus /quality scrapes, with
+// per-worker up/latency/failure metrics) and the read side that serves
+// GET /fleet, GET /quality (the fleet-wide aggregate) and the verbose
+// /healthz envelope. Before PR 10 the proxy forwarded blind — a dead
+// worker was only discovered by the request that hit it.
+
+// maxProbeBody caps how much of a worker response the prober reads; a
+// /quality payload is a few KiB, so 1 MiB is generous headroom, not a
+// truncation risk.
+const maxProbeBody = 1 << 20
+
+// workerHealth is one worker's latest probe outcome, copied out under the
+// prober mutex for /fleet and /healthz?verbose=1.
+type workerHealth struct {
+	Worker              string          `json:"worker"`
+	Up                  bool            `json:"up"`
+	LastProbe           time.Time       `json:"last_probe"`
+	LatencyMs           float64         `json:"latency_ms"`
+	ConsecutiveFailures int             `json:"consecutive_failures,omitempty"`
+	Error               string          `json:"error,omitempty"`
+	Quality             json.RawMessage `json:"quality,omitempty"`
+}
+
+// prober owns the probe loop. One goroutine ticks at the configured
+// interval; each round probes every worker concurrently (joined before the
+// next tick) so a hung worker delays the round by at most the probe
+// timeout, not per-worker serially.
+type prober struct {
+	workers  []string
+	client   *http.Client
+	interval time.Duration
+	timeout  time.Duration
+	logger   *slog.Logger
+
+	mu    sync.Mutex
+	state map[string]*workerHealth
+
+	stop      chan struct{}
+	done      sync.WaitGroup
+	closeOnce sync.Once
+
+	up       map[string]*obs.Gauge
+	latency  map[string]*obs.FloatGauge
+	failures map[string]*obs.Counter
+}
+
+func newProber(cfg ProxyConfig, reg *obs.Registry) *prober {
+	p := &prober{
+		workers:  cfg.Workers,
+		client:   &http.Client{Transport: cfg.Transport},
+		interval: cfg.ProbeInterval,
+		timeout:  cfg.ProbeTimeout,
+		logger:   cfg.Logger,
+		state:    make(map[string]*workerHealth, len(cfg.Workers)),
+		stop:     make(chan struct{}),
+		up:       make(map[string]*obs.Gauge, len(cfg.Workers)),
+		latency:  make(map[string]*obs.FloatGauge, len(cfg.Workers)),
+		failures: make(map[string]*obs.Counter, len(cfg.Workers)),
+	}
+	for _, w := range cfg.Workers {
+		// Until the first round lands, a worker reads as down with a zero
+		// LastProbe — the honest answer, and /fleet callers can tell "not
+		// probed yet" from "probed and failed" by the timestamp.
+		p.state[w] = &workerHealth{Worker: w}
+		p.up[w] = reg.Gauge("fixserve_proxy_worker_up",
+			"Whether the last health probe of the worker succeeded.", obs.Labels("worker", w))
+		p.latency[w] = reg.FloatGauge("fixserve_proxy_worker_probe_seconds",
+			"Latency of the last successful health probe, by worker.", obs.Labels("worker", w))
+		p.failures[w] = reg.Counter("fixserve_proxy_worker_probe_failures_total",
+			"Health probes that failed, by worker.", obs.Labels("worker", w))
+	}
+	return p
+}
+
+// start launches the probe loop: one immediate round, then one per tick.
+func (p *prober) start() {
+	p.done.Add(1)
+	go func() {
+		defer p.done.Done()
+		p.round()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.round()
+			}
+		}
+	}()
+}
+
+// close stops the loop and joins the probe goroutine; safe to call twice.
+func (p *prober) close() {
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.done.Wait()
+}
+
+// round probes every worker concurrently and waits for all probes.
+func (p *prober) round() {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(worker string) {
+			defer wg.Done()
+			p.probeOne(worker)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probeOne checks one worker: GET /healthz decides up/down and latency;
+// on success the worker's /quality report is scraped best-effort (a worker
+// that answers /healthz but not /quality stays up with stale quality).
+func (p *prober) probeOne(worker string) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	start := time.Now()
+	err := p.get(ctx, worker+"/healthz", nil)
+	lat := time.Since(start)
+
+	if err != nil {
+		p.failures[worker].Inc()
+		p.up[worker].Set(0)
+		p.mu.Lock()
+		h := p.state[worker]
+		wasUp := h.Up
+		h.Up = false
+		h.LastProbe = start
+		h.ConsecutiveFailures++
+		h.Error = "health probe failed" // the raw error may name internal addresses; keep it in the log
+		h.Quality = nil
+		p.mu.Unlock()
+		if wasUp {
+			p.logger.Warn("worker went unhealthy", "worker", worker, "err", err)
+		}
+		return
+	}
+
+	var quality json.RawMessage
+	if qerr := p.get(ctx, worker+"/quality", &quality); qerr != nil {
+		quality = nil
+	}
+
+	p.up[worker].Set(1)
+	p.latency[worker].Set(lat.Seconds())
+	p.mu.Lock()
+	h := p.state[worker]
+	wasDown := !h.Up && h.ConsecutiveFailures > 0
+	h.Up = true
+	h.LastProbe = start
+	h.LatencyMs = float64(lat.Microseconds()) / 1000
+	h.ConsecutiveFailures = 0
+	h.Error = ""
+	h.Quality = quality
+	p.mu.Unlock()
+	if wasDown {
+		p.logger.Info("worker recovered", "worker", worker)
+	}
+}
+
+// get performs one bounded probe request; when body is non-nil the
+// response body is read into it (valid JSON not required — the raw bytes
+// pass through to /fleet as received).
+func (p *prober) get(ctx context.Context, url string, body *json.RawMessage) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProbeBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &probeStatusError{status: resp.StatusCode}
+	}
+	if body != nil {
+		*body = data
+	}
+	return nil
+}
+
+type probeStatusError struct{ status int }
+
+func (e *probeStatusError) Error() string { return "probe answered " + http.StatusText(e.status) }
+
+// snapshot copies the current per-worker health in ring order.
+func (p *prober) snapshot() []workerHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]workerHealth, 0, len(p.workers))
+	for _, w := range p.workers {
+		out = append(out, *p.state[w])
+	}
+	return out
+}
+
+// fleetResponse is the GET /fleet payload: ring topology merged with
+// per-worker health and the aggregated fleet quality.
+type fleetResponse struct {
+	Mode                 string         `json:"mode"`
+	Replicas             int            `json:"replicas"`
+	ProbeIntervalSeconds float64        `json:"probe_interval_seconds"`
+	Workers              []workerHealth `json:"workers"`
+	Healthy              int            `json:"healthy"`
+	Total                int            `json:"total"`
+	Degraded             bool           `json:"degraded"`
+	Quality              *fleetQuality  `json:"quality,omitempty"`
+}
+
+// fleetQuality is the cross-worker quality rollup: window counts summed
+// over every worker that delivered a /quality report, rates recomputed
+// from the sums, verdict the worst any worker reported.
+type fleetQuality struct {
+	WorkersReporting int             `json:"workers_reporting"`
+	Window           QualitySnapshot `json:"window"`
+	Baseline         QualitySnapshot `json:"baseline"`
+	Verdict          window.Verdict  `json:"verdict"`
+}
+
+// aggregateQuality folds per-worker quality reports into the fleet rollup.
+// Returns nil when no worker delivered a parseable report.
+func aggregateQuality(workers []workerHealth) *fleetQuality {
+	agg := &fleetQuality{Verdict: window.VerdictInsufficient}
+	verdicts := make([]window.Verdict, 0, len(workers))
+	for _, w := range workers {
+		if len(w.Quality) == 0 {
+			continue
+		}
+		var rep QualityReport
+		if err := json.Unmarshal(w.Quality, &rep); err != nil {
+			continue
+		}
+		agg.WorkersReporting++
+		addSnapshots(&agg.Window, rep.Window)
+		addSnapshots(&agg.Baseline, rep.Baseline)
+		verdicts = append(verdicts, rep.Verdict)
+	}
+	if agg.WorkersReporting == 0 {
+		return nil
+	}
+	deriveRates(&agg.Window)
+	deriveRates(&agg.Baseline)
+	agg.Verdict = window.Worst(verdicts...)
+	return agg
+}
+
+// addSnapshots accumulates the count fields of one snapshot into dst.
+func addSnapshots(dst *QualitySnapshot, src QualitySnapshot) {
+	dst.Requests += src.Requests
+	dst.Errors += src.Errors
+	dst.Shed += src.Shed
+	dst.Rows += src.Rows
+	dst.RowsRepaired += src.RowsRepaired
+	dst.RowsUntouched += src.RowsUntouched
+	dst.RuleApplications += src.RuleApplications
+	dst.Cells += src.Cells
+	dst.OOVCells += src.OOVCells
+}
+
+// deriveRates recomputes a summed snapshot's rate fields.
+func deriveRates(s *QualitySnapshot) {
+	s.CoverageRate = window.Ratio(s.RowsRepaired, s.Rows)
+	s.StepsPerRow = window.Ratio(s.RuleApplications, s.Rows)
+	s.OOVRate = window.Ratio(s.OOVCells, s.Cells)
+	s.ErrorRate = window.Ratio(s.Errors, s.Requests)
+	s.ShedRate = window.Ratio(s.Shed, s.Requests)
+}
+
+// handleFleet serves GET /fleet.
+func (p *Proxy) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorEnvelope(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"method not allowed (want GET)")
+		return
+	}
+	workers := p.prober.snapshot()
+	resp := fleetResponse{
+		Mode:                 "proxy",
+		Replicas:             p.ring.Replicas(),
+		ProbeIntervalSeconds: p.cfg.ProbeInterval.Seconds(),
+		Workers:              workers,
+		Total:                len(workers),
+		Quality:              aggregateQuality(workers),
+	}
+	for _, h := range workers {
+		if h.Up {
+			resp.Healthy++
+		}
+	}
+	resp.Degraded = resp.Healthy < resp.Total
+	writeJSON(w, resp)
+}
+
+// handleProxyQuality serves the proxy's GET /quality: the fleet-wide
+// aggregate, so load tooling pointed at a proxy gets the same endpoint a
+// worker serves. 503 quality_unavailable until a probe round has scraped
+// at least one worker.
+func (p *Proxy) handleProxyQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorEnvelope(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			"method not allowed (want GET)")
+		return
+	}
+	workers := p.prober.snapshot()
+	agg := aggregateQuality(workers)
+	if agg == nil {
+		writeErrorEnvelope(w, http.StatusServiceUnavailable, codeQualityUnavailable,
+			"no worker has delivered a quality report yet, retry after a probe round")
+		return
+	}
+	writeJSON(w, struct {
+		Scope string `json:"scope"`
+		fleetQuality
+	}{Scope: "fleet", fleetQuality: *agg})
+}
+
+// proxyHealthResponse is the /healthz?verbose=1 envelope. The proxy itself
+// answering is the liveness signal, so the status is always 200; "status"
+// degrades to "degraded" when any worker is unreachable, and lists them.
+type proxyHealthResponse struct {
+	Status      string   `json:"status"` // "ok" or "degraded"
+	Workers     int      `json:"workers"`
+	Healthy     int      `json:"healthy"`
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// handleHealthVerbose serves GET /healthz?verbose=1.
+func (p *Proxy) handleHealthVerbose(w http.ResponseWriter) {
+	resp := proxyHealthResponse{}
+	for _, h := range p.prober.snapshot() {
+		resp.Workers++
+		if h.Up {
+			resp.Healthy++
+		} else {
+			resp.Unreachable = append(resp.Unreachable, h.Worker)
+		}
+	}
+	resp.Status = "ok"
+	if resp.Healthy < resp.Workers {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, resp)
+}

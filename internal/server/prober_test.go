@@ -1,0 +1,223 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newFleetFixture stands up nWorkers single-tenant workers behind a proxy
+// whose prober ticks every interval. Callers get the proxy front plus the
+// worker listeners (to kill one and watch the fleet degrade).
+func newFleetFixture(t *testing.T, nWorkers int, interval time.Duration) (*httptest.Server, []*httptest.Server) {
+	t.Helper()
+	var workers []*httptest.Server
+	var urls []string
+	for i := 0; i < nWorkers; i++ {
+		w := httptest.NewServer(NewWithConfig(mustTestRepairer(t), Config{Logger: discardLogger}))
+		t.Cleanup(w.Close)
+		workers = append(workers, w)
+		urls = append(urls, w.URL)
+	}
+	p, err := NewProxy(ProxyConfig{
+		Workers:       urls,
+		Logger:        discardLogger,
+		ProbeInterval: interval,
+		ProbeTimeout:  interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return front, workers
+}
+
+func getFleet(t *testing.T, url string) fleetResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /fleet = %d", resp.StatusCode)
+	}
+	var f fleetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// waitFleet polls /fleet until cond holds or the deadline passes; the
+// returned response is the last one observed.
+func waitFleet(t *testing.T, url string, cond func(fleetResponse) bool) fleetResponse {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var f fleetResponse
+	for time.Now().Before(deadline) {
+		f = getFleet(t, url)
+		if cond(f) {
+			return f
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("fleet condition not reached before deadline; last: %+v", f)
+	return f
+}
+
+// TestFleetDegradesWhenWorkerDies: on a 1-proxy/2-worker topology /fleet
+// first reports both workers healthy with an aggregated quality rollup,
+// then marks the fleet degraded within a probe interval of one worker
+// dying — and recovers when probes cannot, because the listener is gone
+// for good.
+func TestFleetDegradesWhenWorkerDies(t *testing.T) {
+	front, workers := newFleetFixture(t, 2, 25*time.Millisecond)
+
+	// Push one repair through a worker so the aggregate has content.
+	resp := postJSON(t, workers[0].URL+"/repair", ianTuple)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker /repair = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	f := waitFleet(t, front.URL, func(f fleetResponse) bool { return f.Healthy == 2 })
+	if f.Degraded || f.Total != 2 {
+		t.Fatalf("healthy fleet = %+v", f)
+	}
+	if f.Mode != "proxy" || f.Replicas <= 0 || f.ProbeIntervalSeconds != 0.025 {
+		t.Errorf("fleet topology fields = mode %q, replicas %d, interval %v",
+			f.Mode, f.Replicas, f.ProbeIntervalSeconds)
+	}
+	f = waitFleet(t, front.URL, func(f fleetResponse) bool {
+		return f.Quality != nil && f.Quality.Window.Rows >= 1
+	})
+	if f.Quality.WorkersReporting != 2 {
+		t.Errorf("workers_reporting = %d, want 2", f.Quality.WorkersReporting)
+	}
+	if f.Quality.Window.RowsRepaired != 1 {
+		t.Errorf("aggregated rows_repaired = %d, want 1", f.Quality.Window.RowsRepaired)
+	}
+
+	// Kill worker 0 and watch the fleet notice.
+	dead := workers[0].URL
+	workers[0].Close()
+	f = waitFleet(t, front.URL, func(f fleetResponse) bool { return f.Degraded })
+	if f.Healthy != 1 {
+		t.Errorf("degraded fleet healthy = %d, want 1", f.Healthy)
+	}
+	for _, w := range f.Workers {
+		if w.Worker == dead {
+			if w.Up || w.ConsecutiveFailures == 0 || w.Error == "" {
+				t.Errorf("dead worker state = %+v", w)
+			}
+		} else if !w.Up {
+			t.Errorf("surviving worker %s reported down", w.Worker)
+		}
+	}
+
+	// The verbose health envelope tells the same story.
+	resp, err := http.Get(front.URL + "/healthz?verbose=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verbose healthz = %d, want 200 (the proxy itself is alive)", resp.StatusCode)
+	}
+	var h proxyHealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "degraded" || h.Workers != 2 || h.Healthy != 1 {
+		t.Errorf("verbose health = %+v", h)
+	}
+	if len(h.Unreachable) != 1 || h.Unreachable[0] != dead {
+		t.Errorf("unreachable = %v, want [%s]", h.Unreachable, dead)
+	}
+}
+
+// TestProxyQualityAggregate: the proxy's own /quality serves the fleet
+// rollup once probes land, and 503 quality_unavailable before any worker
+// has reported.
+func TestProxyQualityAggregate(t *testing.T) {
+	front, workers := newFleetFixture(t, 2, 25*time.Millisecond)
+	resp := postJSON(t, workers[1].URL+"/repair", ianTuple)
+	resp.Body.Close()
+
+	waitFleet(t, front.URL, func(f fleetResponse) bool {
+		return f.Quality != nil && f.Quality.Window.Rows >= 1
+	})
+	resp, err := http.Get(front.URL + "/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy /quality = %d", resp.StatusCode)
+	}
+	var q struct {
+		Scope  string `json:"scope"`
+		Window QualitySnapshot
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Scope != "fleet" || q.Window.Rows < 1 {
+		t.Errorf("proxy quality = %+v", q)
+	}
+}
+
+// TestProxyQualityUnavailable: with no reachable worker the proxy's
+// /quality answers 503 with the stable quality_unavailable code.
+func TestProxyQualityUnavailable(t *testing.T) {
+	p, err := NewProxy(ProxyConfig{
+		Workers:       []string{"http://127.0.0.1:1"}, // nothing listens here
+		Logger:        discardLogger,
+		ProbeInterval: time.Hour, // the immediate first round is the only one
+		ProbeTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/quality with dead fleet = %d, want 503", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != codeQualityUnavailable {
+		t.Errorf("code = %q, want %q", env.Error.Code, codeQualityUnavailable)
+	}
+}
+
+// TestProberCloseIdempotent: Close joins the probe goroutine and is safe
+// to call more than once (fixserve calls it on drain; tests via Cleanup).
+func TestProberCloseIdempotent(t *testing.T) {
+	w := httptest.NewServer(NewWithConfig(mustTestRepairer(t), Config{Logger: discardLogger}))
+	defer w.Close()
+	p, err := NewProxy(ProxyConfig{
+		Workers:       []string{w.URL},
+		Logger:        discardLogger,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+}

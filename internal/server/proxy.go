@@ -29,10 +29,14 @@ import (
 //
 // Proxy-local endpoints:
 //
-//	GET /healthz   proxy liveness (workers are not probed)
+//	GET /healthz   proxy liveness; ?verbose=1 adds worker health (prober.go)
 //	GET /metrics   the proxy's own Prometheus exposition
 //	GET /shard     ring topology; ?tenant=x reports the owning worker
+//	GET /fleet     ring topology merged with per-worker health + quality
+//	GET /quality   fleet-wide aggregated quality report
 //
+// Workers are actively probed (periodic /healthz + /quality scrapes, see
+// prober.go); call Close when discarding a proxy to stop the probe loop.
 // Everything else that is not /t/{tenant}/... answers 404 not_proxied:
 // a shard router has no rulesets of its own.
 type Proxy struct {
@@ -42,6 +46,7 @@ type Proxy struct {
 	client *http.Client
 	reg    *obs.Registry
 	tracer *trace.Tracer
+	prober *prober
 
 	reqPrefix  string
 	reqCounter atomic.Uint64
@@ -71,6 +76,12 @@ type ProxyConfig struct {
 	// <= 0 selects 120s (generous: workers enforce their own repair
 	// deadline).
 	ForwardTimeout time.Duration
+	// ProbeInterval sets the worker health-probe period; <= 0 selects 5s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one worker probe (the /healthz check and the
+	// follow-up /quality scrape share it); <= 0 selects 2s, clamped to the
+	// probe interval so rounds never overlap.
+	ProbeTimeout time.Duration
 	// Transport overrides the outbound round tripper; nil uses
 	// http.DefaultTransport (connection pooling included).
 	Transport http.RoundTripper
@@ -92,6 +103,15 @@ func (c ProxyConfig) withDefaults() ProxyConfig {
 	}
 	if c.ForwardTimeout <= 0 {
 		c.ForwardTimeout = 120 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 5 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProbeTimeout > c.ProbeInterval {
+		c.ProbeTimeout = c.ProbeInterval
 	}
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
@@ -151,10 +171,20 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	p.mux.HandleFunc("/healthz", p.handleHealth)
 	p.mux.HandleFunc("/metrics", p.handleMetrics)
 	p.mux.HandleFunc("/shard", p.handleShard)
+	p.mux.HandleFunc("/fleet", p.handleFleet)
+	p.mux.HandleFunc("/quality", p.handleProxyQuality)
 	p.mux.HandleFunc("/t/", p.handleForward)
 	p.mux.HandleFunc("/", p.handleNotProxied)
+	obs.RegisterRuntime(p.reg, time.Now())
+	p.prober = newProber(cfg, p.reg)
+	p.prober.start()
 	return p, nil
 }
+
+// Close stops the worker probe loop. Safe to call more than once; the
+// proxy keeps serving (with stale health data) if the caller forgets, but
+// tests and clean shutdowns should close.
+func (p *Proxy) Close() { p.prober.close() }
 
 // ServeHTTP implements http.Handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
@@ -178,6 +208,10 @@ func pad6(n uint64) string {
 }
 
 func (p *Proxy) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("verbose") != "" {
+		p.handleHealthVerbose(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"testing/iotest"
 	"time"
@@ -58,6 +59,7 @@ func newProxyFixture(t *testing.T, sampleRate float64) *proxyFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(p.Close)
 	fx.proxy = p
 	fx.front = httptest.NewServer(p)
 	t.Cleanup(fx.front.Close)
@@ -258,6 +260,7 @@ func TestProxyDeadWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	front := httptest.NewServer(p)
 	defer front.Close()
 
@@ -312,6 +315,7 @@ func TestProxyBodyTooLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	front := httptest.NewServer(p)
 	defer front.Close()
 
@@ -364,10 +368,17 @@ func TestProxyBodyTooLarge(t *testing.T) {
 // proxy stamps X-Forwarded-For / X-Forwarded-Host so workers can tell
 // proxied from direct traffic.
 func TestProxyForwardHeaders(t *testing.T) {
+	// Only the forwarded tenant request is captured: the proxy's prober
+	// also hits this worker (/healthz, /quality) concurrently.
+	var mu sync.Mutex
 	var got http.Header
 	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		got = r.Header.Clone()
-		got.Set("Host", r.Host)
+		if strings.HasPrefix(r.URL.Path, "/t/") {
+			mu.Lock()
+			got = r.Header.Clone()
+			got.Set("Host", r.Host)
+			mu.Unlock()
+		}
 		io.WriteString(w, "ok")
 	}))
 	defer worker.Close()
@@ -376,6 +387,7 @@ func TestProxyForwardHeaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	front := httptest.NewServer(p)
 	defer front.Close()
 
@@ -392,6 +404,8 @@ func TestProxyForwardHeaders(t *testing.T) {
 	}
 	readBody(t, resp)
 
+	mu.Lock()
+	defer mu.Unlock()
 	if v := got.Get("X-Hop-Secret"); v != "" {
 		t.Errorf("Connection-nominated header forwarded: X-Hop-Secret=%q", v)
 	}
@@ -483,6 +497,7 @@ func TestProxyMidStreamWorkerDeath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	front := httptest.NewServer(p)
 	defer front.Close()
 

@@ -51,6 +51,7 @@ func proxyOver(t *testing.T, workerURL string, timeout time.Duration) *httptest.
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Close()
 	front := httptest.NewServer(p)
 	t.Cleanup(front.Close)
 	return front

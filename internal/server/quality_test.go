@@ -1,0 +1,334 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fixrule/internal/core"
+	"fixrule/internal/obs/window"
+	"fixrule/internal/repair"
+	"fixrule/internal/schema"
+)
+
+// fakeClock is the injected quality clock: every window observation and
+// report in a test reads this instant, so window contents are exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// threeRuleRepairer compiles the phi1/phi2/phi4 Travel ruleset the
+// endpoint tests use, returned so tests can compute OOV ground truth with
+// the same compiled vocabulary the server counts against.
+func threeRuleRepairer(t *testing.T) *repair.Repairer {
+	t.Helper()
+	sch := schema.New("Travel", "name", "country", "capital", "city", "conf")
+	rs := core.MustRuleset(
+		core.MustNew("phi1", sch, map[string]string{"country": "China"},
+			"capital", []string{"Shanghai", "Hongkong"}, "Beijing"),
+		core.MustNew("phi2", sch, map[string]string{"country": "Canada"},
+			"capital", []string{"Toronto"}, "Ottawa"),
+		core.MustNew("phi4", sch,
+			map[string]string{"capital": "Beijing", "conf": "ICDE"},
+			"city", []string{"Hongkong"}, "Shanghai"),
+	)
+	rep, err := repair.NewRepairerChecked(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func newQualityServer(t *testing.T, cfg Config) (*repair.Repairer, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger
+	}
+	rep := threeRuleRepairer(t)
+	srv := httptest.NewServer(NewWithConfig(rep, cfg))
+	t.Cleanup(srv.Close)
+	return rep, srv
+}
+
+func getQuality(t *testing.T, url string) QualityReport {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	var rep QualityReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestQualityGroundTruth: after a known request sequence under an injected
+// clock, /quality reports exactly the aggregates the sequence implies —
+// in both windows while fresh, live-only decay after the live span
+// elapses, and error accounting for a rejected request.
+func TestQualityGroundTruth(t *testing.T) {
+	clk := newFakeClock()
+	rep, srv := newQualityServer(t, Config{QualityClock: clk.now})
+
+	// Ian: phi1 repairs capital (Shanghai→Beijing), then phi4 repairs city
+	// (Hongkong→Shanghai) — 1 row repaired, 2 rule applications.
+	// George: no rule matches — untouched.
+	body := `{"tuples": [
+		["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+		["George", "China", "Beijing", "Beijing", "SIGMOD"]
+	]}`
+	resp := postJSON(t, srv.URL+"/repair", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/repair = %d %s", resp.StatusCode, readBody(t, resp))
+	}
+	resp.Body.Close()
+	// The OOV ground truth comes from the same compiled vocabulary the
+	// server counts against.
+	wantOOV := int64(rep.OOVCells(schema.Tuple{"Ian", "China", "Shanghai", "Hongkong", "ICDE"}) +
+		rep.OOVCells(schema.Tuple{"George", "China", "Beijing", "Beijing", "SIGMOD"}))
+
+	q := getQuality(t, srv.URL+"/quality")
+	if q.Scope != "service" {
+		t.Errorf("scope = %q, want service", q.Scope)
+	}
+	if q.WindowSeconds != 60 || q.BaselineSeconds != 600 {
+		t.Errorf("window spans = %v/%v, want 60/600", q.WindowSeconds, q.BaselineSeconds)
+	}
+	check := func(name string, s QualitySnapshot) {
+		t.Helper()
+		if s.Requests != 1 || s.Errors != 0 || s.Shed != 0 {
+			t.Errorf("%s requests/errors/shed = %d/%d/%d, want 1/0/0", name, s.Requests, s.Errors, s.Shed)
+		}
+		if s.Rows != 2 || s.RowsRepaired != 1 || s.RowsUntouched != 1 {
+			t.Errorf("%s rows = %d/%d/%d, want 2 rows, 1 repaired, 1 untouched", name, s.Rows, s.RowsRepaired, s.RowsUntouched)
+		}
+		if s.RuleApplications != 2 || s.Cells != 10 {
+			t.Errorf("%s applications/cells = %d/%d, want 2/10", name, s.RuleApplications, s.Cells)
+		}
+		if s.OOVCells != wantOOV {
+			t.Errorf("%s oov_cells = %d, want %d", name, s.OOVCells, wantOOV)
+		}
+		if s.CoverageRate != 0.5 || s.StepsPerRow != 1.0 {
+			t.Errorf("%s coverage/steps_per_row = %v/%v, want 0.5/1.0", name, s.CoverageRate, s.StepsPerRow)
+		}
+		if s.PerRule["phi1"] != 1 || s.PerRule["phi4"] != 1 || s.PerRule["phi2"] != 0 {
+			t.Errorf("%s per_rule = %v", name, s.PerRule)
+		}
+		if s.PerAttribute["capital"].Changed != 1 || s.PerAttribute["city"].Changed != 1 {
+			t.Errorf("%s per_attribute = %v", name, s.PerAttribute)
+		}
+	}
+	check("window", q.Window)
+	check("baseline", q.Baseline)
+	// 2 rows is below the default MinLive: the drift detector must say
+	// "not enough data", never cry wolf on a cold window.
+	if q.Verdict != window.VerdictInsufficient {
+		t.Errorf("verdict = %q, want %q", q.Verdict, window.VerdictInsufficient)
+	}
+
+	// A rejected request counts as a data-plane request and an error.
+	resp = postJSON(t, srv.URL+"/repair", `{"tuples": [[`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	q = getQuality(t, srv.URL+"/quality")
+	if q.Window.Requests != 2 || q.Window.Errors != 1 {
+		t.Errorf("after bad JSON: requests/errors = %d/%d, want 2/1", q.Window.Requests, q.Window.Errors)
+	}
+	if got := q.Window.ErrorRate; got != 0.5 {
+		t.Errorf("error_rate = %v, want 0.5", got)
+	}
+
+	// Past the live span the live window decays to zero; the baseline
+	// still holds the full sequence.
+	clk.advance(61 * time.Second)
+	q = getQuality(t, srv.URL+"/quality")
+	if q.Window.Requests != 0 || q.Window.Rows != 0 || len(q.Window.PerRule) == 0 {
+		// PerRule keys persist (values decay to zero) — that is the
+		// documented decay-to-zero behaviour.
+		t.Errorf("decayed window = %+v", q.Window)
+	}
+	if q.Window.PerRule["phi1"] != 0 {
+		t.Errorf("decayed per_rule phi1 = %d, want 0", q.Window.PerRule["phi1"])
+	}
+	if q.Baseline.Rows != 2 || q.Baseline.RowsRepaired != 1 || q.Baseline.Requests != 2 {
+		t.Errorf("baseline after decay = %+v", q.Baseline)
+	}
+
+	// /quality is read-only.
+	resp = postJSON(t, srv.URL+"/quality", "{}")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /quality = %d, want 405", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestQualityDriftDetection: a coverage collapse after the baseline is
+// established trips the coverage_rate drift verdict.
+func TestQualityDriftDetection(t *testing.T) {
+	clk := newFakeClock()
+	_, srv := newQualityServer(t, Config{
+		QualityClock: clk.now,
+		// Tiny evidence floors so a handful of rows is decisive.
+		QualityThresholds: window.Thresholds{MinLive: 1, MinBaseline: 1},
+	})
+
+	// Establish a baseline where half the rows are repaired.
+	resp := postJSON(t, srv.URL+"/repair", `{"tuples": [
+		["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+		["George", "China", "Beijing", "Beijing", "SIGMOD"]
+	]}`)
+	resp.Body.Close()
+
+	// Live window moves on; only unrepairable rows arrive now.
+	clk.advance(2 * time.Minute)
+	resp = postJSON(t, srv.URL+"/repair", `{"tuples": [
+		["George", "China", "Beijing", "Beijing", "SIGMOD"]
+	]}`)
+	resp.Body.Close()
+
+	q := getQuality(t, srv.URL+"/quality")
+	if q.Window.CoverageRate != 0 {
+		t.Fatalf("live coverage = %v, want 0", q.Window.CoverageRate)
+	}
+	var coverage *DriftSignal
+	for i := range q.Drift {
+		if q.Drift[i].Signal == "coverage_rate" {
+			coverage = &q.Drift[i]
+		}
+	}
+	if coverage == nil {
+		t.Fatal("no coverage_rate drift signal")
+	}
+	if coverage.Verdict != window.VerdictDrift {
+		t.Errorf("coverage verdict = %q (live %v vs baseline %v), want drift",
+			coverage.Verdict, coverage.Live, coverage.Baseline)
+	}
+	if q.Verdict != window.VerdictDrift {
+		t.Errorf("overall verdict = %q, want drift", q.Verdict)
+	}
+}
+
+// TestTenantQualityScopes: tenant routes feed the tenant's own tracker and
+// the service tracker; sibling tenants stay isolated.
+func TestTenantQualityScopes(t *testing.T) {
+	clk := newFakeClock()
+	loader := newMapLoader(map[string]*core.Ruleset{
+		"acme":   travelRuleset("Beijing"),
+		"globex": travelRuleset("Peking"),
+	})
+	_, srv := newTenantServer(t, Config{QualityClock: clk.now}, TenantOptions{}, loader)
+
+	resp := postJSON(t, srv.URL+"/t/acme/repair", ianTuple)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/t/acme/repair = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	acme := getQuality(t, srv.URL+"/t/acme/quality")
+	if acme.Scope != "acme" {
+		t.Errorf("scope = %q, want acme", acme.Scope)
+	}
+	if acme.Window.Requests != 1 || acme.Window.Rows != 1 || acme.Window.RowsRepaired != 1 {
+		t.Errorf("acme window = %+v", acme.Window)
+	}
+	if acme.Window.PerRule["phi1"] != 1 {
+		t.Errorf("acme per_rule = %v", acme.Window.PerRule)
+	}
+
+	globex := getQuality(t, srv.URL+"/t/globex/quality")
+	if globex.Window.Requests != 0 || globex.Window.Rows != 0 {
+		t.Errorf("globex window leaked acme traffic: %+v", globex.Window)
+	}
+
+	service := getQuality(t, srv.URL+"/quality")
+	if service.Window.Requests != 1 || service.Window.Rows != 1 {
+		t.Errorf("service window missed tenant traffic: %+v", service.Window)
+	}
+}
+
+// TestQualityWindowMetrics: the /metrics exposition carries the windowed
+// gauges (refreshed by the scrape hook) and the runtime collector series.
+func TestQualityWindowMetrics(t *testing.T) {
+	clk := newFakeClock()
+	_, srv := newQualityServer(t, Config{QualityClock: clk.now})
+
+	resp := postJSON(t, srv.URL+"/repair", ianTuple)
+	resp.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	for _, want := range []string{
+		"fixserve_window_rows 1",
+		"fixserve_window_rows_repaired 1",
+		"fixserve_window_requests 1",
+		"fixserve_window_coverage_rate 1",
+		`fixserve_window_rule_applications{rule="phi1"} 1`,
+		`fixserve_window_drift_severity{signal="coverage_rate"}`,
+		"fixserve_goroutines ",
+		"fixserve_heap_alloc_bytes ",
+		"fixserve_gc_cycles_total ",
+		"fixserve_uptime_seconds ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The windowed gauges decay with the window.
+	clk.advance(61 * time.Second)
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	if !strings.Contains(body, "fixserve_window_rows 0") {
+		t.Error("fixserve_window_rows did not decay with the window")
+	}
+}
+
+// TestQualityObserveZeroAlloc guards the telemetry write path: recording a
+// request's aggregates into the windows allocates nothing, so enabling
+// quality telemetry cannot put pressure on the repair hot path.
+func TestQualityObserveZeroAlloc(t *testing.T) {
+	q := newQualityTracker(resolveQualityConfig(Config{}))
+	now := time.Unix(1_700_000_000, 0)
+	q.observeRule(now, "phi1", 1) // mint the key outside the measured loop
+	allocs := testing.AllocsPerRun(200, func() {
+		q.observeRequest(now, false)
+		q.observeTotals(now, 16, 4, 5, 2, 80)
+		q.observeRule(now, "phi1", 5)
+		now = now.Add(time.Second)
+	})
+	if allocs != 0 {
+		t.Errorf("observe path allocates %v per run, want 0", allocs)
+	}
+}

@@ -16,6 +16,7 @@
 //	GET  /healthz      liveness probe
 //	GET  /metrics      Prometheus text exposition
 //	GET  /stats        service counters, latency quantiles, ruleset version
+//	GET  /quality      windowed data-quality rates + drift verdicts (quality.go)
 //	GET  /rules        the ruleset, as DSL (default) or JSON (?format=json)
 //	GET  /rules/stats  rule-count / size / per-target statistics
 //	POST /repair       JSON {"tuples": [[...], ...]} → repaired tuples + steps
@@ -56,6 +57,7 @@ import (
 
 	"fixrule/internal/core"
 	"fixrule/internal/obs"
+	"fixrule/internal/obs/window"
 	"fixrule/internal/repair"
 	"fixrule/internal/ruleio"
 	"fixrule/internal/schema"
@@ -113,6 +115,21 @@ type Config struct {
 	// Tenants enables the multi-tenant surface under /t/{tenant}/; nil
 	// leaves the server single-tenant. See TenantOptions.
 	Tenants *TenantOptions
+	// QualityWindow sets the live telemetry window GET /quality reports
+	// over; <= 0 selects one minute.
+	QualityWindow time.Duration
+	// QualityBaseline sets the baseline window the drift verdicts compare
+	// the live window against; <= 0 selects ten minutes.
+	QualityBaseline time.Duration
+	// QualityBuckets sets each quality window's ring size (the bucket
+	// resolution is span/buckets); <= 0 selects 12.
+	QualityBuckets int
+	// QualityClock overrides the telemetry clock; nil selects time.Now.
+	// Tests inject a fake clock to drive bucket rotation deterministically.
+	QualityClock window.Clock
+	// QualityThresholds tunes the drift classification; zero fields select
+	// the window.DefaultThresholds values.
+	QualityThresholds window.Thresholds
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +191,8 @@ type Server struct {
 	reg      *obs.Registry
 	m        metrics
 	tracer   *trace.Tracer
+	qcfg     qualityConfig
+	quality  *qualityTracker // service-wide windowed quality telemetry
 
 	// Multi-tenant state; nil / zero unless Config.Tenants was set.
 	tenants    *tenantRegistry
@@ -206,11 +225,14 @@ func NewWithConfig(rep *repair.Repairer, cfg Config) *Server {
 		reqPrefix: newRequestPrefix(),
 	}
 	s.eng.Store(newEngine(rep, 1))
+	s.qcfg = resolveQualityConfig(cfg)
+	s.quality = newQualityTracker(s.qcfg)
 	s.initMetrics()
 	s.m.version.Set(1)
 	s.mux.HandleFunc("/healthz", s.wrap("/healthz", false, s.handleHealth))
 	s.mux.HandleFunc("/metrics", s.wrap("/metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("/stats", s.wrap("/stats", false, s.handleServerStats))
+	s.mux.HandleFunc("/quality", s.wrap("/quality", false, s.handleQuality))
 	s.mux.HandleFunc("/rules", s.wrap("/rules", false, s.handleRules))
 	s.mux.HandleFunc("/rules/stats", s.wrap("/rules/stats", false, s.handleStats))
 	s.mux.HandleFunc("/repair", s.wrap("/repair", true, s.handleRepair))
@@ -221,7 +243,7 @@ func NewWithConfig(rep *repair.Repairer, cfg Config) *Server {
 	s.mux.HandleFunc("/debug/traces/", s.wrap("/debug/traces", false, s.handleTraceByID))
 	if cfg.Tenants != nil && cfg.Tenants.Loader != nil {
 		s.tenantOpts = cfg.Tenants.withDefaults(cfg.MaxBodyBytes)
-		s.tenants = newTenantRegistry(s.tenantOpts, s.reg)
+		s.tenants = newTenantRegistry(s.tenantOpts, s.reg, s.qcfg)
 		s.mux.HandleFunc("/t/", s.handleTenant)
 	}
 	if cfg.EnablePprof {
@@ -385,6 +407,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 	var steps, oov int
 	oovAcc := make([]int64, arity)
 	changedBy := make(map[string]int)
+	perRule := make(map[string]int)
 	resp := repairResponse{Repaired: make([]repairedTuple, 0, len(req.Tuples))}
 	for i, vals := range req.Tuples {
 		if i&63 == 0 && ctx.Err() != nil {
@@ -409,6 +432,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 				Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
 			})
 			changedBy[st.Attr]++
+			perRule[st.Rule.Name()]++
 			sp.AddEvent("chase.step",
 				trace.Int("row", i),
 				trace.String("rule", st.Rule.Name()),
@@ -432,6 +456,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request, eng *engin
 	sp.End()
 	s.recordTotals(eng, len(req.Tuples), resp.Changed, steps, oov)
 	s.addAttrMetrics(eng, changedBy, oovAcc)
+	s.observeRuleApplications(eng, perRule)
 	writeJSON(w, resp)
 }
 
@@ -530,6 +555,7 @@ func (s *Server) handleRepairCSV(w http.ResponseWriter, r *http.Request, eng *en
 		}
 	}
 	s.addAttrMetricsByName(eng, changedBy, stats.OOVByAttr)
+	s.observeRuleApplications(eng, stats.PerRule)
 }
 
 // addChaseEvents surfaces a recorder's captured rule applications as span
@@ -593,11 +619,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, eng *engi
 	}
 	sp := trace.SpanFromContext(r.Context()).StartChild("repair.explain")
 	changedBy := make(map[string]int)
+	perRule := make(map[string]int)
 	for _, st := range e.Steps {
 		resp.Steps = append(resp.Steps, stepRecord{
 			Rule: st.Rule.Name(), Attr: st.Attr, From: st.From, To: st.To,
 		})
 		changedBy[st.Attr]++
+		perRule[st.Rule.Name()]++
 		sp.AddEvent("chase.step",
 			trace.String("rule", st.Rule.Name()),
 			trace.String("attr", st.Attr),
@@ -615,6 +643,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, eng *engi
 	}
 	s.recordTotals(eng, 1, repaired, len(e.Steps), oov)
 	s.addAttrMetrics(eng, changedBy, oovAcc)
+	s.observeRuleApplications(eng, perRule)
 	writeJSON(w, resp)
 }
 

@@ -86,13 +86,17 @@ type tenantMetrics struct {
 	oovCells   *obs.Counter
 	reloads    *obs.Counter
 	version    *obs.Gauge
+	// quality holds the tenant's windowed telemetry, serving
+	// /t/{tenant}/quality. Stored here (not on the tenant entry) so the
+	// windows survive LRU eviction just like the cumulative counters.
+	quality *qualityTracker
 
 	attrMu        sync.Mutex
 	changedByAttr map[string]*obs.Counter
 	oovByAttr     map[string]*obs.Counter
 }
 
-func newTenantMetrics(reg *obs.Registry, name string) *tenantMetrics {
+func newTenantMetrics(reg *obs.Registry, name string, qcfg qualityConfig) *tenantMetrics {
 	l := func(extra ...string) string {
 		kv := append([]string{"tenant", name}, extra...)
 		return obs.Labels(kv...)
@@ -114,6 +118,7 @@ func newTenantMetrics(reg *obs.Registry, name string) *tenantMetrics {
 			"Successful per-tenant ruleset reloads.", l()),
 		version: reg.Gauge("fixserve_tenant_ruleset_version",
 			"Served ruleset version, by tenant; survives eviction.", l()),
+		quality:       newQualityTracker(qcfg),
 		changedByAttr: make(map[string]*obs.Counter),
 		oovByAttr:     make(map[string]*obs.Counter),
 	}
@@ -160,6 +165,7 @@ type flight struct {
 type tenantRegistry struct {
 	opts TenantOptions
 	reg  *obs.Registry
+	qcfg qualityConfig
 
 	mu       sync.Mutex
 	entries  map[string]*tenant
@@ -175,10 +181,11 @@ type tenantRegistry struct {
 	compiles  *obs.Counter
 }
 
-func newTenantRegistry(opts TenantOptions, reg *obs.Registry) *tenantRegistry {
+func newTenantRegistry(opts TenantOptions, reg *obs.Registry, qcfg qualityConfig) *tenantRegistry {
 	return &tenantRegistry{
 		opts:     opts,
 		reg:      reg,
+		qcfg:     qcfg,
 		entries:  make(map[string]*tenant),
 		lru:      list.New(),
 		versions: make(map[string]int64),
@@ -209,7 +216,7 @@ func (r *tenantRegistry) tenantMetricsFor(name string) *tenantMetrics {
 	defer r.mu.Unlock()
 	tm := r.metrics[name]
 	if tm == nil {
-		tm = newTenantMetrics(r.reg, name)
+		tm = newTenantMetrics(r.reg, name, r.qcfg)
 		r.metrics[name] = tm
 	}
 	return tm

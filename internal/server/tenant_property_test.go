@@ -16,7 +16,7 @@ import (
 // and per-tenant versions are monotonic across eviction and reload.
 
 func newBareRegistry(opts TenantOptions) *tenantRegistry {
-	return newTenantRegistry(opts.withDefaults(32<<20), obs.NewRegistry())
+	return newTenantRegistry(opts.withDefaults(32<<20), obs.NewRegistry(), resolveQualityConfig(Config{}))
 }
 
 // TestSingleflightCompilesOnce: N concurrent cold requests for one tenant

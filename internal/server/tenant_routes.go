@@ -26,6 +26,7 @@ import (
 //	GET  /t/{x}/rules         the tenant's ruleset (DSL or ?format=json)
 //	GET  /t/{x}/rules/stats   rule statistics
 //	GET  /t/{x}/stats         the tenant's own counters, never another's
+//	GET  /t/{x}/quality       the tenant's windowed quality report
 //	POST /t/{x}/reload        per-tenant hot deploy through the loader
 //	GET  /t/{x}/debug/traces  the tenant's retained traces; /{id} drills in
 
@@ -86,6 +87,8 @@ func tenantEndpointLabel(rest string) (label string, ok bool) {
 		return "/t/{tenant}/rules/stats", true
 	case "/stats":
 		return "/t/{tenant}/stats", true
+	case "/quality":
+		return "/t/{tenant}/quality", true
 	case "/reload":
 		return "/t/{tenant}/reload", true
 	case "/debug/traces":
@@ -158,6 +161,7 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	eng := e.eng.Load()
 	e.m.requests.Inc()
+	c.tenantQuality = e.m.quality
 	c.sw.Header().Set(VersionHeader, strconv.FormatInt(eng.version, 10))
 	c.sw.Header().Set(HashHeader, eng.hash)
 
@@ -171,6 +175,7 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.sem }()
 		default:
 			s.m.shed.Inc()
+			s.quality.observeShed(s.quality.now())
 			c.sw.Header().Set("Retry-After", s.retryAfter())
 			s.writeError(c.sw, http.StatusServiceUnavailable, codeOverloaded,
 				"server at capacity, retry shortly")
@@ -181,6 +186,7 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-e.sem }()
 		default:
 			e.m.shed.Inc()
+			e.m.quality.observeShed(e.m.quality.now())
 			// The tenant quota has no queue of its own; the backoff hint
 			// follows global pressure — a tenant at quota on an idle server
 			// can retry in a second, one shed under global saturation should
@@ -212,7 +218,19 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 		s.handleStats(c.sw, r, eng)
 	case "/t/{tenant}/stats":
 		s.handleTenantStats(c.sw, r, e, eng)
+	case "/t/{tenant}/quality":
+		s.handleTenantQuality(c.sw, r, e)
 	}
+}
+
+// handleTenantQuality is GET /t/{x}/quality: the tenant's own windowed
+// quality report, scope-stamped with the tenant ID.
+func (s *Server) handleTenantQuality(w http.ResponseWriter, r *http.Request, e *tenant) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, e.m.quality.report(e.name))
 }
 
 // tenantResolveError maps a registry resolution failure onto the envelope:
